@@ -1,0 +1,88 @@
+"""Ablation: cubing from the m-layer vs from the raw (primitive) layer.
+
+Section 4.2's argument for the minimal interesting layer: "it is often
+neither cost-effective nor practically interesting to examine the minute
+detail of stream data."  Here the same logical data is cubed twice — once
+pre-aggregated to the m-layer, once kept at a 4x-finer primitive layer with
+one extra hierarchy level — and the time/memory gap is recorded.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cube.hierarchy import FanoutHierarchy
+from repro.cube.layers import CriticalLayers
+from repro.cube.schema import CubeSchema, Dimension
+from repro.cubing.mo_cubing import mo_cubing
+from repro.cubing.policy import GlobalSlopeThreshold
+from repro.regression.isb import ISB
+
+_FANOUT = 4
+_POLICY = GlobalSlopeThreshold(0.1)
+
+
+def _primitive_cells(n: int, depth: int, seed: int = 5):
+    """n cells at the given hierarchy depth for a 2-d cube."""
+    rng = np.random.default_rng(seed)
+    card = _FANOUT**depth
+    cells = {}
+    for _ in range(n):
+        key = (int(rng.integers(card)), int(rng.integers(card)))
+        isb = ISB(0, 15, float(rng.uniform(0, 5)), float(rng.laplace(0, 0.1)))
+        if key in cells:
+            prior = cells[key]
+            isb = ISB(0, 15, prior.base + isb.base, prior.slope + isb.slope)
+        cells[key] = isb
+    return cells
+
+
+def _layers(depth: int) -> CriticalLayers:
+    schema = CubeSchema(
+        [
+            Dimension("a", FanoutHierarchy("a", depth, _FANOUT)),
+            Dimension("b", FanoutHierarchy("b", depth, _FANOUT)),
+        ]
+    )
+    return CriticalLayers(schema, (depth,) * 2, (1, 1))
+
+
+def bench_cube_from_m_layer(benchmark):
+    """The paper's design: primitive data pre-merged to m-layer cells."""
+    primitive = _primitive_cells(8_000, depth=4)
+    layers = _layers(3)
+    mapper = FanoutHierarchy("x", 4, _FANOUT).ancestor_mapper(4, 3)
+    merged: dict = {}
+    for (a, b), isb in primitive.items():
+        key = (mapper(a), mapper(b))
+        if key in merged:
+            prior = merged[key]
+            isb = ISB(0, 15, prior.base + isb.base, prior.slope + isb.slope)
+        merged[key] = isb
+
+    result = benchmark.pedantic(
+        mo_cubing,
+        args=(layers, merged, _POLICY),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    benchmark.extra_info["m_layer_cells"] = len(merged)
+    benchmark.extra_info["megabytes"] = round(result.stats.megabytes, 4)
+
+
+def bench_cube_from_raw_layer(benchmark):
+    """The rejected design: cube straight from the primitive layer."""
+    primitive = _primitive_cells(8_000, depth=4)
+    layers = _layers(4)
+
+    result = benchmark.pedantic(
+        mo_cubing,
+        args=(layers, primitive, _POLICY),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    benchmark.extra_info["m_layer_cells"] = len(primitive)
+    benchmark.extra_info["megabytes"] = round(result.stats.megabytes, 4)
+    benchmark.extra_info["cuboids"] = layers.lattice.size

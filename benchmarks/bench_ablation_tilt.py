@@ -1,0 +1,59 @@
+"""Ablation: tilt time frame vs full (non-tilt) registration.
+
+The paper declines to measure this ("comparing clear winners against
+obvious losers", Section 5); this bench records the win anyway.  A year of
+quarter ISBs is maintained (a) in the Fig 4 tilt frame — 71 slots — and
+(b) in a flat register holding every quarter.  The memory ratio should land
+near Example 3's ~495x; maintenance time is also reported.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.regression.isb import ISB, ISB_STRUCT_BYTES
+from repro.tilt.natural import natural_frame
+
+_YEAR_QUARTERS = 4 * 24 * 366
+
+
+def _quarter_isbs():
+    rng = np.random.default_rng(3)
+    bases = rng.normal(1.0, 0.1, size=_YEAR_QUARTERS)
+    return [
+        ISB(t, t, float(bases[t]), 0.0) for t in range(_YEAR_QUARTERS)
+    ]
+
+
+def bench_tilt_registration(benchmark):
+    quarters = _quarter_isbs()
+
+    def run():
+        frame = natural_frame()
+        for isb in quarters:
+            frame.insert(isb)
+        return frame
+
+    frame = benchmark.pedantic(run, rounds=2, iterations=1, warmup_rounds=1)
+    slots = frame.total_retained
+    benchmark.extra_info["slots"] = slots
+    benchmark.extra_info["bytes"] = slots * ISB_STRUCT_BYTES
+    assert slots <= 71
+
+
+def bench_full_registration(benchmark):
+    quarters = _quarter_isbs()
+
+    def run():
+        register: list[ISB] = []
+        register.extend(quarters)
+        return register
+
+    register = benchmark.pedantic(
+        run, rounds=2, iterations=1, warmup_rounds=1
+    )
+    benchmark.extra_info["slots"] = len(register)
+    benchmark.extra_info["bytes"] = len(register) * ISB_STRUCT_BYTES
+    # The memory ratio is Example 3's saving.
+    assert len(register) == _YEAR_QUARTERS
+    assert len(register) / 71 > 490

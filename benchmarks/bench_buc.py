@@ -1,0 +1,77 @@
+"""Extension bench: alternative cubing techniques vs the paper's algorithms.
+
+Section 7 lists "explore other cubing techniques, such as multiway array
+aggregation and BUC" as future work.  This bench runs both explorations —
+the BUC-style recursive-partitioning implementation and the multiway
+simultaneous-aggregation implementation — against m/o H-cubing and
+popular-path on the same workload (1% exceptions) so the trade-offs are on
+record.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import policy_for_rate
+from repro.cubing.buc import buc_cubing
+from repro.cubing.mo_cubing import mo_cubing
+from repro.cubing.multiway import multiway_cubing
+from repro.cubing.popular_path import popular_path_cubing
+
+_cache: dict[int, object] = {}
+
+
+def _policy(ablation_dataset):
+    if "policy" not in _cache:
+        _cache["policy"] = policy_for_rate(ablation_dataset, 1.0)
+    return _cache["policy"]
+
+
+def bench_buc_cubing(benchmark, ablation_dataset):
+    policy = _policy(ablation_dataset)
+    result = benchmark.pedantic(
+        buc_cubing,
+        args=(ablation_dataset.layers, ablation_dataset.cells, policy),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    benchmark.extra_info["cells_computed"] = result.stats.cells_computed
+    benchmark.extra_info["megabytes"] = round(result.stats.megabytes, 4)
+
+
+def bench_multiway_cubing(benchmark, ablation_dataset):
+    policy = _policy(ablation_dataset)
+    result = benchmark.pedantic(
+        multiway_cubing,
+        args=(ablation_dataset.layers, ablation_dataset.cells, policy),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    benchmark.extra_info["cells_computed"] = result.stats.cells_computed
+    benchmark.extra_info["megabytes"] = round(result.stats.megabytes, 4)
+
+
+def bench_mo_cubing_reference(benchmark, ablation_dataset):
+    policy = _policy(ablation_dataset)
+    result = benchmark.pedantic(
+        mo_cubing,
+        args=(ablation_dataset.layers, ablation_dataset.cells, policy),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    benchmark.extra_info["cells_computed"] = result.stats.cells_computed
+    benchmark.extra_info["megabytes"] = round(result.stats.megabytes, 4)
+
+
+def bench_popular_path_reference(benchmark, ablation_dataset):
+    policy = _policy(ablation_dataset)
+    result = benchmark.pedantic(
+        popular_path_cubing,
+        args=(ablation_dataset.layers, ablation_dataset.cells, policy),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    benchmark.extra_info["cells_computed"] = result.stats.cells_computed
+    benchmark.extra_info["megabytes"] = round(result.stats.megabytes, 4)

@@ -1,0 +1,61 @@
+"""Figure 10: processing time and memory vs number of levels.
+
+Paper setting: D2C10T10K, 1% exception rate, levels swept 3..7.
+Expected shape (paper Section 5): "with the growth of number of levels in
+the data cube, both processing time and space usage grow exponentially" —
+the curse of dimensionality, here along the level axis (the lattice has
+``levels ** 2`` cuboids for two dimensions).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import policy_for_rate
+from repro.bench.workloads import current_scale
+from repro.cubing.mo_cubing import mo_cubing
+from repro.cubing.popular_path import popular_path_cubing
+from repro.stream.generator import DatasetSpec, generate_dataset
+
+_SCALE = current_scale()
+_LEVELS = _SCALE.fig10_levels
+
+_cache: dict[int, tuple] = {}
+
+
+def _dataset_and_policy(n_levels: int):
+    if n_levels not in _cache:
+        spec = DatasetSpec(2, n_levels, 10, _SCALE.fig10_tuples)
+        data = generate_dataset(spec, seed=7)
+        _cache[n_levels] = (data, policy_for_rate(data, 1.0))
+    return _cache[n_levels]
+
+
+@pytest.mark.parametrize("n_levels", _LEVELS)
+def bench_figure10_mo_cubing(benchmark, n_levels):
+    data, policy = _dataset_and_policy(n_levels)
+    result = benchmark.pedantic(
+        mo_cubing,
+        args=(data.layers, data.cells, policy),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    benchmark.extra_info["megabytes"] = round(result.stats.megabytes, 4)
+    benchmark.extra_info["cuboids"] = data.layers.lattice.size
+    assert result.stats.cuboids_computed == n_levels**2
+
+
+@pytest.mark.parametrize("n_levels", _LEVELS)
+def bench_figure10_popular_path(benchmark, n_levels):
+    data, policy = _dataset_and_policy(n_levels)
+    result = benchmark.pedantic(
+        popular_path_cubing,
+        args=(data.layers, data.cells, policy),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    benchmark.extra_info["megabytes"] = round(result.stats.megabytes, 4)
+    benchmark.extra_info["cuboids"] = data.layers.lattice.size
+    assert len(result.cuboids) == n_levels**2

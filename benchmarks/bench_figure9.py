@@ -1,0 +1,59 @@
+"""Figure 9: processing time and memory vs m-layer size.
+
+Paper setting: D3L3C10 structure, 1% exception rate, sizes as prefixes of
+one dataset ("appropriate subsets of the same 100K data set").
+Expected shape (paper Section 5):
+
+* popular-path is more time-scalable than m/o-cubing ("m/o-cubing computes
+  all the cells between the two critical layers whereas popular-path
+  computes only the cells along popular path plus a relatively small number
+  of exception cells").
+* popular-path takes MORE memory ("all the cells along the popular path
+  need to be retained in memory").
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import policy_for_rate
+from repro.bench.workloads import current_scale
+from repro.cubing.mo_cubing import mo_cubing
+from repro.cubing.popular_path import popular_path_cubing
+
+_SIZES = current_scale().fig9_sizes
+
+
+def _subset_and_policy(dataset, size):
+    subset = dataset.subset(min(size, dataset.n_cells))
+    return subset, policy_for_rate(subset, 1.0)
+
+
+@pytest.mark.parametrize("size", _SIZES)
+def bench_figure9_mo_cubing(benchmark, fig9_dataset, size):
+    subset, policy = _subset_and_policy(fig9_dataset, size)
+    result = benchmark.pedantic(
+        mo_cubing,
+        args=(subset.layers, subset.cells, policy),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    benchmark.extra_info["megabytes"] = round(result.stats.megabytes, 4)
+    benchmark.extra_info["m_layer_cells"] = subset.n_cells
+    assert len(result.m_layer) == subset.n_cells
+
+
+@pytest.mark.parametrize("size", _SIZES)
+def bench_figure9_popular_path(benchmark, fig9_dataset, size):
+    subset, policy = _subset_and_policy(fig9_dataset, size)
+    result = benchmark.pedantic(
+        popular_path_cubing,
+        args=(subset.layers, subset.cells, policy),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    benchmark.extra_info["megabytes"] = round(result.stats.megabytes, 4)
+    benchmark.extra_info["m_layer_cells"] = subset.n_cells
+    assert len(result.m_layer) == subset.n_cells

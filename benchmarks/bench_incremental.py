@@ -1,0 +1,71 @@
+"""Section 4.5 / Section 5 closing note: incremental vs batch computation.
+
+"In stream data applications, it is likely that one just needs to
+incrementally compute the newly generated stream data.  In this case, the
+computation time should be substantially shorter."  This bench measures
+(a) the engine's steady-state cost of absorbing one new quarter of records
+and (b) recomputing the full analysis window from scratch.
+"""
+
+from __future__ import annotations
+
+from repro.cubing.policy import GlobalSlopeThreshold
+from repro.stream.engine import StreamCubeEngine
+from repro.stream.power_grid import PowerGridConfig, PowerGridSimulator
+from repro.tilt.frame import TiltLevelSpec
+
+_TPQ = 15
+
+
+def _engine_and_sim():
+    cfg = PowerGridConfig(
+        n_cities=3,
+        blocks_per_city=4,
+        addresses_per_block=3,
+        users_per_address=2,
+        noise=0.02,
+        seed=23,
+    )
+    sim = PowerGridSimulator(cfg)
+    layers = sim.layers()
+    engine = StreamCubeEngine(
+        layers,
+        GlobalSlopeThreshold(0.02),
+        key_fn=sim.m_key_fn(),
+        ticks_per_quarter=_TPQ,
+        frame_levels=[
+            TiltLevelSpec("quarter", _TPQ, 4),
+            TiltLevelSpec("hour", 4 * _TPQ, 24),
+        ],
+    )
+    return engine, sim
+
+
+def bench_incremental_quarter_update(benchmark):
+    """Absorb one quarter of minute records into a warm engine."""
+    engine, sim = _engine_and_sim()
+    engine.ingest_many(sim.records(60))
+    engine.advance_to(60)
+    next_minute = [60]
+
+    def absorb_quarter():
+        start = next_minute[0]
+        engine.ingest_many(sim.records(_TPQ, start_minute=start))
+        engine.advance_to(start + _TPQ)
+        next_minute[0] = start + _TPQ
+
+    benchmark.pedantic(absorb_quarter, rounds=8, iterations=1)
+    benchmark.extra_info["records_per_quarter"] = sim.n_users * _TPQ
+
+
+def bench_batch_window_recompute(benchmark):
+    """Rebuild the whole 4-quarter window and recube it from scratch."""
+    engine, sim = _engine_and_sim()
+    engine.ingest_many(sim.records(60))
+    engine.advance_to(60)
+
+    def recompute():
+        return engine.refresh(window_quarters=4, algorithm="mo")
+
+    result = benchmark.pedantic(recompute, rounds=8, iterations=1)
+    benchmark.extra_info["m_cells"] = len(result.m_layer)

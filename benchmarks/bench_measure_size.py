@@ -1,0 +1,49 @@
+"""Ablation: ISB (minimal) vs general sufficient statistics as the measure.
+
+Theorem 3.1(b) proves the 4-number ISB minimal for linear regression; the
+Section 6.2 general theory stores ``k(k+1)/2 + k + 4`` numbers instead.
+This bench records both the size gap and the aggregation-throughput gap for
+the linear design, where the two are interchangeable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.regression.aggregation import merge_standard
+from repro.regression.isb import isb_of_series
+from repro.regression.multiple import SufficientStats
+
+_N_CELLS = 200
+_WINDOW = 16
+
+
+def _series_bank():
+    rng = np.random.default_rng(11)
+    return [rng.normal(1, 0.3, size=_WINDOW).tolist() for _ in range(_N_CELLS)]
+
+
+def bench_isb_standard_merge(benchmark):
+    isbs = [isb_of_series(s) for s in _series_bank()]
+
+    merged = benchmark(merge_standard, isbs)
+    benchmark.extra_info["numbers_per_cell"] = 4
+    assert merged.interval == (0, _WINDOW - 1)
+
+
+def bench_sufficient_stats_standard_merge(benchmark):
+    stats = [SufficientStats.of_series(s) for s in _series_bank()]
+
+    def run():
+        acc = stats[0]
+        for other in stats[1:]:
+            acc = acc.merge_standard(other)
+        return acc
+
+    merged = benchmark(run)
+    benchmark.extra_info["numbers_per_cell"] = stats[0].stored_numbers
+    assert merged.n == _WINDOW
+    # Both representations agree on the model.
+    isb_direct = merge_standard([isb_of_series(s) for s in _series_bank()])
+    isb_via_stats = merged.to_isb()
+    assert abs(isb_direct.slope - isb_via_stats.slope) < 1e-8

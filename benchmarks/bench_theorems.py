@@ -1,0 +1,69 @@
+"""Figures 1-3: the regression foundations, validated and micro-benchmarked.
+
+The timed bodies exercise the two aggregation theorems at cube-realistic
+fan-ins; the assertions pin the exact ISB values printed in the captions of
+Figures 2 and 3 (the only absolute numbers the paper publishes).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.regression.aggregation import merge_standard, merge_time
+from repro.regression.isb import ISB, isb_of_series
+from repro.regression.linear import fit_series
+
+
+def bench_figure2_theorem32(benchmark):
+    """Theorem 3.2 merge at fan-in 100, plus the Fig 2 caption check."""
+    children = [ISB(0, 19, 0.01 * i, 0.001 * i) for i in range(100)]
+
+    merged = benchmark(merge_standard, children)
+    assert math.isclose(merged.base, sum(c.base for c in children))
+
+    z = merge_standard(
+        [ISB(0, 19, 0.540995, 0.0318379), ISB(0, 19, 0.294875, 0.0493375)]
+    )
+    assert math.isclose(z.base, 0.83587, abs_tol=5e-6)
+    assert math.isclose(z.slope, 0.0811754, abs_tol=5e-7)
+
+
+def bench_figure3_theorem33(benchmark):
+    """Theorem 3.3 merge of 96 quarters into a day, plus the Fig 3 check."""
+    rng = np.random.default_rng(0)
+    quarters = [
+        isb_of_series(rng.normal(1, 0.2, size=4).tolist(), t_b=4 * i)
+        for i in range(96)
+    ]
+
+    merged = benchmark(merge_time, quarters)
+    assert merged.interval == (0, 383)
+
+    z = merge_time(
+        [ISB(0, 9, 0.582995, 0.0240189), ISB(10, 19, 0.459046, 0.047474)]
+    )
+    assert math.isclose(z.base, 0.509033, abs_tol=5e-6)
+    assert math.isclose(z.slope, 0.0431806, abs_tol=5e-7)
+
+
+def bench_figure1_lse_fit(benchmark):
+    """Lemma 3.1 fit throughput on the Example 2 series length."""
+    values = (0.62, 0.24, 1.03, 0.57, 0.59, 0.57, 0.87, 1.10, 0.71, 0.56)
+    fit = benchmark(fit_series, values)
+    assert fit.slope > 0
+
+
+def bench_compression_ratio(benchmark):
+    """ISB vs raw storage: fitting a day of minutes down to 4 numbers."""
+    rng = np.random.default_rng(1)
+    day = rng.normal(0.8, 0.1, size=1440).tolist()
+
+    isb = benchmark(isb_of_series, day)
+    raw_numbers = len(day)
+    isb_numbers = 4
+    benchmark.extra_info["raw_numbers"] = raw_numbers
+    benchmark.extra_info["isb_numbers"] = isb_numbers
+    benchmark.extra_info["compression"] = raw_numbers / isb_numbers
+    assert isb.n == 1440

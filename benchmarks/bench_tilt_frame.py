@@ -1,0 +1,67 @@
+"""Figure 4 / Example 3: the tilt time frame, validated and benchmarked.
+
+Covers the paper's 71-vs-35,136 slot arithmetic, sustained insertion
+throughput over a simulated year of quarters, and window-query latency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.regression.isb import ISB
+from repro.tilt.logarithmic import logarithmic_frame
+from repro.tilt.natural import example3_savings, natural_frame
+
+
+def bench_example3_savings(benchmark):
+    """The Example 3 arithmetic (trivially fast; asserted for the record)."""
+    savings = benchmark(example3_savings)
+    assert savings.tilt_units == 71
+    assert savings.full_units == 35_136
+    assert 494 < savings.ratio < 496
+    benchmark.extra_info["tilt_units"] = savings.tilt_units
+    benchmark.extra_info["full_units"] = savings.full_units
+    benchmark.extra_info["ratio"] = round(savings.ratio, 1)
+
+
+def bench_year_of_quarters_insertion(benchmark):
+    """Streaming a year of quarter ISBs through the Fig 4 frame."""
+    year = 4 * 24 * 366
+    rng = np.random.default_rng(2)
+    bases = rng.normal(1.0, 0.1, size=year)
+
+    def run():
+        frame = natural_frame()
+        for t in range(year):
+            frame.insert(ISB(t, t, float(bases[t]), 0.0))
+        return frame
+
+    frame = benchmark.pedantic(run, rounds=2, iterations=1, warmup_rounds=1)
+    assert frame.total_retained <= frame.total_capacity == 71
+    benchmark.extra_info["slots_retained"] = frame.total_retained
+    benchmark.extra_info["quarters_inserted"] = year
+
+
+def bench_window_query_last_day(benchmark):
+    """'The last day with the precision of hour' (Section 4.1)."""
+    frame = natural_frame()
+    for t in range(4 * 24 * 40):  # 40 days
+        frame.insert(ISB(t, t, 1.0 + 0.001 * t, 0.0))
+
+    isb = benchmark(frame.last_window, "hour", 24)
+    assert isb.n == 24 * 4
+
+
+def bench_logarithmic_frame_insertion(benchmark):
+    """The logarithmic variant under the same year-long load."""
+    year = 4 * 24 * 366
+
+    def run():
+        frame = logarithmic_frame(16)
+        for t in range(year):
+            frame.insert(ISB(t, t, 1.0, 0.0))
+        return frame
+
+    frame = benchmark.pedantic(run, rounds=2, iterations=1, warmup_rounds=1)
+    benchmark.extra_info["slots_retained"] = frame.total_retained
+    assert frame.total_retained <= frame.total_capacity

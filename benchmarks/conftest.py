@@ -1,0 +1,44 @@
+"""Shared benchmark fixtures: datasets and calibrated policies per scale.
+
+Set ``REPRO_BENCH_SCALE=paper`` for the paper's original sizes (slow);
+the default ``small`` profile keeps the whole suite under a few minutes
+while preserving every relative comparison.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import policy_for_rate
+from repro.bench.workloads import current_scale
+from repro.stream.generator import DatasetSpec, generate_dataset
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return current_scale()
+
+
+@pytest.fixture(scope="session")
+def fig8_dataset(scale):
+    spec = DatasetSpec(3, 3, 10, scale.fig8_tuples)
+    return generate_dataset(spec, seed=7)
+
+
+@pytest.fixture(scope="session")
+def fig8_policies(scale, fig8_dataset):
+    return {
+        rate: policy_for_rate(fig8_dataset, rate)
+        for rate in scale.fig8_rates
+    }
+
+
+@pytest.fixture(scope="session")
+def fig9_dataset(scale):
+    spec = DatasetSpec(3, 3, 10, max(scale.fig9_sizes))
+    return generate_dataset(spec, seed=7)
+
+
+@pytest.fixture(scope="session")
+def ablation_dataset(scale):
+    return generate_dataset(scale.ablation_spec, seed=13)

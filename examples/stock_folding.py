@@ -1,0 +1,79 @@
+"""Stock-series analysis with folding and a logarithmic tilt frame.
+
+Section 6.2 motivates *folding* with "stock closing value": fold a year of
+daily ISBs into a monthly closing-price series with ``last``, then regress
+the folded series for the monthly trend.  The same section's time-hierarchy
+discussion motivates the logarithmic tilt frame: O(log T) slots while recent
+history stays fine-grained.
+
+Everything below works on compressed ISBs only — the per-minute raw prices
+are discarded as soon as each day is sealed.
+
+Run: ``python examples/stock_folding.py``
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import ISB, fold_isbs, isb_of_series, logarithmic_frame, merge_time
+
+TRADING_DAYS = 240  # 12 "months" of 20 trading days
+MINUTES_PER_DAY = 390
+
+
+def simulate_daily_isbs(seed: int = 77) -> list[ISB]:
+    """One ISB per trading day from simulated minute prices."""
+    rng = np.random.default_rng(seed)
+    price = 100.0
+    daily: list[ISB] = []
+    for day in range(TRADING_DAYS):
+        drift = 0.03 + 0.02 * np.sin(day / 30.0)  # slow regime change
+        minutes = price + np.cumsum(
+            rng.normal(drift / MINUTES_PER_DAY, 0.05, size=MINUTES_PER_DAY)
+        )
+        t_b = day * MINUTES_PER_DAY
+        daily.append(isb_of_series(minutes.tolist(), t_b=t_b))
+        price = float(minutes[-1])
+    return daily
+
+
+def main() -> None:
+    daily = simulate_daily_isbs()
+    print(f"sealed {len(daily)} trading days "
+          f"({MINUTES_PER_DAY} minutes each) into {len(daily)} ISBs")
+    print(f"raw numbers discarded per day: {MINUTES_PER_DAY} -> 4 kept\n")
+
+    # ------------------------------------------------------------------
+    # Folding: months of closing values, regressed at the monthly level.
+    # ------------------------------------------------------------------
+    month_isbs = [
+        merge_time(daily[m * 20 : (m + 1) * 20]) for m in range(12)
+    ]
+    closings = fold_isbs(month_isbs, "last")   # Section 6.2's use case
+    averages = fold_isbs(month_isbs, "avg")
+    trend = closings.fit()
+    print("monthly closing values (from ISBs alone):")
+    print("  " + ", ".join(f"{v:.2f}" for v in closings.values))
+    print(f"monthly closing trend: {trend.slope:+.3f} per month")
+    print(f"monthly average trend: {averages.fit().slope:+.3f} per month\n")
+
+    # ------------------------------------------------------------------
+    # Logarithmic tilt frame over the day stream.
+    # ------------------------------------------------------------------
+    frame = logarithmic_frame(n_levels=9)  # covers 2^9 = 512 days
+    for day, isb in enumerate(daily):
+        # Re-index each day to one frame tick (day granularity).
+        frame.insert(ISB(day, day, isb.mean, 0.0))
+    print(f"logarithmic frame: {frame.total_retained} slots retained for "
+          f"{TRADING_DAYS} days (capacity {frame.total_capacity})")
+    recent = frame.query(TRADING_DAYS - 2, TRADING_DAYS - 1)
+    span = frame.span()
+    assert span is not None
+    print(f"finest recent window: days {recent.t_b}-{recent.t_e}, "
+          f"slope {recent.slope:+.3f}/day")
+    print(f"history still reachable back to day {span[0]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy shim so editable installs work without the ``wheel`` package.
+
+The offline environment lacks ``wheel``; ``pip install -e . --no-build-isolation
+--no-use-pep517`` takes the ``setup.py develop`` path, which needs this file.
+All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,27 @@
+"""Benchmark harness: workloads, figure sweeps, paper-style reporting."""
+
+from repro.bench.harness import (
+    AlgorithmPoint,
+    SweepRow,
+    figure8_series,
+    figure9_series,
+    figure10_series,
+    policy_for_rate,
+    run_point,
+)
+from repro.bench.reporting import render_figure, render_shape_checks
+from repro.bench.workloads import BenchScale, current_scale
+
+__all__ = [
+    "BenchScale",
+    "current_scale",
+    "AlgorithmPoint",
+    "SweepRow",
+    "figure8_series",
+    "figure9_series",
+    "figure10_series",
+    "policy_for_rate",
+    "run_point",
+    "render_figure",
+    "render_shape_checks",
+]

@@ -1,0 +1,191 @@
+"""The experiment harness behind Figures 8-10.
+
+Each ``figure*_series`` function reruns the paper's exact sweep — same
+dataset family, same x-axis — on both algorithms and returns structured
+rows; :mod:`repro.bench.reporting` renders them in the paper's layout.
+Thresholds are calibrated the way the paper's x-axis is defined: "the
+percentage of aggregated cells that belong to exception cells", judged on
+the intermediate cells of a full materialization.
+"""
+
+from __future__ import annotations
+
+import gc
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.cube.layers import CriticalLayers
+from repro.cubing.full import full_materialization, intermediate_slopes
+from repro.cubing.mo_cubing import mo_cubing
+from repro.cubing.policy import (
+    ExceptionPolicy,
+    GlobalSlopeThreshold,
+    calibrate_threshold,
+)
+from repro.cubing.popular_path import popular_path_cubing
+from repro.cubing.result import CubeResult
+from repro.stream.generator import DatasetSpec, GeneratedDataset, generate_dataset
+
+__all__ = [
+    "AlgorithmPoint",
+    "SweepRow",
+    "policy_for_rate",
+    "run_point",
+    "figure8_series",
+    "figure9_series",
+    "figure10_series",
+]
+
+Algorithm = Callable[..., CubeResult]
+
+_ALGORITHMS: dict[str, Algorithm] = {
+    "m/o-cubing": mo_cubing,
+    "popular-path": popular_path_cubing,
+}
+
+
+@dataclass(frozen=True)
+class AlgorithmPoint:
+    """One algorithm's measurement at one sweep point.
+
+    ``megabytes`` comes from the analytic memory model;
+    ``tracemalloc_megabytes`` (when probing is enabled) is the actual
+    Python allocation peak — see :mod:`repro.bench.memprobe`.
+    """
+
+    algorithm: str
+    runtime_s: float
+    megabytes: float
+    cells_computed: int
+    rows_scanned: int
+    retained_exceptions: int
+    tracemalloc_megabytes: float | None = None
+
+
+@dataclass(frozen=True)
+class SweepRow:
+    """One x-axis point of a figure: the x value plus both algorithms."""
+
+    x_label: str
+    x_value: float
+    points: tuple[AlgorithmPoint, ...]
+
+    def point(self, algorithm: str) -> AlgorithmPoint:
+        for p in self.points:
+            if p.algorithm == algorithm:
+                return p
+        raise KeyError(algorithm)
+
+
+def policy_for_rate(
+    data: GeneratedDataset, rate_percent: float
+) -> ExceptionPolicy:
+    """Calibrate a global threshold to the target exception percentage."""
+    oracle = full_materialization(data.layers, data.cells)
+    slopes = intermediate_slopes(oracle)
+    tau = calibrate_threshold(slopes, rate_percent / 100.0)
+    return GlobalSlopeThreshold(tau)
+
+
+def run_point(
+    layers: CriticalLayers,
+    cells,
+    policy: ExceptionPolicy,
+    x_label: str,
+    x_value: float,
+    probe_memory: bool = False,
+) -> SweepRow:
+    """Run every algorithm on one configuration and collect measurements.
+
+    With ``probe_memory=True`` each run is additionally wrapped in a
+    :class:`~repro.bench.memprobe.TracemallocProbe` (slower; used to audit
+    the analytic memory model against real allocations).
+    """
+    from repro.bench.memprobe import TracemallocProbe
+
+    points = []
+    for name, algorithm in _ALGORITHMS.items():
+        # Collect garbage left over from earlier sweep points so a deferred
+        # full GC pass is not charged to this algorithm's timing.
+        gc.collect()
+        probed: float | None = None
+        if probe_memory:
+            with TracemallocProbe() as probe:
+                result = algorithm(layers, cells, policy)
+            probed = probe.peak_megabytes
+        else:
+            result = algorithm(layers, cells, policy)
+        stats = result.stats
+        points.append(
+            AlgorithmPoint(
+                algorithm=name,
+                runtime_s=stats.runtime_s,
+                megabytes=stats.megabytes,
+                cells_computed=stats.cells_computed,
+                rows_scanned=stats.rows_scanned,
+                retained_exceptions=result.total_retained_exceptions,
+                tracemalloc_megabytes=probed,
+            )
+        )
+    return SweepRow(x_label=x_label, x_value=x_value, points=tuple(points))
+
+
+def figure8_series(
+    n_tuples: int, rates_percent: tuple[float, ...], seed: int = 7
+) -> list[SweepRow]:
+    """Fig 8: time and space vs exception percentage (D3L3C10, T fixed)."""
+    spec = DatasetSpec(n_dims=3, n_levels=3, fanout=10, n_tuples=n_tuples)
+    data = generate_dataset(spec, seed=seed)
+    rows = []
+    for rate in rates_percent:
+        policy = policy_for_rate(data, rate)
+        rows.append(
+            run_point(data.layers, data.cells, policy, f"{rate:g}%", rate)
+        )
+    return rows
+
+
+def figure9_series(
+    sizes: tuple[int, ...], rate_percent: float = 1.0, seed: int = 7
+) -> list[SweepRow]:
+    """Fig 9: time and space vs m-layer size (D3L3C10, 1% exceptions).
+
+    The sweep takes prefixes of one generated dataset, matching the paper's
+    "data sets with varied sizes are appropriate subsets of the same 100K
+    data set".
+    """
+    spec = DatasetSpec(
+        n_dims=3, n_levels=3, fanout=10, n_tuples=max(sizes)
+    )
+    data = generate_dataset(spec, seed=seed)
+    rows = []
+    for size in sorted(sizes):
+        subset = data.subset(min(size, data.n_cells))
+        policy = policy_for_rate(subset, rate_percent)
+        label = f"{size // 1000}K" if size >= 1000 else str(size)
+        rows.append(
+            run_point(subset.layers, subset.cells, policy, label, size)
+        )
+    return rows
+
+
+def figure10_series(
+    n_tuples: int,
+    levels: tuple[int, ...],
+    rate_percent: float = 1.0,
+    seed: int = 7,
+) -> list[SweepRow]:
+    """Fig 10: time and space vs number of levels (D2C10, T fixed, 1%)."""
+    rows = []
+    for n_levels in levels:
+        spec = DatasetSpec(
+            n_dims=2, n_levels=n_levels, fanout=10, n_tuples=n_tuples
+        )
+        data = generate_dataset(spec, seed=seed)
+        policy = policy_for_rate(data, rate_percent)
+        rows.append(
+            run_point(
+                data.layers, data.cells, policy, str(n_levels), n_levels
+            )
+        )
+    return rows

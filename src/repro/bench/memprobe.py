@@ -1,0 +1,41 @@
+"""Optional real-memory probing to sanity-check the analytic model.
+
+The cubing statistics model memory analytically (DESIGN.md §3).  For
+calibration, :class:`TracemallocProbe` measures the actual Python-level
+allocation peak of a code block via :mod:`tracemalloc`.  Absolute numbers
+include interpreter overhead and are *not* comparable to the paper's
+M-bytes, but the relative ordering between two algorithms should agree with
+the model — ``bench/harness.run_point(..., probe_memory=True)`` records both
+so the agreement can be audited.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+
+__all__ = ["TracemallocProbe"]
+
+
+class TracemallocProbe:
+    """Context manager capturing the tracemalloc peak of its block."""
+
+    def __init__(self) -> None:
+        self.peak_bytes = 0
+        self._was_tracing = False
+
+    def __enter__(self) -> "TracemallocProbe":
+        self._was_tracing = tracemalloc.is_tracing()
+        if not self._was_tracing:
+            tracemalloc.start()
+        tracemalloc.reset_peak()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        _, peak = tracemalloc.get_traced_memory()
+        self.peak_bytes = peak
+        if not self._was_tracing:
+            tracemalloc.stop()
+
+    @property
+    def peak_megabytes(self) -> float:
+        return self.peak_bytes / (1024.0 * 1024.0)

@@ -1,0 +1,67 @@
+"""Paper-style rendering of benchmark sweeps.
+
+Each figure becomes two aligned text tables — processing time and memory
+usage — with one row per x-axis point and one column per algorithm, mirroring
+the two panels of Figures 8, 9 and 10.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.bench.harness import SweepRow
+
+__all__ = ["render_figure", "render_shape_checks"]
+
+
+def _table(
+    title: str,
+    x_header: str,
+    rows: Sequence[SweepRow],
+    value_of,
+    unit: str,
+) -> str:
+    algorithms = [p.algorithm for p in rows[0].points]
+    widths = [max(len(x_header), *(len(r.x_label) for r in rows))]
+    widths += [max(len(a), 12) for a in algorithms]
+    header = " | ".join(
+        [x_header.ljust(widths[0])]
+        + [a.rjust(w) for a, w in zip(algorithms, widths[1:])]
+    )
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [f"{title} ({unit})", header, sep]
+    for row in rows:
+        cells = [row.x_label.ljust(widths[0])]
+        for algorithm, w in zip(algorithms, widths[1:]):
+            cells.append(f"{value_of(row.point(algorithm)):.4f}".rjust(w))
+        lines.append(" | ".join(cells))
+    return "\n".join(lines)
+
+
+def render_figure(
+    name: str, x_header: str, rows: Sequence[SweepRow]
+) -> str:
+    """Both panels of one figure as text tables."""
+    time_panel = _table(
+        f"{name}(a) processing time",
+        x_header,
+        rows,
+        lambda p: p.runtime_s,
+        "seconds",
+    )
+    space_panel = _table(
+        f"{name}(b) memory usage",
+        x_header,
+        rows,
+        lambda p: p.megabytes,
+        "M-bytes",
+    )
+    return f"{time_panel}\n\n{space_panel}"
+
+
+def render_shape_checks(checks: Sequence[tuple[str, bool]]) -> str:
+    """A pass/fail list of the paper's qualitative claims."""
+    lines = ["shape checks (paper's qualitative claims):"]
+    for claim, ok in checks:
+        lines.append(f"  [{'PASS' if ok else 'FAIL'}] {claim}")
+    return "\n".join(lines)

@@ -1,0 +1,66 @@
+"""Benchmark workloads and scaling knobs.
+
+The paper's evaluation ran C++ on 2002 hardware with 100K-tuple datasets;
+pure Python pays a large constant factor, so the default benchmark scale is
+reduced while keeping every *relative* comparison intact.  Set the
+environment variable ``REPRO_BENCH_SCALE=paper`` to run the original sizes
+(slow), or ``REPRO_BENCH_SCALE=small`` (default) for CI-friendly runs.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+__all__ = ["BenchScale", "current_scale"]
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    """One benchmark sizing profile."""
+
+    name: str
+    #: Figure 8: tuples of the D3L3C10 dataset, and the exception rates (%).
+    fig8_tuples: int
+    fig8_rates: tuple[float, ...]
+    #: Figure 9: m-layer sizes swept at 1% exceptions (D3L3C10).
+    fig9_sizes: tuple[int, ...]
+    #: Figure 10: levels swept on D2C10 with fixed tuples at 1% exceptions.
+    fig10_tuples: int
+    fig10_levels: tuple[int, ...]
+    #: Generic dataset for ablations.
+    ablation_spec: str = "D3L3C8T2K"
+
+
+_SMALL = BenchScale(
+    name="small",
+    fig8_tuples=4_000,
+    fig8_rates=(0.1, 1.0, 10.0, 100.0),
+    fig9_sizes=(1_000, 2_000, 4_000, 8_000),
+    fig10_tuples=2_000,
+    fig10_levels=(3, 4, 5),
+)
+
+_PAPER = BenchScale(
+    name="paper",
+    fig8_tuples=100_000,
+    fig8_rates=(0.1, 1.0, 10.0, 100.0),
+    fig9_sizes=(32_000, 64_000, 128_000, 256_000),
+    fig10_tuples=10_000,
+    fig10_levels=(3, 4, 5, 6, 7),
+    ablation_spec="D3L3C10T100K",
+)
+
+_SCALES = {"small": _SMALL, "paper": _PAPER}
+
+
+def current_scale() -> BenchScale:
+    """The profile selected by ``REPRO_BENCH_SCALE`` (default: small)."""
+    name = os.environ.get("REPRO_BENCH_SCALE", "small").lower()
+    try:
+        return _SCALES[name]
+    except KeyError:
+        valid = ", ".join(sorted(_SCALES))
+        raise ValueError(
+            f"REPRO_BENCH_SCALE={name!r}; expected one of: {valid}"
+        ) from None

@@ -1,0 +1,37 @@
+"""Cube substrate: hierarchies, schema, cells, cuboids, lattice, layers."""
+
+from repro.cube.cell import (
+    CellRef,
+    is_ancestor,
+    is_descendant,
+    is_sibling,
+    roll_up_values,
+)
+from repro.cube.cuboid import Cuboid
+from repro.cube.hierarchy import (
+    ALL,
+    ConceptHierarchy,
+    ExplicitHierarchy,
+    FanoutHierarchy,
+)
+from repro.cube.lattice import CuboidLattice, PopularPath
+from repro.cube.layers import CriticalLayers
+from repro.cube.schema import CubeSchema, Dimension
+
+__all__ = [
+    "ALL",
+    "ConceptHierarchy",
+    "ExplicitHierarchy",
+    "FanoutHierarchy",
+    "CubeSchema",
+    "Dimension",
+    "CellRef",
+    "roll_up_values",
+    "is_ancestor",
+    "is_descendant",
+    "is_sibling",
+    "Cuboid",
+    "CuboidLattice",
+    "PopularPath",
+    "CriticalLayers",
+]

@@ -1,0 +1,279 @@
+"""The cuboid lattice between the m-layer and the o-layer (Fig 6).
+
+With the m-layer coordinate ``m`` and the o-layer coordinate ``o`` fixed
+(``o`` coarser-or-equal in every dimension), the cuboids of interest are all
+coordinates ``c`` with ``o[i] <= c[i] <= m[i]`` per dimension — Example 5's
+``2 * 3 * 2 = 12`` cuboids.  This module enumerates that lattice, exposes the
+one-step parent/child relations (one dimension, one level), topological
+orders, per-cuboid size estimates, and popular drilling paths for
+Algorithm 2.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.cube.schema import CubeSchema
+from repro.errors import LayerError, SchemaError
+
+__all__ = ["CuboidLattice", "PopularPath"]
+
+Coord = tuple[int, ...]
+
+
+class CuboidLattice:
+    """All cuboids between an m-layer and an o-layer, with their relations.
+
+    Parameters
+    ----------
+    schema:
+        The cube's standard-dimension schema.
+    m_coord:
+        The m-layer (minimal interesting layer) coordinate — the finest
+        cuboid of the lattice; the cube's input data lives here.
+    o_coord:
+        The o-layer (observation layer) coordinate — the coarsest cuboid;
+        must satisfy ``o[i] <= m[i]`` for every dimension.
+    """
+
+    def __init__(
+        self, schema: CubeSchema, m_coord: Sequence[int], o_coord: Sequence[int]
+    ) -> None:
+        self.schema = schema
+        self.m_coord: Coord = schema.validate_coord(m_coord)
+        self.o_coord: Coord = schema.validate_coord(o_coord)
+        for dim, o_level, m_level in zip(
+            schema.dimensions, self.o_coord, self.m_coord
+        ):
+            if o_level > m_level:
+                raise LayerError(
+                    f"dimension {dim.name!r}: o-layer level {o_level} is finer "
+                    f"than m-layer level {m_level}"
+                )
+
+    # ------------------------------------------------------------------
+    # Membership / enumeration
+    # ------------------------------------------------------------------
+    def __contains__(self, coord: Sequence[int]) -> bool:
+        c = tuple(coord)
+        if len(c) != self.schema.n_dims:
+            return False
+        return all(
+            o <= level <= m
+            for o, level, m in zip(self.o_coord, c, self.m_coord)
+        )
+
+    def require(self, coord: Sequence[int]) -> Coord:
+        c = self.schema.validate_coord(coord)
+        if c not in self:
+            raise SchemaError(
+                f"cuboid {c} is outside the m/o lattice "
+                f"[{self.o_coord} .. {self.m_coord}]"
+            )
+        return c
+
+    def coords(self) -> Iterator[Coord]:
+        """All lattice coordinates (no particular order)."""
+        ranges = [
+            range(o, m + 1) for o, m in zip(self.o_coord, self.m_coord)
+        ]
+        return (tuple(c) for c in itertools.product(*ranges))
+
+    @property
+    def size(self) -> int:
+        """Number of cuboids in the lattice."""
+        n = 1
+        for o, m in zip(self.o_coord, self.m_coord):
+            n *= m - o + 1
+        return n
+
+    # ------------------------------------------------------------------
+    # One-step relations (aggregation edges of Fig 6)
+    # ------------------------------------------------------------------
+    def parents(self, coord: Sequence[int]) -> list[Coord]:
+        """Cuboids one level *coarser* in exactly one dimension."""
+        c = self.require(coord)
+        out = []
+        for i, level in enumerate(c):
+            if level - 1 >= self.o_coord[i]:
+                out.append(c[:i] + (level - 1,) + c[i + 1 :])
+        return out
+
+    def children(self, coord: Sequence[int]) -> list[Coord]:
+        """Cuboids one level *finer* in exactly one dimension."""
+        c = self.require(coord)
+        out = []
+        for i, level in enumerate(c):
+            if level + 1 <= self.m_coord[i]:
+                out.append(c[:i] + (level + 1,) + c[i + 1 :])
+        return out
+
+    def is_descendant_cuboid(self, fine: Sequence[int], coarse: Sequence[int]) -> bool:
+        """``fine`` can be rolled up to ``coarse`` (component-wise >=)."""
+        return all(f >= c for f, c in zip(fine, coarse))
+
+    # ------------------------------------------------------------------
+    # Orders and estimates
+    # ------------------------------------------------------------------
+    def level_sum(self, coord: Sequence[int]) -> int:
+        return sum(coord)
+
+    def bottom_up_order(self) -> list[Coord]:
+        """Coordinates ordered finest-first (m-layer first, o-layer last).
+
+        Sorting by descending level sum is a valid topological order for
+        aggregation: every cuboid appears after all of its descendants from
+        which it could be computed.
+        """
+        return sorted(self.coords(), key=lambda c: (-self.level_sum(c), c))
+
+    def top_down_order(self) -> list[Coord]:
+        """Coordinates ordered coarsest-first (o-layer first)."""
+        return sorted(self.coords(), key=lambda c: (self.level_sum(c), c))
+
+    def max_cells(self, coord: Sequence[int]) -> int:
+        """Upper bound on the number of cells of a cuboid.
+
+        The product of per-dimension cardinalities at the cuboid's levels —
+        the actual count is capped by the number of m-layer tuples, but this
+        bound is what drives "aggregate from the smallest computed
+        descendant" decisions.
+        """
+        c = self.require(coord)
+        n = 1
+        for dim, level in zip(self.schema.dimensions, c):
+            n *= dim.hierarchy.cardinality(level)
+        return n
+
+    def closest_descendant(
+        self, coord: Sequence[int], computed: Sequence[Coord]
+    ) -> Coord | None:
+        """The cheapest computed cuboid from which ``coord`` can be rolled up.
+
+        Among ``computed`` cuboids that are descendants of ``coord``
+        (component-wise finer-or-equal), return the one with the smallest
+        size bound, preferring smaller level distance on ties.  Returns
+        ``None`` when no computed descendant exists (caller falls back to the
+        m-layer).
+        """
+        c = self.require(coord)
+        candidates = [
+            d for d in computed if self.is_descendant_cuboid(d, c)
+        ]
+        if not candidates:
+            return None
+        return min(
+            candidates,
+            key=lambda d: (self.max_cells(d), self.level_sum(d) - self.level_sum(c)),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CuboidLattice(o={self.o_coord}, m={self.m_coord}, "
+            f"size={self.size})"
+        )
+
+
+@dataclass(frozen=True)
+class PopularPath:
+    """A popular drilling path: a chain of cuboids from the m- to the o-layer.
+
+    The path is stored m-layer-first.  Consecutive coordinates must differ by
+    exactly one level in exactly one dimension (a single roll-up step), the
+    first coordinate must be the m-layer and the last the o-layer — e.g.
+    Example 5's ``<(A1,C1) <- B1 <- B2 <- A2 <- C2>`` is, m-first,
+    ``(2,2,2) -> (2,2,1) -> (1,2,1) -> (1,1,1) -> (1,0,1)``.
+    """
+
+    coords: tuple[Coord, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.coords) < 1:
+            raise LayerError("popular path cannot be empty")
+        for fine, coarse in zip(self.coords, self.coords[1:]):
+            diffs = [f - c for f, c in zip(fine, coarse)]
+            if sorted(diffs) != [0] * (len(diffs) - 1) + [1]:
+                raise LayerError(
+                    f"path step {fine} -> {coarse} is not a single one-level "
+                    "roll-up"
+                )
+
+    @property
+    def m_coord(self) -> Coord:
+        return self.coords[0]
+
+    @property
+    def o_coord(self) -> Coord:
+        return self.coords[-1]
+
+    def __iter__(self) -> Iterator[Coord]:
+        return iter(self.coords)
+
+    def __contains__(self, coord: Sequence[int]) -> bool:
+        return tuple(coord) in self.coords
+
+    def __len__(self) -> int:
+        return len(self.coords)
+
+    @property
+    def attribute_order(self) -> tuple[tuple[int, int], ...]:
+        """H-tree attribute order implied by the path (coarsest first).
+
+        Walking the path o-layer-first and recording, per roll-up step, the
+        ``(dimension, level)`` that was dropped yields the attribute order in
+        which Algorithm 2's H-tree must be built, prefixed by the o-layer's
+        own non-``*`` attributes (coarsest prefix shared by every cuboid on
+        the path).
+        """
+        attrs: list[tuple[int, int]] = []
+        o = self.o_coord
+        for i, level in enumerate(o):
+            for lvl in range(1, level + 1):
+                attrs.append((i, lvl))
+        for coarse, fine in zip(reversed(self.coords), list(reversed(self.coords))[1:]):
+            for i, (cl, fl) in enumerate(zip(coarse, fine)):
+                if fl == cl + 1:
+                    attrs.append((i, fl))
+        return tuple(attrs)
+
+    @classmethod
+    def from_drill_sequence(
+        cls, lattice: CuboidLattice, dims: Sequence[int | str]
+    ) -> "PopularPath":
+        """Build a path from the o-layer by drilling the given dimensions.
+
+        ``dims`` lists, o-layer-first, which dimension to drill one level at
+        each step; it must drill each dimension ``m[i] - o[i]`` times in
+        total.  The returned path is stored m-layer-first.
+        """
+        coord = list(lattice.o_coord)
+        coords = [tuple(coord)]
+        for d in dims:
+            i = lattice.schema.dim_index(d) if isinstance(d, str) else d
+            coord[i] += 1
+            if coord[i] > lattice.m_coord[i]:
+                raise LayerError(
+                    f"drill sequence over-drills dimension index {i}"
+                )
+            coords.append(tuple(coord))
+        if tuple(coord) != lattice.m_coord:
+            raise LayerError(
+                f"drill sequence ends at {tuple(coord)}, not the m-layer "
+                f"{lattice.m_coord}"
+            )
+        return cls(tuple(reversed(coords)))
+
+    @classmethod
+    def default(cls, lattice: CuboidLattice) -> "PopularPath":
+        """The canonical path: drill dimensions in schema order, fully.
+
+        Drills dimension 0 from the o-level to the m-level, then dimension 1,
+        and so on — a reasonable default when the application does not supply
+        a preferred drilling order.
+        """
+        seq: list[int] = []
+        for i in range(lattice.schema.n_dims):
+            seq.extend([i] * (lattice.m_coord[i] - lattice.o_coord[i]))
+        return cls.from_drill_sequence(lattice, seq)

@@ -1,0 +1,84 @@
+"""Critical layers: the m-layer and o-layer specification (Section 4.2).
+
+The paper's partial-materialization design stores exactly two cuboids —
+the *minimal interesting layer* (m-layer) and the *observation layer*
+(o-layer) — plus exception cells in between.  :class:`CriticalLayers` is the
+validated pair of coordinates together with the lattice they induce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.cube.lattice import CuboidLattice
+from repro.cube.schema import CubeSchema
+from repro.errors import LayerError
+
+__all__ = ["CriticalLayers"]
+
+
+@dataclass(frozen=True)
+class CriticalLayers:
+    """The validated (m-layer, o-layer) pair for a schema.
+
+    Attributes
+    ----------
+    schema:
+        The cube schema.
+    m_coord:
+        Minimal interesting layer coordinate (finest cuboid retained).
+    o_coord:
+        Observation layer coordinate (the analyst's observation deck).
+    """
+
+    schema: CubeSchema
+    m_coord: tuple[int, ...]
+    o_coord: tuple[int, ...]
+    _lattice: CuboidLattice = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        lattice = CuboidLattice(self.schema, self.m_coord, self.o_coord)
+        object.__setattr__(self, "m_coord", lattice.m_coord)
+        object.__setattr__(self, "o_coord", lattice.o_coord)
+        object.__setattr__(self, "_lattice", lattice)
+        if self.m_coord == self.o_coord:
+            raise LayerError(
+                "m-layer and o-layer coincide; there is nothing to cube"
+            )
+
+    @classmethod
+    def from_level_names(
+        cls,
+        schema: CubeSchema,
+        m_levels: Sequence[str],
+        o_levels: Sequence[str],
+    ) -> "CriticalLayers":
+        """Build from per-dimension level names, e.g. Example 4's
+        m-layer ``("user_group", "street_block")`` and o-layer
+        ``("*", "city")``."""
+        return cls(
+            schema,
+            schema.coord_of_level_names(m_levels),
+            schema.coord_of_level_names(o_levels),
+        )
+
+    @property
+    def lattice(self) -> CuboidLattice:
+        """The cuboid lattice between the two layers."""
+        return self._lattice
+
+    @property
+    def intermediate_coords(self) -> list[tuple[int, ...]]:
+        """Lattice coordinates strictly between the two layers."""
+        return [
+            c
+            for c in self._lattice.coords()
+            if c != self.m_coord and c != self.o_coord
+        ]
+
+    def describe(self) -> str:
+        """One-line human-readable description (Fig 5 style)."""
+        m = ", ".join(self.schema.describe_coord(self.m_coord))
+        o = ", ".join(self.schema.describe_coord(self.o_coord))
+        return f"m-layer: ({m}); o-layer: ({o}); {self._lattice.size} cuboids"

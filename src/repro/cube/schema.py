@@ -1,0 +1,141 @@
+"""Cube schema: named dimensions with concept hierarchies (Section 2.1).
+
+A :class:`CubeSchema` fixes the standard dimensions of a regression cube.
+The time dimension is *not* a schema dimension — per the paper's design it is
+handled by the tilt time frame and the ISB intervals — so a schema with
+dimensions ``(user, location)`` describes cells like
+``(user_group_7, street_block_12)`` whose measure is an ISB (or a tilt frame
+of ISBs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+from repro.cube.hierarchy import ConceptHierarchy
+from repro.errors import SchemaError
+
+__all__ = ["Dimension", "CubeSchema"]
+
+
+@dataclass(frozen=True)
+class Dimension:
+    """A named standard dimension backed by a concept hierarchy."""
+
+    name: str
+    hierarchy: ConceptHierarchy
+
+    @property
+    def depth(self) -> int:
+        return self.hierarchy.depth
+
+
+class CubeSchema:
+    """The standard-dimension schema of a regression cube."""
+
+    def __init__(self, dimensions: Sequence[Dimension]) -> None:
+        if not dimensions:
+            raise SchemaError("a cube schema needs at least one dimension")
+        names = [d.name for d in dimensions]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate dimension names in {names}")
+        self.dimensions = tuple(dimensions)
+        self._index = {d.name: i for i, d in enumerate(self.dimensions)}
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    @property
+    def n_dims(self) -> int:
+        return len(self.dimensions)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(d.name for d in self.dimensions)
+
+    def dim_index(self, name: str) -> int:
+        try:
+            return self._index[name]
+        except KeyError:
+            raise SchemaError(
+                f"unknown dimension {name!r}; schema has {self.names}"
+            ) from None
+
+    def dimension(self, name_or_index: str | int) -> Dimension:
+        if isinstance(name_or_index, str):
+            return self.dimensions[self.dim_index(name_or_index)]
+        return self.dimensions[name_or_index]
+
+    def hierarchy(self, name_or_index: str | int) -> ConceptHierarchy:
+        return self.dimension(name_or_index).hierarchy
+
+    # ------------------------------------------------------------------
+    # Coordinate validation
+    # ------------------------------------------------------------------
+    def validate_coord(self, coord: Sequence[int]) -> tuple[int, ...]:
+        """Validate a cuboid coordinate (one level index per dimension)."""
+        if len(coord) != self.n_dims:
+            raise SchemaError(
+                f"coordinate {tuple(coord)} has {len(coord)} entries for "
+                f"{self.n_dims} dimensions"
+            )
+        for dim, level in zip(self.dimensions, coord):
+            if not 0 <= level <= dim.depth:
+                raise SchemaError(
+                    f"dimension {dim.name!r}: level {level} out of range "
+                    f"0..{dim.depth}"
+                )
+        return tuple(coord)
+
+    def validate_values(
+        self, values: Sequence[Hashable], coord: Sequence[int]
+    ) -> tuple[Hashable, ...]:
+        """Validate a cell value tuple against a cuboid coordinate."""
+        coord = self.validate_coord(coord)
+        if len(values) != self.n_dims:
+            raise SchemaError(
+                f"cell {tuple(values)} has {len(values)} values for "
+                f"{self.n_dims} dimensions"
+            )
+        for dim, value, level in zip(self.dimensions, values, coord):
+            dim.hierarchy.validate_value(value, level)
+        return tuple(values)
+
+    def coord_of_level_names(self, level_names: Sequence[str]) -> tuple[int, ...]:
+        """Translate per-dimension level *names* into a coordinate.
+
+        E.g. for the power grid schema, ``("user_group", "street_block")`` →
+        ``(1, 2)``.  ``"*"`` maps to level 0.
+        """
+        if len(level_names) != self.n_dims:
+            raise SchemaError(
+                f"{len(level_names)} level names for {self.n_dims} dimensions"
+            )
+        return tuple(
+            dim.hierarchy.level_index(name)
+            for dim, name in zip(self.dimensions, level_names)
+        )
+
+    def describe_coord(self, coord: Sequence[int]) -> tuple[str, ...]:
+        """Human-readable level names of a coordinate (inverse of above)."""
+        coord = self.validate_coord(coord)
+        return tuple(
+            dim.hierarchy.level_name(level)
+            for dim, level in zip(self.dimensions, coord)
+        )
+
+    def finest_coord(self) -> tuple[int, ...]:
+        """The coordinate of the finest (deepest) cuboid: every dim at depth."""
+        return tuple(d.depth for d in self.dimensions)
+
+    def apex_coord(self) -> tuple[int, ...]:
+        """The all-``*`` coordinate (the apex cuboid)."""
+        return tuple(0 for _ in self.dimensions)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        dims = ", ".join(
+            f"{d.name}[{'>'.join(d.hierarchy.level_names)}]"
+            for d in self.dimensions
+        )
+        return f"CubeSchema({dims})"

@@ -1,0 +1,43 @@
+"""Cubing algorithms: exception policies, Algorithm 1 & 2, baselines."""
+
+from repro.cubing.buc import buc_cubing
+from repro.cubing.build import build_mo_htree, build_path_htree
+from repro.cubing.full import full_materialization, intermediate_slopes
+from repro.cubing.mo_cubing import mo_cubing, mo_cubing_from_tree
+from repro.cubing.multiway import multiway_cubing
+from repro.cubing.policy import (
+    ExceptionPolicy,
+    GlobalSlopeThreshold,
+    PerCuboidSlopeThreshold,
+    PerDimensionLevelThreshold,
+    calibrate_threshold,
+    two_point_isb,
+)
+from repro.cubing.popular_path import (
+    popular_path_cubing,
+    popular_path_cubing_from_tree,
+)
+from repro.cubing.result import CubeResult, framework_closure
+from repro.cubing.stats import CubingStats
+
+__all__ = [
+    "ExceptionPolicy",
+    "GlobalSlopeThreshold",
+    "PerCuboidSlopeThreshold",
+    "PerDimensionLevelThreshold",
+    "calibrate_threshold",
+    "two_point_isb",
+    "CubeResult",
+    "framework_closure",
+    "CubingStats",
+    "full_materialization",
+    "intermediate_slopes",
+    "mo_cubing",
+    "mo_cubing_from_tree",
+    "popular_path_cubing",
+    "popular_path_cubing_from_tree",
+    "buc_cubing",
+    "multiway_cubing",
+    "build_mo_htree",
+    "build_path_htree",
+]

@@ -1,0 +1,51 @@
+"""H-tree builders shared by the cubing algorithms.
+
+Algorithm 1 wants the cardinality-ascending attribute order (maximal prefix
+sharing, Example 5); Algorithm 2 wants the popular-path order (so the tree's
+interior nodes *are* the path cuboids).  Both builders take the m-layer
+cells as ``(values, isb)`` pairs.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+from repro.cube.lattice import PopularPath
+from repro.cube.layers import CriticalLayers
+from repro.htree.tree import HTree, cardinality_ascending_order
+from repro.regression.isb import ISB
+
+__all__ = ["build_mo_htree", "build_path_htree"]
+
+Values = tuple[Hashable, ...]
+
+
+def build_mo_htree(
+    layers: CriticalLayers, cells: Iterable[tuple[Values, ISB]]
+) -> HTree:
+    """H-tree in cardinality-ascending order, loaded with the m-layer cells."""
+    order = cardinality_ascending_order(layers.schema, layers.m_coord)
+    tree = HTree(layers.schema, layers.m_coord, order)
+    for values, isb in cells:
+        tree.insert(values, isb)
+    return tree
+
+
+def build_path_htree(
+    layers: CriticalLayers,
+    path: PopularPath,
+    cells: Iterable[tuple[Values, ISB]],
+) -> HTree:
+    """H-tree in popular-path order, loaded with the m-layer cells.
+
+    The path's attribute order is the o-layer's attributes (levels ``1..o``
+    per dimension, schema order) followed by the attribute each drill step
+    adds — together exactly the levels ``1..m`` of every dimension, so the
+    tree's attribute-set invariant holds and the node at depth
+    ``len(o-attrs) + j`` is a cell of the ``j``-th path cuboid.
+    """
+    order = list(path.attribute_order)
+    return_tree = HTree(layers.schema, layers.m_coord, order)
+    for values, isb in cells:
+        return_tree.insert(values, isb)
+    return return_tree

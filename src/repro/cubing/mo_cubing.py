@@ -1,0 +1,127 @@
+"""Algorithm 1: m/o H-cubing (paper Section 4.4).
+
+Compute regressions for every cuboid from the m-layer up to the o-layer via
+the H-tree, retaining only the exception cells in between (all cells are
+retained at the two critical layers).  The computation is bottom-up and
+shared: each cuboid is aggregated (Theorem 3.2) from its cheapest
+already-computed descendant cuboid, mirroring H-cubing's reuse of lower
+group-bys; working cuboids are freed as soon as every cuboid that could roll
+up from them has been computed.
+
+Memory model note: H-cubing's transient space is "one local H-header table
+for each level", reused across sibling group-bys — the header for a group-by
+holds one entry per distinct cell of the cuboid under computation.  The
+model therefore charges the *largest single cuboid* ever computed as the
+transient working set (a conservative bound on the local header tables), not
+the Python-side working dictionary, which is an implementation convenience.
+Retained memory is the o-layer plus the exception cells — the paper's "only
+the exception cells take additional space".
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping
+
+from repro.cube.cuboid import Cuboid
+from repro.cube.layers import CriticalLayers
+from repro.cubing.build import build_mo_htree
+from repro.cubing.policy import ExceptionPolicy
+from repro.cubing.result import CubeResult
+from repro.cubing.stats import CubingStats, Stopwatch
+from repro.htree.tree import HTree
+from repro.regression.isb import ISB
+
+__all__ = ["mo_cubing", "mo_cubing_from_tree"]
+
+Values = tuple[Hashable, ...]
+Coord = tuple[int, ...]
+
+
+def mo_cubing(
+    layers: CriticalLayers,
+    m_cells: Mapping[Values, ISB] | Iterable[tuple[Values, ISB]],
+    policy: ExceptionPolicy,
+) -> CubeResult:
+    """Run Algorithm 1 end to end: build the H-tree, then cube.
+
+    ``m_cells`` are the m-layer regression cells ("Step 1" — aggregating the
+    raw stream to the m-layer — is the stream engine's job; benchmarks and
+    tests produce m-layer cells directly).
+    """
+    items = m_cells.items() if isinstance(m_cells, Mapping) else m_cells
+    tree = build_mo_htree(layers, items)
+    return mo_cubing_from_tree(layers, tree, policy)
+
+
+def mo_cubing_from_tree(
+    layers: CriticalLayers, tree: HTree, policy: ExceptionPolicy
+) -> CubeResult:
+    """Run Algorithm 1's Step 2 on an already-built H-tree."""
+    schema = layers.schema
+    lattice = layers.lattice
+    stats = CubingStats("m/o-cubing", n_dims=schema.n_dims)
+    watch = Stopwatch()
+
+    stats.htree_nodes = tree.node_count
+    stats.header_entries = tree.header_entry_count
+
+    order = lattice.bottom_up_order()
+    parents_remaining: dict[Coord, int] = {
+        coord: len(lattice.parents(coord)) for coord in order
+    }
+
+    working: dict[Coord, Cuboid] = {}
+    result_cuboids: dict[Coord, Cuboid] = {}
+    retained_exceptions: dict[Coord, dict[Values, ISB]] = {}
+
+    for coord in order:
+        if coord == layers.m_coord:
+            cuboid = Cuboid(schema, coord, dict(tree.leaf_cells()))
+            stats.rows_scanned += len(cuboid)
+            stats.htree_leaf_isbs = len(cuboid)
+        else:
+            src_coord = lattice.closest_descendant(coord, list(working))
+            assert src_coord is not None, "children are freed only after parents"
+            src = working[src_coord]
+            cuboid = src.roll_up(coord)
+            stats.rows_scanned += len(src)
+            # Local-header-table bound: the largest group-by under
+            # computation (see module docstring).
+            if len(cuboid) > stats.transient_peak_cells:
+                stats.transient_peak_cells = len(cuboid)
+        stats.cells_computed += len(cuboid)
+        stats.cuboids_computed += 1
+        working[coord] = cuboid
+
+        if coord == layers.o_coord:
+            result_cuboids[coord] = cuboid
+            stats.retained_cells += len(cuboid)
+        elif coord == layers.m_coord:
+            # The m-layer is the tree's own data; memory is charged to the
+            # tree leaves, not to retained cells.
+            result_cuboids[coord] = cuboid
+        else:
+            exceptions = {
+                values: isb
+                for values, isb in cuboid.items()
+                if policy.is_exception(isb, coord)
+            }
+            retained_exceptions[coord] = exceptions
+            result_cuboids[coord] = Cuboid(schema, coord, exceptions)
+            stats.retained_cells += len(exceptions)
+
+        # Free any descendant whose every parent cuboid is now computed
+        # (Python-side memory hygiene; the model charge is the local header).
+        for child in lattice.children(coord):
+            parents_remaining[child] -= 1
+            if parents_remaining[child] == 0:
+                working.pop(child, None)
+
+    stats.runtime_s = watch.elapsed()
+    return CubeResult(
+        layers=layers,
+        policy=policy,
+        cuboids=result_cuboids,
+        stats=stats,
+        retained_exceptions=retained_exceptions,
+    )

@@ -1,0 +1,222 @@
+"""Algorithm 2: popular-path cubing (paper Section 4.4).
+
+Materialize only the cuboids along a popular drilling path (they live in the
+H-tree's interior nodes after a bottom-up aggregation pass), then compute
+exception cells *on demand*: starting at the o-layer, the children of every
+exception cell of a computed cuboid are aggregated — by rolling up from the
+closest computed path cuboid — and only those children that are themselves
+exceptional are retained and drilled further, recursively down to the
+m-layer (Framework 4.1, footnote 7).
+
+Cost profile, matching the paper's analysis: at low exception rates almost
+no off-path cuboid is touched (fast, but the path cells must be stored); at
+high exception rates nearly every cuboid is drilled, and each drill scans a
+path source without the cross-cuboid sharing m/o-cubing enjoys (slower).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping
+
+from repro.cube.cuboid import Cuboid
+from repro.cube.lattice import PopularPath
+from repro.cube.layers import CriticalLayers
+from repro.cubing.build import build_path_htree
+from repro.cubing.policy import ExceptionPolicy
+from repro.cubing.result import CubeResult
+from repro.cubing.stats import CubingStats, Stopwatch
+from repro.errors import CubingError
+from repro.htree.tree import HTree
+from repro.regression.aggregation import merge_standard
+from repro.regression.isb import ISB
+
+__all__ = ["popular_path_cubing", "popular_path_cubing_from_tree"]
+
+Values = tuple[Hashable, ...]
+Coord = tuple[int, ...]
+
+
+def popular_path_cubing(
+    layers: CriticalLayers,
+    m_cells: Mapping[Values, ISB] | Iterable[tuple[Values, ISB]],
+    policy: ExceptionPolicy,
+    path: PopularPath | None = None,
+) -> CubeResult:
+    """Run Algorithm 2 end to end: build the path-order H-tree, then cube.
+
+    ``path`` defaults to :meth:`PopularPath.default` (drill dimensions in
+    schema order).
+    """
+    if path is None:
+        path = PopularPath.default(layers.lattice)
+    _check_path(layers, path)
+    items = m_cells.items() if isinstance(m_cells, Mapping) else m_cells
+    tree = build_path_htree(layers, path, items)
+    return popular_path_cubing_from_tree(layers, tree, policy, path)
+
+
+def _check_path(layers: CriticalLayers, path: PopularPath) -> None:
+    if path.m_coord != layers.m_coord or path.o_coord != layers.o_coord:
+        raise CubingError(
+            f"path runs {path.m_coord}->{path.o_coord} but the layers are "
+            f"m={layers.m_coord}, o={layers.o_coord}"
+        )
+
+
+def _extract_path_cells(
+    tree: HTree, layers: CriticalLayers, path: PopularPath
+) -> dict[Coord, dict[Values, ISB]]:
+    """Read every path cuboid out of the aggregated tree in one DFS.
+
+    In path attribute order, the node at depth ``n_o_attrs + j`` *is* a cell
+    of the ``j``-th path cuboid (counted o-layer-first); its cell key per
+    dimension is the prefix value at that dimension's level attribute, or
+    ``*`` where the cuboid's level is 0.
+    """
+    from repro.cube.hierarchy import ALL
+
+    n_o_attrs = sum(layers.o_coord)
+    o_first = list(reversed(path.coords))
+    plans: dict[int, tuple[Coord, tuple[int | None, ...]]] = {}
+    for j, coord in enumerate(o_first):
+        plan = tuple(
+            None if level == 0 else tree.attr_position(d, level)
+            for d, level in enumerate(coord)
+        )
+        plans[n_o_attrs + j] = (coord, plan)
+    out: dict[Coord, dict[Values, ISB]] = {coord: {} for coord in o_first}
+
+    prefix: list = []
+
+    def visit(node) -> None:
+        depth = len(prefix)
+        entry = plans.get(depth)
+        if entry is not None:
+            coord, plan = entry
+            key = tuple(ALL if p is None else prefix[p] for p in plan)
+            out[coord][key] = node.isb
+        for value, child in node.children.items():
+            prefix.append(value)
+            visit(child)
+            prefix.pop()
+
+    visit(tree.root)
+    return out
+
+
+def popular_path_cubing_from_tree(
+    layers: CriticalLayers,
+    tree: HTree,
+    policy: ExceptionPolicy,
+    path: PopularPath,
+) -> CubeResult:
+    """Run Algorithm 2's Steps 2-3 on an already-built path-order H-tree."""
+    schema = layers.schema
+    lattice = layers.lattice
+    _check_path(layers, path)
+    stats = CubingStats("popular-path", n_dims=schema.n_dims)
+    watch = Stopwatch()
+
+    # ------------------------------------------------------------------
+    # Step 2: roll up along the path; the tree stores the path cuboids.
+    # ------------------------------------------------------------------
+    tree.aggregate_interior()
+    stats.rows_scanned += tree.node_count  # one bottom-up pass
+    stats.htree_nodes = tree.node_count
+
+    path_cells = _extract_path_cells(tree, layers, path)
+    for cells in path_cells.values():
+        stats.cells_computed += len(cells)
+        stats.cuboids_computed += 1
+    stats.htree_leaf_isbs = len(path_cells[layers.m_coord])
+    # Every non-leaf node stores a regression point (root included).
+    stats.htree_interior_isbs = tree.node_count - stats.htree_leaf_isbs + 1
+
+    # ------------------------------------------------------------------
+    # Step 3: exception-guided drilling, o-layer downward.
+    # ------------------------------------------------------------------
+    path_set = set(path.coords)
+    drivers: dict[Coord, set[Values]] = {}
+    result_cuboids: dict[Coord, Cuboid] = {}
+    retained_exceptions: dict[Coord, dict[Values, ISB]] = {}
+
+    for coord in lattice.top_down_order():
+        if coord in path_set:
+            cells = path_cells[coord]
+        else:
+            active_parents = [
+                (p, drivers[p])
+                for p in lattice.parents(coord)
+                if drivers.get(p)
+            ]
+            if not active_parents:
+                drivers[coord] = set()
+                retained_exceptions[coord] = {}
+                result_cuboids[coord] = Cuboid(schema, coord)
+                stats.cuboids_skipped += 1
+                continue
+            src_coord = lattice.closest_descendant(coord, path.coords)
+            assert src_coord is not None  # the m-layer is on the path
+            src = path_cells[src_coord]
+            src_to_here = [
+                dim.hierarchy.ancestor_mapper(f, t)
+                for dim, f, t in zip(schema.dimensions, src_coord, coord)
+            ]
+            here_to_parent = [
+                (
+                    [
+                        dim.hierarchy.ancestor_mapper(f, t)
+                        for dim, f, t in zip(schema.dimensions, coord, p_coord)
+                    ],
+                    p_drivers,
+                )
+                for p_coord, p_drivers in active_parents
+            ]
+            groups: dict[Values, list[ISB]] = {}
+            for values, isb in src.items():
+                stats.rows_scanned += 1
+                key = tuple(m(v) for m, v in zip(src_to_here, values))
+                for parent_maps, p_drivers in here_to_parent:
+                    parent_key = tuple(
+                        m(v) for m, v in zip(parent_maps, key)
+                    )
+                    if parent_key in p_drivers:
+                        groups.setdefault(key, []).append(isb)
+                        break
+            cells = {k: merge_standard(v) for k, v in groups.items()}
+            stats.cells_computed += len(cells)
+            stats.cuboids_computed += 1
+            if len(cells) > stats.transient_peak_cells:
+                stats.transient_peak_cells = len(cells)
+
+        exceptions = {
+            values: isb
+            for values, isb in cells.items()
+            if policy.is_exception(isb, coord)
+        }
+        drivers[coord] = set(exceptions)
+
+        if coord == layers.o_coord:
+            result_cuboids[coord] = Cuboid(schema, coord, cells)
+            stats.retained_cells += len(cells)
+        elif coord == layers.m_coord:
+            result_cuboids[coord] = Cuboid(schema, coord, cells)
+            # The m-layer is charged to the tree's leaf regression points.
+        elif coord in path_set:
+            # Path cells stay resident in the tree (charged as interior
+            # ISBs); the *output* is the exception cells.
+            retained_exceptions[coord] = exceptions
+            result_cuboids[coord] = Cuboid(schema, coord, cells)
+        else:
+            retained_exceptions[coord] = exceptions
+            result_cuboids[coord] = Cuboid(schema, coord, exceptions)
+            stats.retained_cells += len(exceptions)
+
+    stats.runtime_s = watch.elapsed()
+    return CubeResult(
+        layers=layers,
+        policy=policy,
+        cuboids=result_cuboids,
+        stats=stats,
+        retained_exceptions=retained_exceptions,
+    )

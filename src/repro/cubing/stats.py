@@ -1,0 +1,98 @@
+"""Cubing statistics and the analytic memory model.
+
+The paper reports processing time and memory usage (Figures 8-10).  Absolute
+Python-object sizes would swamp the C-struct-scale differences the paper's
+analysis attributes memory to, so memory is modelled analytically: every
+structure the paper's Section 4.4 analysis names (H-tree nodes, header
+entries, stored regression points, retained exception cells, transient
+working space) is counted at the size a C implementation would give it.
+This keeps the *relative* memory comparisons — which algorithm uses more
+memory under which conditions — deterministic and faithful.
+
+Wall-clock runtime is measured directly; deterministic work counters
+(cells computed, source rows scanned) are kept alongside as a
+machine-independent time proxy.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.htree.header import HEADER_ENTRY_BYTES
+from repro.htree.node import HTREE_NODE_BYTES
+from repro.regression.isb import ISB_STRUCT_BYTES
+
+__all__ = ["CubingStats", "Stopwatch", "CELL_KEY_BYTES_PER_DIM"]
+
+#: Bytes to key one cell per dimension (a value id), as a C struct would.
+CELL_KEY_BYTES_PER_DIM = 8
+
+
+@dataclass
+class CubingStats:
+    """Resource accounting for one cubing run."""
+
+    algorithm: str
+    n_dims: int = 0
+    runtime_s: float = 0.0
+    # --- structure sizes -------------------------------------------------
+    htree_nodes: int = 0
+    htree_leaf_isbs: int = 0
+    htree_interior_isbs: int = 0
+    header_entries: int = 0
+    retained_cells: int = 0
+    transient_peak_cells: int = 0
+    # --- work counters ----------------------------------------------------
+    cells_computed: int = 0
+    rows_scanned: int = 0
+    cuboids_computed: int = 0
+    cuboids_skipped: int = 0
+
+    _live_transient: int = field(default=0, repr=False)
+
+    # ------------------------------------------------------------------
+    # Transient working-set tracking
+    # ------------------------------------------------------------------
+    def transient_alloc(self, cells: int) -> None:
+        """Record allocation of a transient working structure."""
+        self._live_transient += cells
+        if self._live_transient > self.transient_peak_cells:
+            self.transient_peak_cells = self._live_transient
+
+    def transient_free(self, cells: int) -> None:
+        """Record release of a transient working structure."""
+        self._live_transient -= cells
+
+    # ------------------------------------------------------------------
+    # The memory model
+    # ------------------------------------------------------------------
+    def bytes_total(self) -> int:
+        """Modelled peak memory of the run, in bytes.
+
+        Counts the H-tree (nodes, stored ISBs, header entries), the retained
+        output cells (key + ISB each) and the peak transient working set.
+        """
+        cell_bytes = ISB_STRUCT_BYTES + CELL_KEY_BYTES_PER_DIM * self.n_dims
+        return (
+            self.htree_nodes * HTREE_NODE_BYTES
+            + (self.htree_leaf_isbs + self.htree_interior_isbs) * ISB_STRUCT_BYTES
+            + self.header_entries * HEADER_ENTRY_BYTES
+            + self.retained_cells * cell_bytes
+            + self.transient_peak_cells * cell_bytes
+        )
+
+    @property
+    def megabytes(self) -> float:
+        """Modelled peak memory in M-bytes (the paper's unit)."""
+        return self.bytes_total() / (1024.0 * 1024.0)
+
+
+class Stopwatch:
+    """A tiny perf_counter stopwatch used by the cubing algorithms."""
+
+    def __init__(self) -> None:
+        self._start = time.perf_counter()
+
+    def elapsed(self) -> float:
+        return time.perf_counter() - self._start

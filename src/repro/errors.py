@@ -1,0 +1,77 @@
+"""Domain exception hierarchy for the ``repro`` library.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can guard a whole analysis pipeline with a
+single ``except ReproError`` while still being able to catch the narrow
+condition they care about.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "IntervalError",
+    "EmptySeriesError",
+    "DegenerateFitError",
+    "AggregationError",
+    "HierarchyError",
+    "SchemaError",
+    "LayerError",
+    "TiltFrameError",
+    "CubingError",
+    "StreamError",
+    "QueryError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class IntervalError(ReproError):
+    """A time interval is malformed (``t_b > t_e``) or incompatible."""
+
+
+class EmptySeriesError(ReproError):
+    """An operation required a non-empty time series."""
+
+
+class DegenerateFitError(ReproError):
+    """A regression fit is undefined (e.g. a single point has no slope)."""
+
+
+class AggregationError(ReproError):
+    """ISB / sufficient-statistics aggregation preconditions were violated.
+
+    Raised for example when merging cells over a standard dimension whose
+    intervals differ, or over the time dimension when the child intervals do
+    not partition the target interval.
+    """
+
+
+class HierarchyError(ReproError):
+    """A concept-hierarchy lookup or construction failed."""
+
+
+class SchemaError(ReproError):
+    """A cube schema is inconsistent or a value does not fit the schema."""
+
+
+class LayerError(ReproError):
+    """The m-layer / o-layer specification is invalid (e.g. m above o)."""
+
+
+class TiltFrameError(ReproError):
+    """A tilt time frame operation failed (bad level spec, stale insert...)."""
+
+
+class CubingError(ReproError):
+    """A cubing algorithm was mis-configured or hit an internal invariant."""
+
+
+class StreamError(ReproError):
+    """Stream ingestion failed (out-of-order record, unknown dimension...)."""
+
+
+class QueryError(ReproError):
+    """A cube query referenced an unknown cell, cuboid or time window."""

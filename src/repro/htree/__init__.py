@@ -1,0 +1,14 @@
+"""H-tree substrate: hyper-linked prefix tree with header tables."""
+
+from repro.htree.header import HEADER_ENTRY_BYTES, HeaderTable
+from repro.htree.node import HTREE_NODE_BYTES, HTreeNode
+from repro.htree.tree import HTree, cardinality_ascending_order
+
+__all__ = [
+    "HTree",
+    "HTreeNode",
+    "HeaderTable",
+    "cardinality_ascending_order",
+    "HTREE_NODE_BYTES",
+    "HEADER_ENTRY_BYTES",
+]

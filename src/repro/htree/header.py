@@ -1,0 +1,58 @@
+"""Header tables for H-tree traversal (paper Section 4.4, Figure 7).
+
+For each attribute of the tree, a header table maps each distinct value to
+the head of the side-linked chain of tree nodes carrying that value.  The
+H-cubing computation walks these chains to visit "all nodes contributing to
+the cells" of a group-by without scanning the whole tree.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator
+
+from repro.htree.node import HTreeNode
+
+__all__ = ["HeaderTable", "HEADER_ENTRY_BYTES"]
+
+#: Analytic memory cost of one header entry (value id + chain head pointer +
+#: aggregate slot), mirroring a C implementation.
+HEADER_ENTRY_BYTES = 24
+
+
+class HeaderTable:
+    """Header table of one attribute: value → side-link chain head."""
+
+    __slots__ = ("attr_index", "_heads", "_tails")
+
+    def __init__(self, attr_index: int) -> None:
+        self.attr_index = attr_index
+        self._heads: dict[Hashable, HTreeNode] = {}
+        self._tails: dict[Hashable, HTreeNode] = {}
+
+    def register(self, node: HTreeNode) -> None:
+        """Append ``node`` to the chain of its value (O(1))."""
+        value = node.value
+        tail = self._tails.get(value)
+        if tail is None:
+            self._heads[value] = node
+        else:
+            tail.side_link = node
+        self._tails[value] = node
+
+    def values(self) -> Iterator[Hashable]:
+        """Distinct attribute values present in the tree."""
+        return iter(self._heads)
+
+    def chain(self, value: Hashable) -> Iterator[HTreeNode]:
+        """All tree nodes carrying ``value`` for this attribute."""
+        head = self._heads.get(value)
+        if head is None:
+            return iter(())
+        return head.walk_side_links()
+
+    def __len__(self) -> int:
+        """Number of distinct values (header entries)."""
+        return len(self._heads)
+
+    def __contains__(self, value: Hashable) -> bool:
+        return value in self._heads

@@ -1,0 +1,78 @@
+"""H-tree nodes (paper Section 4.4, Figure 7).
+
+Each node carries one ``(attribute, value)`` pair — an attribute being a
+``(dimension, level)`` of the cube — plus child links, a parent link, a
+side-link to the next node with the same (attribute, value) (the basis of the
+header-table traversal), and an optional aggregated ISB (always present on
+leaves; on interior nodes only for popular-path cubing, which stores the
+path-cuboid regressions in the tree itself).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator, Optional
+
+from repro.regression.isb import ISB
+
+__all__ = ["HTreeNode", "HTREE_NODE_BYTES"]
+
+#: Analytic per-node memory cost used by the cubing memory model: an attribute
+#: id + value id + parent/child/side pointers as a C implementation would lay
+#: them out (4 + 8 + 3 * 8 bytes, rounded to alignment).
+HTREE_NODE_BYTES = 40
+
+
+class HTreeNode:
+    """One node of an H-tree."""
+
+    __slots__ = ("attr_index", "value", "parent", "children", "side_link", "isb")
+
+    def __init__(
+        self,
+        attr_index: int,
+        value: Hashable,
+        parent: Optional["HTreeNode"] = None,
+    ) -> None:
+        self.attr_index = attr_index
+        self.value = value
+        self.parent = parent
+        self.children: dict[Hashable, HTreeNode] = {}
+        self.side_link: HTreeNode | None = None
+        self.isb: ISB | None = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    @property
+    def depth(self) -> int:
+        """Number of attribute edges from the root (root has depth 0)."""
+        d = 0
+        node = self
+        while node.parent is not None:
+            d += 1
+            node = node.parent
+        return d
+
+    def path_values(self) -> list[Hashable]:
+        """Attribute values along the root→node path, root side first."""
+        out: list[Hashable] = []
+        node: HTreeNode | None = self
+        while node is not None and node.parent is not None:
+            out.append(node.value)
+            node = node.parent
+        out.reverse()
+        return out
+
+    def walk_side_links(self) -> Iterator["HTreeNode"]:
+        """Iterate this node and all nodes reachable via side links."""
+        node: HTreeNode | None = self
+        while node is not None:
+            yield node
+            node = node.side_link
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"HTreeNode(attr={self.attr_index}, value={self.value!r}, "
+            f"children={len(self.children)}, leaf={self.is_leaf})"
+        )

@@ -1,0 +1,242 @@
+"""The H-tree: a hyper-linked prefix tree over expanded m-layer tuples.
+
+Following Section 4.4 (and [18]'s H-cubing structure, revised for multiple
+levels per dimension), every m-layer tuple is *expanded* to include the
+ancestor values of each dimension value at every hierarchy level up to the
+m-layer level, and inserted as a root→leaf path in a fixed attribute order.
+Shared prefixes make the tree compact; header tables with side links allow
+level-wise traversal; leaves store the aggregated ISBs of m-layer cells.
+
+Two attribute orders matter:
+
+* **cardinality-ascending** (Algorithm 1 / Fig 7): more sharing near the
+  root — Example 5's ``<A1, B1, C1, C2, A2, B2>``.
+* **popular-path order** (Algorithm 2): the o-layer attributes followed by
+  the drilled attribute of each path step, so that the nodes at depth
+  ``len(o-attrs) + j`` are exactly the cells of the ``j``-th cuboid along the
+  path — the tree then *stores* the path cuboids in its interior nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator, Sequence
+
+from repro.cube.hierarchy import ALL
+from repro.cube.schema import CubeSchema
+from repro.errors import CubingError, SchemaError
+from repro.htree.header import HeaderTable
+from repro.htree.node import HTreeNode
+from repro.regression.aggregation import merge_standard
+from repro.regression.isb import ISB
+
+__all__ = ["HTree", "cardinality_ascending_order"]
+
+Attr = tuple[int, int]  # (dimension index, level)
+Values = tuple[Hashable, ...]
+Coord = tuple[int, ...]
+
+
+def cardinality_ascending_order(
+    schema: CubeSchema, m_coord: Sequence[int]
+) -> tuple[Attr, ...]:
+    """Attribute order sorted by level cardinality, smallest first.
+
+    Covers every ``(dimension, level)`` with ``1 <= level <= m_level`` —
+    the expansion Example 5 prescribes.  Lower-cardinality attributes sit
+    nearer the root "since there are likely more sharings at higher level
+    nodes".  Ties break by (dimension, level) for determinism.
+    """
+    m = schema.validate_coord(m_coord)
+    attrs = [
+        (d, level)
+        for d in range(schema.n_dims)
+        for level in range(1, m[d] + 1)
+    ]
+    return tuple(
+        sorted(
+            attrs,
+            key=lambda a: (
+                schema.dimensions[a[0]].hierarchy.cardinality(a[1]),
+                a,
+            ),
+        )
+    )
+
+
+class HTree:
+    """An H-tree over one m-layer dataset.
+
+    Parameters
+    ----------
+    schema:
+        Cube schema.
+    m_coord:
+        The m-layer coordinate the inserted tuples live at.
+    attributes:
+        The attribute order; must contain each ``(dim, level)`` with
+        ``1 <= level <= m_level[dim]`` exactly once.
+    """
+
+    def __init__(
+        self,
+        schema: CubeSchema,
+        m_coord: Sequence[int],
+        attributes: Sequence[Attr],
+    ) -> None:
+        self.schema = schema
+        self.m_coord: Coord = schema.validate_coord(m_coord)
+        expected = {
+            (d, level)
+            for d in range(schema.n_dims)
+            for level in range(1, self.m_coord[d] + 1)
+        }
+        if set(attributes) != expected or len(attributes) != len(expected):
+            raise SchemaError(
+                f"attribute order {list(attributes)} must cover exactly "
+                f"{sorted(expected)}"
+            )
+        self.attributes: tuple[Attr, ...] = tuple(attributes)
+        self._attr_pos = {attr: i for i, attr in enumerate(self.attributes)}
+        self.root = HTreeNode(attr_index=-1, value=None)
+        self.headers = [HeaderTable(i) for i in range(len(self.attributes))]
+        self.node_count = 0
+        self.tuple_count = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def expand(self, m_values: Sequence[Hashable]) -> list[Hashable]:
+        """Expanded attribute values of an m-layer tuple, in tree order."""
+        values = self.schema.validate_values(m_values, self.m_coord)
+        out: list[Hashable] = []
+        for d, level in self.attributes:
+            hier = self.schema.dimensions[d].hierarchy
+            out.append(hier.ancestor(values[d], self.m_coord[d], level))
+        return out
+
+    def insert(self, m_values: Sequence[Hashable], isb: ISB) -> HTreeNode:
+        """Insert one m-layer tuple; returns the leaf holding its cell.
+
+        Repeated inserts for the same m-layer cell aggregate their ISBs with
+        Theorem 3.2 (the tuples describe sibling streams of one cell).
+        """
+        node = self.root
+        for attr_index, value in enumerate(self.expand(m_values)):
+            child = node.children.get(value)
+            if child is None:
+                child = HTreeNode(attr_index, value, parent=node)
+                node.children[value] = child
+                self.headers[attr_index].register(child)
+                self.node_count += 1
+            node = child
+        node.isb = isb if node.isb is None else merge_standard([node.isb, isb])
+        self.tuple_count += 1
+        return node
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+    def nodes_at_depth(self, depth: int) -> Iterator[HTreeNode]:
+        """All nodes at the given depth (attribute position ``depth - 1``).
+
+        Depth 0 yields the root.  Traversal goes through the header table of
+        the attribute, chain by chain — the H-cubing access pattern.
+        """
+        if depth == 0:
+            yield self.root
+            return
+        if not 1 <= depth <= len(self.attributes):
+            raise CubingError(f"no depth {depth} in a {len(self.attributes)}-attribute tree")
+        header = self.headers[depth - 1]
+        for value in header.values():
+            yield from header.chain(value)
+
+    def leaves(self) -> Iterator[HTreeNode]:
+        """All leaf nodes (the m-layer cells)."""
+        return self.nodes_at_depth(len(self.attributes))
+
+    @property
+    def header_entry_count(self) -> int:
+        return sum(len(h) for h in self.headers)
+
+    # ------------------------------------------------------------------
+    # Cell addressing
+    # ------------------------------------------------------------------
+    def attr_position(self, dim: int, level: int) -> int:
+        """Position of attribute ``(dim, level)`` in the tree order."""
+        try:
+            return self._attr_pos[(dim, level)]
+        except KeyError:
+            raise CubingError(
+                f"attribute (dim={dim}, level={level}) not in tree order"
+            ) from None
+
+    def cell_values(self, node: HTreeNode, coord: Sequence[int]) -> Values:
+        """The value tuple of ``node``'s cell in cuboid ``coord``.
+
+        Every non-``*`` level of ``coord`` must appear within the node's
+        root-path prefix (guaranteed for path-order trees when ``coord`` is
+        the path cuboid matching the node's depth).
+        """
+        coord = self.schema.validate_coord(coord)
+        prefix = node.path_values()
+        out: list[Hashable] = []
+        for d, level in enumerate(coord):
+            if level == 0:
+                out.append(ALL)
+                continue
+            pos = self.attr_position(d, level)
+            if pos >= len(prefix):
+                raise CubingError(
+                    f"attribute (dim={d}, level={level}) at position {pos} "
+                    f"is beyond the node's depth {len(prefix)}"
+                )
+            out.append(prefix[pos])
+        return tuple(out)
+
+    def leaf_cells(self) -> Iterator[tuple[Values, ISB]]:
+        """The m-layer cells as ``(values, isb)`` pairs."""
+        for leaf in self.leaves():
+            if leaf.isb is None:  # pragma: no cover - insert always sets it
+                raise CubingError("leaf without an ISB")
+            yield self.cell_values(leaf, self.m_coord), leaf.isb
+
+    # ------------------------------------------------------------------
+    # Interior aggregation (popular-path storage)
+    # ------------------------------------------------------------------
+    def aggregate_interior(self) -> None:
+        """Store at every interior node the Theorem 3.2 merge of its subtree.
+
+        After this, a path-order tree materializes every cuboid along the
+        popular path in its nodes ("with the aggregated regression points
+        stored in the nonleaf nodes", Algorithm 2 Step 2).
+        """
+        self._aggregate(self.root)
+
+    def _aggregate(self, node: HTreeNode) -> ISB:
+        if node.is_leaf:
+            if node.isb is None:
+                raise CubingError("leaf without an ISB; insert data first")
+            return node.isb
+        # Children all share the tree's single time window, so Theorem 3.2
+        # reduces to summing bases and slopes; the generic merge_standard
+        # re-validates intervals per child, which this hot path skips.
+        children = [self._aggregate(child) for child in node.children.values()]
+        first = children[0]
+        base = first.base
+        slope = first.slope
+        for child in children[1:]:
+            if child.t_b != first.t_b or child.t_e != first.t_e:
+                raise CubingError(
+                    "m-layer cells with differing windows cannot share a tree"
+                )
+            base += child.base
+            slope += child.slope
+        node.isb = ISB(first.t_b, first.t_e, base, slope)
+        return node.isb
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"HTree(attrs={len(self.attributes)}, nodes={self.node_count}, "
+            f"tuples={self.tuple_count})"
+        )

@@ -1,0 +1,128 @@
+"""JSON persistence for ISBs, m-layer datasets, and cubing results.
+
+Stream analysis checkpoints state: the m-layer of a window, the retained
+exception cells of the last refresh, or a generated benchmark dataset.
+This module serializes those to a stable, human-inspectable JSON layout.
+
+Value tuples may mix ints and strings (fanout vs explicit hierarchies, plus
+the ``"*"`` sentinel), so each value is tagged on disk: ints as-is, strings
+as-is — JSON keeps the distinction — but tuple keys become lists, and dict
+keys become indexed arrays (JSON objects only allow string keys).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Hashable, Mapping
+
+from repro.errors import SchemaError
+from repro.regression.isb import ISB
+
+__all__ = [
+    "isb_to_dict",
+    "isb_from_dict",
+    "dump_cells",
+    "load_cells",
+    "dump_exceptions",
+    "load_exceptions",
+]
+
+Values = tuple[Hashable, ...]
+
+_FORMAT_VERSION = 1
+
+
+def isb_to_dict(isb: ISB) -> dict[str, Any]:
+    """A stable JSON-ready mapping for one ISB."""
+    return {
+        "t_b": isb.t_b,
+        "t_e": isb.t_e,
+        "base": isb.base,
+        "slope": isb.slope,
+    }
+
+
+def isb_from_dict(payload: Mapping[str, Any]) -> ISB:
+    """Inverse of :func:`isb_to_dict`."""
+    try:
+        return ISB(
+            t_b=int(payload["t_b"]),
+            t_e=int(payload["t_e"]),
+            base=float(payload["base"]),
+            slope=float(payload["slope"]),
+        )
+    except KeyError as exc:
+        raise SchemaError(f"ISB payload missing field {exc}") from None
+
+
+def _cells_to_payload(cells: Mapping[Values, ISB]) -> list[dict[str, Any]]:
+    return [
+        {"values": list(values), "isb": isb_to_dict(isb)}
+        for values, isb in cells.items()
+    ]
+
+
+def _cells_from_payload(rows: list[dict[str, Any]]) -> dict[Values, ISB]:
+    out: dict[Values, ISB] = {}
+    for row in rows:
+        values = tuple(row["values"])
+        if values in out:
+            raise SchemaError(f"duplicate cell {values} in payload")
+        out[values] = isb_from_dict(row["isb"])
+    return out
+
+
+def dump_cells(cells: Mapping[Values, ISB], path: str | Path) -> None:
+    """Write an m-layer (or any cell mapping) to a JSON file."""
+    payload = {
+        "format": "repro-cells",
+        "version": _FORMAT_VERSION,
+        "cells": _cells_to_payload(cells),
+    }
+    Path(path).write_text(json.dumps(payload, indent=1))
+
+
+def load_cells(path: str | Path) -> dict[Values, ISB]:
+    """Read a cell mapping written by :func:`dump_cells`."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("format") != "repro-cells":
+        raise SchemaError(f"{path}: not a repro-cells file")
+    if payload.get("version") != _FORMAT_VERSION:
+        raise SchemaError(
+            f"{path}: unsupported version {payload.get('version')}"
+        )
+    return _cells_from_payload(payload["cells"])
+
+
+def dump_exceptions(
+    retained: Mapping[tuple[int, ...], Mapping[Values, ISB]],
+    path: str | Path,
+) -> None:
+    """Write per-cuboid retained exception cells to a JSON file."""
+    payload = {
+        "format": "repro-exceptions",
+        "version": _FORMAT_VERSION,
+        "cuboids": [
+            {"coord": list(coord), "cells": _cells_to_payload(cells)}
+            for coord, cells in retained.items()
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=1))
+
+
+def load_exceptions(
+    path: str | Path,
+) -> dict[tuple[int, ...], dict[Values, ISB]]:
+    """Read exception cells written by :func:`dump_exceptions`."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("format") != "repro-exceptions":
+        raise SchemaError(f"{path}: not a repro-exceptions file")
+    if payload.get("version") != _FORMAT_VERSION:
+        raise SchemaError(
+            f"{path}: unsupported version {payload.get('version')}"
+        )
+    return {
+        tuple(entry["coord"]): _cells_from_payload(entry["cells"])
+        for entry in payload["cuboids"]
+    }

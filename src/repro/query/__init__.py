@@ -1,0 +1,6 @@
+"""Query layer: OLAP operations and exception-guided drilling."""
+
+from repro.query.api import RegressionCubeView
+from repro.query.drill import DrillNode, ExceptionDriller
+
+__all__ = ["RegressionCubeView", "DrillNode", "ExceptionDriller"]

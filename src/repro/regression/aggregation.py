@@ -1,0 +1,233 @@
+"""Lossless ISB aggregation: Theorems 3.2 and 3.3 of the paper.
+
+The central result of Section 3 is that ISBs aggregate *exactly*:
+
+* **Theorem 3.2 (standard dimensions).**  If an aggregated cell's series is
+  the point-wise sum of its children's series (all over the same interval),
+  the aggregated ISB is obtained by summing the children's bases and slopes.
+
+* **Theorem 3.3 (time dimension).**  If an aggregated cell's interval is the
+  concatenation of its children's adjacent intervals, the aggregated slope is
+  a weighted combination of the children's slopes and of their interval sums
+  (derivable from their ISBs), and the aggregated base follows from
+  ``base = z_mean - slope * t_mean``.
+
+Both operations take only the children's ISBs — the raw series are never
+consulted — which is what makes warehousing regression models feasible.
+
+This module implements both theorems plus convenience reducers, and it is the
+single place in the library where the formulas live: the tilt time frame, the
+H-tree, and every cubing algorithm call into these functions.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from repro.errors import AggregationError
+from repro.regression.isb import ISB
+
+__all__ = [
+    "merge_standard",
+    "merge_time",
+    "merge_time_pair",
+    "weighted_merge_standard",
+    "subtract_standard",
+    "split_time",
+]
+
+
+def merge_standard(children: Sequence[ISB] | Iterable[ISB]) -> ISB:
+    """Aggregate ISBs over a standard dimension (Theorem 3.2).
+
+    The children must all cover the same time interval; the aggregated cell's
+    series is their point-wise sum, whose LSE fit has
+
+        base  = sum of children's bases
+        slope = sum of children's slopes
+
+    Parameters
+    ----------
+    children:
+        One or more ISBs over identical intervals.
+
+    Raises
+    ------
+    AggregationError
+        If no children are given or the intervals differ.
+    """
+    items = list(children)
+    if not items:
+        raise AggregationError("merge_standard requires at least one child")
+    first = items[0]
+    for child in items[1:]:
+        if not first.same_interval(child):
+            raise AggregationError(
+                "standard-dimension aggregation requires identical intervals; "
+                f"got {first.interval} and {child.interval}"
+            )
+    base = math.fsum(c.base for c in items)
+    slope = math.fsum(c.slope for c in items)
+    return ISB(first.t_b, first.t_e, base, slope)
+
+
+def weighted_merge_standard(
+    children: Sequence[ISB], weights: Sequence[float]
+) -> ISB:
+    """Aggregate a weighted point-wise combination ``sum_i w_i * z_i(t)``.
+
+    A small generalization of Theorem 3.2 used by folding with ``avg``
+    semantics (weights ``1/K``) and by applications that aggregate rates.
+    Linearity of the LSE fit in the data gives
+    ``base = sum w_i base_i`` and ``slope = sum w_i slope_i``.
+    """
+    if len(children) != len(weights):
+        raise AggregationError(
+            f"got {len(children)} children but {len(weights)} weights"
+        )
+    scaled = [c.scaled(w) for c, w in zip(children, weights)]
+    return merge_standard(scaled)
+
+
+def merge_time_pair(left: ISB, right: ISB) -> ISB:
+    """Aggregate two time-adjacent ISBs (Theorem 3.3 with K = 2)."""
+    return merge_time([left, right])
+
+
+def merge_time(children: Sequence[ISB] | Iterable[ISB]) -> ISB:
+    """Aggregate ISBs over the time dimension (Theorem 3.3).
+
+    The children's intervals must form a partition of a contiguous interval,
+    i.e. sorted by start tick they must be adjacent:
+    ``child[i].t_e + 1 == child[i+1].t_b``.  The children need not be passed
+    in order; they are sorted internally.
+
+    The aggregated parameters are (with ``n_a = sum n_i``,
+    ``S_i`` = child ``i``'s interval sum, ``S_a = sum S_i``):
+
+        slope_a = sum_i [ (n_i^3 - n_i) / (n_a^3 - n_a) * slope_i ]
+                + 6 * sum_i [ (2 * sum_{j<i} n_j + n_i - n_a) / (n_a^3 - n_a)
+                              * (n_a * S_i - n_i * S_a) / n_a ]
+        base_a  = z_mean_a - slope_a * t_mean_a
+
+    All quantities on the right-hand side are derivable from the children's
+    ISBs alone: ``S_i = n_i * (base_i + slope_i * t_mean_i)`` because the LSE
+    line passes through the mean point.
+
+    A single child is returned unchanged.  For the formula to be well defined
+    the aggregate must span at least 2 ticks (``n_a >= 2``); a 1-tick
+    aggregate only arises from a single 1-tick child, which the single-child
+    shortcut already handles.
+
+    Raises
+    ------
+    AggregationError
+        If no children are given, intervals overlap, or gaps exist.
+    """
+    items = sorted(children, key=lambda c: c.t_b)
+    if not items:
+        raise AggregationError("merge_time requires at least one child")
+    if len(items) == 1:
+        return items[0]
+    for prev, nxt in zip(items, items[1:]):
+        if not prev.adjacent_before(nxt):
+            raise AggregationError(
+                "time-dimension aggregation requires adjacent intervals; "
+                f"got {prev.interval} followed by {nxt.interval}"
+            )
+
+    t_b = items[0].t_b
+    t_e = items[-1].t_e
+    n_a = t_e - t_b + 1
+    denom = float(n_a**3 - n_a)  # 12 * SVS(n_a); n_a >= 2 here so denom > 0
+
+    sums = [c.total for c in items]  # S_i, exact from each ISB
+    s_a = math.fsum(sums)
+
+    slope_terms: list[float] = []
+    prefix_n = 0  # sum_{j<i} n_j
+    for child, s_i in zip(items, sums):
+        n_i = child.n
+        slope_terms.append((n_i**3 - n_i) / denom * child.slope)
+        coeff = (2 * prefix_n + n_i - n_a) / denom
+        slope_terms.append(6.0 * coeff * (n_a * s_i - n_i * s_a) / n_a)
+        prefix_n += n_i
+    slope_a = math.fsum(slope_terms)
+
+    z_mean_a = s_a / n_a
+    t_mean_a = (t_b + t_e) / 2.0
+    base_a = z_mean_a - slope_a * t_mean_a
+    return ISB(t_b, t_e, base_a, slope_a)
+
+
+# ----------------------------------------------------------------------
+# Inverse operations (extension: both theorems are invertible)
+# ----------------------------------------------------------------------
+
+
+def subtract_standard(parent: ISB, child: ISB) -> ISB:
+    """Inverse of Theorem 3.2: remove one child's contribution.
+
+    Given the aggregate of ``K`` point-wise-summed series and one of the
+    children, returns the aggregate of the remaining ``K - 1`` — bases and
+    slopes subtract, by linearity.  Useful for cell retraction (a sensor is
+    decommissioned, a correction arrives) without touching the other
+    children.
+    """
+    if not parent.same_interval(child):
+        raise AggregationError(
+            "standard-dimension subtraction requires identical intervals; "
+            f"got {parent.interval} and {child.interval}"
+        )
+    return ISB(
+        parent.t_b,
+        parent.t_e,
+        parent.base - child.base,
+        parent.slope - child.slope,
+    )
+
+
+def split_time(parent: ISB, left: ISB) -> ISB:
+    """Inverse of Theorem 3.3: remove a known leading segment.
+
+    Given the regression of ``[t_b, t_e]`` and the regression of its prefix
+    ``[t_b, c]``, recover the regression of the suffix ``[c+1, t_e]``
+    exactly — Theorem 3.3 is linear in the unknown child's slope and sum,
+    both of which are determined once the parent's and prefix's are known.
+
+    This makes O(1)-per-step **sliding windows** possible: advance a window
+    by merging the incoming segment (Theorem 3.3) and splitting off the
+    expired one, instead of re-merging the whole window.
+    """
+    if left.t_b != parent.t_b or left.t_e >= parent.t_e:
+        raise AggregationError(
+            f"left segment {left.interval} is not a proper prefix of "
+            f"{parent.interval}"
+        )
+    n_a = parent.n
+    n_1 = left.n
+    n_2 = n_a - n_1
+    t_b2 = left.t_e + 1
+    s_a = parent.total
+    s_1 = left.total
+    s_2 = s_a - s_1
+    if n_2 == 1:
+        # A single-tick suffix: flat line through its (exactly known) value.
+        return ISB(t_b2, parent.t_e, s_2, 0.0)
+
+    denom = float(n_a**3 - n_a)
+    w_1 = (n_1**3 - n_1) / denom
+    w_2 = (n_2**3 - n_2) / denom
+    # Coefficients of the interval-sum terms in Theorem 3.3 (K = 2).
+    c_1 = (n_1 - n_a) / denom  # 2 * (prefix = 0) + n_1 - n_a
+    c_2 = (2 * n_1 + n_2 - n_a) / denom
+    sum_terms = 6.0 * (
+        c_1 * (n_a * s_1 - n_1 * s_a) / n_a
+        + c_2 * (n_a * s_2 - n_2 * s_a) / n_a
+    )
+    slope_2 = (parent.slope - w_1 * left.slope - sum_terms) / w_2
+    z_mean_2 = s_2 / n_2
+    t_mean_2 = (t_b2 + parent.t_e) / 2.0
+    base_2 = z_mean_2 - slope_2 * t_mean_2
+    return ISB(t_b2, parent.t_e, base_2, slope_2)

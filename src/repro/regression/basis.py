@@ -1,0 +1,150 @@
+"""Design (basis) functions for the generalized regression theory (Sec. 6.2).
+
+The paper's Section 6.2 notes that the compressed-representation results
+generalize to **multiple linear regression** — more than one regression
+variable (e.g. spatial coordinates alongside time) — and to regression on
+non-linear *functions* of the variables (log, polynomial, exponential), since
+such models are still linear in their parameters.
+
+A :class:`Design` maps a raw regressor vector (for pure time series, the tick
+``t``) to the feature vector ``x`` of the linear-in-parameters model
+``z = theta . x``.  The sufficient-statistics machinery in
+:mod:`repro.regression.multiple` is generic over the design.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.errors import SchemaError
+
+__all__ = [
+    "Design",
+    "linear_design",
+    "polynomial_design",
+    "logarithmic_design",
+    "exponential_design",
+    "spatio_temporal_design",
+]
+
+FeatureFn = Callable[[Sequence[float]], Sequence[float]]
+
+
+@dataclass(frozen=True)
+class Design:
+    """A named feature map for linear-in-parameters regression.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier (also used for merge-compatibility checks:
+        sufficient statistics under different designs must never be merged).
+    k:
+        Number of features (length of the produced feature vector, including
+        the intercept feature if present).
+    features:
+        Callable mapping the raw regressor vector to the feature vector.
+    feature_names:
+        Names of the produced features, for presentation.
+    """
+
+    name: str
+    k: int
+    features: FeatureFn
+    feature_names: tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.k <= 0:
+            raise SchemaError(f"design {self.name!r} must have k >= 1")
+        if self.feature_names and len(self.feature_names) != self.k:
+            raise SchemaError(
+                f"design {self.name!r}: {len(self.feature_names)} feature "
+                f"names for k={self.k}"
+            )
+
+    def row(self, regressors: Sequence[float]) -> list[float]:
+        """Feature vector for one observation's raw regressors."""
+        row = list(self.features(regressors))
+        if len(row) != self.k:
+            raise SchemaError(
+                f"design {self.name!r} produced {len(row)} features, "
+                f"expected {self.k}"
+            )
+        return row
+
+    def time_row(self, t: float) -> list[float]:
+        """Feature vector for a pure time-series observation at tick ``t``."""
+        return self.row((t,))
+
+
+def linear_design() -> Design:
+    """The paper's core case: ``z_hat(t) = alpha + beta * t``."""
+    return Design(
+        name="linear",
+        k=2,
+        features=lambda r: (1.0, r[0]),
+        feature_names=("1", "t"),
+    )
+
+
+def polynomial_design(degree: int) -> Design:
+    """Polynomial-in-time design ``(1, t, t^2, ..., t^degree)``."""
+    if degree < 1:
+        raise SchemaError("polynomial degree must be >= 1")
+
+    def features(r: Sequence[float]) -> tuple[float, ...]:
+        t = r[0]
+        return tuple(t**p for p in range(degree + 1))
+
+    return Design(
+        name=f"poly{degree}",
+        k=degree + 1,
+        features=features,
+        feature_names=tuple(f"t^{p}" if p else "1" for p in range(degree + 1)),
+    )
+
+
+def logarithmic_design(shift: float = 1.0) -> Design:
+    """Log-in-time design ``z_hat(t) = alpha + beta * log(t + shift)``.
+
+    ``shift`` keeps the argument positive for tick 0; the default of 1 maps
+    tick 0 to ``log 1 = 0``.
+    """
+    if shift <= 0:
+        raise SchemaError("logarithmic design shift must be positive")
+    return Design(
+        name=f"log(t+{shift:g})",
+        k=2,
+        features=lambda r: (1.0, math.log(r[0] + shift)),
+        feature_names=("1", f"log(t+{shift:g})"),
+    )
+
+
+def exponential_design(rate: float) -> Design:
+    """Exponential-feature design ``z_hat(t) = alpha + beta * exp(rate*t)``.
+
+    The model stays linear in ``(alpha, beta)``; only the feature is
+    exponential, which is exactly the generalization Section 6.2 refers to.
+    """
+    return Design(
+        name=f"exp({rate:g}t)",
+        k=2,
+        features=lambda r: (1.0, math.exp(rate * r[0])),
+        feature_names=("1", f"exp({rate:g}t)"),
+    )
+
+
+def spatio_temporal_design() -> Design:
+    """Multi-variable design for sensor networks (Section 6.2's example).
+
+    Regressors are ``(t, x, y, alt)``: time plus three spatial coordinates;
+    the model is ``z_hat = a + b*t + c*x + d*y + e*alt``.
+    """
+    return Design(
+        name="spatio_temporal",
+        k=5,
+        features=lambda r: (1.0, r[0], r[1], r[2], r[3]),
+        feature_names=("1", "t", "x", "y", "alt"),
+    )

@@ -1,0 +1,180 @@
+"""Compressed regression representations: ISB and IntVal (paper Section 3.2).
+
+The paper shows that for linear-regression analysis a time series can be
+represented, losslessly as far as the regression model is concerned, by four
+numbers.  Two equivalent encodings are defined:
+
+* **ISB** — ``([t_b, t_e], base, slope)``: the interval plus the parameters of
+  the LSE line.  This is the representation the paper (and this library) uses
+  throughout; Theorem 3.1 proves it is minimal.
+* **IntVal** — ``([t_b, t_e], z_b, z_e)``: the interval plus the *fitted*
+  values at the interval endpoints.
+
+Both are immutable value objects here.  :class:`ISB` is the canonical cube
+measure: the cubing algorithms, the tilt time frame and the stream engine all
+traffic in ISBs and combine them with the theorems in
+:mod:`repro.regression.aggregation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import IntervalError
+from repro.regression.linear import LinearFit, fit_series, interval_mean_t
+
+__all__ = ["ISB", "IntVal", "isb_of_series"]
+
+#: Analytic size, in bytes, of one ISB as a C struct would store it:
+#: two 32-bit tick numbers plus two 64-bit doubles.  Used by the memory
+#: model of the cubing statistics (see ``repro.cubing.stats``).
+ISB_STRUCT_BYTES = 4 + 4 + 8 + 8
+
+
+@dataclass(frozen=True, slots=True)
+class ISB:
+    """Interval-Slope-Base representation of a linear regression model.
+
+    ``ISB = ([t_b, t_e], base, slope)`` describes the LSE line
+    ``z_hat(t) = base + slope * t`` fitted over the closed integer interval
+    ``[t_b, t_e]``.
+
+    Note on field order: the paper's figure captions print ISBs as
+    ``([t_b, t_e], base, slope)`` — e.g. Figure 2's
+    ``([0,19], 0.540995, 0.0318379)`` has base ``0.540995`` and slope
+    ``0.0318379`` — and we follow that order.
+    """
+
+    t_b: int
+    t_e: int
+    base: float
+    slope: float
+
+    def __post_init__(self) -> None:
+        if self.t_b > self.t_e:
+            raise IntervalError(f"empty interval [{self.t_b}, {self.t_e}]")
+
+    # ------------------------------------------------------------------
+    # Interval helpers
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of integer ticks in the interval."""
+        return self.t_e - self.t_b + 1
+
+    @property
+    def interval(self) -> tuple[int, int]:
+        """The closed interval ``(t_b, t_e)`` as a tuple."""
+        return (self.t_b, self.t_e)
+
+    def same_interval(self, other: "ISB") -> bool:
+        """True iff both ISBs cover the same closed interval."""
+        return self.t_b == other.t_b and self.t_e == other.t_e
+
+    def adjacent_before(self, other: "ISB") -> bool:
+        """True iff ``self``'s interval ends right before ``other`` starts."""
+        return self.t_e + 1 == other.t_b
+
+    # ------------------------------------------------------------------
+    # Line evaluation
+    # ------------------------------------------------------------------
+    def predict(self, t: float) -> float:
+        """Value of the regression line at time ``t``."""
+        return self.base + self.slope * t
+
+    @property
+    def mean(self) -> float:
+        """Exact mean of the underlying series.
+
+        The LSE line passes through ``(t_mean, z_mean)``, so the series mean
+        is ``predict(t_mean)`` exactly — one of the facts Theorem 3.3's
+        derivation relies on (it recovers the interval sums ``S_i`` from the
+        children's ISBs this way).
+        """
+        return self.predict(interval_mean_t(self.t_b, self.t_e))
+
+    @property
+    def total(self) -> float:
+        """Exact sum of the underlying series over the interval."""
+        return self.mean * self.n
+
+    def fitted_values(self) -> list[float]:
+        """The fitted line sampled at every tick of the interval."""
+        return [self.predict(t) for t in range(self.t_b, self.t_e + 1)]
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    def to_intval(self) -> "IntVal":
+        """Convert to the equivalent IntVal representation."""
+        return IntVal(
+            t_b=self.t_b,
+            t_e=self.t_e,
+            z_b=self.predict(self.t_b),
+            z_e=self.predict(self.t_e),
+        )
+
+    @classmethod
+    def from_fit(cls, fit: LinearFit) -> "ISB":
+        """Build an ISB from a :class:`~repro.regression.linear.LinearFit`."""
+        return cls(t_b=fit.t_b, t_e=fit.t_e, base=fit.base, slope=fit.slope)
+
+    def scaled(self, factor: float) -> "ISB":
+        """ISB of the series scaled point-wise by ``factor``.
+
+        Scaling a series scales both regression parameters; this is the
+        1-child special case of Theorem 3.2 with a weight, used by folding.
+        """
+        return ISB(self.t_b, self.t_e, self.base * factor, self.slope * factor)
+
+    def shifted(self, delta_t: int) -> "ISB":
+        """ISB of the same series re-indexed to start at ``t_b + delta_t``.
+
+        Shifting time by ``delta_t`` maps the line ``base + slope*t`` to
+        ``base - slope*delta_t + slope*t`` on the shifted axis.
+        """
+        return ISB(
+            self.t_b + delta_t,
+            self.t_e + delta_t,
+            self.base - self.slope * delta_t,
+            self.slope,
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ISB([{self.t_b},{self.t_e}], base={self.base:.6g}, slope={self.slope:.6g})"
+
+
+@dataclass(frozen=True, slots=True)
+class IntVal:
+    """Interval-Value representation: fitted values at the two endpoints.
+
+    Equivalent to :class:`ISB` (Section 3.2); kept for completeness and for
+    presentation-layer uses where endpoint values read more naturally.
+    """
+
+    t_b: int
+    t_e: int
+    z_b: float
+    z_e: float
+
+    def __post_init__(self) -> None:
+        if self.t_b > self.t_e:
+            raise IntervalError(f"empty interval [{self.t_b}, {self.t_e}]")
+
+    def to_isb(self) -> ISB:
+        """Convert to the equivalent ISB representation.
+
+        For a single-tick interval the slope is 0 by convention (the line is
+        flat through the one fitted value).
+        """
+        if self.t_b == self.t_e:
+            return ISB(self.t_b, self.t_e, self.z_b, 0.0)
+        slope = (self.z_e - self.z_b) / (self.t_e - self.t_b)
+        base = self.z_b - slope * self.t_b
+        return ISB(self.t_b, self.t_e, base, slope)
+
+
+def isb_of_series(values: Sequence[float], t_b: int = 0) -> ISB:
+    """Fit ``values`` starting at tick ``t_b`` and return the ISB."""
+    return ISB.from_fit(fit_series(values, t_b=t_b))

@@ -1,0 +1,315 @@
+"""Least-square-error linear fits for discrete time series (paper Section 3.1).
+
+This module implements Lemma 3.1 of the paper: the closed-form LSE linear fit
+
+    z_hat(t) = alpha + beta * t
+
+of a time series ``z(t) : t in [t_b, t_e]``, together with the helper
+quantities the paper's theorems are phrased in (``SVS``, interval means) and
+an incremental :class:`RunningRegression` accumulator used by the online
+stream engine (Section 4.5) to seal a quarter's worth of per-minute readings
+into an exact ISB without retaining the raw values.
+
+Only discrete integer time ticks are supported, matching the paper's
+Section 2.2 restriction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import DegenerateFitError, EmptySeriesError, IntervalError
+
+__all__ = [
+    "LinearFit",
+    "RunningRegression",
+    "fit_series",
+    "svs",
+    "interval_length",
+    "interval_mean_t",
+    "sum_of_series",
+]
+
+
+def interval_length(t_b: int, t_e: int) -> int:
+    """Number of integer ticks in the closed interval ``[t_b, t_e]``.
+
+    Raises :class:`IntervalError` if the interval is empty (``t_b > t_e``).
+    """
+    if t_b > t_e:
+        raise IntervalError(f"empty interval [{t_b}, {t_e}]")
+    return t_e - t_b + 1
+
+
+def interval_mean_t(t_b: int, t_e: int) -> float:
+    """Mean time tick of ``[t_b, t_e]``; equals ``(t_b + t_e) / 2``."""
+    interval_length(t_b, t_e)
+    return (t_b + t_e) / 2.0
+
+
+def svs(t_b: int, t_e: int) -> float:
+    """Sum of variance squares of ``t`` over ``[t_b, t_e]`` (Lemma 3.2).
+
+    ``SVS = sum_{t=t_b}^{t_e} (t - t_mean)^2 = (n^3 - n) / 12`` where
+    ``n = t_e - t_b + 1``.  The closed form is the content of the paper's
+    Lemma 3.2 and is independent of where the interval starts.
+    """
+    n = interval_length(t_b, t_e)
+    return (n**3 - n) / 12.0
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """Result of an LSE linear fit over ``[t_b, t_e]``.
+
+    Attributes
+    ----------
+    t_b, t_e:
+        The closed time interval of the fitted series.
+    base:
+        The intercept ``alpha`` of the fitted line.
+    slope:
+        The slope ``beta`` of the fitted line.
+    rss:
+        Residual sum of squares of the fit (not part of the paper's ISB; kept
+        here because it is available for free when fitting raw data).
+    """
+
+    t_b: int
+    t_e: int
+    base: float
+    slope: float
+    rss: float = 0.0
+
+    @property
+    def n(self) -> int:
+        """Number of ticks in the fitted interval."""
+        return self.t_e - self.t_b + 1
+
+    def predict(self, t: float) -> float:
+        """Value of the fitted line at time ``t``."""
+        return self.base + self.slope * t
+
+    @property
+    def mean(self) -> float:
+        """Mean of the fitted values, which equals the mean of the data.
+
+        The LSE line passes through ``(t_mean, z_mean)``, so the series mean
+        is recoverable exactly from the fit parameters.
+        """
+        return self.predict((self.t_b + self.t_e) / 2.0)
+
+    @property
+    def total(self) -> float:
+        """Sum of the series values, recovered exactly from the fit."""
+        return self.mean * self.n
+
+
+def fit_series(values: Sequence[float], t_b: int = 0) -> LinearFit:
+    """LSE linear fit of ``values`` interpreted as ``z(t_b), z(t_b+1), ...``.
+
+    Implements Lemma 3.1 directly:
+
+        beta = sum_t (t - t_mean) * z(t) / SVS
+        alpha = z_mean - beta * t_mean
+
+    For a single point the slope is defined as ``0.0`` and the base as the
+    point's value; this matches the convention needed by the tilt time frame
+    where a level may momentarily hold one tick.  An empty series raises
+    :class:`EmptySeriesError`.
+    """
+    n = len(values)
+    if n == 0:
+        raise EmptySeriesError("cannot fit an empty series")
+    t_e = t_b + n - 1
+    if n == 1:
+        return LinearFit(t_b=t_b, t_e=t_e, base=float(values[0]), slope=0.0, rss=0.0)
+    t_mean = interval_mean_t(t_b, t_e)
+    z_mean = math.fsum(values) / n
+    numer = math.fsum((t_b + i - t_mean) * v for i, v in enumerate(values))
+    denom = svs(t_b, t_e)
+    slope = numer / denom
+    base = z_mean - slope * t_mean
+    rss = math.fsum(
+        (v - (base + slope * (t_b + i))) ** 2 for i, v in enumerate(values)
+    )
+    return LinearFit(t_b=t_b, t_e=t_e, base=base, slope=slope, rss=rss)
+
+
+def sum_of_series(series: Iterable[Sequence[float]]) -> list[float]:
+    """Point-wise sum of equally long series (standard-dimension semantics).
+
+    This is the aggregation semantics of Section 3.3: the series of an
+    aggregated cell is the point-wise sum of the series of its descendant
+    cells, all over the same interval.
+    """
+    rows = [list(s) for s in series]
+    if not rows:
+        raise EmptySeriesError("need at least one series to sum")
+    length = len(rows[0])
+    for row in rows[1:]:
+        if len(row) != length:
+            raise IntervalError(
+                "standard-dimension sum requires equally long series; "
+                f"got lengths {length} and {len(row)}"
+            )
+    return [math.fsum(col) for col in zip(*rows)]
+
+
+class RunningRegression:
+    """Streaming accumulator for an exact LSE fit over a growing interval.
+
+    Maintains the five running sums ``(n, sum_t, sum_z, sum_tz, sum_t2)``
+    needed to produce the exact fit at any point, in O(1) memory.  Used by the
+    online engine (Section 4.5) to aggregate per-minute readings within the
+    current quarter: at the quarter boundary :meth:`fit` seals the quarter's
+    ISB without the raw minutes ever being stored.
+
+    The accumulator also accepts out-of-order ticks within the interval —
+    the LSE formulas are order-independent — but every tick may be added only
+    once for the fit to be meaningful (the class does not deduplicate).
+    """
+
+    __slots__ = ("_n", "_sum_t", "_sum_z", "_sum_tz", "_sum_t2", "_sum_z2",
+                 "_t_min", "_t_max")
+
+    def __init__(self) -> None:
+        self._n = 0
+        self._sum_t = 0.0
+        self._sum_z = 0.0
+        self._sum_tz = 0.0
+        self._sum_t2 = 0.0
+        self._sum_z2 = 0.0
+        self._t_min: int | None = None
+        self._t_max: int | None = None
+
+    def add(self, t: int, z: float) -> None:
+        """Record observation ``z`` at integer tick ``t``."""
+        self._n += 1
+        self._sum_t += t
+        self._sum_z += z
+        self._sum_tz += t * z
+        self._sum_t2 += t * t
+        self._sum_z2 += z * z
+        if self._t_min is None or t < self._t_min:
+            self._t_min = t
+        if self._t_max is None or t > self._t_max:
+            self._t_max = t
+
+    def extend(self, start_t: int, values: Iterable[float]) -> None:
+        """Record consecutive observations starting at tick ``start_t``."""
+        for i, z in enumerate(values):
+            self.add(start_t + i, z)
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def is_empty(self) -> bool:
+        return self._n == 0
+
+    @property
+    def t_min(self) -> int:
+        if self._t_min is None:
+            raise EmptySeriesError("no observations recorded")
+        return self._t_min
+
+    @property
+    def t_max(self) -> int:
+        if self._t_max is None:
+            raise EmptySeriesError("no observations recorded")
+        return self._t_max
+
+    @property
+    def mean(self) -> float:
+        """Mean of the recorded values."""
+        if self._n == 0:
+            raise EmptySeriesError("no observations recorded")
+        return self._sum_z / self._n
+
+    def fit(self) -> LinearFit:
+        """Exact LSE fit over the recorded ticks.
+
+        Requires the recorded ticks to be exactly the integers of
+        ``[t_min, t_max]`` (the usual case: one reading per tick).  When the
+        accumulator holds a single tick the slope is ``0.0`` as in
+        :func:`fit_series`.
+
+        Raises
+        ------
+        EmptySeriesError
+            If no observations were recorded.
+        DegenerateFitError
+            If the number of observations does not match the tick span, in
+            which case an interval-based fit would be biased.
+        """
+        if self._n == 0:
+            raise EmptySeriesError("no observations recorded")
+        assert self._t_min is not None and self._t_max is not None
+        span = self._t_max - self._t_min + 1
+        if span != self._n:
+            raise DegenerateFitError(
+                f"recorded {self._n} observations over a span of {span} "
+                "ticks; RunningRegression.fit requires one reading per tick"
+            )
+        if self._n == 1:
+            return LinearFit(
+                t_b=self._t_min, t_e=self._t_max, base=self._sum_z, slope=0.0
+            )
+        n = self._n
+        t_mean = self._sum_t / n
+        z_mean = self._sum_z / n
+        denom = self._sum_t2 - n * t_mean * t_mean
+        numer = self._sum_tz - n * t_mean * z_mean
+        slope = numer / denom
+        base = z_mean - slope * t_mean
+        # RSS from running sums: sum (z - a - b t)^2 expanded.
+        rss = (
+            self._sum_z2
+            + n * base * base
+            + slope * slope * self._sum_t2
+            - 2.0 * base * self._sum_z
+            - 2.0 * slope * self._sum_tz
+            + 2.0 * base * slope * self._sum_t
+        )
+        return LinearFit(
+            t_b=self._t_min, t_e=self._t_max, base=base, slope=slope,
+            rss=max(rss, 0.0),
+        )
+
+    def fit_window(self, t_b: int, t_e: int) -> "LinearFit":
+        """Best-effort LSE fit presented over the window ``[t_b, t_e]``.
+
+        Used by the stream engine to seal a quarter whose readings may be
+        incomplete (bursty sources, silent meters): the regression is fitted
+        over whatever ticks were recorded — all of which must lie inside the
+        window — and the resulting line is *presented* over the full window
+        so tilt-frame slots stay contiguous.  With one reading per tick this
+        coincides with :meth:`fit`; with no readings it is the flat zero
+        line (no activity); with a single reading it is flat at that value.
+        """
+        if t_b > t_e:
+            raise IntervalError(f"empty window [{t_b}, {t_e}]")
+        if self._n == 0:
+            return LinearFit(t_b=t_b, t_e=t_e, base=0.0, slope=0.0)
+        assert self._t_min is not None and self._t_max is not None
+        if self._t_min < t_b or self._t_max > t_e:
+            raise IntervalError(
+                f"recorded ticks [{self._t_min}, {self._t_max}] fall outside "
+                f"the window [{t_b}, {t_e}]"
+            )
+        n = self._n
+        t_mean = self._sum_t / n
+        z_mean = self._sum_z / n
+        denom = self._sum_t2 - n * t_mean * t_mean
+        if denom == 0.0:  # a single distinct tick: flat line
+            return LinearFit(t_b=t_b, t_e=t_e, base=z_mean, slope=0.0)
+        slope = (self._sum_tz - n * t_mean * z_mean) / denom
+        base = z_mean - slope * t_mean
+        return LinearFit(t_b=t_b, t_e=t_e, base=base, slope=slope)
+
+    def reset(self) -> None:
+        """Clear all recorded observations."""
+        self.__init__()

@@ -1,0 +1,26 @@
+"""Stream substrate: generators, records, simulators, the online engine."""
+
+from repro.stream.engine import StreamCubeEngine, engine_frame_levels
+from repro.stream.generator import DatasetSpec, GeneratedDataset, generate_dataset
+from repro.stream.power_grid import PowerGridConfig, PowerGridSimulator, USER_GROUPS
+from repro.stream.records import StreamRecord, sort_records, validate_monotonic
+from repro.stream.replay import capture, replay_records, write_records
+from repro.stream.sliding import SlidingWindowRegression
+
+__all__ = [
+    "DatasetSpec",
+    "GeneratedDataset",
+    "generate_dataset",
+    "StreamRecord",
+    "sort_records",
+    "validate_monotonic",
+    "PowerGridConfig",
+    "PowerGridSimulator",
+    "USER_GROUPS",
+    "StreamCubeEngine",
+    "engine_frame_levels",
+    "write_records",
+    "replay_records",
+    "capture",
+    "SlidingWindowRegression",
+]

@@ -1,0 +1,371 @@
+"""The online, incremental stream-cube engine (paper Section 4.5).
+
+The engine closes the loop the paper describes: raw records arrive
+continuously at the primitive layer; they are rolled up to m-layer cells on
+ingestion and accumulated — by regression aggregation, in O(1) space per
+cell — within the current quarter; every quarter boundary seals an exact ISB
+into each cell's tilt time frame, where promotions to coarser granularities
+happen automatically ("the aggregated data will trigger the cube computation
+once every 15 minutes"); and on demand the engine assembles the m-layer over
+an analysis window and runs a cubing algorithm to refresh the o-layer and
+the exception cells.
+
+Time units: records carry *primitive* ticks (e.g. minutes);
+``ticks_per_quarter`` primitive ticks form one finest tilt-frame slot.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Iterable, Literal
+
+from repro.cube.lattice import PopularPath
+from repro.cube.layers import CriticalLayers
+from repro.cubing.full import full_materialization
+from repro.cubing.mo_cubing import mo_cubing
+from repro.cubing.multiway import multiway_cubing
+from repro.cubing.policy import ExceptionPolicy, two_point_isb
+from repro.cubing.popular_path import popular_path_cubing
+from repro.cubing.result import CubeResult
+from repro.errors import StreamError, TiltFrameError
+from repro.regression.isb import ISB
+from repro.regression.linear import RunningRegression
+from repro.stream.records import StreamRecord
+from repro.tilt.frame import TiltLevelSpec, TiltTimeFrame
+
+__all__ = ["StreamCubeEngine", "engine_frame_levels"]
+
+Values = tuple[Hashable, ...]
+KeyFn = Callable[[StreamRecord], Values]
+Algorithm = Literal["mo", "popular", "multiway", "full"]
+
+
+def engine_frame_levels(ticks_per_quarter: int) -> list[TiltLevelSpec]:
+    """The Fig 4 levels expressed in primitive ticks.
+
+    Quarter slots span ``ticks_per_quarter`` primitive ticks (15 for
+    minute-level streams), hours four quarters, days 24 hours, months 31
+    days — capacities 4 / 24 / 31 / 12 as in the paper.
+    """
+    q = ticks_per_quarter
+    return [
+        TiltLevelSpec("quarter", q, 4),
+        TiltLevelSpec("hour", 4 * q, 24),
+        TiltLevelSpec("day", 96 * q, 31),
+        TiltLevelSpec("month", 2976 * q, 12),
+    ]
+
+
+class _CellState:
+    """Per-m-layer-cell streaming state.
+
+    Within the current quarter, readings are accumulated per tick — several
+    records of one cell at the same tick are *summed* (the point-wise
+    standard-dimension semantics of Section 3.3: a cell's series is the sum
+    of its contributing streams) — and the quarter's ISB is fitted over the
+    per-tick sums at sealing time.  Memory per cell is O(ticks_per_quarter).
+    """
+
+    __slots__ = ("frame", "tick_sums")
+
+    def __init__(self, frame: TiltTimeFrame) -> None:
+        self.frame = frame
+        self.tick_sums: dict[int, float] = {}
+
+    def add(self, t: int, z: float) -> None:
+        self.tick_sums[t] = self.tick_sums.get(t, 0.0) + z
+
+    def seal(self, lo: int, hi: int) -> ISB:
+        running = RunningRegression()
+        for t, z in self.tick_sums.items():
+            running.add(t, z)
+        self.tick_sums.clear()
+        fit = running.fit_window(lo, hi)
+        return ISB(lo, hi, fit.base, fit.slope)
+
+
+class StreamCubeEngine:
+    """Incremental regression-cube maintenance over an unbounded stream.
+
+    Parameters
+    ----------
+    layers:
+        The critical layers (m-layer / o-layer) of the cube.
+    policy:
+        The exception policy used by :meth:`refresh`.
+    key_fn:
+        Maps a primitive record to its m-layer cell values.  Defaults to
+        using ``record.values`` unchanged (records already at the m-layer).
+    ticks_per_quarter:
+        Primitive ticks per finest tilt-frame slot.
+    frame_levels:
+        Tilt-frame level specs; defaults to :func:`engine_frame_levels`.
+    """
+
+    def __init__(
+        self,
+        layers: CriticalLayers,
+        policy: ExceptionPolicy,
+        key_fn: KeyFn | None = None,
+        ticks_per_quarter: int = 15,
+        frame_levels: Iterable[TiltLevelSpec] | None = None,
+    ) -> None:
+        if ticks_per_quarter < 1:
+            raise StreamError("ticks_per_quarter must be >= 1")
+        self.layers = layers
+        self.policy = policy
+        self.key_fn: KeyFn = key_fn if key_fn is not None else (
+            lambda record: record.values
+        )
+        self.ticks_per_quarter = ticks_per_quarter
+        self._frame_levels = (
+            list(frame_levels)
+            if frame_levels is not None
+            else engine_frame_levels(ticks_per_quarter)
+        )
+        self._cells: dict[Values, _CellState] = {}
+        self._current_quarter = 0
+        self._records_ingested = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def current_quarter(self) -> int:
+        """Index of the quarter currently accumulating."""
+        return self._current_quarter
+
+    @property
+    def quarters_sealed(self) -> int:
+        return self._current_quarter
+
+    @property
+    def tracked_cells(self) -> int:
+        return len(self._cells)
+
+    @property
+    def records_ingested(self) -> int:
+        return self._records_ingested
+
+    def frame_of(self, values: Values) -> TiltTimeFrame:
+        """The tilt frame of one m-layer cell."""
+        try:
+            return self._cells[tuple(values)].frame
+        except KeyError:
+            raise StreamError(f"no data seen for cell {tuple(values)}") from None
+
+    def prune_idle(self, idle_quarters: int) -> int:
+        """Drop cells with no activity in the last ``idle_quarters`` quarters.
+
+        Long-running deployments see churn — users move away, sensors are
+        decommissioned — and per-cell frames are the engine's only unbounded
+        state.  A cell is idle when its recent sealed quarters (and its
+        current accumulation) are all zero.  Returns the number of cells
+        dropped; dropped cells re-enter (zero-backfilled) if they speak
+        again.
+        """
+        if idle_quarters < 1:
+            raise StreamError("idle_quarters must be >= 1")
+        window = min(idle_quarters, self._current_quarter)
+        if window == 0:
+            return 0
+        q = self.ticks_per_quarter
+        end = self._current_quarter * q - 1
+        start = end - window * q + 1
+        dead = []
+        for key, state in self._cells.items():
+            if state.tick_sums:
+                continue  # accumulating right now: alive
+            try:
+                recent = state.frame.query(start, end)
+            except TiltFrameError:
+                continue  # window not fully covered: cannot prove idleness
+            if recent.base == 0.0 and recent.slope == 0.0:
+                dead.append(key)
+        for key in dead:
+            del self._cells[key]
+        return len(dead)
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def ingest(self, record: StreamRecord) -> None:
+        """Ingest one primitive record.
+
+        Records must not go back past a sealed quarter; within the current
+        quarter any order is accepted (the running sums are order-free).
+        """
+        quarter = record.t // self.ticks_per_quarter
+        if quarter < self._current_quarter:
+            raise StreamError(
+                f"record at t={record.t} belongs to sealed quarter {quarter} "
+                f"(current quarter is {self._current_quarter})"
+            )
+        if quarter > self._current_quarter:
+            self._seal_through(quarter)
+        key = self.key_fn(record)
+        state = self._cells.get(key)
+        if state is None:
+            state = self._new_cell(key)
+        state.add(record.t, record.z)
+        self._records_ingested += 1
+
+    def ingest_many(self, records: Iterable[StreamRecord]) -> None:
+        for record in records:
+            self.ingest(record)
+
+    def advance_to(self, t: int) -> None:
+        """Seal every quarter ending at or before primitive tick ``t - 1``.
+
+        Call at the end of a simulation (or on a timer) so quiet periods
+        still roll the frame forward.
+        """
+        quarter = t // self.ticks_per_quarter
+        if quarter > self._current_quarter:
+            self._seal_through(quarter)
+
+    def _new_cell(self, key: Values) -> _CellState:
+        key = self.layers.schema.validate_values(key, self.layers.m_coord)
+        frame = TiltTimeFrame(self._frame_levels, origin=0)
+        state = _CellState(frame)
+        # Backfill the quarters before this cell's first activity with flat
+        # zero usage so every cell's frame shares the global quarter grid.
+        for q in range(self._current_quarter):
+            state.frame.insert(self._zero_quarter(q))
+        self._cells[key] = state
+        return state
+
+    def _zero_quarter(self, quarter: int) -> ISB:
+        q = self.ticks_per_quarter
+        return ISB(quarter * q, quarter * q + q - 1, 0.0, 0.0)
+
+    def _seal_through(self, quarter: int) -> None:
+        for q in range(self._current_quarter, quarter):
+            lo = q * self.ticks_per_quarter
+            hi = lo + self.ticks_per_quarter - 1
+            for state in self._cells.values():
+                state.frame.insert(state.seal(lo, hi))
+        self._current_quarter = quarter
+
+    # ------------------------------------------------------------------
+    # Analysis
+    # ------------------------------------------------------------------
+    def m_cells(self, window_quarters: int = 4) -> dict[Values, ISB]:
+        """The m-layer over the last ``window_quarters`` sealed quarters.
+
+        Each cell's ISB is assembled from its tilt frame with Theorem 3.3.
+        Cells whose frames cannot cover the window (nothing sealed yet)
+        raise; call :meth:`advance_to` first.
+        """
+        if self._current_quarter < window_quarters:
+            raise StreamError(
+                f"only {self._current_quarter} quarters sealed; cannot form "
+                f"a {window_quarters}-quarter window"
+            )
+        t_e = self._current_quarter * self.ticks_per_quarter - 1
+        t_b = t_e - window_quarters * self.ticks_per_quarter + 1
+        out: dict[Values, ISB] = {}
+        for key, state in self._cells.items():
+            try:
+                out[key] = state.frame.query(t_b, t_e)
+            except TiltFrameError as exc:  # pragma: no cover - defensive
+                raise StreamError(
+                    f"cell {key}: window [{t_b},{t_e}] not covered: {exc}"
+                ) from exc
+        return out
+
+    def refresh(
+        self,
+        window_quarters: int = 4,
+        algorithm: Algorithm = "mo",
+        path: PopularPath | None = None,
+    ) -> CubeResult:
+        """Recompute the o-layer and exception cells over a recent window.
+
+        This is the quarter-boundary "cube computation" trigger of
+        Section 4.5, exposed as an explicit call so applications control the
+        cadence.
+        """
+        cells = self.m_cells(window_quarters)
+        if algorithm == "mo":
+            return mo_cubing(self.layers, cells, self.policy)
+        if algorithm == "popular":
+            return popular_path_cubing(self.layers, cells, self.policy, path)
+        if algorithm == "multiway":
+            return multiway_cubing(self.layers, cells, self.policy)
+        if algorithm == "full":
+            return full_materialization(self.layers, cells, self.policy)
+        raise StreamError(f"unknown algorithm {algorithm!r}")
+
+    def change_exceptions(
+        self, quarters_apart: int = 1
+    ) -> dict[Values, ISB]:
+        """Cells whose current-vs-previous window regression is exceptional.
+
+        Implements the paper's second exception flavour (current quarter vs
+        the previous one) at the m-layer: the two-point regression's slope is
+        judged by the engine's policy at the m-layer coordinate.
+        """
+        if self._current_quarter < 2 * quarters_apart:
+            raise StreamError(
+                "need at least two sealed windows for change detection"
+            )
+        q = self.ticks_per_quarter
+        end = self._current_quarter * q - 1
+        cur_b = end - quarters_apart * q + 1
+        prev_b = cur_b - quarters_apart * q
+        out: dict[Values, ISB] = {}
+        for key, state in self._cells.items():
+            prev = state.frame.query(prev_b, cur_b - 1)
+            cur = state.frame.query(cur_b, end)
+            change = two_point_isb(prev, cur)
+            if self.policy.is_exception(change, self.layers.m_coord):
+                out[key] = change
+        return out
+
+    def o_layer_change_exceptions(
+        self, quarters_apart: int = 1
+    ) -> dict[Values, ISB]:
+        """O-layer cells whose window-over-window regression is exceptional.
+
+        The paper's observation-deck reading of the same flavour: "the
+        current hour vs. the last" judged at the o-layer, where the analyst
+        watches.  Both windows are aggregated to the o-layer with
+        Theorem 3.2, then each cell's two-window two-point regression is
+        judged by the policy at the o-layer coordinate.
+        """
+        if self._current_quarter < 2 * quarters_apart:
+            raise StreamError(
+                "need at least two sealed windows for change detection"
+            )
+        q = self.ticks_per_quarter
+        end = self._current_quarter * q - 1
+        cur_b = end - quarters_apart * q + 1
+        prev_b = cur_b - quarters_apart * q
+
+        o_coord = self.layers.o_coord
+        m_coord = self.layers.m_coord
+        schema = self.layers.schema
+        mappers = [
+            dim.hierarchy.ancestor_mapper(f, t)
+            for dim, f, t in zip(schema.dimensions, m_coord, o_coord)
+        ]
+        prev_cells: dict[Values, list[ISB]] = {}
+        cur_cells: dict[Values, list[ISB]] = {}
+        for key, state in self._cells.items():
+            o_key = tuple(m(v) for m, v in zip(mappers, key))
+            prev_cells.setdefault(o_key, []).append(
+                state.frame.query(prev_b, cur_b - 1)
+            )
+            cur_cells.setdefault(o_key, []).append(
+                state.frame.query(cur_b, end)
+            )
+        from repro.regression.aggregation import merge_standard
+
+        out: dict[Values, ISB] = {}
+        for o_key, prev_parts in prev_cells.items():
+            prev = merge_standard(prev_parts)
+            cur = merge_standard(cur_cells[o_key])
+            change = two_point_isb(prev, cur)
+            if self.policy.is_exception(change, o_coord):
+                out[o_key] = change
+        return out

@@ -1,0 +1,57 @@
+"""Primitive-layer stream records (paper Section 2.3 / Example 1).
+
+A :class:`StreamRecord` is one reading at the stream's most detailed level —
+e.g. ``(individual user, street address, minute) -> kWh``.  The online engine
+rolls records up to the m-layer on ingestion; the record type itself is a
+plain value object so any source (simulator, file replay, socket) can
+produce them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Iterator
+
+from repro.errors import StreamError
+
+__all__ = ["StreamRecord", "sort_records", "validate_monotonic"]
+
+
+@dataclass(frozen=True, slots=True)
+class StreamRecord:
+    """One primitive-layer observation.
+
+    Attributes
+    ----------
+    values:
+        Primitive dimension values, schema order.
+    t:
+        Integer tick at the primitive time granularity (e.g. the minute).
+    z:
+        The measured value (e.g. kWh used during that minute).
+    """
+
+    values: tuple[Hashable, ...]
+    t: int
+    z: float
+
+
+def sort_records(records: Iterable[StreamRecord]) -> list[StreamRecord]:
+    """Records sorted by tick (stable for equal ticks)."""
+    return sorted(records, key=lambda r: r.t)
+
+
+def validate_monotonic(records: Iterable[StreamRecord]) -> Iterator[StreamRecord]:
+    """Yield records, raising :class:`StreamError` on any tick regression.
+
+    Use when a source promises time order and silently-broken order would
+    corrupt quarter sealing.
+    """
+    last_t: int | None = None
+    for record in records:
+        if last_t is not None and record.t < last_t:
+            raise StreamError(
+                f"out-of-order record at t={record.t} after t={last_t}"
+            )
+        last_t = record.t
+        yield record

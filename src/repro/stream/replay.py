@@ -1,0 +1,87 @@
+"""Record persistence and replay: JSONL capture of primitive streams.
+
+Production stream systems need deterministic replay — for debugging an
+exception that fired last night, for backtesting a new threshold policy, or
+for feeding the same traffic to two engine configurations.  Records are
+stored one-JSON-object-per-line (append-friendly, streamable); replay yields
+them lazily in file order.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.errors import StreamError
+from repro.stream.records import StreamRecord
+
+__all__ = ["write_records", "replay_records", "capture"]
+
+
+def write_records(
+    records: Iterable[StreamRecord], path: str | Path
+) -> int:
+    """Write records to a JSONL file; returns the number written."""
+    count = 0
+    with Path(path).open("w") as fh:
+        for record in records:
+            fh.write(
+                json.dumps(
+                    {"values": list(record.values), "t": record.t, "z": record.z}
+                )
+            )
+            fh.write("\n")
+            count += 1
+    return count
+
+
+def replay_records(path: str | Path) -> Iterator[StreamRecord]:
+    """Lazily yield records from a JSONL file written by ``write_records``."""
+    with Path(path).open() as fh:
+        for line_no, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+                yield StreamRecord(
+                    values=tuple(payload["values"]),
+                    t=int(payload["t"]),
+                    z=float(payload["z"]),
+                )
+            except (KeyError, TypeError, ValueError, json.JSONDecodeError) as exc:
+                raise StreamError(
+                    f"{path}:{line_no}: malformed record ({exc})"
+                ) from exc
+
+
+class capture:
+    """Tee an iterator of records to disk while passing them through.
+
+    Wrap a live source so an engine run is simultaneously persisted::
+
+        for record in capture(sim.records(60), "session.jsonl"):
+            engine.ingest(record)
+    """
+
+    def __init__(self, records: Iterable[StreamRecord], path: str | Path) -> None:
+        self._records = records
+        self._path = Path(path)
+        self.written = 0
+
+    def __iter__(self) -> Iterator[StreamRecord]:
+        with self._path.open("w") as fh:
+            for record in self._records:
+                fh.write(
+                    json.dumps(
+                        {
+                            "values": list(record.values),
+                            "t": record.t,
+                            "z": record.z,
+                        }
+                    )
+                )
+                fh.write("\n")
+                self.written += 1
+                yield record

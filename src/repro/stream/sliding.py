@@ -1,0 +1,83 @@
+"""O(1)-per-step sliding-window regression (Section 4.5 extension).
+
+The engine's tilt-frame windows re-merge their slots on every query.  When
+an application needs *every* step of a fixed-length window — continuous
+monitoring of "the regression of the last W quarters" — the inverse
+aggregation operations make each advance O(1): merge the incoming segment
+(Theorem 3.3) and split off the expired one (its inverse), instead of
+re-merging W slots.
+
+The expired segments themselves must still be retained until they leave the
+window (a deque of W ISBs); it is the *aggregation work* that drops from
+O(W) to O(1) per step.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque
+
+from repro.errors import TiltFrameError
+from repro.regression.aggregation import merge_time_pair, split_time
+from repro.regression.isb import ISB
+
+__all__ = ["SlidingWindowRegression"]
+
+
+class SlidingWindowRegression:
+    """A fixed-length window of time segments with an O(1)-maintained ISB.
+
+    Parameters
+    ----------
+    window_segments:
+        How many most-recent segments the window spans.
+    """
+
+    def __init__(self, window_segments: int) -> None:
+        if window_segments < 1:
+            raise TiltFrameError("window must span at least one segment")
+        self.window_segments = window_segments
+        self._segments: Deque[ISB] = deque()
+        self._aggregate: ISB | None = None
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def push(self, segment: ISB) -> None:
+        """Append the next time segment (must be adjacent to the last)."""
+        if self._aggregate is None:
+            self._aggregate = segment
+            self._segments.append(segment)
+            return
+        if not self._aggregate.adjacent_before(segment):
+            raise TiltFrameError(
+                f"segment {segment.interval} does not follow the window "
+                f"end {self._aggregate.t_e}"
+            )
+        self._aggregate = merge_time_pair(self._aggregate, segment)
+        self._segments.append(segment)
+        if len(self._segments) > self.window_segments:
+            expired = self._segments.popleft()
+            self._aggregate = split_time(self._aggregate, expired)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def is_full(self) -> bool:
+        return len(self._segments) == self.window_segments
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    @property
+    def window(self) -> ISB:
+        """The regression over the current window contents."""
+        if self._aggregate is None:
+            raise TiltFrameError("empty window")
+        return self._aggregate
+
+    @property
+    def span(self) -> tuple[int, int]:
+        """The tick interval the window currently covers."""
+        return self.window.interval

@@ -1,0 +1,19 @@
+"""Tilt time frames: multi-granularity time registration (Section 4.1)."""
+
+from repro.tilt.frame import TiltLevelSpec, TiltTimeFrame
+from repro.tilt.logarithmic import logarithmic_frame, slots_needed_for_span
+from repro.tilt.natural import (
+    Example3Savings,
+    example3_savings,
+    natural_frame,
+)
+
+__all__ = [
+    "TiltLevelSpec",
+    "TiltTimeFrame",
+    "natural_frame",
+    "example3_savings",
+    "Example3Savings",
+    "logarithmic_frame",
+    "slots_needed_for_span",
+]

@@ -1,0 +1,258 @@
+"""The tilt time frame (paper Section 4.1, Figure 4).
+
+Time is registered at multiple granularities: the most recent time at the
+finest granularity, more distant time at coarser granularities.  Each level
+holds a bounded number of *slots*; a slot stores the ISB of its time span.
+When the slots of a fine level complete a full unit of the next coarser
+level, they are aggregated with Theorem 3.3 and *promoted* into a new slot at
+that coarser level, while the fine slots remain available until evicted by
+their level's capacity — exactly the Section 4.5 maintenance discipline
+("the quarter slots will still retain sufficient information for
+quarter-based regression analysis").
+
+The frame is generic; the paper's natural-calendar preset and a logarithmic
+variant live in :mod:`repro.tilt.natural` and :mod:`repro.tilt.logarithmic`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Iterator, Sequence
+
+from repro.errors import TiltFrameError
+from repro.regression.aggregation import merge_time
+from repro.regression.isb import ISB
+
+__all__ = ["TiltLevelSpec", "TiltTimeFrame"]
+
+
+@dataclass(frozen=True)
+class TiltLevelSpec:
+    """Specification of one tilt-frame level.
+
+    Attributes
+    ----------
+    name:
+        Level name, e.g. ``"quarter"``.
+    unit_ticks:
+        How many base ticks one slot of this level spans.  Must be a
+        multiple of the previous (finer) level's ``unit_ticks``.
+    capacity:
+        How many most-recent slots this level retains.  For every level
+        except the coarsest it must be at least the ratio to the next
+        coarser level's unit, otherwise slots would be evicted before they
+        can be promoted.
+    """
+
+    name: str
+    unit_ticks: int
+    capacity: int
+
+    def __post_init__(self) -> None:
+        if self.unit_ticks < 1:
+            raise TiltFrameError(f"level {self.name!r}: unit_ticks must be >= 1")
+        if self.capacity < 1:
+            raise TiltFrameError(f"level {self.name!r}: capacity must be >= 1")
+
+
+class TiltTimeFrame:
+    """A multi-granularity register of ISBs over a growing time axis.
+
+    Parameters
+    ----------
+    levels:
+        Level specs, finest first.  Unit sizes must be strictly increasing,
+        each a multiple of the previous.
+    origin:
+        The base tick at which the frame's time axis starts; all level units
+        are aligned to it.
+    """
+
+    def __init__(self, levels: Sequence[TiltLevelSpec], origin: int = 0) -> None:
+        if not levels:
+            raise TiltFrameError("a tilt frame needs at least one level")
+        names = [lv.name for lv in levels]
+        if len(set(names)) != len(names):
+            raise TiltFrameError(f"duplicate level names: {names}")
+        for fine, coarse in zip(levels, levels[1:]):
+            if coarse.unit_ticks <= fine.unit_ticks:
+                raise TiltFrameError(
+                    f"level {coarse.name!r} unit ({coarse.unit_ticks}) must "
+                    f"exceed level {fine.name!r} unit ({fine.unit_ticks})"
+                )
+            if coarse.unit_ticks % fine.unit_ticks != 0:
+                raise TiltFrameError(
+                    f"level {coarse.name!r} unit ({coarse.unit_ticks}) is not "
+                    f"a multiple of level {fine.name!r} unit ({fine.unit_ticks})"
+                )
+            ratio = coarse.unit_ticks // fine.unit_ticks
+            if fine.capacity < ratio:
+                raise TiltFrameError(
+                    f"level {fine.name!r} capacity ({fine.capacity}) is below "
+                    f"the promotion ratio to {coarse.name!r} ({ratio}); slots "
+                    "would be evicted before promotion"
+                )
+        self.levels = tuple(levels)
+        self.origin = origin
+        self._slots: list[Deque[ISB]] = [
+            deque(maxlen=lv.capacity) for lv in levels
+        ]
+        self._next_tick = origin
+        self._evicted = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> int:
+        """The next base tick the frame expects (1 past the last covered)."""
+        return self._next_tick
+
+    @property
+    def total_capacity(self) -> int:
+        """Total number of slots the frame can hold (Example 3's "71")."""
+        return sum(lv.capacity for lv in self.levels)
+
+    @property
+    def total_retained(self) -> int:
+        """Number of slots currently held across all levels."""
+        return sum(len(s) for s in self._slots)
+
+    @property
+    def evicted_slots(self) -> int:
+        """Count of coarsest-level slots whose data has aged out entirely."""
+        return self._evicted
+
+    def level_index(self, level: int | str) -> int:
+        if isinstance(level, int):
+            if not 0 <= level < len(self.levels):
+                raise TiltFrameError(f"no level index {level}")
+            return level
+        for i, lv in enumerate(self.levels):
+            if lv.name == level:
+                return i
+        raise TiltFrameError(f"no level named {level!r}")
+
+    def slots(self, level: int | str) -> tuple[ISB, ...]:
+        """The retained slots of a level, oldest first."""
+        return tuple(self._slots[self.level_index(level)])
+
+    def span(self) -> tuple[int, int] | None:
+        """The closed tick interval currently covered, or ``None`` if empty.
+
+        The covered span runs from the oldest retained coarse slot to the
+        newest fine slot (the levels telescope; coarser levels reach further
+        back).
+        """
+        starts = [s[0].t_b for s in self._slots if s]
+        ends = [s[-1].t_e for s in self._slots if s]
+        if not starts:
+            return None
+        return (min(starts), max(ends))
+
+    # ------------------------------------------------------------------
+    # Insertion / promotion
+    # ------------------------------------------------------------------
+    def insert(self, isb: ISB) -> None:
+        """Insert the ISB of the next finest-level unit.
+
+        The ISB must cover exactly ``[now, now + unit - 1]`` where ``unit``
+        is the finest level's ``unit_ticks`` — the frame only grows
+        contiguously, mirroring the always-grow nature of the stream.
+        Promotions to coarser levels happen automatically when unit
+        boundaries are crossed.
+        """
+        unit = self.levels[0].unit_ticks
+        expected = (self._next_tick, self._next_tick + unit - 1)
+        if isb.interval != expected:
+            raise TiltFrameError(
+                f"expected an ISB over {expected}, got {isb.interval}"
+            )
+        self._slots[0].append(isb)
+        self._next_tick += unit
+        self._promote(0)
+
+    def _promote(self, level: int) -> None:
+        """Promote level ``level`` into ``level + 1`` if a unit completed."""
+        if level + 1 >= len(self.levels):
+            return
+        coarse = self.levels[level + 1]
+        # A coarse unit just completed iff the frame's covered end is aligned.
+        if (self._next_tick - self.origin) % coarse.unit_ticks != 0:
+            return
+        ratio = coarse.unit_ticks // self.levels[level].unit_ticks
+        fine_slots = self._slots[level]
+        if len(fine_slots) < ratio:  # partial history at startup
+            return
+        children = list(fine_slots)[-ratio:]
+        merged = merge_time(children)
+        target = self._slots[level + 1]
+        if (
+            len(target) == target.maxlen
+            and level + 1 == len(self.levels) - 1
+        ):
+            self._evicted += 1
+        target.append(merged)
+        self._promote(level + 1)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query(self, t_b: int, t_e: int) -> ISB:
+        """Regression over ``[t_b, t_e]`` from retained slots (Theorem 3.3).
+
+        The window must be exactly coverable by retained slot boundaries;
+        the finest available slots are preferred at every position.  Raises
+        :class:`TiltFrameError` when the window reaches beyond retained
+        history or does not align with any slot boundary.
+        """
+        if t_b > t_e:
+            raise TiltFrameError(f"empty window [{t_b}, {t_e}]")
+        pieces: list[ISB] = []
+        cursor = t_b
+        while cursor <= t_e:
+            slot = self._finest_slot_at(cursor, t_e)
+            if slot is None:
+                raise TiltFrameError(
+                    f"window [{t_b}, {t_e}] not coverable from retained "
+                    f"slots at tick {cursor}"
+                )
+            pieces.append(slot)
+            cursor = slot.t_e + 1
+        return merge_time(pieces)
+
+    def _finest_slot_at(self, start: int, limit: int) -> ISB | None:
+        for level_slots in self._slots:  # finest level first
+            for slot in level_slots:
+                if slot.t_b == start and slot.t_e <= limit:
+                    return slot
+        return None
+
+    def last_window(self, level: int | str, count: int) -> ISB:
+        """Merged regression over the most recent ``count`` slots of a level.
+
+        E.g. ``last_window("hour", 24)`` is the paper's "the last day with
+        the precision of hour".
+        """
+        idx = self.level_index(level)
+        retained = self._slots[idx]
+        if count < 1 or count > len(retained):
+            raise TiltFrameError(
+                f"level {self.levels[idx].name!r} holds {len(retained)} "
+                f"slots; cannot window {count}"
+            )
+        return merge_time(list(retained)[-count:])
+
+    def all_slots(self) -> Iterator[tuple[str, ISB]]:
+        """All retained slots as ``(level_name, isb)`` pairs, finest first."""
+        for lv, level_slots in zip(self.levels, self._slots):
+            for slot in level_slots:
+                yield lv.name, slot
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = ", ".join(
+            f"{lv.name}:{len(s)}/{lv.capacity}"
+            for lv, s in zip(self.levels, self._slots)
+        )
+        return f"TiltTimeFrame({parts}, now={self._next_tick})"

@@ -1,0 +1,67 @@
+"""Logarithmic tilt time frame (extension).
+
+A common alternative to the natural-calendar frame in the follow-on
+stream-cube literature: level ``i`` spans ``ratio**i`` base ticks, so a
+history of ``T`` ticks is registered in ``O(log T)`` slots.  Included here as
+the Section 6.2-spirit extension most downstream users ask for; it plugs into
+the same :class:`~repro.tilt.frame.TiltTimeFrame` machinery (promotion via
+Theorem 3.3, telescoping window queries).
+"""
+
+from __future__ import annotations
+
+from repro.errors import TiltFrameError
+from repro.tilt.frame import TiltLevelSpec, TiltTimeFrame
+
+__all__ = ["logarithmic_frame", "slots_needed_for_span"]
+
+
+def logarithmic_frame(
+    n_levels: int,
+    ratio: int = 2,
+    capacity: int | None = None,
+    origin: int = 0,
+) -> TiltTimeFrame:
+    """A frame whose level ``i`` spans ``ratio**i`` ticks.
+
+    Parameters
+    ----------
+    n_levels:
+        Number of levels; the frame then covers about
+        ``capacity * ratio**(n_levels-1)`` ticks.
+    ratio:
+        Geometric growth between levels (>= 2).
+    capacity:
+        Slots retained per level; defaults to ``ratio`` (the minimum that
+        keeps promotion lossless).
+    """
+    if n_levels < 1:
+        raise TiltFrameError("need at least one level")
+    if ratio < 2:
+        raise TiltFrameError("ratio must be >= 2")
+    if capacity is None:
+        capacity = ratio
+    if capacity < ratio:
+        raise TiltFrameError(
+            f"capacity {capacity} below promotion ratio {ratio}"
+        )
+    levels = [
+        TiltLevelSpec(f"l{i}", ratio**i, capacity) for i in range(n_levels)
+    ]
+    return TiltTimeFrame(levels, origin=origin)
+
+
+def slots_needed_for_span(span_ticks: int, ratio: int = 2) -> int:
+    """Levels needed for a logarithmic frame to cover ``span_ticks``.
+
+    The minimal ``n`` with ``ratio**n >= span_ticks`` — used when sizing a
+    frame for an application-required history length.
+    """
+    if span_ticks < 1:
+        raise TiltFrameError("span must be positive")
+    n = 1
+    covered = ratio  # capacity==ratio slots of the finest level
+    while covered < span_ticks:
+        covered *= ratio
+        n += 1
+    return n

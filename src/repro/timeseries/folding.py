@@ -1,0 +1,100 @@
+"""Folding: the third aggregation type on the time dimension (Section 6.2).
+
+Besides merging adjacent intervals (Theorem 3.3), Section 6.2 identifies a
+third aggregation: **folding** a fine-granularity series into a coarser one —
+e.g. 365 daily values folded into 12 monthly values, one per month, using an
+SQL aggregate (sum, avg, min, max, or last).  The folded series then gets its
+own regression.
+
+Two code paths are provided:
+
+* :func:`fold_series` — folding raw values; supports every aggregate.
+* :func:`fold_isbs` — folding directly from per-segment ISBs, *without raw
+  data*.  ``sum`` and ``avg`` are exact (each segment's sum is recoverable
+  from its ISB because the LSE line passes through the mean point); ``last``
+  is the fitted end value (an approximation, as the paper's "e.g. stock
+  closing value" use would be); ``min``/``max`` are impossible from ISBs and
+  raise, rather than silently approximating.
+"""
+
+from __future__ import annotations
+
+from typing import Literal, Sequence
+
+from repro.errors import AggregationError, IntervalError
+from repro.regression.isb import ISB
+from repro.timeseries.series import TimeSeries
+
+__all__ = ["FoldAggregate", "fold_series", "fold_isbs"]
+
+FoldAggregate = Literal["sum", "avg", "min", "max", "last"]
+
+_RAW_FOLDS = {
+    "sum": lambda xs: sum(xs),
+    "avg": lambda xs: sum(xs) / len(xs),
+    "min": min,
+    "max": max,
+    "last": lambda xs: xs[-1],
+}
+
+
+def fold_series(
+    series: TimeSeries,
+    segment_length: int,
+    aggregate: FoldAggregate = "sum",
+) -> TimeSeries:
+    """Fold ``series`` into one value per ``segment_length`` ticks.
+
+    The series length must be an exact multiple of ``segment_length``.  The
+    folded series is re-indexed to start at tick 0 (segment index time), the
+    convention for "one value per month" style outputs.
+    """
+    if segment_length <= 0:
+        raise IntervalError(f"segment_length must be positive, got {segment_length}")
+    if len(series) % segment_length != 0:
+        raise IntervalError(
+            f"series of length {len(series)} is not a whole number of "
+            f"{segment_length}-tick segments"
+        )
+    if aggregate not in _RAW_FOLDS:
+        raise AggregationError(f"unknown fold aggregate {aggregate!r}")
+    fold = _RAW_FOLDS[aggregate]
+    vals = series.values
+    folded = [
+        fold(vals[i : i + segment_length])
+        for i in range(0, len(vals), segment_length)
+    ]
+    return TimeSeries(0, tuple(folded))
+
+
+def fold_isbs(
+    segments: Sequence[ISB],
+    aggregate: FoldAggregate = "sum",
+) -> TimeSeries:
+    """Fold per-segment ISBs into a coarse series, one value per segment.
+
+    Segments must be time-adjacent and are sorted internally.  See the module
+    docstring for which aggregates are exact; ``min``/``max`` raise
+    :class:`AggregationError` because ISBs do not retain extremes.
+    """
+    items = sorted(segments, key=lambda s: s.t_b)
+    if not items:
+        raise AggregationError("fold_isbs requires at least one segment")
+    for prev, nxt in zip(items, items[1:]):
+        if not prev.adjacent_before(nxt):
+            raise AggregationError(
+                f"segments {prev.interval} and {nxt.interval} are not adjacent"
+            )
+    if aggregate == "sum":
+        folded = [s.total for s in items]
+    elif aggregate == "avg":
+        folded = [s.mean for s in items]
+    elif aggregate == "last":
+        folded = [s.predict(s.t_e) for s in items]
+    elif aggregate in ("min", "max"):
+        raise AggregationError(
+            f"{aggregate!r} folding needs raw data; ISBs do not retain extremes"
+        )
+    else:
+        raise AggregationError(f"unknown fold aggregate {aggregate!r}")
+    return TimeSeries(0, tuple(folded))

@@ -1,0 +1,127 @@
+"""Discrete-time series values objects (paper Section 2.2).
+
+A :class:`TimeSeries` is a sequence ``z(t)`` over a closed integer interval
+``[t_b, t_e]`` — the paper's "simple type" of time series.  The class exists
+so raw-data code paths (oracles in tests, the folding module, examples) have
+a typed carrier; the cube machinery itself never stores raw series, only
+ISBs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.errors import EmptySeriesError, IntervalError
+from repro.regression.isb import ISB, isb_of_series
+from repro.regression.linear import LinearFit, fit_series
+
+__all__ = ["TimeSeries"]
+
+
+@dataclass(frozen=True)
+class TimeSeries:
+    """An immutable series ``z(t) : t in [t_b, t_e]`` of float values."""
+
+    t_b: int
+    values: tuple[float, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise EmptySeriesError("TimeSeries requires at least one value")
+        object.__setattr__(self, "values", tuple(float(v) for v in self.values))
+
+    # ------------------------------------------------------------------
+    # Interval protocol
+    # ------------------------------------------------------------------
+    @property
+    def t_e(self) -> int:
+        return self.t_b + len(self.values) - 1
+
+    @property
+    def interval(self) -> tuple[int, int]:
+        return (self.t_b, self.t_e)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __iter__(self) -> Iterator[tuple[int, float]]:
+        for i, v in enumerate(self.values):
+            yield self.t_b + i, v
+
+    def at(self, t: int) -> float:
+        """Value at tick ``t``; raises :class:`IntervalError` if outside."""
+        if not self.t_b <= t <= self.t_e:
+            raise IntervalError(f"tick {t} outside [{self.t_b}, {self.t_e}]")
+        return self.values[t - self.t_b]
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+    def __add__(self, other: "TimeSeries") -> "TimeSeries":
+        """Point-wise sum (standard-dimension aggregation semantics)."""
+        if self.interval != other.interval:
+            raise IntervalError(
+                f"cannot add series over {self.interval} and {other.interval}"
+            )
+        return TimeSeries(
+            self.t_b, tuple(a + b for a, b in zip(self.values, other.values))
+        )
+
+    def scaled(self, factor: float) -> "TimeSeries":
+        """Point-wise scaling by ``factor``."""
+        return TimeSeries(self.t_b, tuple(v * factor for v in self.values))
+
+    def concat(self, other: "TimeSeries") -> "TimeSeries":
+        """Concatenation in time (time-dimension aggregation semantics)."""
+        if self.t_e + 1 != other.t_b:
+            raise IntervalError(
+                f"cannot concatenate {self.interval} with {other.interval}: "
+                "intervals are not adjacent"
+            )
+        return TimeSeries(self.t_b, self.values + other.values)
+
+    def slice(self, t_b: int, t_e: int) -> "TimeSeries":
+        """Sub-series over ``[t_b, t_e]`` (must lie within the interval)."""
+        if not (self.t_b <= t_b <= t_e <= self.t_e):
+            raise IntervalError(
+                f"slice [{t_b},{t_e}] outside series interval {self.interval}"
+            )
+        lo = t_b - self.t_b
+        return TimeSeries(t_b, self.values[lo : lo + (t_e - t_b + 1)])
+
+    def split(self, boundaries: Sequence[int]) -> list["TimeSeries"]:
+        """Partition at the given interior start ticks.
+
+        ``boundaries`` are the start ticks of the 2nd..K-th pieces; they must
+        be strictly increasing and interior to the interval.  The result's
+        intervals partition ``[t_b, t_e]`` — exactly the precondition of
+        Theorem 3.3.
+        """
+        cuts = [self.t_b, *boundaries, self.t_e + 1]
+        for prev, nxt in zip(cuts, cuts[1:]):
+            if prev >= nxt:
+                raise IntervalError(f"split boundaries {boundaries!r} invalid")
+        if cuts[-2] > self.t_e:
+            raise IntervalError(f"split boundary {cuts[-2]} beyond interval")
+        return [self.slice(lo, hi - 1) for lo, hi in zip(cuts, cuts[1:])]
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    @property
+    def mean(self) -> float:
+        return math.fsum(self.values) / len(self.values)
+
+    @property
+    def total(self) -> float:
+        return math.fsum(self.values)
+
+    def fit(self) -> LinearFit:
+        """LSE linear fit of the raw data (Lemma 3.1)."""
+        return fit_series(self.values, t_b=self.t_b)
+
+    def isb(self) -> ISB:
+        """ISB (compressed regression representation) of the raw data."""
+        return isb_of_series(self.values, t_b=self.t_b)

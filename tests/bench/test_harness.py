@@ -1,0 +1,108 @@
+"""Tests for the benchmark harness (small, fast configurations)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import (
+    figure8_series,
+    figure9_series,
+    figure10_series,
+    policy_for_rate,
+    run_point,
+)
+from repro.bench.reporting import render_figure, render_shape_checks
+from repro.bench.workloads import BenchScale, current_scale
+from repro.cubing.policy import GlobalSlopeThreshold
+from repro.stream.generator import generate_dataset
+
+
+class TestPolicyCalibration:
+    def test_rate_reflected_in_exceptions(self):
+        data = generate_dataset("D2L2C4T400", seed=3)
+        policy = policy_for_rate(data, 10.0)
+        from repro.cubing.full import full_materialization
+
+        full = full_materialization(data.layers, data.cells, policy)
+        total = 0
+        exceptional = 0
+        for coord in data.layers.intermediate_coords:
+            for values, isb in full.cuboids[coord].items():
+                total += 1
+                exceptional += policy.is_exception(isb, coord)
+        assert abs(exceptional / total - 0.10) < 0.03
+
+
+class TestRunPoint:
+    def test_measures_both_algorithms(self):
+        data = generate_dataset("D2L2C3T100", seed=4)
+        row = run_point(
+            data.layers, data.cells, GlobalSlopeThreshold(0.1), "x", 1.0
+        )
+        names = {p.algorithm for p in row.points}
+        assert names == {"m/o-cubing", "popular-path"}
+        for p in row.points:
+            assert p.runtime_s > 0
+            assert p.megabytes > 0
+            assert p.cells_computed > 0
+
+    def test_point_lookup(self):
+        data = generate_dataset("D2L2C3T100", seed=4)
+        row = run_point(
+            data.layers, data.cells, GlobalSlopeThreshold(0.1), "x", 1.0
+        )
+        assert row.point("m/o-cubing").algorithm == "m/o-cubing"
+        with pytest.raises(KeyError):
+            row.point("nope")
+
+
+class TestFigureSeries:
+    def test_figure8_rows(self):
+        rows = figure8_series(150, (1.0, 100.0), seed=2)
+        assert [r.x_value for r in rows] == [1.0, 100.0]
+        assert rows[0].x_label == "1%"
+
+    def test_figure9_sorted_sizes(self):
+        rows = figure9_series((100, 50), rate_percent=10.0, seed=2)
+        assert [r.x_value for r in rows] == [50, 100]
+
+    def test_figure10_levels(self):
+        rows = figure10_series(80, (2, 3), rate_percent=10.0, seed=2)
+        assert [r.x_value for r in rows] == [2, 3]
+
+
+class TestReporting:
+    def test_render_figure_contains_panels(self):
+        rows = figure8_series(100, (1.0,), seed=2)
+        text = render_figure("Figure 8", "exception", rows)
+        assert "Figure 8(a) processing time" in text
+        assert "Figure 8(b) memory usage" in text
+        assert "m/o-cubing" in text and "popular-path" in text
+
+    def test_render_shape_checks(self):
+        text = render_shape_checks([("claim A", True), ("claim B", False)])
+        assert "[PASS] claim A" in text
+        assert "[FAIL] claim B" in text
+
+
+class TestWorkloads:
+    def test_default_scale_is_small(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert current_scale().name == "small"
+
+    def test_paper_scale_selected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "paper")
+        scale = current_scale()
+        assert scale.name == "paper"
+        assert scale.fig8_tuples == 100_000
+
+    def test_unknown_scale_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "galactic")
+        with pytest.raises(ValueError):
+            current_scale()
+
+    def test_scale_is_frozen(self):
+        scale = current_scale()
+        assert isinstance(scale, BenchScale)
+        with pytest.raises(AttributeError):
+            scale.fig8_tuples = 1  # type: ignore[misc]

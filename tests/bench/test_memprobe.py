@@ -1,0 +1,61 @@
+"""Tests for the tracemalloc probe and its harness integration."""
+
+from __future__ import annotations
+
+from repro.bench.harness import run_point
+from repro.bench.memprobe import TracemallocProbe
+from repro.cubing.policy import GlobalSlopeThreshold
+from repro.stream.generator import generate_dataset
+
+
+class TestProbe:
+    def test_captures_allocation_peak(self):
+        with TracemallocProbe() as probe:
+            block = [0.0] * 200_000  # ~1.6 MB of floats list
+            del block
+        assert probe.peak_bytes > 1_000_000
+
+    def test_small_block_small_peak(self):
+        with TracemallocProbe() as probe:
+            _ = [1]
+        assert probe.peak_bytes < 1_000_000
+
+    def test_nested_tracing_preserved(self):
+        import tracemalloc
+
+        tracemalloc.start()
+        try:
+            with TracemallocProbe() as probe:
+                _ = list(range(1000))
+            assert tracemalloc.is_tracing()
+            assert probe.peak_bytes > 0
+        finally:
+            tracemalloc.stop()
+
+    def test_megabytes_property(self):
+        probe = TracemallocProbe()
+        probe.peak_bytes = 2 * 1024 * 1024
+        assert probe.peak_megabytes == 2.0
+
+
+class TestHarnessIntegration:
+    def test_probe_memory_flag(self):
+        data = generate_dataset("D2L2C3T100", seed=1)
+        row = run_point(
+            data.layers,
+            data.cells,
+            GlobalSlopeThreshold(0.1),
+            "x",
+            1.0,
+            probe_memory=True,
+        )
+        for point in row.points:
+            assert point.tracemalloc_megabytes is not None
+            assert point.tracemalloc_megabytes > 0
+
+    def test_probe_off_by_default(self):
+        data = generate_dataset("D2L2C3T100", seed=1)
+        row = run_point(
+            data.layers, data.cells, GlobalSlopeThreshold(0.1), "x", 1.0
+        )
+        assert all(p.tracemalloc_megabytes is None for p in row.points)

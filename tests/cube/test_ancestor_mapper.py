@@ -1,0 +1,87 @@
+"""Tests for the cached ancestor mappers (the hot-path roll-up closures)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cube.hierarchy import ALL, ExplicitHierarchy, FanoutHierarchy
+from repro.errors import HierarchyError
+
+
+@pytest.fixture
+def explicit() -> ExplicitHierarchy:
+    blocks = {f"b{i}": f"c{i // 2}" for i in range(4)}
+    addresses = {f"a{i}": f"b{i // 2}" for i in range(8)}
+    return ExplicitHierarchy(
+        "loc", ["city", "block", "addr"], ["c0", "c1"], [blocks, addresses]
+    )
+
+
+@pytest.fixture
+def fanout() -> FanoutHierarchy:
+    return FanoutHierarchy("d", depth=4, fanout=3)
+
+
+class TestFanoutMapper:
+    def test_matches_ancestor_everywhere(self, fanout):
+        for from_level in range(1, 5):
+            for to_level in range(0, from_level + 1):
+                mapper = fanout.ancestor_mapper(from_level, to_level)
+                for v in range(fanout.cardinality(from_level)):
+                    assert mapper(v) == fanout.ancestor(v, from_level, to_level)
+
+    def test_identity(self, fanout):
+        mapper = fanout.ancestor_mapper(3, 3)
+        assert mapper(17) == 17
+
+    def test_to_star(self, fanout):
+        mapper = fanout.ancestor_mapper(2, 0)
+        assert mapper(5) == ALL
+
+    def test_downward_rejected(self, fanout):
+        with pytest.raises(HierarchyError):
+            fanout.ancestor_mapper(1, 2)
+
+
+class TestExplicitMapper:
+    def test_matches_ancestor_everywhere(self, explicit):
+        for from_level in range(1, 4):
+            for to_level in range(0, from_level + 1):
+                mapper = explicit.ancestor_mapper(from_level, to_level)
+                for v in explicit.values(from_level):
+                    assert mapper(v) == explicit.ancestor(
+                        v, from_level, to_level
+                    )
+
+    def test_two_level_composition(self, explicit):
+        mapper = explicit.ancestor_mapper(3, 1)
+        assert mapper("a5") == "c1"
+
+    def test_unknown_value_raises(self, explicit):
+        mapper = explicit.ancestor_mapper(3, 2)
+        with pytest.raises(KeyError):
+            mapper("nope")
+
+    def test_downward_rejected(self, explicit):
+        with pytest.raises(HierarchyError):
+            explicit.ancestor_mapper(0, 1)
+
+
+class TestBaseClassFallback:
+    def test_generic_mapper_on_custom_subclass(self):
+        """A hierarchy that does not override ancestor_mapper still works."""
+
+        class Minimal(FanoutHierarchy):
+            # Force the generic ConceptHierarchy implementation.
+            ancestor_mapper = None  # type: ignore[assignment]
+
+        h = FanoutHierarchy("d", 2, 2)
+        from repro.cube.hierarchy import ConceptHierarchy
+
+        mapper = ConceptHierarchy.ancestor_mapper(h, 2, 1)
+        for v in range(4):
+            assert mapper(v) == h.ancestor(v, 2, 1)
+        star = ConceptHierarchy.ancestor_mapper(h, 2, 0)
+        assert star(3) == ALL
+        ident = ConceptHierarchy.ancestor_mapper(h, 2, 2)
+        assert ident(3) == 3

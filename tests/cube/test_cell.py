@@ -1,0 +1,115 @@
+"""Tests for cell relations (Section 2.1 definitions)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cube.cell import (
+    CellRef,
+    is_ancestor,
+    is_descendant,
+    is_sibling,
+    roll_up_values,
+)
+from repro.cube.hierarchy import ALL, FanoutHierarchy
+from repro.cube.schema import CubeSchema, Dimension
+from repro.errors import SchemaError
+
+
+@pytest.fixture
+def schema() -> CubeSchema:
+    return CubeSchema(
+        [
+            Dimension("a", FanoutHierarchy("a", 2, 3)),
+            Dimension("b", FanoutHierarchy("b", 2, 3)),
+        ]
+    )
+
+
+class TestRollUpValues:
+    def test_roll_up_one_dim(self, schema):
+        out = roll_up_values(schema, (7, 4), (2, 2), (1, 2))
+        assert out == (2, 4)  # 7 // 3 = 2
+
+    def test_roll_up_to_star(self, schema):
+        out = roll_up_values(schema, (7, 4), (2, 2), (0, 0))
+        assert out == (ALL, ALL)
+
+    def test_identity(self, schema):
+        assert roll_up_values(schema, (7, 4), (2, 2), (2, 2)) == (7, 4)
+
+    def test_rejects_downward(self, schema):
+        with pytest.raises(SchemaError):
+            roll_up_values(schema, (1, 1), (1, 1), (2, 1))
+
+
+class TestKdCells:
+    def test_k_counts_non_star(self):
+        assert CellRef((1, 1), (0, 2)).k == 2
+        assert CellRef((0, 1), (ALL, 2)).k == 1
+        assert CellRef((0, 0), (ALL, ALL)).k == 0
+
+
+class TestAncestorDescendant:
+    def test_direct_ancestor(self, schema):
+        parent = CellRef((1, 2), (2, 4))
+        child = CellRef((2, 2), (7, 4))
+        assert is_ancestor(schema, parent, child)
+        assert is_descendant(schema, child, parent)
+
+    def test_not_ancestor_wrong_branch(self, schema):
+        parent = CellRef((1, 2), (1, 4))  # 7 // 3 == 2, not 1
+        child = CellRef((2, 2), (7, 4))
+        assert not is_ancestor(schema, parent, child)
+
+    def test_cell_not_its_own_ancestor(self, schema):
+        cell = CellRef((1, 1), (1, 1))
+        assert not is_ancestor(schema, cell, cell)
+
+    def test_star_cell_is_ancestor_of_all(self, schema):
+        apex = CellRef((0, 0), (ALL, ALL))
+        leaf = CellRef((2, 2), (8, 8))
+        assert is_ancestor(schema, apex, leaf)
+
+    def test_finer_coord_cannot_be_ancestor(self, schema):
+        fine = CellRef((2, 2), (7, 4))
+        coarse = CellRef((1, 2), (2, 4))
+        assert not is_ancestor(schema, fine, coarse)
+
+    def test_multi_level_ancestor(self, schema):
+        grand = CellRef((0, 1), (ALL, 1))
+        child = CellRef((2, 2), (7, 4))  # b: 4 -> 4//3 = 1
+        assert is_ancestor(schema, grand, child)
+
+
+class TestSiblings:
+    def test_siblings_share_parent(self, schema):
+        # level-2 values 6 and 7 share parent 2 (fanout 3).
+        a = CellRef((2, 1), (6, 0))
+        b = CellRef((2, 1), (7, 0))
+        assert is_sibling(schema, a, b)
+        assert is_sibling(schema, b, a)
+
+    def test_not_siblings_different_parent(self, schema):
+        a = CellRef((2, 1), (5, 0))  # parent 1
+        b = CellRef((2, 1), (7, 0))  # parent 2
+        assert not is_sibling(schema, a, b)
+
+    def test_not_siblings_two_dims_differ(self, schema):
+        a = CellRef((2, 2), (6, 1))
+        b = CellRef((2, 2), (7, 2))
+        assert not is_sibling(schema, a, b)
+
+    def test_not_sibling_of_itself(self, schema):
+        a = CellRef((2, 1), (6, 0))
+        assert not is_sibling(schema, a, a)
+
+    def test_different_cuboids_never_siblings(self, schema):
+        a = CellRef((2, 1), (6, 0))
+        b = CellRef((1, 1), (2, 0))
+        assert not is_sibling(schema, a, b)
+
+    def test_level1_siblings_share_star_parent(self, schema):
+        a = CellRef((1, 0), (0, ALL))
+        b = CellRef((1, 0), (1, ALL))
+        assert is_sibling(schema, a, b)

@@ -1,0 +1,154 @@
+"""Tests for the cuboid lattice and popular paths (Fig 6, Example 5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cube.lattice import CuboidLattice, PopularPath
+from repro.errors import LayerError, SchemaError
+
+
+class TestExample5Lattice:
+    def test_example5_twelve_cuboids(self, example5_layers):
+        """Fig 6: exactly 2 * 3 * 2 = 12 cuboids between the layers."""
+        assert example5_layers.lattice.size == 12
+        assert len(list(example5_layers.lattice.coords())) == 12
+
+    def test_membership(self, example5_layers):
+        lat = example5_layers.lattice
+        assert (1, 0, 1) in lat  # o-layer
+        assert (2, 2, 2) in lat  # m-layer
+        assert (1, 1, 2) in lat
+        assert (0, 0, 1) not in lat  # A above o-layer
+        assert (1, 0) not in lat  # wrong arity
+
+    def test_parents_children_inverse(self, example5_layers):
+        lat = example5_layers.lattice
+        for coord in lat.coords():
+            for parent in lat.parents(coord):
+                assert coord in lat.children(parent)
+            for child in lat.children(coord):
+                assert coord in lat.parents(child)
+
+    def test_m_layer_has_no_children(self, example5_layers):
+        lat = example5_layers.lattice
+        assert lat.children(example5_layers.m_coord) == []
+
+    def test_o_layer_has_no_parents(self, example5_layers):
+        lat = example5_layers.lattice
+        assert lat.parents(example5_layers.o_coord) == []
+
+    def test_bottom_up_order_is_topological(self, example5_layers):
+        lat = example5_layers.lattice
+        order = lat.bottom_up_order()
+        assert order[0] == example5_layers.m_coord
+        assert order[-1] == example5_layers.o_coord
+        position = {c: i for i, c in enumerate(order)}
+        for coord in lat.coords():
+            for child in lat.children(coord):
+                assert position[child] < position[coord]
+
+    def test_top_down_is_reverse_flavor(self, example5_layers):
+        lat = example5_layers.lattice
+        order = lat.top_down_order()
+        assert order[0] == example5_layers.o_coord
+        assert order[-1] == example5_layers.m_coord
+
+    def test_max_cells_uses_cardinalities(self, example5_layers):
+        lat = example5_layers.lattice
+        # m-layer (A2,B2,C2): 10 * 12 * 8
+        assert lat.max_cells((2, 2, 2)) == 960
+        # o-layer (A1,*,C1): 2 * 1 * 4
+        assert lat.max_cells((1, 0, 1)) == 8
+
+    def test_closest_descendant_prefers_small(self, example5_layers):
+        lat = example5_layers.lattice
+        target = (1, 0, 1)
+        # (1, 1, 1): 2*3*4 = 24 cells bound; m-layer bound is 960.
+        got = lat.closest_descendant(target, [(2, 2, 2), (1, 1, 1)])
+        assert got == (1, 1, 1)
+
+    def test_closest_descendant_none_when_no_candidate(self, example5_layers):
+        lat = example5_layers.lattice
+        assert lat.closest_descendant((2, 2, 2), [(1, 0, 1)]) is None
+
+    def test_require_rejects_outside(self, example5_layers):
+        with pytest.raises(SchemaError):
+            example5_layers.lattice.require((0, 0, 0))
+
+    def test_o_finer_than_m_rejected(self, example5_layers):
+        schema = example5_layers.schema
+        with pytest.raises(LayerError):
+            CuboidLattice(schema, m_coord=(1, 1, 1), o_coord=(2, 0, 0))
+
+
+class TestPopularPath:
+    def test_example5_paper_path(self, example5_layers):
+        """The dark-line path of Fig 6: <(A1,C1), B1, B2, A2, C2>."""
+        lat = example5_layers.lattice
+        path = PopularPath.from_drill_sequence(lat, ["B", "B", "A", "C"])
+        assert path.o_coord == (1, 0, 1)
+        assert path.m_coord == (2, 2, 2)
+        assert path.coords == (
+            (2, 2, 2),
+            (2, 2, 1),
+            (1, 2, 1),
+            (1, 1, 1),
+            (1, 0, 1),
+        )
+
+    def test_example5_attribute_order(self, example5_layers):
+        """The H-tree order implied by the paper's path:
+        A1, C1 (o-layer attrs), then B1, B2, A2, C2."""
+        lat = example5_layers.lattice
+        path = PopularPath.from_drill_sequence(lat, ["B", "B", "A", "C"])
+        # (dim, level): A=0, B=1, C=2.
+        assert path.attribute_order == (
+            (0, 1),
+            (2, 1),
+            (1, 1),
+            (1, 2),
+            (0, 2),
+            (2, 2),
+        )
+
+    def test_default_path_is_valid_chain(self, example5_layers):
+        path = PopularPath.default(example5_layers.lattice)
+        assert path.m_coord == example5_layers.m_coord
+        assert path.o_coord == example5_layers.o_coord
+        assert len(path) == 1 + sum(
+            m - o for m, o in zip(example5_layers.m_coord, example5_layers.o_coord)
+        )
+
+    def test_path_containment(self, example5_layers):
+        path = PopularPath.default(example5_layers.lattice)
+        for coord in path:
+            assert coord in path
+
+    def test_invalid_step_rejected(self):
+        with pytest.raises(LayerError):
+            PopularPath(((2, 2), (1, 1)))  # two levels dropped at once
+
+    def test_non_monotone_rejected(self):
+        with pytest.raises(LayerError):
+            PopularPath(((1, 1), (2, 1)))  # goes finer, not coarser
+
+    def test_empty_rejected(self):
+        with pytest.raises(LayerError):
+            PopularPath(())
+
+    def test_overdrill_rejected(self, example5_layers):
+        with pytest.raises(LayerError):
+            PopularPath.from_drill_sequence(
+                example5_layers.lattice, ["B", "B", "B", "A", "C"]
+            )
+
+    def test_underdrill_rejected(self, example5_layers):
+        with pytest.raises(LayerError):
+            PopularPath.from_drill_sequence(example5_layers.lattice, ["B"])
+
+    def test_drill_by_index(self, example5_layers):
+        path = PopularPath.from_drill_sequence(
+            example5_layers.lattice, [1, 1, 0, 2]
+        )
+        assert path.coords[0] == (2, 2, 2)

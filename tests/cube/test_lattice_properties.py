@@ -1,0 +1,93 @@
+"""Property-based tests for the cuboid lattice over random shapes."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cube.hierarchy import FanoutHierarchy
+from repro.cube.lattice import CuboidLattice, PopularPath
+from repro.cube.schema import CubeSchema, Dimension
+
+
+@st.composite
+def lattices(draw):
+    n_dims = draw(st.integers(min_value=1, max_value=4))
+    depths = [draw(st.integers(min_value=1, max_value=4)) for _ in range(n_dims)]
+    dims = [
+        Dimension(f"d{i}", FanoutHierarchy(f"d{i}", depth, 2))
+        for i, depth in enumerate(depths)
+    ]
+    schema = CubeSchema(dims)
+    m = tuple(depths)
+    o = tuple(draw(st.integers(min_value=0, max_value=d)) for d in depths)
+    if o == m:
+        # Force at least one dimension coarser so the lattice is non-trivial.
+        i = draw(st.integers(min_value=0, max_value=n_dims - 1))
+        o = o[:i] + (max(0, o[i] - 1),) + o[i + 1 :]
+        if o == m:
+            o = tuple(0 for _ in m)
+    return CuboidLattice(schema, m, o)
+
+
+@given(lattice=lattices())
+@settings(max_examples=60, deadline=None)
+def test_size_matches_enumeration(lattice):
+    assert len(list(lattice.coords())) == lattice.size
+
+
+@given(lattice=lattices())
+@settings(max_examples=60, deadline=None)
+def test_parents_children_are_inverse_relations(lattice):
+    for coord in lattice.coords():
+        for parent in lattice.parents(coord):
+            assert coord in lattice.children(parent)
+        for child in lattice.children(coord):
+            assert coord in lattice.parents(child)
+
+
+@given(lattice=lattices())
+@settings(max_examples=60, deadline=None)
+def test_bottom_up_order_topological(lattice):
+    order = lattice.bottom_up_order()
+    assert set(order) == set(lattice.coords())
+    position = {c: i for i, c in enumerate(order)}
+    for coord in lattice.coords():
+        for child in lattice.children(coord):
+            assert position[child] < position[coord]
+
+
+@given(lattice=lattices())
+@settings(max_examples=60, deadline=None)
+def test_m_layer_unique_bottom_o_layer_unique_top(lattice):
+    no_children = [c for c in lattice.coords() if not lattice.children(c)]
+    no_parents = [c for c in lattice.coords() if not lattice.parents(c)]
+    assert no_children == [lattice.m_coord]
+    assert no_parents == [lattice.o_coord]
+
+
+@given(lattice=lattices())
+@settings(max_examples=60, deadline=None)
+def test_default_popular_path_is_valid_and_spans(lattice):
+    path = PopularPath.default(lattice)
+    assert path.m_coord == lattice.m_coord
+    assert path.o_coord == lattice.o_coord
+    assert len(path) == 1 + sum(
+        m - o for m, o in zip(lattice.m_coord, lattice.o_coord)
+    )
+    for coord in path:
+        assert coord in lattice
+
+
+@given(lattice=lattices())
+@settings(max_examples=60, deadline=None)
+def test_closest_descendant_is_descendant_and_minimal(lattice):
+    computed = list(lattice.coords())
+    for coord in lattice.coords():
+        best = lattice.closest_descendant(coord, computed)
+        assert best is not None
+        assert lattice.is_descendant_cuboid(best, coord)
+        # Nothing strictly cheaper qualifies.
+        for other in computed:
+            if lattice.is_descendant_cuboid(other, coord):
+                assert lattice.max_cells(best) <= lattice.max_cells(other)

@@ -1,0 +1,83 @@
+"""Tests for the critical layers specification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cube.hierarchy import FanoutHierarchy
+from repro.cube.layers import CriticalLayers
+from repro.cube.schema import CubeSchema, Dimension
+from repro.errors import LayerError
+
+
+@pytest.fixture
+def schema() -> CubeSchema:
+    return CubeSchema(
+        [
+            Dimension("u", FanoutHierarchy("u", 2, 3, ["group", "user"])),
+            Dimension("l", FanoutHierarchy("l", 2, 3, ["city", "block"])),
+        ]
+    )
+
+
+class TestConstruction:
+    def test_valid_pair(self, schema):
+        layers = CriticalLayers(schema, (2, 2), (1, 0))
+        assert layers.m_coord == (2, 2)
+        assert layers.o_coord == (1, 0)
+
+    def test_from_level_names(self, schema):
+        layers = CriticalLayers.from_level_names(
+            schema, m_levels=("user", "block"), o_levels=("group", "*")
+        )
+        assert layers.m_coord == (2, 2)
+        assert layers.o_coord == (1, 0)
+
+    def test_rejects_o_finer_than_m(self, schema):
+        with pytest.raises(LayerError):
+            CriticalLayers(schema, (1, 1), (2, 0))
+
+    def test_rejects_equal_layers(self, schema):
+        with pytest.raises(LayerError):
+            CriticalLayers(schema, (1, 1), (1, 1))
+
+
+class TestDerived:
+    def test_lattice_size(self, schema):
+        layers = CriticalLayers(schema, (2, 2), (1, 0))
+        assert layers.lattice.size == 2 * 3
+
+    def test_intermediate_coords_excludes_layers(self, schema):
+        layers = CriticalLayers(schema, (2, 2), (1, 0))
+        mids = layers.intermediate_coords
+        assert layers.m_coord not in mids
+        assert layers.o_coord not in mids
+        assert len(mids) == layers.lattice.size - 2
+
+    def test_describe_mentions_level_names(self, schema):
+        layers = CriticalLayers.from_level_names(
+            schema, ("user", "block"), ("group", "*")
+        )
+        text = layers.describe()
+        assert "user" in text and "block" in text
+        assert "group" in text and "*" in text
+
+    def test_example4_power_grid_design(self):
+        """Fig 5: m-layer (user_group, street_block), o-layer (*, city)."""
+        schema = CubeSchema(
+            [
+                Dimension(
+                    "user", FanoutHierarchy("user", 1, 3, ["user_group"])
+                ),
+                Dimension(
+                    "location",
+                    FanoutHierarchy("location", 2, 4, ["city", "street_block"]),
+                ),
+            ]
+        )
+        layers = CriticalLayers.from_level_names(
+            schema, ("user_group", "street_block"), ("*", "city")
+        )
+        assert layers.m_coord == (1, 2)
+        assert layers.o_coord == (0, 1)
+        assert layers.lattice.size == 4

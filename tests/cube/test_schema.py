@@ -1,0 +1,100 @@
+"""Tests for the cube schema."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cube.hierarchy import ALL, FanoutHierarchy
+from repro.cube.schema import CubeSchema, Dimension
+from repro.errors import SchemaError
+
+
+@pytest.fixture
+def schema() -> CubeSchema:
+    return CubeSchema(
+        [
+            Dimension("user", FanoutHierarchy("user", 2, 3)),
+            Dimension("location", FanoutHierarchy("location", 3, 2)),
+        ]
+    )
+
+
+class TestLookup:
+    def test_names_and_count(self, schema):
+        assert schema.n_dims == 2
+        assert schema.names == ("user", "location")
+
+    def test_dim_index(self, schema):
+        assert schema.dim_index("location") == 1
+        with pytest.raises(SchemaError):
+            schema.dim_index("nope")
+
+    def test_dimension_by_name_or_index(self, schema):
+        assert schema.dimension("user").name == "user"
+        assert schema.dimension(1).name == "location"
+
+    def test_hierarchy_shortcut(self, schema):
+        assert schema.hierarchy("user").depth == 2
+
+    def test_rejects_duplicate_names(self):
+        dim = Dimension("x", FanoutHierarchy("x", 1, 2))
+        with pytest.raises(SchemaError):
+            CubeSchema([dim, dim])
+
+    def test_rejects_empty(self):
+        with pytest.raises(SchemaError):
+            CubeSchema([])
+
+
+class TestCoordValidation:
+    def test_validate_coord_ok(self, schema):
+        assert schema.validate_coord([1, 3]) == (1, 3)
+        assert schema.validate_coord((0, 0)) == (0, 0)
+
+    def test_validate_coord_wrong_arity(self, schema):
+        with pytest.raises(SchemaError):
+            schema.validate_coord([1])
+
+    def test_validate_coord_out_of_range(self, schema):
+        with pytest.raises(SchemaError):
+            schema.validate_coord([3, 1])  # user depth is 2
+        with pytest.raises(SchemaError):
+            schema.validate_coord([-1, 1])
+
+    def test_validate_values(self, schema):
+        assert schema.validate_values((2, 5), (1, 3)) == (2, 5)
+        assert schema.validate_values((ALL, 0), (0, 1)) == (ALL, 0)
+
+    def test_validate_values_bad_member(self, schema):
+        with pytest.raises(Exception):
+            schema.validate_values((99, 0), (1, 1))
+
+    def test_validate_values_wrong_arity(self, schema):
+        with pytest.raises(SchemaError):
+            schema.validate_values((1,), (1, 1))
+
+
+class TestLevelNames:
+    def test_coord_of_level_names(self, schema):
+        coord = schema.coord_of_level_names(("user1", "location2"))
+        assert coord == (1, 2)
+
+    def test_star_maps_to_zero(self, schema):
+        assert schema.coord_of_level_names((ALL, "location1")) == (0, 1)
+
+    def test_describe_coord_round_trip(self, schema):
+        coord = (2, 0)
+        names = schema.describe_coord(coord)
+        assert schema.coord_of_level_names(names) == coord
+
+    def test_wrong_count(self, schema):
+        with pytest.raises(SchemaError):
+            schema.coord_of_level_names(("user1",))
+
+
+class TestSpecialCoords:
+    def test_finest(self, schema):
+        assert schema.finest_coord() == (2, 3)
+
+    def test_apex(self, schema):
+        assert schema.apex_coord() == (0, 0)

@@ -1,0 +1,96 @@
+"""Unit tests for the Framework 4.1 closure on a hand-built cube."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cube.cuboid import Cuboid
+from repro.cube.hierarchy import ALL, FanoutHierarchy
+from repro.cube.layers import CriticalLayers
+from repro.cube.schema import CubeSchema, Dimension
+from repro.cubing.full import full_materialization
+from repro.cubing.policy import GlobalSlopeThreshold
+from repro.cubing.result import framework_closure
+from repro.regression.isb import ISB
+
+
+@pytest.fixture
+def one_dim_layers() -> CriticalLayers:
+    """One dimension, three levels: the simplest drillable lattice."""
+    schema = CubeSchema([Dimension("d", FanoutHierarchy("d", 3, 2))])
+    return CriticalLayers(schema, m_coord=(3,), o_coord=(1,))
+
+
+def build_cells(slopes: dict[int, float]) -> dict[tuple[int], ISB]:
+    """m-layer cells (leaf ids -> chosen slopes, base 0)."""
+    return {
+        (leaf,): ISB(0, 9, 0.0, slope) for leaf, slope in slopes.items()
+    }
+
+
+class TestClosureSemantics:
+    def test_exception_without_exception_parent_dropped(self, one_dim_layers):
+        """A steep mid-level cell under a flat o-layer parent is *not*
+        retained by the closure (no drill path reaches it)."""
+        # Leaves 0..3 under level-1 value 0: slopes cancel at the top.
+        cells = build_cells({0: 5.0, 1: -5.0, 2: 5.0, 3: -5.0})
+        policy = GlobalSlopeThreshold(1.0)
+        full = full_materialization(one_dim_layers, cells, policy)
+        # Mid-level (level 2): cells (0,)=0.0 and (1,)=0.0 — flat; leaves
+        # steep. o-layer: flat. Seeds: o-layer exceptions = none;
+        # path = None -> nothing retained.
+        closure = framework_closure(full.cuboids, one_dim_layers, policy)
+        assert all(not kept for kept in closure.values())
+
+    def test_chain_retained_when_parents_exceptional(self, one_dim_layers):
+        """A steep leaf whose ancestors are all steep survives the drill."""
+        cells = build_cells({0: 5.0, 1: 0.0, 2: 0.0, 3: 0.0})
+        policy = GlobalSlopeThreshold(1.0)
+        full = full_materialization(one_dim_layers, cells, policy)
+        closure = framework_closure(full.cuboids, one_dim_layers, policy)
+        # level-1 cell (0,): slope 5 -> o-layer exception (seed).
+        # level-2 cell (0,): slope 5 -> parent exceptional -> retained.
+        assert (0,) in closure[(2,)]
+        # m-layer is never in the closure output dict.
+        assert (3,) not in closure
+
+    def test_path_seeding_widens_retention(self, one_dim_layers):
+        """With every cuboid on the 'path', all exceptions are retained —
+        equivalent to Algorithm 1's output."""
+        cells = build_cells({0: 5.0, 1: -5.0, 2: 5.0, 3: -5.0})
+        policy = GlobalSlopeThreshold(1.0)
+        full = full_materialization(one_dim_layers, cells, policy)
+        all_coords = list(one_dim_layers.lattice.coords())
+        closure = framework_closure(
+            full.cuboids, one_dim_layers, policy, path_coords=all_coords
+        )
+        # level-3 is the m-layer (excluded); level-2 cells are flat here,
+        # but any exceptional cell in a seeded cuboid is retained.
+        for coord, kept in closure.items():
+            expected = {
+                k
+                for k, isb in full.cuboids[coord].items()
+                if policy.is_exception(isb, coord)
+            }
+            assert set(kept) == expected
+
+    def test_multi_dim_any_parent_suffices(self):
+        """A cell drilled from either of two parent cuboids is retained."""
+        schema = CubeSchema(
+            [
+                Dimension("a", FanoutHierarchy("a", 2, 2)),
+                Dimension("b", FanoutHierarchy("b", 2, 2)),
+            ]
+        )
+        layers = CriticalLayers(schema, (2, 2), (1, 1))
+        # One hot leaf drives everything above it.
+        cells = {
+            (0, 0): ISB(0, 9, 0.0, 9.0),
+            (3, 3): ISB(0, 9, 0.0, 0.1),
+        }
+        policy = GlobalSlopeThreshold(1.0)
+        full = full_materialization(layers, cells, policy)
+        closure = framework_closure(full.cuboids, layers, policy)
+        # (1,2) and (2,1) both contain the hot chain; (2,2) is the m-layer.
+        assert (0, 0) in closure[(1, 2)]
+        assert (0, 0) in closure[(2, 1)]

@@ -1,0 +1,75 @@
+"""Tests for multiway simultaneous regression cubing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cubing.full import full_materialization, intermediate_slopes
+from repro.cubing.mo_cubing import mo_cubing
+from repro.cubing.multiway import multiway_cubing
+from repro.cubing.policy import GlobalSlopeThreshold, calibrate_threshold
+from repro.errors import AggregationError
+from repro.regression.isb import ISB
+from tests.conftest import isb_close
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    from repro.stream.generator import generate_dataset
+
+    return generate_dataset("D3L3C4T500", seed=11)
+
+
+@pytest.fixture(scope="module")
+def policy(dataset):
+    full = full_materialization(dataset.layers, dataset.cells)
+    return GlobalSlopeThreshold(
+        calibrate_threshold(intermediate_slopes(full), 0.05)
+    )
+
+
+class TestCorrectness:
+    def test_matches_algorithm1_exceptions(self, dataset, policy):
+        mo = mo_cubing(dataset.layers, dataset.cells, policy)
+        mw = multiway_cubing(dataset.layers, dataset.cells, policy)
+        for coord in dataset.layers.intermediate_coords:
+            assert set(mw.retained_exceptions[coord]) == set(
+                mo.retained_exceptions[coord]
+            )
+
+    def test_o_layer_values_match_oracle(self, dataset, policy):
+        oracle = full_materialization(dataset.layers, dataset.cells, policy)
+        mw = multiway_cubing(dataset.layers, dataset.cells, policy)
+        assert set(mw.o_layer.cells) == set(oracle.o_layer.cells)
+        for key, isb in mw.o_layer.items():
+            assert isb_close(isb, oracle.o_layer[key], tol=1e-7)
+
+    def test_exception_isbs_match_oracle(self, dataset, policy):
+        oracle = full_materialization(dataset.layers, dataset.cells, policy)
+        mw = multiway_cubing(dataset.layers, dataset.cells, policy)
+        for coord, cells in mw.retained_exceptions.items():
+            for key, isb in cells.items():
+                assert isb_close(isb, oracle.cuboids[coord][key], tol=1e-7)
+
+    def test_single_scan(self, dataset, policy):
+        mw = multiway_cubing(dataset.layers, dataset.cells, policy)
+        assert mw.stats.rows_scanned == len(dataset.cells)
+
+    def test_m_layer_preserved(self, dataset, policy):
+        mw = multiway_cubing(dataset.layers, dataset.cells, policy)
+        assert dict(mw.m_layer.items()) == dataset.cells
+
+
+class TestValidation:
+    def test_mixed_windows_rejected(self, dataset, policy):
+        cells = dict(dataset.cells)
+        key = next(iter(cells))
+        cells[key] = ISB(0, 99, 0.0, 0.0)  # everyone else is [0, 15]
+        with pytest.raises(AggregationError):
+            multiway_cubing(dataset.layers, cells, policy)
+
+    def test_empty_input_yields_empty_cuboids(self, dataset, policy):
+        mw = multiway_cubing(dataset.layers, {}, policy)
+        assert len(mw.m_layer) == 0
+        assert len(mw.o_layer) == 0
+        assert mw.total_retained_exceptions == 0

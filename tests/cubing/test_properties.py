@@ -1,0 +1,70 @@
+"""Property-based cross-algorithm tests on randomly generated cubes."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cube.lattice import PopularPath
+from repro.cubing.buc import buc_cubing
+from repro.cubing.full import full_materialization, intermediate_slopes
+from repro.cubing.mo_cubing import mo_cubing
+from repro.cubing.policy import GlobalSlopeThreshold, calibrate_threshold
+from repro.cubing.popular_path import popular_path_cubing
+from repro.cubing.result import framework_closure
+from repro.stream.generator import DatasetSpec, generate_dataset
+
+
+@st.composite
+def cube_cases(draw):
+    spec = DatasetSpec(
+        n_dims=draw(st.integers(min_value=1, max_value=3)),
+        n_levels=draw(st.integers(min_value=2, max_value=3)),
+        fanout=draw(st.integers(min_value=2, max_value=4)),
+        n_tuples=draw(st.integers(min_value=1, max_value=120)),
+    )
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rate = draw(st.sampled_from([0.01, 0.1, 0.5, 1.0]))
+    return spec, seed, rate
+
+
+@given(case=cube_cases())
+@settings(max_examples=25, deadline=None)
+def test_algorithms_agree_on_random_cubes(case):
+    spec, seed, rate = case
+    data = generate_dataset(spec, seed=seed)
+    oracle = full_materialization(data.layers, data.cells)
+    slopes = intermediate_slopes(oracle)
+    tau = calibrate_threshold(slopes, rate) if slopes else 0.0
+    policy = GlobalSlopeThreshold(tau)
+    oracle = full_materialization(data.layers, data.cells, policy)
+
+    mo = mo_cubing(data.layers, data.cells, policy)
+    pp = popular_path_cubing(data.layers, data.cells, policy)
+    bu = buc_cubing(data.layers, data.cells, policy)
+
+    # Algorithm 1 == exceptions of the oracle; BUC == Algorithm 1.
+    for coord in data.layers.intermediate_coords:
+        expected = {
+            k
+            for k, isb in oracle.cuboids[coord].items()
+            if policy.is_exception(isb, coord)
+        }
+        assert set(mo.retained_exceptions[coord]) == expected
+        assert set(bu.retained_exceptions[coord]) == expected
+        # footnote 7: Algorithm 2 ⊆ Algorithm 1
+        assert set(pp.retained_exceptions[coord]) <= expected
+
+    # Algorithm 2 == Framework 4.1 closure.
+    path = PopularPath.default(data.layers.lattice)
+    closure = framework_closure(
+        oracle.cuboids, data.layers, policy, path.coords
+    )
+    for coord in data.layers.intermediate_coords:
+        assert set(pp.retained_exceptions[coord]) == set(closure[coord])
+
+    # o-layer identical everywhere.
+    o_keys = set(oracle.o_layer.cells)
+    assert set(mo.o_layer.cells) == o_keys
+    assert set(pp.o_layer.cells) == o_keys
+    assert set(bu.o_layer.cells) == o_keys

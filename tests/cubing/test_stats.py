@@ -1,0 +1,76 @@
+"""Tests for cubing statistics and the analytic memory model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cubing.stats import CELL_KEY_BYTES_PER_DIM, CubingStats
+from repro.htree.header import HEADER_ENTRY_BYTES
+from repro.htree.node import HTREE_NODE_BYTES
+from repro.regression.isb import ISB_STRUCT_BYTES
+
+
+class TestTransientTracking:
+    def test_peak_tracks_high_watermark(self):
+        s = CubingStats("x")
+        s.transient_alloc(100)
+        s.transient_alloc(50)
+        s.transient_free(100)
+        s.transient_alloc(20)
+        assert s.transient_peak_cells == 150
+
+    def test_peak_never_decreases(self):
+        s = CubingStats("x")
+        s.transient_alloc(10)
+        s.transient_free(10)
+        assert s.transient_peak_cells == 10
+
+
+class TestMemoryModel:
+    def test_bytes_total_formula(self):
+        s = CubingStats("x", n_dims=3)
+        s.htree_nodes = 10
+        s.htree_leaf_isbs = 4
+        s.htree_interior_isbs = 2
+        s.header_entries = 5
+        s.retained_cells = 7
+        s.transient_peak_cells = 3
+        cell = ISB_STRUCT_BYTES + 3 * CELL_KEY_BYTES_PER_DIM
+        expected = (
+            10 * HTREE_NODE_BYTES
+            + 6 * ISB_STRUCT_BYTES
+            + 5 * HEADER_ENTRY_BYTES
+            + (7 + 3) * cell
+        )
+        assert s.bytes_total() == expected
+
+    def test_megabytes_scaling(self):
+        s = CubingStats("x", n_dims=1)
+        s.retained_cells = 1024 * 1024 // (
+            ISB_STRUCT_BYTES + CELL_KEY_BYTES_PER_DIM
+        )
+        assert 0.9 < s.megabytes < 1.1
+
+    def test_empty_stats_zero_bytes(self):
+        assert CubingStats("x").bytes_total() == 0
+
+
+class TestModelOrdering:
+    """The relative claims the model must support (see DESIGN.md)."""
+
+    def test_popular_path_charges_interior_storage(self):
+        """Same tree, but Algorithm 2 stores ISBs in interior nodes too."""
+        mo = CubingStats("m/o", n_dims=2)
+        pp = CubingStats("pp", n_dims=2)
+        for s in (mo, pp):
+            s.htree_nodes = 1000
+            s.htree_leaf_isbs = 400
+        pp.htree_interior_isbs = 600
+        assert pp.bytes_total() > mo.bytes_total()
+
+    def test_retained_exceptions_dominate_at_high_rates(self):
+        low = CubingStats("m/o", n_dims=2)
+        high = CubingStats("m/o", n_dims=2)
+        low.retained_cells = 10
+        high.retained_cells = 10_000
+        assert high.bytes_total() > 100 * low.bytes_total()

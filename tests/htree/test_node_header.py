@@ -1,0 +1,72 @@
+"""Unit tests for H-tree nodes and header tables in isolation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.htree.header import HeaderTable
+from repro.htree.node import HTreeNode
+
+
+class TestNode:
+    def test_root_depth_zero(self):
+        root = HTreeNode(-1, None)
+        assert root.depth == 0
+        assert root.path_values() == []
+        assert root.is_leaf
+
+    def test_depth_counts_edges(self):
+        root = HTreeNode(-1, None)
+        a = HTreeNode(0, "a", parent=root)
+        b = HTreeNode(1, "b", parent=a)
+        assert b.depth == 2
+        assert b.path_values() == ["a", "b"]
+
+    def test_leaf_flag_follows_children(self):
+        root = HTreeNode(-1, None)
+        child = HTreeNode(0, "x", parent=root)
+        root.children["x"] = child
+        assert not root.is_leaf
+        assert child.is_leaf
+
+    def test_side_link_walk_single(self):
+        node = HTreeNode(0, "v")
+        assert list(node.walk_side_links()) == [node]
+
+    def test_side_link_walk_chain(self):
+        a = HTreeNode(0, "v")
+        b = HTreeNode(0, "v")
+        c = HTreeNode(0, "v")
+        a.side_link = b
+        b.side_link = c
+        assert list(a.walk_side_links()) == [a, b, c]
+
+
+class TestHeaderTable:
+    def test_register_builds_chain_in_order(self):
+        header = HeaderTable(0)
+        nodes = [HTreeNode(0, "v") for _ in range(3)]
+        for node in nodes:
+            header.register(node)
+        assert list(header.chain("v")) == nodes
+
+    def test_distinct_values_separate_chains(self):
+        header = HeaderTable(0)
+        a = HTreeNode(0, "a")
+        b = HTreeNode(0, "b")
+        header.register(a)
+        header.register(b)
+        assert list(header.chain("a")) == [a]
+        assert list(header.chain("b")) == [b]
+        assert set(header.values()) == {"a", "b"}
+
+    def test_missing_value_empty_chain(self):
+        header = HeaderTable(0)
+        assert list(header.chain("nope")) == []
+
+    def test_len_counts_distinct_values(self):
+        header = HeaderTable(0)
+        for value in ("a", "a", "b"):
+            header.register(HTreeNode(0, value))
+        assert len(header) == 2
+        assert "a" in header and "c" not in header

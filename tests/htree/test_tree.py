@@ -1,0 +1,213 @@
+"""Tests for the H-tree (Fig 7 structure, Example 5 ordering)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.cube.hierarchy import ALL
+from repro.errors import CubingError, SchemaError
+from repro.htree.tree import HTree, cardinality_ascending_order
+from repro.regression.isb import ISB
+
+
+class TestAttributeOrder:
+    def test_example5_cardinality_order(self, example5_layers):
+        """Example 5 / Fig 7: order is <A1, B1, C1, C2, A2, B2> given
+        card(A1)<card(B1)<card(C1)<card(C2)<card(A2)<card(B2)."""
+        order = cardinality_ascending_order(
+            example5_layers.schema, example5_layers.m_coord
+        )
+        # dims: A=0, B=1, C=2.
+        assert order == ((0, 1), (1, 1), (2, 1), (2, 2), (0, 2), (1, 2))
+
+    def test_order_covers_all_levels(self, fanout_layers):
+        order = cardinality_ascending_order(
+            fanout_layers.schema, fanout_layers.m_coord
+        )
+        assert set(order) == {(d, l) for d in range(2) for l in (1, 2, 3)}
+
+
+class TestConstruction:
+    def test_attribute_set_validated(self, example5_layers):
+        with pytest.raises(SchemaError):
+            HTree(
+                example5_layers.schema,
+                example5_layers.m_coord,
+                [(0, 1), (1, 1)],  # incomplete
+            )
+
+    def test_insert_builds_shared_prefixes(self, example5_layers):
+        order = cardinality_ascending_order(
+            example5_layers.schema, example5_layers.m_coord
+        )
+        tree = HTree(example5_layers.schema, example5_layers.m_coord, order)
+        isb = ISB(0, 9, 1.0, 0.1)
+        # Two m-cells sharing A and B ancestry but different C2 leaves.
+        tree.insert(("a2_0", "b2_0", "c2_0"), isb)
+        tree.insert(("a2_0", "b2_0", "c2_1"), isb)
+        # Shared: a1, b1, c1 differs? c2_0 -> c1_0, c2_1 -> c1_0 (8 c2 over
+        # 4 c1: j*4//8) -> shared c1 too; divergence at the C2 attribute.
+        assert tree.tuple_count == 2
+        assert tree.node_count < 2 * len(order)
+
+    def test_duplicate_cell_merges_theorem32(self, example5_layers):
+        order = cardinality_ascending_order(
+            example5_layers.schema, example5_layers.m_coord
+        )
+        tree = HTree(example5_layers.schema, example5_layers.m_coord, order)
+        tree.insert(("a2_0", "b2_0", "c2_0"), ISB(0, 9, 1.0, 0.1))
+        tree.insert(("a2_0", "b2_0", "c2_0"), ISB(0, 9, 2.0, 0.2))
+        cells = dict(tree.leaf_cells())
+        assert len(cells) == 1
+        isb = next(iter(cells.values()))
+        assert math.isclose(isb.base, 3.0)
+        assert math.isclose(isb.slope, 0.3, rel_tol=1e-12)
+
+    def test_expand_includes_ancestors(self, example5_layers):
+        order = cardinality_ascending_order(
+            example5_layers.schema, example5_layers.m_coord
+        )
+        tree = HTree(example5_layers.schema, example5_layers.m_coord, order)
+        expanded = tree.expand(("a2_7", "b2_5", "c2_3"))
+        # order: A1, B1, C1, C2, A2, B2
+        assert expanded[3] == "c2_3"
+        assert expanded[4] == "a2_7"
+        assert expanded[5] == "b2_5"
+        # ancestors come from the hierarchies
+        assert expanded[0].startswith("a1_")
+        assert expanded[1].startswith("b1_")
+        assert expanded[2].startswith("c1_")
+
+    def test_invalid_m_values_rejected(self, example5_layers):
+        order = cardinality_ascending_order(
+            example5_layers.schema, example5_layers.m_coord
+        )
+        tree = HTree(example5_layers.schema, example5_layers.m_coord, order)
+        with pytest.raises(Exception):
+            tree.insert(("nope", "b2_0", "c2_0"), ISB(0, 1, 0, 0))
+
+
+class TestTraversal:
+    @pytest.fixture
+    def loaded(self, example5_layers):
+        order = cardinality_ascending_order(
+            example5_layers.schema, example5_layers.m_coord
+        )
+        tree = HTree(example5_layers.schema, example5_layers.m_coord, order)
+        cells = [
+            ("a2_0", "b2_0", "c2_0"),
+            ("a2_0", "b2_4", "c2_2"),
+            ("a2_7", "b2_9", "c2_7"),
+            ("a2_3", "b2_0", "c2_0"),
+        ]
+        for i, c in enumerate(cells):
+            tree.insert(c, ISB(0, 9, float(i + 1), 0.1 * (i + 1)))
+        return tree
+
+    def test_leaves_count(self, loaded):
+        assert len(list(loaded.leaves())) == 4
+
+    def test_nodes_at_depth_zero_is_root(self, loaded):
+        assert list(loaded.nodes_at_depth(0)) == [loaded.root]
+
+    def test_nodes_at_depth_bounds(self, loaded):
+        with pytest.raises(CubingError):
+            list(loaded.nodes_at_depth(7))
+
+    def test_header_chains_visit_all_value_nodes(self, loaded):
+        # Attribute 0 is A1 (2 values); chains must cover all depth-1 nodes.
+        header = loaded.headers[0]
+        total = sum(len(list(header.chain(v))) for v in header.values())
+        assert total == len(loaded.root.children)
+
+    def test_leaf_cells_keys_are_m_values(self, loaded):
+        keys = set(dict(loaded.leaf_cells()))
+        assert ("a2_0", "b2_0", "c2_0") in keys
+        assert all(len(k) == 3 for k in keys)
+
+    def test_header_entry_count(self, loaded):
+        assert loaded.header_entry_count == sum(
+            len(h) for h in loaded.headers
+        )
+
+
+class TestCellAddressing:
+    @pytest.fixture
+    def loaded(self, example5_layers):
+        order = cardinality_ascending_order(
+            example5_layers.schema, example5_layers.m_coord
+        )
+        tree = HTree(example5_layers.schema, example5_layers.m_coord, order)
+        tree.insert(("a2_7", "b2_5", "c2_3"), ISB(0, 9, 1.0, 0.5))
+        return tree
+
+    def test_cell_values_at_m_coord(self, loaded):
+        leaf = next(loaded.leaves())
+        values = loaded.cell_values(leaf, (2, 2, 2))
+        assert values == ("a2_7", "b2_5", "c2_3")
+
+    def test_cell_values_with_star(self, loaded):
+        leaf = next(loaded.leaves())
+        values = loaded.cell_values(leaf, (1, 0, 1))
+        assert values[1] == ALL
+        assert values[0].startswith("a1_")
+        assert values[2].startswith("c1_")
+
+    def test_cell_values_beyond_prefix_raises(self, loaded):
+        shallow = loaded.root.children[
+            next(iter(loaded.root.children))
+        ]  # depth-1 node: only A1 known
+        with pytest.raises(CubingError):
+            loaded.cell_values(shallow, (2, 2, 2))
+
+    def test_attr_position_unknown(self, loaded):
+        with pytest.raises(CubingError):
+            loaded.attr_position(0, 3)
+
+
+class TestInteriorAggregation:
+    def test_aggregate_interior_sums_subtrees(self, example5_layers):
+        order = cardinality_ascending_order(
+            example5_layers.schema, example5_layers.m_coord
+        )
+        tree = HTree(example5_layers.schema, example5_layers.m_coord, order)
+        tree.insert(("a2_0", "b2_0", "c2_0"), ISB(0, 9, 1.0, 0.1))
+        tree.insert(("a2_7", "b2_9", "c2_7"), ISB(0, 9, 2.0, 0.2))
+        tree.aggregate_interior()
+        assert tree.root.isb is not None
+        assert math.isclose(tree.root.isb.base, 3.0)
+        assert math.isclose(tree.root.isb.slope, 0.3, rel_tol=1e-12)
+
+    def test_aggregate_requires_leaf_isbs(self, example5_layers):
+        order = cardinality_ascending_order(
+            example5_layers.schema, example5_layers.m_coord
+        )
+        tree = HTree(example5_layers.schema, example5_layers.m_coord, order)
+        with pytest.raises(CubingError):
+            tree.aggregate_interior()  # empty tree: root is a leaf, no ISB
+
+
+class TestNodeBasics:
+    def test_path_values_and_depth(self, example5_layers):
+        order = cardinality_ascending_order(
+            example5_layers.schema, example5_layers.m_coord
+        )
+        tree = HTree(example5_layers.schema, example5_layers.m_coord, order)
+        leaf = tree.insert(("a2_0", "b2_0", "c2_0"), ISB(0, 9, 1.0, 0.1))
+        assert leaf.depth == 6
+        assert len(leaf.path_values()) == 6
+        assert leaf.is_leaf
+
+    def test_side_links_walk(self, example5_layers):
+        order = cardinality_ascending_order(
+            example5_layers.schema, example5_layers.m_coord
+        )
+        tree = HTree(example5_layers.schema, example5_layers.m_coord, order)
+        # Same B2 value under different A branches -> side-linked leaves.
+        tree.insert(("a2_0", "b2_5", "c2_0"), ISB(0, 9, 1.0, 0.1))
+        tree.insert(("a2_7", "b2_5", "c2_0"), ISB(0, 9, 1.0, 0.1))
+        header = tree.headers[len(order) - 1]  # B2 attribute (last)
+        chain = list(header.chain("b2_5"))
+        assert len(chain) == 2

@@ -1,0 +1,99 @@
+"""Integration tests pinned to the paper's worked examples and figures."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.cube.lattice import PopularPath
+from repro.cubing.mo_cubing import mo_cubing
+from repro.cubing.policy import GlobalSlopeThreshold
+from repro.htree.tree import cardinality_ascending_order
+from repro.regression.aggregation import merge_standard, merge_time_pair
+from repro.regression.isb import ISB
+from repro.tilt.natural import example3_savings, natural_frame
+
+
+class TestExample2Figure1:
+    """Example 2 / Fig 1: the 10-point series and its regression line."""
+
+    def test_series_and_fit(self, example2_series):
+        assert len(example2_series) == 10
+        fit = example2_series.fit()
+        # The plotted line in Fig 1(b) rises gently across [0, 2] range.
+        assert 0 < fit.slope < 0.1
+        assert 0.4 < fit.base < 0.8
+
+
+class TestFigure2And3Captions:
+    """The exact ISB values printed under Figs 2 and 3."""
+
+    def test_figure2_standard_aggregation(self):
+        z1 = ISB(0, 19, 0.540995, 0.0318379)
+        z2 = ISB(0, 19, 0.294875, 0.0493375)
+        z = merge_standard([z1, z2])
+        assert math.isclose(z.base, 0.83587, abs_tol=5e-6)
+        assert math.isclose(z.slope, 0.0811754, abs_tol=5e-7)
+
+    def test_figure3_time_aggregation(self):
+        z = merge_time_pair(
+            ISB(0, 9, 0.582995, 0.0240189),
+            ISB(10, 19, 0.459046, 0.047474),
+        )
+        assert math.isclose(z.base, 0.509033, abs_tol=5e-6)
+        assert math.isclose(z.slope, 0.0431806, abs_tol=5e-7)
+
+
+class TestExample3Figure4:
+    """The tilt-frame arithmetic: 71 units vs 35,136, ~495x."""
+
+    def test_paper_numbers(self):
+        s = example3_savings()
+        assert s.tilt_units == 71
+        assert s.full_units == 35_136
+        assert 494 < s.ratio < 496
+
+    def test_frame_is_the_fig4_shape(self):
+        frame = natural_frame()
+        assert [lv.name for lv in frame.levels] == [
+            "quarter",
+            "hour",
+            "day",
+            "month",
+        ]
+        assert frame.total_capacity == 71
+
+
+class TestExample5Figures6And7:
+    """The 12-cuboid lattice and the H-tree attribute ordering."""
+
+    def test_twelve_cuboids(self, example5_layers):
+        assert example5_layers.lattice.size == 12
+
+    def test_htree_order_matches_fig7(self, example5_layers):
+        order = cardinality_ascending_order(
+            example5_layers.schema, example5_layers.m_coord
+        )
+        names = [
+            f"{example5_layers.schema.dimensions[d].name}{level}"
+            for d, level in order
+        ]
+        assert names == ["A1", "B1", "C1", "C2", "A2", "B2"]
+
+    def test_paper_popular_path(self, example5_layers):
+        path = PopularPath.from_drill_sequence(
+            example5_layers.lattice, ["B", "B", "A", "C"]
+        )
+        assert len(path) == 5
+        assert path.o_coord == (1, 0, 1)
+
+    def test_cubing_runs_on_example5_schema(self, example5_layers):
+        cells = {
+            ("a2_0", "b2_0", "c2_0"): ISB(0, 9, 1.0, 0.4),
+            ("a2_5", "b2_7", "c2_3"): ISB(0, 9, 2.0, -0.1),
+            ("a2_9", "b2_11", "c2_7"): ISB(0, 9, 0.5, 0.05),
+        }
+        result = mo_cubing(example5_layers, cells, GlobalSlopeThreshold(0.2))
+        assert len(result.cuboids) == 12
+        assert len(result.o_layer) >= 1

@@ -1,0 +1,160 @@
+"""Tests for the OLAP query facade."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.cube.hierarchy import ALL
+from repro.cubing.full import full_materialization, intermediate_slopes
+from repro.cubing.mo_cubing import mo_cubing
+from repro.cubing.policy import GlobalSlopeThreshold, calibrate_threshold
+from repro.errors import QueryError
+from repro.query.api import RegressionCubeView
+from tests.conftest import isb_close
+
+
+@pytest.fixture(scope="module")
+def setup():
+    from repro.stream.generator import generate_dataset
+
+    data = generate_dataset("D2L3C3T300", seed=8)
+    oracle = full_materialization(data.layers, data.cells)
+    tau = calibrate_threshold(intermediate_slopes(oracle), 0.1)
+    policy = GlobalSlopeThreshold(tau)
+    result = mo_cubing(data.layers, data.cells, policy)
+    oracle = full_materialization(data.layers, data.cells, policy)
+    return data, oracle, RegressionCubeView(result)
+
+
+class TestPointQueries:
+    def test_materialized_cell_returned_directly(self, setup):
+        data, oracle, view = setup
+        o = data.layers.o_coord
+        for values, isb in oracle.o_layer.items():
+            assert isb_close(view.cell(o, values), isb, tol=1e-7)
+
+    def test_unmaterialized_cell_computed_on_the_fly(self, setup):
+        data, oracle, view = setup
+        # Pick a non-exception intermediate cell: absent from the result but
+        # recoverable by rolling up the m-layer.
+        for coord in data.layers.intermediate_coords:
+            for values, isb in oracle.cuboids[coord].items():
+                if values not in view.result.cuboids[coord]:
+                    got = view.cell(coord, values)
+                    assert isb_close(got, isb, tol=1e-7)
+                    return
+        pytest.skip("every intermediate cell was exceptional")
+
+    def test_cell_without_data_raises(self, setup):
+        data, oracle, view = setup
+        # Find a valid m-layer key with no supporting data.
+        import itertools
+
+        m = data.layers.m_coord
+        card = data.layers.schema.hierarchy(0).cardinality(m[0])
+        for key in itertools.product(range(card), repeat=2):
+            if key not in oracle.m_layer:
+                with pytest.raises(QueryError):
+                    view.cell(m, key)
+                break
+        else:
+            pytest.skip("dataset saturates the m-layer key space")
+
+    def test_invalid_values_raise(self, setup):
+        data, _, view = setup
+        with pytest.raises(Exception):
+            view.cell(data.layers.o_coord, (99, 99))
+
+    def test_cell_by_level_names(self, setup):
+        data, oracle, view = setup
+        names = data.layers.schema.describe_coord(data.layers.o_coord)
+        values = next(iter(oracle.o_layer.cells))
+        got = view.cell_by_level_names(names, values)
+        assert isb_close(got, oracle.o_layer[values], tol=1e-7)
+
+    def test_coord_outside_lattice_rejected(self, setup):
+        data, _, view = setup
+        with pytest.raises(Exception):
+            view.cell((0, 0), (ALL, ALL))  # apex is above the o-layer
+
+
+class TestSliceAndTop:
+    def test_slice_fixes_dimension(self, setup):
+        data, oracle, view = setup
+        o = data.layers.o_coord
+        some = next(iter(oracle.o_layer.cells))
+        fixed = {data.layers.schema.names[0]: some[0]}
+        sliced = view.slice(o, fixed)
+        assert sliced
+        assert all(v[0] == some[0] for v in sliced)
+        for values, isb in sliced.items():
+            assert isb_close(isb, oracle.o_layer[values], tol=1e-7)
+
+    def test_slice_on_unmaterialized_cuboid(self, setup):
+        data, oracle, view = setup
+        coord = data.layers.intermediate_coords[0]
+        some = next(iter(oracle.cuboids[coord].cells))
+        fixed = {data.layers.schema.names[0]: some[0]}
+        sliced = view.slice(coord, fixed)
+        expected = {
+            v: isb
+            for v, isb in oracle.cuboids[coord].items()
+            if v[0] == some[0]
+        }
+        assert set(sliced) == set(expected)
+
+    def test_top_slopes_sorted(self, setup):
+        data, _, view = setup
+        top = view.top_slopes(data.layers.o_coord, k=3)
+        slopes = [abs(isb.slope) for _, isb in top]
+        assert slopes == sorted(slopes, reverse=True)
+        assert len(top) <= 3
+
+    def test_observation_deck_and_watch_list(self, setup):
+        _, oracle, view = setup
+        deck = view.observation_deck()
+        watch = view.watch_list()
+        assert set(watch) <= set(deck)
+        assert set(deck) == set(oracle.o_layer.cells)
+
+
+class TestRollUpDrillDown:
+    def test_roll_up_step(self, setup):
+        data, oracle, view = setup
+        m = data.layers.m_coord
+        values = next(iter(view.result.m_layer.cells))
+        dim0 = data.layers.schema.names[0]
+        parent_coord, parent_values, isb = view.roll_up(m, values, dim0)
+        assert parent_coord[0] == m[0] - 1
+        assert isb_close(isb, oracle.cuboids[parent_coord][parent_values], tol=1e-7)
+
+    def test_roll_up_past_o_layer_rejected(self, setup):
+        data, oracle, view = setup
+        o = data.layers.o_coord
+        values = next(iter(oracle.o_layer.cells))
+        with pytest.raises(QueryError):
+            view.roll_up(o, values, data.layers.schema.names[0])
+
+    def test_drill_down_children_partition_parent(self, setup):
+        data, oracle, view = setup
+        o = data.layers.o_coord
+        dim0 = data.layers.schema.names[0]
+        for values, isb in oracle.o_layer.items():
+            children = view.drill_down(o, values, dim0)
+            if not children:
+                continue
+            base_sum = math.fsum(c.base for c in children.values())
+            slope_sum = math.fsum(c.slope for c in children.values())
+            assert math.isclose(base_sum, isb.base, rel_tol=1e-6)
+            assert math.isclose(slope_sum, isb.slope, rel_tol=1e-6, abs_tol=1e-9)
+            return
+        pytest.fail("no o-layer cell had children")
+
+    def test_drill_down_past_m_layer_rejected(self, setup):
+        data, _, view = setup
+        m = data.layers.m_coord
+        values = next(iter(view.result.m_layer.cells))
+        with pytest.raises(QueryError):
+            view.drill_down(m, values, data.layers.schema.names[0])

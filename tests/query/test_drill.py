@@ -1,0 +1,92 @@
+"""Tests for exception-guided drilling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cube.hierarchy import FanoutHierarchy
+from repro.cube.layers import CriticalLayers
+from repro.cube.schema import CubeSchema, Dimension
+from repro.cubing.mo_cubing import mo_cubing
+from repro.cubing.policy import GlobalSlopeThreshold
+from repro.query.drill import ExceptionDriller
+from repro.regression.isb import ISB
+
+
+@pytest.fixture
+def hot_cube():
+    """A cube with one 'hot' chain: leaf (0,0) is steep, rest are flat."""
+    schema = CubeSchema(
+        [
+            Dimension("a", FanoutHierarchy("a", 2, 2)),
+            Dimension("b", FanoutHierarchy("b", 2, 2)),
+        ]
+    )
+    layers = CriticalLayers(schema, (2, 2), (1, 1))
+    cells = {
+        (0, 0): ISB(0, 9, 1.0, 5.0),
+        (1, 1): ISB(0, 9, 1.0, 0.01),
+        (2, 2): ISB(0, 9, 1.0, 0.02),
+        (3, 3): ISB(0, 9, 1.0, -0.01),
+    }
+    policy = GlobalSlopeThreshold(1.0)
+    return layers, mo_cubing(layers, cells, policy)
+
+
+class TestDrillTree:
+    def test_roots_are_o_layer_exceptions(self, hot_cube):
+        layers, result = hot_cube
+        roots = ExceptionDriller(result).drill_tree()
+        assert len(roots) == 1
+        assert roots[0].coord == layers.o_coord
+        assert roots[0].values == (0, 0)
+
+    def test_supporters_chain_reaches_m_layer(self, hot_cube):
+        layers, result = hot_cube
+        roots = ExceptionDriller(result).drill_tree()
+        leaves = [
+            n for n in roots[0].walk() if n.coord == layers.m_coord
+        ]
+        assert any(n.values == (0, 0) for n in leaves)
+
+    def test_all_nodes_exceptional(self, hot_cube):
+        _, result = hot_cube
+        roots = ExceptionDriller(result).drill_tree()
+        for root in roots:
+            for node in root.walk():
+                assert result.policy.is_exception(node.isb, node.coord)
+
+    def test_max_depth_bounds_drilling(self, hot_cube):
+        layers, result = hot_cube
+        roots = ExceptionDriller(result).drill_tree(max_depth=1)
+        for root in roots:
+            for node in root.walk():
+                assert sum(node.coord) <= sum(layers.o_coord) + 1
+
+    def test_flat_cube_has_no_roots(self, hot_cube):
+        layers, _ = hot_cube
+        cells = {(0, 0): ISB(0, 9, 1.0, 0.01)}
+        result = mo_cubing(layers, cells, GlobalSlopeThreshold(1.0))
+        assert ExceptionDriller(result).drill_tree() == []
+
+    def test_render_includes_dimension_names(self, hot_cube):
+        layers, result = hot_cube
+        roots = ExceptionDriller(result).drill_tree()
+        text = roots[0].render(layers.schema.names)
+        assert "a=" in text and "b=" in text
+        assert "slope=" in text
+
+
+class TestSupporters:
+    def test_supporters_of_specific_cell(self, hot_cube):
+        layers, result = hot_cube
+        driller = ExceptionDriller(result)
+        node = driller.supporters((0, 0))
+        assert node.values == (0, 0)
+        assert node.children  # the hot chain continues below
+
+    def test_supporters_of_flat_cell_no_children(self, hot_cube):
+        layers, result = hot_cube
+        driller = ExceptionDriller(result)
+        node = driller.supporters((1, 1))
+        assert node.children == []

@@ -1,0 +1,96 @@
+"""Tests for the design / basis-function machinery."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.regression.basis import (
+    Design,
+    exponential_design,
+    linear_design,
+    logarithmic_design,
+    polynomial_design,
+    spatio_temporal_design,
+)
+
+
+class TestLinearDesign:
+    def test_row(self):
+        d = linear_design()
+        assert d.row((3.0,)) == [1.0, 3.0]
+        assert d.k == 2
+        assert d.feature_names == ("1", "t")
+
+    def test_time_row(self):
+        assert linear_design().time_row(7.0) == [1.0, 7.0]
+
+
+class TestPolynomialDesign:
+    def test_degree_two(self):
+        d = polynomial_design(2)
+        assert d.row((2.0,)) == [1.0, 2.0, 4.0]
+        assert d.k == 3
+
+    def test_degree_one_equals_linear_shape(self):
+        assert polynomial_design(1).row((5.0,)) == linear_design().row((5.0,))
+
+    def test_rejects_degree_zero(self):
+        with pytest.raises(SchemaError):
+            polynomial_design(0)
+
+    def test_feature_names(self):
+        assert polynomial_design(3).feature_names == ("1", "t^1", "t^2", "t^3")
+
+
+class TestLogarithmicDesign:
+    def test_shift_maps_zero_to_zero(self):
+        d = logarithmic_design()
+        assert d.row((0.0,)) == [1.0, 0.0]
+
+    def test_custom_shift(self):
+        d = logarithmic_design(shift=2.0)
+        assert math.isclose(d.row((0.0,))[1], math.log(2.0))
+
+    def test_rejects_nonpositive_shift(self):
+        with pytest.raises(SchemaError):
+            logarithmic_design(shift=0.0)
+
+
+class TestExponentialDesign:
+    def test_rate(self):
+        d = exponential_design(0.5)
+        assert math.isclose(d.row((2.0,))[1], math.exp(1.0))
+
+    def test_zero_rate_feature_is_constant(self):
+        d = exponential_design(0.0)
+        assert d.row((10.0,))[1] == 1.0
+
+
+class TestSpatioTemporalDesign:
+    def test_arity_and_order(self):
+        d = spatio_temporal_design()
+        assert d.row((1.0, 2.0, 3.0, 4.0)) == [1.0, 1.0, 2.0, 3.0, 4.0]
+        assert d.k == 5
+
+
+class TestDesignValidation:
+    def test_bad_k_rejected(self):
+        with pytest.raises(SchemaError):
+            Design(name="bad", k=0, features=lambda r: ())
+
+    def test_feature_name_count_enforced(self):
+        with pytest.raises(SchemaError):
+            Design(
+                name="bad",
+                k=2,
+                features=lambda r: (1.0, r[0]),
+                feature_names=("only-one",),
+            )
+
+    def test_row_length_mismatch_detected(self):
+        d = Design(name="liar", k=3, features=lambda r: (1.0, r[0]))
+        with pytest.raises(SchemaError):
+            d.row((2.0,))

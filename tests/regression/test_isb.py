@@ -1,0 +1,151 @@
+"""Tests for the ISB / IntVal compressed representations (Section 3.2)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import IntervalError
+from repro.regression.isb import ISB, IntVal, isb_of_series
+from repro.regression.linear import fit_series
+
+
+class TestISBBasics:
+    def test_rejects_empty_interval(self):
+        with pytest.raises(IntervalError):
+            ISB(5, 4, 0.0, 0.0)
+
+    def test_n_and_interval(self):
+        isb = ISB(3, 12, 1.0, 0.5)
+        assert isb.n == 10
+        assert isb.interval == (3, 12)
+
+    def test_predict(self):
+        isb = ISB(0, 9, 2.0, 0.25)
+        assert math.isclose(isb.predict(4), 3.0)
+
+    def test_mean_passes_through_line_midpoint(self):
+        isb = ISB(0, 9, 2.0, 0.5)
+        assert math.isclose(isb.mean, 2.0 + 0.5 * 4.5)
+
+    def test_mean_equals_data_mean(self):
+        """The LSE line passes through (t_mean, z_mean) — the fact
+        Theorem 3.3's S_i recovery depends on."""
+        values = [0.3, 1.9, 0.8, 2.4, 1.1]
+        isb = isb_of_series(values)
+        assert math.isclose(isb.mean, sum(values) / len(values), rel_tol=1e-12)
+
+    def test_total_equals_data_sum(self):
+        values = [4.0, -1.0, 2.5, 0.5]
+        isb = isb_of_series(values, t_b=100)
+        assert math.isclose(isb.total, sum(values), rel_tol=1e-12)
+
+    def test_same_interval_and_adjacency(self):
+        a = ISB(0, 4, 0, 0)
+        b = ISB(0, 4, 1, 1)
+        c = ISB(5, 9, 0, 0)
+        assert a.same_interval(b)
+        assert not a.same_interval(c)
+        assert a.adjacent_before(c)
+        assert not c.adjacent_before(a)
+
+    def test_fitted_values_sample_the_line(self):
+        isb = ISB(2, 4, 1.0, 2.0)
+        assert isb.fitted_values() == [5.0, 7.0, 9.0]
+
+    def test_from_fit_round_trip(self):
+        fit = fit_series([1.0, 2.0, 4.0], t_b=7)
+        isb = ISB.from_fit(fit)
+        assert isb.interval == (7, 9)
+        assert isb.base == fit.base and isb.slope == fit.slope
+
+
+class TestISBTransforms:
+    def test_scaled_scales_both_parameters(self):
+        isb = ISB(0, 9, 2.0, 0.5).scaled(3.0)
+        assert isb.base == 6.0 and isb.slope == 1.5
+
+    def test_scaling_commutes_with_fitting(self):
+        values = [0.5, 1.0, 0.2, 1.4]
+        direct = isb_of_series([v * 2.5 for v in values])
+        via_isb = isb_of_series(values).scaled(2.5)
+        assert math.isclose(direct.base, via_isb.base, rel_tol=1e-12)
+        assert math.isclose(direct.slope, via_isb.slope, rel_tol=1e-12)
+
+    def test_shifted_preserves_line_geometry(self):
+        isb = ISB(0, 9, 2.0, 0.5)
+        moved = isb.shifted(10)
+        assert moved.interval == (10, 19)
+        # The value over the shifted axis at the same relative offset agrees.
+        assert math.isclose(moved.predict(10), isb.predict(0))
+        assert math.isclose(moved.predict(19), isb.predict(9))
+
+    def test_shifting_commutes_with_fitting(self):
+        values = [1.0, 3.0, 2.0, 5.0]
+        direct = isb_of_series(values, t_b=50)
+        via_shift = isb_of_series(values, t_b=0).shifted(50)
+        assert math.isclose(direct.base, via_shift.base, rel_tol=1e-12)
+        assert math.isclose(direct.slope, via_shift.slope, rel_tol=1e-12)
+
+
+class TestIntValEquivalence:
+    """Section 3.2: ISB and IntVal are interconvertible without loss."""
+
+    def test_round_trip_isb_intval_isb(self):
+        isb = ISB(3, 11, -2.0, 0.75)
+        back = isb.to_intval().to_isb()
+        assert back.interval == isb.interval
+        assert math.isclose(back.base, isb.base, rel_tol=1e-12)
+        assert math.isclose(back.slope, isb.slope, rel_tol=1e-12)
+
+    def test_intval_endpoints_are_fitted_values(self):
+        isb = ISB(0, 9, 1.0, 0.5)
+        iv = isb.to_intval()
+        assert math.isclose(iv.z_b, 1.0)
+        assert math.isclose(iv.z_e, 1.0 + 0.5 * 9)
+
+    def test_single_tick_intval_round_trip(self):
+        iv = IntVal(4, 4, 2.5, 2.5)
+        isb = iv.to_isb()
+        assert isb.base == 2.5 and isb.slope == 0.0
+
+    def test_intval_rejects_empty_interval(self):
+        with pytest.raises(IntervalError):
+            IntVal(2, 1, 0.0, 0.0)
+
+
+class TestMinimality:
+    """Theorem 3.1(b): the four ISB components are mutually independent.
+
+    The proof's witness pairs: series agreeing on three components but
+    differing on the fourth.
+    """
+
+    def test_tb_needed(self):
+        z1 = isb_of_series([0.0, 0.0, 0.0], t_b=0)  # [0,2]
+        z2 = isb_of_series([0.0, 0.0], t_b=1)  # [1,2]
+        assert z1.t_e == z2.t_e
+        assert z1.base == z2.base and z1.slope == z2.slope
+        assert z1.t_b != z2.t_b
+
+    def test_te_needed(self):
+        z1 = isb_of_series([0.0, 0.0, 0.0], t_b=0)
+        z2 = isb_of_series([0.0, 0.0], t_b=0)
+        assert z1.t_b == z2.t_b
+        assert z1.base == z2.base and z1.slope == z2.slope
+        assert z1.t_e != z2.t_e
+
+    def test_base_needed(self):
+        z1 = isb_of_series([0.0, 0.0])
+        z2 = isb_of_series([1.0, 1.0])
+        assert z1.interval == z2.interval
+        assert z1.slope == z2.slope
+        assert z1.base != z2.base
+
+    def test_slope_needed(self):
+        z1 = isb_of_series([0.0, 0.0])
+        z2 = isb_of_series([0.0, 1.0])
+        assert z1.interval == z2.interval
+        assert z1.base == z2.base
+        assert z1.slope != z2.slope

@@ -1,0 +1,49 @@
+"""Tests for stream records and ordering helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StreamError
+from repro.stream.records import StreamRecord, sort_records, validate_monotonic
+
+
+class TestStreamRecord:
+    def test_fields(self):
+        r = StreamRecord(values=("u1", "a1"), t=5, z=1.5)
+        assert r.values == ("u1", "a1")
+        assert r.t == 5 and r.z == 1.5
+
+    def test_frozen(self):
+        r = StreamRecord(values=("u1",), t=0, z=0.0)
+        with pytest.raises(AttributeError):
+            r.t = 1  # type: ignore[misc]
+
+
+class TestOrderingHelpers:
+    def test_sort_records(self):
+        records = [
+            StreamRecord(("a",), 3, 1.0),
+            StreamRecord(("b",), 1, 2.0),
+            StreamRecord(("c",), 2, 3.0),
+        ]
+        assert [r.t for r in sort_records(records)] == [1, 2, 3]
+
+    def test_sort_stable_for_equal_ticks(self):
+        records = [
+            StreamRecord(("a",), 1, 1.0),
+            StreamRecord(("b",), 1, 2.0),
+        ]
+        assert [r.values[0] for r in sort_records(records)] == ["a", "b"]
+
+    def test_validate_monotonic_passes_ordered(self):
+        records = [StreamRecord(("a",), t, 0.0) for t in (1, 1, 2, 5)]
+        assert list(validate_monotonic(records)) == records
+
+    def test_validate_monotonic_raises_on_regression(self):
+        records = [
+            StreamRecord(("a",), 2, 0.0),
+            StreamRecord(("a",), 1, 0.0),
+        ]
+        with pytest.raises(StreamError):
+            list(validate_monotonic(records))

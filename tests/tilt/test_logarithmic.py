@@ -1,0 +1,77 @@
+"""Tests for the logarithmic tilt frame extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TiltFrameError
+from repro.regression.isb import ISB
+from repro.tilt.logarithmic import logarithmic_frame, slots_needed_for_span
+
+
+class TestConstruction:
+    def test_units_double(self):
+        frame = logarithmic_frame(4)
+        assert [lv.unit_ticks for lv in frame.levels] == [1, 2, 4, 8]
+
+    def test_custom_ratio(self):
+        frame = logarithmic_frame(3, ratio=4)
+        assert [lv.unit_ticks for lv in frame.levels] == [1, 4, 16]
+
+    def test_default_capacity_is_ratio(self):
+        frame = logarithmic_frame(3, ratio=3)
+        assert all(lv.capacity == 3 for lv in frame.levels)
+
+    def test_capacity_below_ratio_rejected(self):
+        with pytest.raises(TiltFrameError):
+            logarithmic_frame(3, ratio=4, capacity=2)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(TiltFrameError):
+            logarithmic_frame(0)
+        with pytest.raises(TiltFrameError):
+            logarithmic_frame(2, ratio=1)
+
+
+class TestBehavior:
+    def test_logarithmic_retention(self):
+        """History of T ticks is held in O(log T) slots."""
+        frame = logarithmic_frame(8)  # covers up to 2^8 = 256 ticks
+        for t in range(256):
+            frame.insert(ISB(t, t, float(t), 0.0))
+        assert frame.total_retained <= frame.total_capacity == 16
+        span = frame.span()
+        assert span is not None and span[1] == 255
+        # The telescoping levels reach back to tick 0.
+        assert span[0] == 0
+
+    def test_recent_history_kept_fine(self):
+        frame = logarithmic_frame(5)
+        for t in range(32):
+            frame.insert(ISB(t, t, 1.0, 0.0))
+        fine = frame.slots(0)
+        assert fine[-1].interval == (31, 31)
+
+
+class TestSlotsNeeded:
+    def test_exact_powers(self):
+        assert slots_needed_for_span(2) == 1
+        assert slots_needed_for_span(4) == 2
+        assert slots_needed_for_span(1024) == 10
+
+    def test_non_powers_round_up(self):
+        assert slots_needed_for_span(5) == 3
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(TiltFrameError):
+            slots_needed_for_span(0)
+
+    def test_sized_frame_covers_requested_span(self):
+        span = 100
+        n = slots_needed_for_span(span)
+        frame = logarithmic_frame(n)
+        for t in range(span):
+            frame.insert(ISB(t, t, 0.0, 0.0))
+        got = frame.span()
+        assert got is not None
+        assert got[0] == 0 and got[1] == span - 1

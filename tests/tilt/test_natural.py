@@ -1,0 +1,82 @@
+"""Tests for the natural-calendar frame and Example 3's arithmetic."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.regression.isb import ISB
+from repro.tilt.natural import (
+    DAYS_PER_MONTH,
+    HOURS_PER_DAY,
+    MONTHS_PER_YEAR,
+    QUARTERS_PER_HOUR,
+    example3_savings,
+    natural_frame,
+)
+
+
+class TestExample3:
+    def test_tilt_units_is_71(self):
+        """4 quarters + 24 hours + 31 days + 12 months = 71."""
+        assert example3_savings().tilt_units == 71
+
+    def test_full_units_is_35136(self):
+        """366 * 24 * 4 = 35,136 quarter-units in a (leap) year."""
+        assert example3_savings().full_units == 35_136
+
+    def test_saving_about_495x(self):
+        ratio = example3_savings().ratio
+        assert 494 < ratio < 496
+        assert math.isclose(ratio, 35_136 / 71)
+
+
+class TestNaturalFrame:
+    def test_level_structure(self):
+        frame = natural_frame()
+        names = [lv.name for lv in frame.levels]
+        assert names == ["quarter", "hour", "day", "month"]
+        caps = [lv.capacity for lv in frame.levels]
+        assert caps == [
+            QUARTERS_PER_HOUR,
+            HOURS_PER_DAY,
+            DAYS_PER_MONTH,
+            MONTHS_PER_YEAR,
+        ]
+
+    def test_total_capacity_is_71(self):
+        assert natural_frame().total_capacity == 71
+
+    def test_unit_sizes(self):
+        frame = natural_frame()
+        units = [lv.unit_ticks for lv in frame.levels]
+        assert units == [1, 4, 96, 2976]
+
+    def test_day_of_usage_promotes_hours(self):
+        frame = natural_frame()
+        for t in range(96):  # one day of quarters
+            frame.insert(ISB(t, t, 1.0 + 0.01 * t, 0.0))
+        assert len(frame.slots("hour")) == 24
+        assert len(frame.slots("day")) == 1
+        assert frame.slots("day")[0].interval == (0, 95)
+
+    def test_quarter_slots_capped_at_4(self):
+        frame = natural_frame()
+        for t in range(10):
+            frame.insert(ISB(t, t, 1.0, 0.0))
+        assert len(frame.slots("quarter")) == 4
+
+    def test_last_day_regression_at_hour_precision(self):
+        """The paper's 'the last day with the precision of hour'."""
+        frame = natural_frame()
+        for t in range(100):
+            frame.insert(ISB(t, t, 0.5 * t, 0.0))
+        day = frame.last_window("hour", 24)
+        # A perfectly linear input keeps slope 0.5 at every granularity.
+        assert math.isclose(day.slope, 0.5, rel_tol=1e-9)
+
+    def test_origin_offsets_alignment(self):
+        frame = natural_frame(origin=8)
+        frame.insert(ISB(8, 8, 1.0, 0.0))
+        assert frame.now == 9

@@ -1,0 +1,77 @@
+"""Property-based tests for tilt frames: whatever is retained is exact."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.regression.isb import ISB, isb_of_series
+from repro.tilt.frame import TiltLevelSpec, TiltTimeFrame
+
+values_st = st.floats(
+    min_value=-1e3, max_value=1e3, allow_nan=False, allow_infinity=False
+)
+
+
+@given(values=st.lists(values_st, min_size=1, max_size=120))
+@settings(max_examples=60, deadline=None)
+def test_all_retained_slots_match_raw_fit(values):
+    """Every slot the frame retains equals the direct fit of its span."""
+    frame = TiltTimeFrame(
+        [
+            TiltLevelSpec("q", 1, 4),
+            TiltLevelSpec("h", 4, 6),
+            TiltLevelSpec("d", 24, 3),
+        ]
+    )
+    for t, v in enumerate(values):
+        frame.insert(ISB(t, t, v, 0.0))
+    for _, slot in frame.all_slots():
+        direct = isb_of_series(values[slot.t_b : slot.t_e + 1], t_b=slot.t_b)
+        scale = max(1.0, abs(direct.base), abs(direct.slope))
+        assert abs(slot.base - direct.base) <= 1e-6 * scale
+        assert abs(slot.slope - direct.slope) <= 1e-6 * scale
+
+
+@given(values=st.lists(values_st, min_size=1, max_size=150))
+@settings(max_examples=60, deadline=None)
+def test_capacity_invariant(values):
+    """The retained slot count never exceeds the configured capacity."""
+    frame = TiltTimeFrame(
+        [
+            TiltLevelSpec("q", 1, 2),
+            TiltLevelSpec("h", 2, 2),
+            TiltLevelSpec("d", 4, 2),
+        ]
+    )
+    for t, v in enumerate(values):
+        frame.insert(ISB(t, t, v, 0.0))
+        assert frame.total_retained <= frame.total_capacity
+
+
+@given(
+    values=st.lists(values_st, min_size=8, max_size=64),
+)
+@settings(max_examples=60, deadline=None)
+def test_full_history_query_exact_while_covered(values):
+    """As long as nothing has aged out, query(0, now-1) is the exact fit."""
+    frame = TiltTimeFrame(
+        [
+            TiltLevelSpec("q", 1, 4),
+            TiltLevelSpec("h", 4, 4),
+            TiltLevelSpec("d", 16, 8),
+        ]
+    )
+    for t, v in enumerate(values):
+        frame.insert(ISB(t, t, v, 0.0))
+    if frame.evicted_slots:
+        return  # history truncated; full-span query is not promised
+    span = frame.span()
+    assert span is not None and span[0] == 0
+    got = frame.query(0, len(values) - 1)
+    direct = isb_of_series(values)
+    scale = max(1.0, abs(direct.base), abs(direct.slope))
+    assert abs(got.base - direct.base) <= 1e-6 * scale
+    assert abs(got.slope - direct.slope) <= 1e-6 * scale

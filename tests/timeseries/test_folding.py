@@ -1,0 +1,119 @@
+"""Tests for Section 6.2's folding aggregation."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import AggregationError, IntervalError
+from repro.regression.isb import isb_of_series
+from repro.timeseries.folding import fold_isbs, fold_series
+from repro.timeseries.series import TimeSeries
+
+
+@pytest.fixture
+def year_of_days() -> TimeSeries:
+    """A 360-day synthetic 'daily' series with an upward trend."""
+    return TimeSeries(0, tuple(10.0 + 0.05 * d + (d % 7) * 0.3 for d in range(360)))
+
+
+class TestFoldSeries:
+    def test_sum_fold(self, year_of_days):
+        monthly = fold_series(year_of_days, 30, "sum")
+        assert len(monthly) == 12
+        assert math.isclose(monthly.values[0], sum(year_of_days.values[:30]))
+
+    def test_avg_fold(self, year_of_days):
+        monthly = fold_series(year_of_days, 30, "avg")
+        assert math.isclose(
+            monthly.values[3], sum(year_of_days.values[90:120]) / 30
+        )
+
+    def test_min_max_last_folds(self):
+        s = TimeSeries(0, (3.0, 1.0, 2.0, 8.0, 5.0, 4.0))
+        assert fold_series(s, 3, "min").values == (1.0, 4.0)
+        assert fold_series(s, 3, "max").values == (3.0, 8.0)
+        assert fold_series(s, 3, "last").values == (2.0, 4.0)
+
+    def test_folded_series_reindexed_to_zero(self, year_of_days):
+        monthly = fold_series(year_of_days, 30)
+        assert monthly.t_b == 0
+
+    def test_rejects_nondivisible_length(self):
+        with pytest.raises(IntervalError):
+            fold_series(TimeSeries(0, (1.0, 2.0, 3.0)), 2)
+
+    def test_rejects_bad_segment_length(self):
+        with pytest.raises(IntervalError):
+            fold_series(TimeSeries(0, (1.0,)), 0)
+
+    def test_rejects_unknown_aggregate(self):
+        with pytest.raises(AggregationError):
+            fold_series(TimeSeries(0, (1.0, 2.0)), 1, "median")  # type: ignore[arg-type]
+
+    def test_fold_preserves_trend_direction(self, year_of_days):
+        monthly = fold_series(year_of_days, 30, "avg")
+        assert monthly.fit().slope > 0
+        assert year_of_days.fit().slope > 0
+
+
+class TestFoldISBs:
+    def _segments(self, series: TimeSeries, seg: int):
+        return [
+            series.slice(i, i + seg - 1).isb()
+            for i in range(series.t_b, series.t_e + 1, seg)
+        ]
+
+    def test_sum_fold_exact_from_isbs(self, year_of_days):
+        segments = self._segments(year_of_days, 30)
+        via_isb = fold_isbs(segments, "sum")
+        via_raw = fold_series(year_of_days, 30, "sum")
+        for a, b in zip(via_isb.values, via_raw.values):
+            assert math.isclose(a, b, rel_tol=1e-9)
+
+    def test_avg_fold_exact_from_isbs(self, year_of_days):
+        segments = self._segments(year_of_days, 30)
+        via_isb = fold_isbs(segments, "avg")
+        via_raw = fold_series(year_of_days, 30, "avg")
+        for a, b in zip(via_isb.values, via_raw.values):
+            assert math.isclose(a, b, rel_tol=1e-9)
+
+    def test_last_fold_uses_fitted_endpoint(self):
+        seg = isb_of_series([1.0, 2.0, 3.0])  # perfect line, end value 3
+        folded = fold_isbs([seg], "last")
+        assert math.isclose(folded.values[0], 3.0, abs_tol=1e-9)
+
+    def test_min_max_refused(self, year_of_days):
+        segments = self._segments(year_of_days, 30)
+        for agg in ("min", "max"):
+            with pytest.raises(AggregationError):
+                fold_isbs(segments, agg)  # type: ignore[arg-type]
+
+    def test_segments_sorted_internally(self, year_of_days):
+        segments = self._segments(year_of_days, 30)
+        forward = fold_isbs(segments, "sum")
+        backward = fold_isbs(list(reversed(segments)), "sum")
+        assert forward.values == backward.values
+
+    def test_rejects_gap(self):
+        a = isb_of_series([1.0, 2.0], t_b=0)
+        b = isb_of_series([1.0, 2.0], t_b=5)
+        with pytest.raises(AggregationError):
+            fold_isbs([a, b])
+
+    def test_rejects_empty(self):
+        with pytest.raises(AggregationError):
+            fold_isbs([])
+
+    def test_rejects_unknown_aggregate(self):
+        seg = isb_of_series([1.0, 2.0])
+        with pytest.raises(AggregationError):
+            fold_isbs([seg], "mode")  # type: ignore[arg-type]
+
+    def test_monthly_regression_from_folded_isbs(self, year_of_days):
+        """The Section 6.2 use case end-to-end: daily ISBs -> monthly series
+        -> monthly-level regression."""
+        segments = self._segments(year_of_days, 30)
+        monthly = fold_isbs(segments, "avg")
+        assert monthly.fit().slope > 0

@@ -1,0 +1,76 @@
+"""Property-based tests for folding: ISB-only folds equal raw-data folds."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.timeseries.folding import fold_isbs, fold_series
+from repro.timeseries.series import TimeSeries
+
+values_st = st.floats(
+    min_value=-1e3, max_value=1e3, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def foldable_series(draw):
+    segment = draw(st.integers(min_value=1, max_value=12))
+    n_segments = draw(st.integers(min_value=1, max_value=10))
+    values = draw(
+        st.lists(
+            values_st,
+            min_size=segment * n_segments,
+            max_size=segment * n_segments,
+        )
+    )
+    return TimeSeries(0, tuple(values)), segment
+
+
+@given(case=foldable_series())
+@settings(max_examples=80, deadline=None)
+def test_sum_fold_exact_from_isbs(case):
+    series, segment = case
+    segments = [
+        series.slice(i, i + segment - 1).isb()
+        for i in range(0, len(series), segment)
+    ]
+    via_isb = fold_isbs(segments, "sum")
+    via_raw = fold_series(series, segment, "sum")
+    for a, b in zip(via_isb.values, via_raw.values):
+        scale = max(1.0, abs(b))
+        assert abs(a - b) <= 1e-6 * scale
+
+
+@given(case=foldable_series())
+@settings(max_examples=80, deadline=None)
+def test_avg_fold_exact_from_isbs(case):
+    series, segment = case
+    segments = [
+        series.slice(i, i + segment - 1).isb()
+        for i in range(0, len(series), segment)
+    ]
+    via_isb = fold_isbs(segments, "avg")
+    via_raw = fold_series(series, segment, "avg")
+    for a, b in zip(via_isb.values, via_raw.values):
+        scale = max(1.0, abs(b))
+        assert abs(a - b) <= 1e-6 * scale
+
+
+@given(case=foldable_series())
+@settings(max_examples=50, deadline=None)
+def test_fold_lengths_and_reindexing(case):
+    series, segment = case
+    folded = fold_series(series, segment, "max")
+    assert len(folded) == len(series) // segment
+    assert folded.t_b == 0
+
+
+@given(case=foldable_series())
+@settings(max_examples=50, deadline=None)
+def test_min_fold_bounded_by_raw_extremes(case):
+    series, segment = case
+    folded = fold_series(series, segment, "min")
+    assert min(folded.values) == min(series.values)
+    folded_max = fold_series(series, segment, "max")
+    assert max(folded_max.values) == max(series.values)

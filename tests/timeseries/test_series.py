@@ -1,0 +1,109 @@
+"""Tests for the TimeSeries value object."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import EmptySeriesError, IntervalError
+from repro.timeseries.series import TimeSeries
+
+
+class TestConstruction:
+    def test_values_coerced_to_float_tuple(self):
+        s = TimeSeries(0, (1, 2, 3))
+        assert s.values == (1.0, 2.0, 3.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(EmptySeriesError):
+            TimeSeries(0, ())
+
+    def test_interval(self):
+        s = TimeSeries(5, (1.0, 2.0, 3.0))
+        assert s.interval == (5, 7)
+        assert len(s) == 3
+
+
+class TestAccess:
+    def test_at(self):
+        s = TimeSeries(10, (1.0, 2.0, 3.0))
+        assert s.at(11) == 2.0
+
+    def test_at_out_of_range(self):
+        s = TimeSeries(10, (1.0,))
+        with pytest.raises(IntervalError):
+            s.at(9)
+        with pytest.raises(IntervalError):
+            s.at(11)
+
+    def test_iter_yields_tick_value_pairs(self):
+        s = TimeSeries(3, (5.0, 6.0))
+        assert list(s) == [(3, 5.0), (4, 6.0)]
+
+
+class TestAlgebra:
+    def test_add_pointwise(self):
+        a = TimeSeries(0, (1.0, 2.0))
+        b = TimeSeries(0, (3.0, 4.0))
+        assert (a + b).values == (4.0, 6.0)
+
+    def test_add_requires_same_interval(self):
+        with pytest.raises(IntervalError):
+            TimeSeries(0, (1.0, 2.0)) + TimeSeries(1, (1.0, 2.0))
+
+    def test_scaled(self):
+        assert TimeSeries(0, (1.0, 2.0)).scaled(2.0).values == (2.0, 4.0)
+
+    def test_concat_adjacent(self):
+        a = TimeSeries(0, (1.0, 2.0))
+        b = TimeSeries(2, (3.0,))
+        c = a.concat(b)
+        assert c.interval == (0, 2)
+        assert c.values == (1.0, 2.0, 3.0)
+
+    def test_concat_rejects_gap(self):
+        with pytest.raises(IntervalError):
+            TimeSeries(0, (1.0,)).concat(TimeSeries(2, (2.0,)))
+
+    def test_slice(self):
+        s = TimeSeries(0, tuple(float(i) for i in range(10)))
+        sub = s.slice(3, 5)
+        assert sub.interval == (3, 5)
+        assert sub.values == (3.0, 4.0, 5.0)
+
+    def test_slice_bounds_checked(self):
+        s = TimeSeries(0, (1.0, 2.0))
+        with pytest.raises(IntervalError):
+            s.slice(0, 5)
+
+    def test_split_partitions(self):
+        s = TimeSeries(0, tuple(float(i) for i in range(10)))
+        parts = s.split([4, 7])
+        assert [p.interval for p in parts] == [(0, 3), (4, 6), (7, 9)]
+        rebuilt = parts[0]
+        for p in parts[1:]:
+            rebuilt = rebuilt.concat(p)
+        assert rebuilt.values == s.values
+
+    def test_split_rejects_bad_boundaries(self):
+        s = TimeSeries(0, (1.0, 2.0, 3.0))
+        with pytest.raises(IntervalError):
+            s.split([2, 2])
+        with pytest.raises(IntervalError):
+            s.split([5])
+
+
+class TestStatistics:
+    def test_mean_total(self):
+        s = TimeSeries(0, (1.0, 2.0, 3.0))
+        assert s.mean == 2.0
+        assert s.total == 6.0
+
+    def test_fit_and_isb_agree(self):
+        s = TimeSeries(2, (0.5, 1.5, 2.5, 3.5))
+        fit = s.fit()
+        isb = s.isb()
+        assert math.isclose(fit.slope, 1.0, abs_tol=1e-12)
+        assert isb.base == fit.base and isb.slope == fit.slope
+        assert isb.interval == s.interval
