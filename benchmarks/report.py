@@ -175,6 +175,21 @@ def main() -> int:
     all_ok &= all(ok for _, ok in checks)
     print(f"  ({time.time() - t0:.1f}s)\n")
 
+    # Beyond the paper: the sharded service layer's throughput profile.
+    from bench_service_throughput import (
+        render_service_table,
+        service_checks,
+        service_throughput_series,
+    )
+
+    t0 = time.time()
+    service_rows = service_throughput_series()
+    print(render_service_table(service_rows))
+    checks = service_checks(service_rows)
+    print(render_shape_checks(checks))
+    all_ok &= all(ok for _, ok in checks)
+    print(f"  ({time.time() - t0:.1f}s)\n")
+
     print("overall:", "ALL SHAPES REPRODUCED" if all_ok else "SHAPE MISMATCH")
     return 0 if all_ok else 1
 

@@ -52,6 +52,12 @@ from repro.cubing import (
 )
 from repro.errors import ReproError
 from repro.query import DrillNode, ExceptionDriller, RegressionCubeView
+from repro.service import (
+    QueryRouter,
+    ShardedStreamCube,
+    StreamCubeService,
+    merge_cube,
+)
 from repro.regression import (
     ISB,
     Design,
@@ -160,4 +166,9 @@ __all__ = [
     "RegressionCubeView",
     "ExceptionDriller",
     "DrillNode",
+    # service
+    "ShardedStreamCube",
+    "QueryRouter",
+    "StreamCubeService",
+    "merge_cube",
 ]

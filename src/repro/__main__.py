@@ -1,14 +1,21 @@
-"""``python -m repro`` — a 30-second self-demonstration.
+"""``python -m repro`` — demo and service entry points.
 
-Runs the paper's pipeline on a small synthetic dataset and prints the
-result: the exact ISB aggregation check (Fig 2/3 captions), the tilt-frame
-savings (Example 3), and a cubing run with its exception watch list.
-Useful as a smoke test of an installation.
+``python -m repro`` (or ``python -m repro demo``) runs the paper's pipeline
+on a small synthetic dataset and prints the result: the exact ISB aggregation
+check (Fig 2/3 captions), the tilt-frame savings (Example 3), and a cubing
+run with its exception watch list.  Useful as a smoke test of an
+installation.
+
+``python -m repro serve --shards N --port P`` starts the sharded stream-cube
+HTTP service over a fanout schema (see :mod:`repro.service.http` for the
+endpoint reference).
 """
 
 from __future__ import annotations
 
+import argparse
 import math
+import sys
 
 from repro import (
     GlobalSlopeThreshold,
@@ -25,7 +32,7 @@ from repro import (
 )
 
 
-def main() -> int:
+def demo() -> int:
     print("repro — regression cubes for time-series data streams")
     print("(Chen, Dong, Han, Wah, Wang — VLDB 2002)\n")
 
@@ -66,5 +73,106 @@ def main() -> int:
     return 0 if (ok2 and ok3) else 1
 
 
+def build_service(args: argparse.Namespace):
+    """A StreamCubeService for the CLI flags (shared with the benchmark)."""
+    from repro.service import QueryRouter, ShardedStreamCube, StreamCubeService
+    from repro.stream.generator import DatasetSpec
+
+    layers = DatasetSpec(
+        n_dims=args.dims,
+        n_levels=args.levels,
+        fanout=args.fanout,
+        n_tuples=1,  # build_layers only needs the schema shape
+    ).build_layers()
+    cube = ShardedStreamCube(
+        layers,
+        GlobalSlopeThreshold(args.threshold),
+        n_shards=args.shards,
+        ticks_per_quarter=args.ticks_per_quarter,
+    )
+    router = QueryRouter(cube, window_quarters=args.window)
+    return StreamCubeService(cube, router)
+
+
+def serve_command(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+    from repro.service import serve
+
+    try:
+        service = build_service(args)
+        layers = service.cube.layers
+        print(f"schema: {layers.describe()}")
+        serve(service, host=args.host, port=args.port)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(
+            f"error: cannot bind {args.host}:{args.port} ({exc})",
+            file=sys.stderr,
+        )
+        return 2
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; ``argv`` defaults to no arguments (the demo), and the
+    ``python -m repro`` block below passes the real command line."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="regression cubes for time-series data streams",
+    )
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("demo", help="run the 30-second self-demonstration")
+
+    serve_p = sub.add_parser(
+        "serve", help="run the sharded stream-cube HTTP service"
+    )
+    serve_p.add_argument(
+        "--shards", type=int, default=4, help="engine shards (default 4)"
+    )
+    serve_p.add_argument(
+        "--port", type=int, default=8000, help="TCP port (default 8000)"
+    )
+    serve_p.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    serve_p.add_argument(
+        "--dims", type=int, default=3, help="standard dimensions (default 3)"
+    )
+    serve_p.add_argument(
+        "--levels",
+        type=int,
+        default=3,
+        help="hierarchy levels m-layer..o-layer inclusive (default 3)",
+    )
+    serve_p.add_argument(
+        "--fanout", type=int, default=10, help="hierarchy fanout (default 10)"
+    )
+    serve_p.add_argument(
+        "--threshold",
+        type=float,
+        default=0.05,
+        help="global exception slope threshold (default 0.05)",
+    )
+    serve_p.add_argument(
+        "--ticks-per-quarter",
+        type=int,
+        default=15,
+        help="primitive ticks per quarter slot (default 15)",
+    )
+    serve_p.add_argument(
+        "--window",
+        type=int,
+        default=4,
+        help="default analysis window in quarters (default 4)",
+    )
+
+    args = parser.parse_args(argv if argv is not None else [])
+    if args.command == "serve":
+        return serve_command(args)
+    return demo()
+
+
 if __name__ == "__main__":
-    raise SystemExit(main())
+    raise SystemExit(main(sys.argv[1:]))

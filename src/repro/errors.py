@@ -21,6 +21,7 @@ __all__ = [
     "CubingError",
     "StreamError",
     "QueryError",
+    "ServiceError",
 ]
 
 
@@ -75,3 +76,7 @@ class StreamError(ReproError):
 
 class QueryError(ReproError):
     """A cube query referenced an unknown cell, cuboid or time window."""
+
+
+class ServiceError(ReproError):
+    """The sharded service was mis-configured or received a bad request."""

@@ -22,6 +22,8 @@ from repro.regression.isb import ISB
 __all__ = [
     "isb_to_dict",
     "isb_from_dict",
+    "cells_to_payload",
+    "cells_from_payload",
     "dump_cells",
     "load_cells",
     "dump_exceptions",
@@ -56,14 +58,18 @@ def isb_from_dict(payload: Mapping[str, Any]) -> ISB:
         raise SchemaError(f"ISB payload missing field {exc}") from None
 
 
-def _cells_to_payload(cells: Mapping[Values, ISB]) -> list[dict[str, Any]]:
+def cells_to_payload(cells: Mapping[Values, ISB]) -> list[dict[str, Any]]:
+    """A JSON-ready row list for a cell mapping (one ``{values, isb}`` per
+    cell) — the wire format of both the checkpoint files here and the HTTP
+    service in :mod:`repro.service`."""
     return [
         {"values": list(values), "isb": isb_to_dict(isb)}
         for values, isb in cells.items()
     ]
 
 
-def _cells_from_payload(rows: list[dict[str, Any]]) -> dict[Values, ISB]:
+def cells_from_payload(rows: list[dict[str, Any]]) -> dict[Values, ISB]:
+    """Inverse of :func:`cells_to_payload`; rejects duplicate cells."""
     out: dict[Values, ISB] = {}
     for row in rows:
         values = tuple(row["values"])
@@ -78,7 +84,7 @@ def dump_cells(cells: Mapping[Values, ISB], path: str | Path) -> None:
     payload = {
         "format": "repro-cells",
         "version": _FORMAT_VERSION,
-        "cells": _cells_to_payload(cells),
+        "cells": cells_to_payload(cells),
     }
     Path(path).write_text(json.dumps(payload, indent=1))
 
@@ -92,7 +98,7 @@ def load_cells(path: str | Path) -> dict[Values, ISB]:
         raise SchemaError(
             f"{path}: unsupported version {payload.get('version')}"
         )
-    return _cells_from_payload(payload["cells"])
+    return cells_from_payload(payload["cells"])
 
 
 def dump_exceptions(
@@ -104,7 +110,7 @@ def dump_exceptions(
         "format": "repro-exceptions",
         "version": _FORMAT_VERSION,
         "cuboids": [
-            {"coord": list(coord), "cells": _cells_to_payload(cells)}
+            {"coord": list(coord), "cells": cells_to_payload(cells)}
             for coord, cells in retained.items()
         ],
     }
@@ -123,6 +129,6 @@ def load_exceptions(
             f"{path}: unsupported version {payload.get('version')}"
         )
     return {
-        tuple(entry["coord"]): _cells_from_payload(entry["cells"])
+        tuple(entry["coord"]): cells_from_payload(entry["cells"])
         for entry in payload["cuboids"]
     }

@@ -1,0 +1,28 @@
+"""Multi-engine serving layer: sharded ingestion, exact merge, cached queries.
+
+The first layer of the codebase that runs more than one engine.  Records are
+hash-partitioned by m-layer key across independent
+:class:`~repro.stream.engine.StreamCubeEngine` shards
+(:mod:`repro.service.sharding`), merged losslessly by Theorem 3.2
+(:mod:`repro.service.merge`), served through a cache-fronted router
+(:mod:`repro.service.router`), and exposed over JSON/HTTP
+(:mod:`repro.service.http`, ``python -m repro serve``).
+"""
+
+from repro.service.http import StreamCubeService, make_server, serve
+from repro.service.merge import canonical_cell_order, disjoint_union, merge_cube
+from repro.service.router import LRUCache, QueryRouter
+from repro.service.sharding import ShardedStreamCube, stable_shard_index
+
+__all__ = [
+    "ShardedStreamCube",
+    "stable_shard_index",
+    "disjoint_union",
+    "merge_cube",
+    "canonical_cell_order",
+    "LRUCache",
+    "QueryRouter",
+    "StreamCubeService",
+    "make_server",
+    "serve",
+]

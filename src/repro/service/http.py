@@ -1,0 +1,287 @@
+"""A stdlib JSON/HTTP front end for the sharded stream cube.
+
+``python -m repro serve --shards N --port P`` binds a
+:class:`ShardedStreamCube` + :class:`QueryRouter` pair behind
+``http.server.ThreadingHTTPServer``.  The wire format reuses the
+:mod:`repro.io` ISB codecs (``{"t_b", "t_e", "base", "slope"}`` objects,
+``{"values", "isb"}`` cell rows), so responses round-trip through the same
+loaders the checkpoint files use.
+
+Endpoints
+---------
+``GET  /health``   liveness + shard/quarter/record counters
+``GET  /stats``    router cache + partition-balance statistics
+``POST /ingest``   ``{"records": [{"values": [...], "t": int, "z": float}]}``
+``POST /advance``  ``{"t": int}`` — seal quiet quarters
+``POST /query``    ``{"op": "point" | "slice" | "roll_up" | "drill_down" |
+                   "exceptions" | "watch_list" | "change_exceptions" |
+                   "top_slopes", ...op-specific fields}``
+
+Domain errors map to 400 with ``{"error", "type"}``; unknown routes to 404.
+The handler serializes access to the cube with one lock — shard parallelism
+lives *inside* each call, so the lock bounds interleaving, not throughput.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Hashable
+
+from repro.errors import ReproError, ServiceError
+from repro.io import cells_to_payload, isb_to_dict
+from repro.regression.isb import ISB
+from repro.service.router import QueryRouter
+from repro.service.sharding import ShardedStreamCube
+from repro.stream.records import StreamRecord
+
+__all__ = ["StreamCubeService", "make_server", "serve"]
+
+Values = tuple[Hashable, ...]
+
+
+def _values_of(payload: Any) -> Values:
+    if not isinstance(payload, list):
+        raise ServiceError(f"'values' must be a list, got {type(payload).__name__}")
+    return tuple(payload)
+
+
+def _coord_of(payload: Any) -> tuple[int, ...]:
+    if not isinstance(payload, list):
+        raise ServiceError(f"'coord' must be a list, got {type(payload).__name__}")
+    return tuple(int(level) for level in payload)
+
+
+def _exceptions_payload(
+    retained: dict[tuple[int, ...], dict[Values, ISB]],
+) -> list[dict[str, Any]]:
+    return [
+        {"coord": list(coord), "cells": cells_to_payload(cells)}
+        for coord, cells in retained.items()
+    ]
+
+
+class StreamCubeService:
+    """The transport-free application object behind the HTTP handler.
+
+    Keeping request dispatch off the socket (``handle(method, path,
+    payload)`` → ``(status, body)``) makes the whole service unit-testable
+    without binding a port; the HTTP handler below is a thin shell.
+    """
+
+    def __init__(self, cube: ShardedStreamCube, router: QueryRouter) -> None:
+        self.cube = cube
+        self.router = router
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def handle(
+        self, method: str, path: str, payload: dict[str, Any] | None = None
+    ) -> tuple[int, dict[str, Any]]:
+        """Route one request; returns ``(http_status, json_body)``."""
+        routes = {
+            ("GET", "/health"): self.health,
+            ("GET", "/stats"): self.stats,
+            ("POST", "/ingest"): self.ingest,
+            ("POST", "/advance"): self.advance,
+            ("POST", "/query"): self.query,
+        }
+        handler = routes.get((method, path))
+        if handler is None:
+            return 404, {"error": f"no route {method} {path}", "type": "NotFound"}
+        try:
+            with self._lock:
+                return 200, handler(payload or {})
+        except ReproError as exc:
+            return 400, {"error": str(exc), "type": type(exc).__name__}
+        except (KeyError, TypeError, ValueError) as exc:
+            # Missing / mistyped payload fields that slipped past explicit
+            # validation: still the client's fault, never a dead socket.
+            return 400, {
+                "error": f"malformed request payload: {exc!r}",
+                "type": "BadRequest",
+            }
+
+    # ------------------------------------------------------------------
+    # Routes
+    # ------------------------------------------------------------------
+    def health(self, payload: dict[str, Any]) -> dict[str, Any]:
+        return {
+            "status": "ok",
+            "shards": self.cube.n_shards,
+            "current_quarter": self.cube.current_quarter,
+            "records_ingested": self.cube.records_ingested,
+            "tracked_cells": self.cube.tracked_cells,
+        }
+
+    def stats(self, payload: dict[str, Any]) -> dict[str, Any]:
+        return {
+            "router": self.router.stats(),
+            "shard_cells": self.cube.shard_cells,
+            "ticks_per_quarter": self.cube.ticks_per_quarter,
+        }
+
+    def ingest(self, payload: dict[str, Any]) -> dict[str, Any]:
+        rows = payload.get("records")
+        if not isinstance(rows, list):
+            raise ServiceError("ingest payload needs a 'records' list")
+        try:
+            records = [
+                StreamRecord(
+                    values=_values_of(row["values"]),
+                    t=int(row["t"]),
+                    z=float(row["z"]),
+                )
+                for row in rows
+            ]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ServiceError(f"malformed record in batch: {exc}") from exc
+        count = self.cube.ingest_batch(records)
+        return {
+            "ingested": count,
+            "current_quarter": self.cube.current_quarter,
+        }
+
+    def advance(self, payload: dict[str, Any]) -> dict[str, Any]:
+        try:
+            t = int(payload["t"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ServiceError("advance payload needs an integer 't'") from exc
+        self.cube.advance_to(t)
+        return {"current_quarter": self.cube.current_quarter}
+
+    def query(self, payload: dict[str, Any]) -> dict[str, Any]:
+        op = payload.get("op")
+        window = payload.get("window")
+        window = int(window) if window is not None else None
+        if op == "point":
+            isb = self.router.point(
+                _coord_of(payload["coord"]), _values_of(payload["values"]), window
+            )
+            return {"op": op, "isb": isb_to_dict(isb)}
+        if op == "slice":
+            fixed = payload.get("fixed", {})
+            if not isinstance(fixed, dict):
+                raise ServiceError("'fixed' must be a {dimension: value} object")
+            cells = self.router.slice(_coord_of(payload["coord"]), fixed, window)
+            return {"op": op, "cells": cells_to_payload(cells)}
+        if op == "roll_up":
+            coord, values, isb = self.router.roll_up(
+                _coord_of(payload["coord"]),
+                _values_of(payload["values"]),
+                str(payload["dim"]),
+                window,
+            )
+            return {
+                "op": op,
+                "coord": list(coord),
+                "values": list(values),
+                "isb": isb_to_dict(isb),
+            }
+        if op == "drill_down":
+            cells = self.router.drill_down(
+                _coord_of(payload["coord"]),
+                _values_of(payload["values"]),
+                str(payload["dim"]),
+                window,
+            )
+            return {"op": op, "cells": cells_to_payload(cells)}
+        if op == "exceptions":
+            return {
+                "op": op,
+                "cuboids": _exceptions_payload(self.router.exceptions(window)),
+            }
+        if op == "watch_list":
+            return {
+                "op": op,
+                "cells": cells_to_payload(self.router.watch_list(window)),
+            }
+        if op == "change_exceptions":
+            cells = self.router.change_exceptions(
+                int(payload.get("quarters_apart", 1)),
+                str(payload.get("layer", "m")),
+            )
+            return {"op": op, "cells": cells_to_payload(cells)}
+        if op == "top_slopes":
+            ranked = self.router.top_slopes(
+                _coord_of(payload["coord"]), int(payload.get("k", 5)), window
+            )
+            return {
+                "op": op,
+                "cells": [
+                    {"values": list(values), "isb": isb_to_dict(isb)}
+                    for values, isb in ranked
+                ],
+            }
+        raise ServiceError(f"unknown query op {op!r}")
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Thin socket shell around a :class:`StreamCubeService`."""
+
+    service: StreamCubeService  # injected by make_server
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass  # keep the serving loop quiet; /stats carries the numbers
+
+    def _respond(self, status: int, body: dict[str, Any]) -> None:
+        data = json.dumps(body).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        status, body = self.service.handle("GET", self.path)
+        self._respond(status, body)
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        length = int(self.headers.get("Content-Length", 0))
+        raw = self.rfile.read(length) if length else b"{}"
+        try:
+            payload = json.loads(raw or b"{}")
+        except json.JSONDecodeError as exc:
+            self._respond(
+                400, {"error": f"invalid JSON body: {exc}", "type": "BadRequest"}
+            )
+            return
+        if not isinstance(payload, dict):
+            self._respond(
+                400,
+                {"error": "JSON body must be an object", "type": "BadRequest"},
+            )
+            return
+        status, body = self.service.handle("POST", self.path, payload)
+        self._respond(status, body)
+
+
+def make_server(
+    service: StreamCubeService, host: str = "127.0.0.1", port: int = 8000
+) -> ThreadingHTTPServer:
+    """A bound (not yet serving) threaded HTTP server for the service."""
+    handler = type("ReproHandler", (_Handler,), {"service": service})
+    return ThreadingHTTPServer((host, port), handler)
+
+
+def serve(
+    service: StreamCubeService, host: str = "127.0.0.1", port: int = 8000
+) -> None:
+    """Serve forever (Ctrl-C to stop)."""
+    server = make_server(service, host, port)
+    address = f"http://{server.server_address[0]}:{server.server_address[1]}"
+    print(
+        f"repro stream-cube service on {address} "
+        f"({service.cube.n_shards} shards)"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        service.cube.close()

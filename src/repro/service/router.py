@@ -1,0 +1,276 @@
+"""Query serving over a sharded cube: merged views plus an LRU result cache.
+
+The router owns the read path.  It refreshes a merged
+:class:`~repro.cubing.result.CubeResult` lazily per analysis window, wraps it
+in a :class:`~repro.query.api.RegressionCubeView`, and memoizes individual
+query answers in a bounded LRU keyed on ``(operation, coord, values,
+window)``.  Every cached entry is derived from sealed quarters only, so the
+whole cache is invalidated exactly when a quarter seals (the cube's quarter
+clock advances) — between seals, answers are immutable and a hit is safe.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable, Iterable, Mapping
+
+from repro.cubing.result import CubeResult
+from repro.errors import ServiceError
+from repro.query.api import RegressionCubeView
+from repro.regression.isb import ISB
+from repro.service.sharding import ShardedStreamCube
+from repro.stream.engine import Algorithm
+
+__all__ = ["LRUCache", "QueryRouter"]
+
+Values = tuple[Hashable, ...]
+Coord = tuple[int, ...]
+
+
+class LRUCache:
+    """A small bounded LRU with hit/miss accounting."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ServiceError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._data: OrderedDict[Any, Any] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key: Any) -> Any | None:
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.misses += 1
+            return None
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Any, value: Any) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+
+class QueryRouter:
+    """Cached point/slice/roll-up/exception queries over a sharded cube.
+
+    Parameters
+    ----------
+    cube:
+        The sharded cube being served.
+    window_quarters:
+        Default analysis window for queries that do not name one.
+    algorithm:
+        Cubing algorithm used for merged refreshes.
+    cache_size:
+        LRU capacity for individual query answers.
+    """
+
+    def __init__(
+        self,
+        cube: ShardedStreamCube,
+        window_quarters: int = 4,
+        algorithm: Algorithm = "mo",
+        cache_size: int = 1024,
+    ) -> None:
+        if window_quarters < 1:
+            raise ServiceError(
+                f"window_quarters must be >= 1, got {window_quarters}"
+            )
+        self.cube = cube
+        self.window_quarters = window_quarters
+        self.algorithm: Algorithm = algorithm
+        self.cache = LRUCache(cache_size)
+        self._views: dict[int, RegressionCubeView] = {}
+        self._epoch = cube.current_quarter
+        self.refreshes = 0
+
+    # ------------------------------------------------------------------
+    # Freshness
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        """The quarter clock the cached answers were computed at."""
+        return self._epoch
+
+    def _sync(self) -> None:
+        """Invalidate everything when a quarter sealed since the last query."""
+        current = self.cube.current_quarter
+        if current != self._epoch:
+            self.cache.clear()
+            self._views.clear()
+            self._epoch = current
+
+    def view(self, window_quarters: int | None = None) -> RegressionCubeView:
+        """The merged cube view for one window, refreshed at most once per
+        (window, epoch)."""
+        self._sync()
+        window = self._window(window_quarters)
+        if window not in self._views:
+            result = self.cube.refresh(window, self.algorithm)
+            self._views[window] = RegressionCubeView(result)
+            self.refreshes += 1
+        return self._views[window]
+
+    def result(self, window_quarters: int | None = None) -> CubeResult:
+        """The merged cube result behind :meth:`view`."""
+        return self.view(window_quarters).result
+
+    def _window(self, window_quarters: int | None) -> int:
+        return (
+            self.window_quarters
+            if window_quarters is None
+            else window_quarters
+        )
+
+    def _cached(self, key: tuple, compute) -> Any:
+        self._sync()
+        value = self.cache.get(key)
+        if value is None:
+            value = compute()
+            self.cache.put(key, value)
+        return value
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def point(
+        self,
+        coord: Iterable[int],
+        values: Iterable[Hashable],
+        window_quarters: int | None = None,
+    ) -> ISB:
+        """One cell's regression (materialized or rolled up on the fly)."""
+        coord = tuple(coord)
+        values = tuple(values)
+        window = self._window(window_quarters)
+        return self._cached(
+            ("point", coord, values, window),
+            lambda: self.view(window).cell(coord, values),
+        )
+
+    def slice(
+        self,
+        coord: Iterable[int],
+        fixed: Mapping[str, Hashable],
+        window_quarters: int | None = None,
+    ) -> dict[Values, ISB]:
+        """Cells of one cuboid matching fixed dimension values."""
+        coord = tuple(coord)
+        fixed_key = tuple(sorted(fixed.items()))
+        window = self._window(window_quarters)
+        return self._cached(
+            ("slice", coord, fixed_key, window),
+            lambda: self.view(window).slice(coord, dict(fixed)),
+        )
+
+    def roll_up(
+        self,
+        coord: Iterable[int],
+        values: Iterable[Hashable],
+        dim: str,
+        window_quarters: int | None = None,
+    ) -> tuple[Coord, Values, ISB]:
+        """One roll-up step of a cell along a named dimension."""
+        coord = tuple(coord)
+        values = tuple(values)
+        window = self._window(window_quarters)
+        return self._cached(
+            ("roll_up", coord, values, dim, window),
+            lambda: self.view(window).roll_up(coord, values, dim),
+        )
+
+    def drill_down(
+        self,
+        coord: Iterable[int],
+        values: Iterable[Hashable],
+        dim: str,
+        window_quarters: int | None = None,
+    ) -> dict[Values, ISB]:
+        """One drill-down step: the children of a cell along ``dim``."""
+        coord = tuple(coord)
+        values = tuple(values)
+        window = self._window(window_quarters)
+        return self._cached(
+            ("drill_down", coord, values, dim, window),
+            lambda: self.view(window).drill_down(coord, values, dim),
+        )
+
+    def exceptions(
+        self, window_quarters: int | None = None
+    ) -> dict[Coord, dict[Values, ISB]]:
+        """The retained exception cells per cuboid, o-layer included."""
+        window = self._window(window_quarters)
+
+        def compute() -> dict[Coord, dict[Values, ISB]]:
+            result = self.result(window)
+            out = {
+                coord: dict(cells)
+                for coord, cells in result.retained_exceptions.items()
+            }
+            out[result.layers.o_coord] = result.o_layer_exceptions()
+            return out
+
+        return self._cached(("exceptions", window), compute)
+
+    def watch_list(
+        self, window_quarters: int | None = None
+    ) -> dict[Values, ISB]:
+        """The o-layer cells currently flagged exceptional."""
+        window = self._window(window_quarters)
+        return self._cached(
+            ("watch_list", window),
+            lambda: self.view(window).watch_list(),
+        )
+
+    def change_exceptions(
+        self, quarters_apart: int = 1, layer: str = "m"
+    ) -> dict[Values, ISB]:
+        """Window-over-window change exceptions at the m- or o-layer."""
+        if layer not in ("m", "o"):
+            raise ServiceError(f"layer must be 'm' or 'o', got {layer!r}")
+
+        def compute() -> dict[Values, ISB]:
+            if layer == "m":
+                return self.cube.change_exceptions(quarters_apart)
+            return self.cube.o_layer_change_exceptions(quarters_apart)
+
+        return self._cached(("change", layer, quarters_apart), compute)
+
+    def top_slopes(
+        self,
+        coord: Iterable[int],
+        k: int = 5,
+        window_quarters: int | None = None,
+    ) -> list[tuple[Values, ISB]]:
+        """The ``k`` steepest cells of a cuboid."""
+        coord = tuple(coord)
+        window = self._window(window_quarters)
+        return self._cached(
+            ("top_slopes", coord, k, window),
+            lambda: self.view(window).top_slopes(coord, k),
+        )
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, int]:
+        """Cache and refresh counters (served by the HTTP ``/stats``)."""
+        return {
+            "epoch": self._epoch,
+            "cache_entries": len(self.cache),
+            "cache_capacity": self.cache.capacity,
+            "cache_hits": self.cache.hits,
+            "cache_misses": self.cache.misses,
+            "refreshes": self.refreshes,
+        }

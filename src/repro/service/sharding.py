@@ -1,0 +1,300 @@
+"""Hash-partitioned stream cubing: N independent engines, one logical cube.
+
+Theorem 3.2 makes regression cells losslessly mergeable, so a stream cube can
+be *partitioned by m-layer key*: each key's whole history lives on exactly one
+:class:`~repro.stream.engine.StreamCubeEngine` shard, shards never exchange
+state during ingestion, and any global view is an exact disjoint-union merge
+(see :mod:`repro.service.merge`).  This is the architectural seam production
+scaling needs — the shards here are in-process engines behind a thread pool,
+but nothing in the contract prevents a later PR from putting them behind
+processes or sockets.
+
+Equivalence guarantee (property-tested in ``tests/service``): for any
+quarter-ordered workload, a :class:`ShardedStreamCube` with *any* shard count
+produces bit-identical m-layer ISBs and per-cell exception sets to a single
+engine fed the same records, because each cell's per-tick sums, sealing
+boundaries and tilt frame evolve on its owner shard exactly as they would in
+the single engine.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from concurrent.futures import ThreadPoolExecutor
+from typing import Hashable, Iterable
+
+from repro.cube.lattice import PopularPath
+from repro.cube.layers import CriticalLayers
+from repro.cubing.policy import ExceptionPolicy
+from repro.cubing.result import CubeResult
+from repro.errors import ServiceError, StreamError
+from repro.regression.isb import ISB
+from repro.service.merge import disjoint_union
+from repro.stream.engine import (
+    Algorithm,
+    KeyFn,
+    StreamCubeEngine,
+    change_window_bounds,
+    o_layer_change_from_windows,
+    run_cubing,
+    validate_quarter_order,
+)
+from repro.stream.records import StreamRecord
+from repro.tilt.frame import TiltLevelSpec
+
+__all__ = ["ShardedStreamCube", "stable_shard_index"]
+
+Values = tuple[Hashable, ...]
+
+
+def stable_shard_index(values: Values, n_shards: int) -> int:
+    """The owning shard of one m-layer key.
+
+    Python's built-in ``hash`` is salted per process for strings, which would
+    scatter the same key to different shards across restarts (and across the
+    processes a later PR will split shards into).  An unkeyed blake2b digest
+    over a canonical encoding is stable everywhere and cheap enough for the
+    ingest path.
+    """
+    digest = hashlib.blake2b(digest_size=8)
+    for value in values:
+        digest.update(repr(value).encode("utf-8"))
+        digest.update(b"\x1f")
+    return int.from_bytes(digest.digest(), "big") % n_shards
+
+
+class ShardedStreamCube:
+    """One logical stream cube partitioned across N independent engines.
+
+    Parameters mirror :class:`~repro.stream.engine.StreamCubeEngine`, plus:
+
+    n_shards:
+        Number of engine shards keys are hash-partitioned over.
+    max_workers:
+        Thread-pool width for per-shard dispatch (default: ``n_shards``).
+        Per-cell arithmetic is pure Python, so threads mostly help when a
+        shard operation releases the GIL or a later PR swaps in process
+        shards; the pool is the dispatch seam either way.
+
+    The cube is not safe for *concurrent callers* — the HTTP layer
+    serializes access — but each call fans out across shards in parallel.
+    Shards are kept quarter-aligned: any ingestion or advance that moves one
+    shard's clock moves every shard's, exactly as a single engine seals every
+    cell's quarter when any record crosses a boundary.
+    """
+
+    def __init__(
+        self,
+        layers: CriticalLayers,
+        policy: ExceptionPolicy,
+        n_shards: int = 4,
+        key_fn: KeyFn | None = None,
+        ticks_per_quarter: int = 15,
+        frame_levels: Iterable[TiltLevelSpec] | None = None,
+        max_workers: int | None = None,
+    ) -> None:
+        if n_shards < 1:
+            raise ServiceError(f"n_shards must be >= 1, got {n_shards}")
+        self.layers = layers
+        self.policy = policy
+        self.key_fn: KeyFn = key_fn if key_fn is not None else (
+            lambda record: record.values
+        )
+        self.ticks_per_quarter = ticks_per_quarter
+        levels = list(frame_levels) if frame_levels is not None else None
+        self.shards = [
+            StreamCubeEngine(
+                layers,
+                policy,
+                key_fn=key_fn,
+                ticks_per_quarter=ticks_per_quarter,
+                frame_levels=levels,
+            )
+            for _ in range(n_shards)
+        ]
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers if max_workers is not None else n_shards,
+            thread_name_prefix="repro-shard",
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ShardedStreamCube":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def current_quarter(self) -> int:
+        """The global quarter clock (shards are kept aligned)."""
+        return max(shard.current_quarter for shard in self.shards)
+
+    @property
+    def records_ingested(self) -> int:
+        return sum(shard.records_ingested for shard in self.shards)
+
+    @property
+    def tracked_cells(self) -> int:
+        return sum(shard.tracked_cells for shard in self.shards)
+
+    @property
+    def shard_cells(self) -> list[int]:
+        """Tracked-cell count per shard (partition-balance diagnostics)."""
+        return [shard.tracked_cells for shard in self.shards]
+
+    def shard_index(self, values: Values) -> int:
+        """The shard owning an m-layer key."""
+        return stable_shard_index(tuple(values), len(self.shards))
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def ingest(self, record: StreamRecord) -> None:
+        """Ingest one record on its owner shard, keeping shards aligned."""
+        owner = self.shards[self.shard_index(self.key_fn(record))]
+        owner.ingest(record)
+        if owner.current_quarter > min(
+            shard.current_quarter for shard in self.shards
+        ):
+            self._align(owner.current_quarter)
+
+    def ingest_batch(self, records: Iterable[StreamRecord]) -> int:
+        """Group a quarter-ordered batch per shard and dispatch in parallel.
+
+        The batch obeys the same ordering contract as
+        :meth:`StreamCubeEngine.ingest_many` — quarters non-decreasing, none
+        sealed — validated against the *global* order before any shard is
+        touched, so a bad batch mutates nothing.  Returns the number of
+        records ingested.
+        """
+        batch = list(records)
+        if not batch:
+            return 0
+        validate_quarter_order(
+            batch, self.current_quarter, self.ticks_per_quarter
+        )
+        groups: list[list[StreamRecord]] = [[] for _ in self.shards]
+        for record in batch:
+            groups[self.shard_index(self.key_fn(record))].append(record)
+        self._map_shards(
+            lambda shard, group: shard.ingest_many(group), groups
+        )
+        self._align(max(shard.current_quarter for shard in self.shards))
+        return len(batch)
+
+    def advance_to(self, t: int) -> None:
+        """Seal quiet quarters on every shard in parallel (cf. the single
+        engine's :meth:`~repro.stream.engine.StreamCubeEngine.advance_to`)."""
+        self._map_shards(lambda shard, _: shard.advance_to(t), self.shards)
+
+    def prune_idle(self, idle_quarters: int) -> int:
+        """Drop idle cells on every shard; returns the total dropped."""
+        return sum(
+            self._map_shards(
+                lambda shard, _: shard.prune_idle(idle_quarters), self.shards
+            )
+        )
+
+    def _align(self, quarter: int) -> None:
+        """Bring every shard's clock to ``quarter`` (parallel no-op when
+        already there)."""
+        t = quarter * self.ticks_per_quarter
+        self._map_shards(lambda shard, _: shard.advance_to(t), self.shards)
+
+    def _map_shards(self, fn, args: list) -> list:
+        """Run ``fn(shard, arg)`` for every shard on the thread pool."""
+        futures = [
+            self._pool.submit(fn, shard, arg)
+            for shard, arg in zip(self.shards, args)
+        ]
+        return [future.result() for future in futures]
+
+    # ------------------------------------------------------------------
+    # Merged analysis (exact, Theorem 3.2 / 3.3)
+    # ------------------------------------------------------------------
+    def window_isbs(self, t_b: int, t_e: int) -> dict[Values, ISB]:
+        """The merged m-layer over an arbitrary sealed window."""
+        return disjoint_union(
+            self._map_shards(
+                lambda shard, _: shard.window_isbs(t_b, t_e), self.shards
+            )
+        )
+
+    def m_cells(self, window_quarters: int = 4) -> dict[Values, ISB]:
+        """The merged m-layer over the last ``window_quarters`` quarters.
+
+        A disjoint union of the per-shard m-layers (shards own disjoint key
+        sets), canonically ordered so the result is identical for every
+        shard count.
+        """
+        if self.current_quarter < window_quarters:
+            raise StreamError(
+                f"only {self.current_quarter} quarters sealed; cannot form "
+                f"a {window_quarters}-quarter window"
+            )
+        return disjoint_union(
+            self._map_shards(
+                lambda shard, _: shard.m_cells(window_quarters), self.shards
+            )
+        )
+
+    def refresh(
+        self,
+        window_quarters: int = 4,
+        algorithm: Algorithm = "mo",
+        path: PopularPath | None = None,
+    ) -> CubeResult:
+        """A global cube refresh over the merged m-layer.
+
+        The merge is the only cross-shard step: once the m-layer union is
+        assembled, the cubing algorithms run unchanged — coarser cuboids are
+        re-aggregated from the union exactly as they would be from a single
+        engine's m-layer.
+        """
+        cells = self.m_cells(window_quarters)
+        return run_cubing(self.layers, cells, self.policy, algorithm, path)
+
+    def change_exceptions(self, quarters_apart: int = 1) -> dict[Values, ISB]:
+        """Merged m-layer window-over-window change exceptions.
+
+        Change detection is per-cell, so the global answer is the disjoint
+        union of the per-shard answers.
+        """
+        return disjoint_union(
+            self._map_shards(
+                lambda shard, _: shard.change_exceptions(quarters_apart),
+                self.shards,
+            )
+        )
+
+    def o_layer_change_exceptions(
+        self, quarters_apart: int = 1
+    ) -> dict[Values, ISB]:
+        """O-layer change exceptions over the merged cube.
+
+        O-layer cells aggregate m-cells that may live on different shards, so
+        this cannot be a union of per-shard answers; instead both windows are
+        merged at the m-layer first and the shared roll-up/judge logic runs
+        on the union.
+        """
+        prev_b, cur_b, end = change_window_bounds(
+            self.current_quarter, self.ticks_per_quarter, quarters_apart
+        )
+        return o_layer_change_from_windows(
+            self.layers,
+            self.policy,
+            self.window_isbs(prev_b, cur_b - 1),
+            self.window_isbs(cur_b, end),
+        )

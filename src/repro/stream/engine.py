@@ -32,11 +32,84 @@ from repro.regression.linear import RunningRegression
 from repro.stream.records import StreamRecord
 from repro.tilt.frame import TiltLevelSpec, TiltTimeFrame
 
-__all__ = ["StreamCubeEngine", "engine_frame_levels"]
+__all__ = [
+    "StreamCubeEngine",
+    "engine_frame_levels",
+    "o_layer_change_from_windows",
+    "run_cubing",
+    "validate_quarter_order",
+    "change_window_bounds",
+]
 
 Values = tuple[Hashable, ...]
 KeyFn = Callable[[StreamRecord], Values]
 Algorithm = Literal["mo", "popular", "multiway", "full"]
+
+
+def validate_quarter_order(
+    batch: list[StreamRecord], current_quarter: int, ticks_per_quarter: int
+) -> None:
+    """Enforce the batch ordering contract before any state is mutated.
+
+    Quarters must be non-decreasing across the batch and none may precede
+    ``current_quarter``; within one quarter any tick order is fine.  Shared
+    by the single engine's :meth:`~StreamCubeEngine.ingest_many` and the
+    sharded cube's ``ingest_batch`` so the contract cannot diverge.
+    """
+    high = current_quarter
+    for i, record in enumerate(batch):
+        quarter = record.t // ticks_per_quarter
+        if quarter < current_quarter:
+            raise StreamError(
+                f"batch record {i} at t={record.t} belongs to sealed "
+                f"quarter {quarter} (current quarter is {current_quarter}); "
+                "batch rejected, no records ingested"
+            )
+        if quarter < high:
+            raise StreamError(
+                f"batch record {i} at t={record.t} (quarter {quarter}) "
+                f"goes back past quarter {high} seen earlier in the "
+                "batch; batches must be quarter-ordered — batch "
+                "rejected, no records ingested"
+            )
+        high = quarter
+
+
+def change_window_bounds(
+    current_quarter: int, ticks_per_quarter: int, quarters_apart: int
+) -> tuple[int, int, int]:
+    """The ``(prev_b, cur_b, end)`` ticks of a current-vs-previous pair.
+
+    Raises when fewer than two windows are sealed.  One definition serves
+    the engine and the sharded cube so their change detection cannot drift.
+    """
+    if current_quarter < 2 * quarters_apart:
+        raise StreamError(
+            "need at least two sealed windows for change detection"
+        )
+    end = current_quarter * ticks_per_quarter - 1
+    cur_b = end - quarters_apart * ticks_per_quarter + 1
+    prev_b = cur_b - quarters_apart * ticks_per_quarter
+    return prev_b, cur_b, end
+
+
+def run_cubing(
+    layers: CriticalLayers,
+    cells: dict[Values, ISB],
+    policy: ExceptionPolicy,
+    algorithm: Algorithm = "mo",
+    path: PopularPath | None = None,
+) -> CubeResult:
+    """Dispatch one cubing run over an assembled m-layer by algorithm name."""
+    if algorithm == "mo":
+        return mo_cubing(layers, cells, policy)
+    if algorithm == "popular":
+        return popular_path_cubing(layers, cells, policy, path)
+    if algorithm == "multiway":
+        return multiway_cubing(layers, cells, policy)
+    if algorithm == "full":
+        return full_materialization(layers, cells, policy)
+    raise StreamError(f"unknown algorithm {algorithm!r}")
 
 
 def engine_frame_levels(ticks_per_quarter: int) -> list[TiltLevelSpec]:
@@ -210,7 +283,22 @@ class StreamCubeEngine:
         self._records_ingested += 1
 
     def ingest_many(self, records: Iterable[StreamRecord]) -> None:
-        for record in records:
+        """Ingest a batch of records, validating time order up front.
+
+        Ordering contract: the batch's records must have non-decreasing
+        *quarters* (``t // ticks_per_quarter``) and none may belong to an
+        already-sealed quarter.  Within one quarter any tick order is fine —
+        per-tick accumulation is order-free — but a record whose quarter
+        precedes an earlier record's quarter would force sealing that the
+        stream cannot undo.  The whole batch is checked before any state is
+        mutated, so a bad batch raises :class:`StreamError` and leaves the
+        engine exactly as it was (no partial ingestion).
+        """
+        batch = list(records)
+        validate_quarter_order(
+            batch, self._current_quarter, self.ticks_per_quarter
+        )
+        for record in batch:
             self.ingest(record)
 
     def advance_to(self, t: int) -> None:
@@ -249,6 +337,24 @@ class StreamCubeEngine:
     # ------------------------------------------------------------------
     # Analysis
     # ------------------------------------------------------------------
+    def window_isbs(self, t_b: int, t_e: int) -> dict[Values, ISB]:
+        """Every tracked cell's exact ISB over the sealed window [t_b, t_e].
+
+        The window must be covered by each cell's tilt frame (i.e. lie within
+        the sealed history); Theorem 3.3 assembles the exact regression from
+        the frame's slots.  This is the primitive the analysis views — and
+        the cross-shard merge in :mod:`repro.service` — are built from.
+        """
+        out: dict[Values, ISB] = {}
+        for key, state in self._cells.items():
+            try:
+                out[key] = state.frame.query(t_b, t_e)
+            except TiltFrameError as exc:
+                raise StreamError(
+                    f"cell {key}: window [{t_b},{t_e}] not covered: {exc}"
+                ) from exc
+        return out
+
     def m_cells(self, window_quarters: int = 4) -> dict[Values, ISB]:
         """The m-layer over the last ``window_quarters`` sealed quarters.
 
@@ -263,15 +369,7 @@ class StreamCubeEngine:
             )
         t_e = self._current_quarter * self.ticks_per_quarter - 1
         t_b = t_e - window_quarters * self.ticks_per_quarter + 1
-        out: dict[Values, ISB] = {}
-        for key, state in self._cells.items():
-            try:
-                out[key] = state.frame.query(t_b, t_e)
-            except TiltFrameError as exc:  # pragma: no cover - defensive
-                raise StreamError(
-                    f"cell {key}: window [{t_b},{t_e}] not covered: {exc}"
-                ) from exc
-        return out
+        return self.window_isbs(t_b, t_e)
 
     def refresh(
         self,
@@ -286,15 +384,7 @@ class StreamCubeEngine:
         cadence.
         """
         cells = self.m_cells(window_quarters)
-        if algorithm == "mo":
-            return mo_cubing(self.layers, cells, self.policy)
-        if algorithm == "popular":
-            return popular_path_cubing(self.layers, cells, self.policy, path)
-        if algorithm == "multiway":
-            return multiway_cubing(self.layers, cells, self.policy)
-        if algorithm == "full":
-            return full_materialization(self.layers, cells, self.policy)
-        raise StreamError(f"unknown algorithm {algorithm!r}")
+        return run_cubing(self.layers, cells, self.policy, algorithm, path)
 
     def change_exceptions(
         self, quarters_apart: int = 1
@@ -305,14 +395,9 @@ class StreamCubeEngine:
         the previous one) at the m-layer: the two-point regression's slope is
         judged by the engine's policy at the m-layer coordinate.
         """
-        if self._current_quarter < 2 * quarters_apart:
-            raise StreamError(
-                "need at least two sealed windows for change detection"
-            )
-        q = self.ticks_per_quarter
-        end = self._current_quarter * q - 1
-        cur_b = end - quarters_apart * q + 1
-        prev_b = cur_b - quarters_apart * q
+        prev_b, cur_b, end = change_window_bounds(
+            self._current_quarter, self.ticks_per_quarter, quarters_apart
+        )
         out: dict[Values, ISB] = {}
         for key, state in self._cells.items():
             prev = state.frame.query(prev_b, cur_b - 1)
@@ -333,39 +418,52 @@ class StreamCubeEngine:
         Theorem 3.2, then each cell's two-window two-point regression is
         judged by the policy at the o-layer coordinate.
         """
-        if self._current_quarter < 2 * quarters_apart:
-            raise StreamError(
-                "need at least two sealed windows for change detection"
-            )
-        q = self.ticks_per_quarter
-        end = self._current_quarter * q - 1
-        cur_b = end - quarters_apart * q + 1
-        prev_b = cur_b - quarters_apart * q
+        prev_b, cur_b, end = change_window_bounds(
+            self._current_quarter, self.ticks_per_quarter, quarters_apart
+        )
+        return o_layer_change_from_windows(
+            self.layers,
+            self.policy,
+            self.window_isbs(prev_b, cur_b - 1),
+            self.window_isbs(cur_b, end),
+        )
 
-        o_coord = self.layers.o_coord
-        m_coord = self.layers.m_coord
-        schema = self.layers.schema
-        mappers = [
-            dim.hierarchy.ancestor_mapper(f, t)
-            for dim, f, t in zip(schema.dimensions, m_coord, o_coord)
-        ]
-        prev_cells: dict[Values, list[ISB]] = {}
-        cur_cells: dict[Values, list[ISB]] = {}
-        for key, state in self._cells.items():
-            o_key = tuple(m(v) for m, v in zip(mappers, key))
-            prev_cells.setdefault(o_key, []).append(
-                state.frame.query(prev_b, cur_b - 1)
-            )
-            cur_cells.setdefault(o_key, []).append(
-                state.frame.query(cur_b, end)
-            )
-        from repro.regression.aggregation import merge_standard
 
-        out: dict[Values, ISB] = {}
-        for o_key, prev_parts in prev_cells.items():
-            prev = merge_standard(prev_parts)
-            cur = merge_standard(cur_cells[o_key])
-            change = two_point_isb(prev, cur)
-            if self.policy.is_exception(change, o_coord):
-                out[o_key] = change
-        return out
+def o_layer_change_from_windows(
+    layers: CriticalLayers,
+    policy: ExceptionPolicy,
+    prev_window: dict[Values, ISB],
+    cur_window: dict[Values, ISB],
+) -> dict[Values, ISB]:
+    """O-layer window-over-window change exceptions from two m-layer windows.
+
+    Both windows map m-layer cells to their exact ISBs over adjacent
+    intervals.  Cells are rolled up to the o-layer with Theorem 3.2, each
+    o-cell's two-window two-point regression is formed, and the policy judges
+    it at the o-layer coordinate.  Shared by the single engine and the
+    cross-shard merge (whose windows are disjoint unions of shard windows).
+    """
+    o_coord = layers.o_coord
+    schema = layers.schema
+    mappers = [
+        dim.hierarchy.ancestor_mapper(f, t)
+        for dim, f, t in zip(schema.dimensions, layers.m_coord, o_coord)
+    ]
+    prev_cells: dict[Values, list[ISB]] = {}
+    cur_cells: dict[Values, list[ISB]] = {}
+    for key, isb in prev_window.items():
+        o_key = tuple(m(v) for m, v in zip(mappers, key))
+        prev_cells.setdefault(o_key, []).append(isb)
+    for key, isb in cur_window.items():
+        o_key = tuple(m(v) for m, v in zip(mappers, key))
+        cur_cells.setdefault(o_key, []).append(isb)
+    from repro.regression.aggregation import merge_standard
+
+    out: dict[Values, ISB] = {}
+    for o_key, prev_parts in prev_cells.items():
+        prev = merge_standard(prev_parts)
+        cur = merge_standard(cur_cells[o_key])
+        change = two_point_isb(prev, cur)
+        if policy.is_exception(change, o_coord):
+            out[o_key] = change
+    return out

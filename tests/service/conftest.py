@@ -1,0 +1,57 @@
+"""Shared fixtures for the sharded-service tests: schemas and workloads."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cube.layers import CriticalLayers
+from repro.cubing.policy import GlobalSlopeThreshold
+from repro.stream.generator import DatasetSpec
+from repro.stream.records import StreamRecord
+
+TPQ = 4  # small quarters keep the tests fast
+
+
+@pytest.fixture
+def layers() -> CriticalLayers:
+    """A D2L2C3 fanout schema (9 leaves per dimension)."""
+    return DatasetSpec(2, 2, 3, 1).build_layers()
+
+
+@pytest.fixture
+def policy() -> GlobalSlopeThreshold:
+    return GlobalSlopeThreshold(0.1)
+
+
+def workload(
+    seed: int,
+    quarters: int = 6,
+    per_tick: int = 12,
+    leaf_card: int = 9,
+    n_dims: int = 2,
+) -> list[StreamRecord]:
+    """A quarter-ordered random workload with realistic irregularities.
+
+    Ticks inside each quarter are shuffled (the ordering contract only
+    constrains quarters), some quarters are quiet for most cells, and cells
+    appear late — everything the zero-backfill and alignment logic must
+    survive.
+    """
+    rng = random.Random(seed)
+    records: list[StreamRecord] = []
+    for quarter in range(quarters):
+        quarter_records: list[StreamRecord] = []
+        for tick in range(quarter * TPQ, (quarter + 1) * TPQ):
+            for _ in range(rng.randrange(per_tick // 2, per_tick + 1)):
+                values = tuple(
+                    rng.randrange(leaf_card) for _ in range(n_dims)
+                )
+                quarter_records.append(
+                    StreamRecord(values, tick, rng.uniform(-1.0, 5.0))
+                )
+        # Within-quarter shuffle: legal, and exercises order-free sums.
+        rng.shuffle(quarter_records)
+        records.extend(quarter_records)
+    return records

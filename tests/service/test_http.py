@@ -1,0 +1,175 @@
+"""The JSON service: dispatch-level tests plus one live-socket round trip."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.io import cells_from_payload, isb_from_dict
+from repro.service.http import StreamCubeService, make_server
+from repro.service.router import QueryRouter
+from repro.service.sharding import ShardedStreamCube
+
+from tests.service.conftest import TPQ, workload
+
+
+@pytest.fixture
+def service(layers, policy):
+    cube = ShardedStreamCube(
+        layers, policy, n_shards=2, ticks_per_quarter=TPQ
+    )
+    yield StreamCubeService(cube, QueryRouter(cube, window_quarters=4))
+    cube.close()
+
+
+@pytest.fixture
+def loaded(service):
+    records = workload(3)
+    rows = [
+        {"values": list(r.values), "t": r.t, "z": r.z} for r in records
+    ]
+    status, _ = service.handle("POST", "/ingest", {"records": rows})
+    assert status == 200
+    service.handle("POST", "/advance", {"t": 6 * TPQ})
+    return service
+
+
+class TestDispatch:
+    def test_health(self, loaded):
+        status, body = loaded.handle("GET", "/health")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["shards"] == 2
+        assert body["current_quarter"] == 6
+        assert body["records_ingested"] > 0
+
+    def test_stats(self, loaded):
+        loaded.handle(
+            "POST", "/query", {"op": "point", "coord": [1, 1], "values": [0, 0]}
+        )
+        status, body = loaded.handle("GET", "/stats")
+        assert status == 200
+        assert body["router"]["cache_misses"] >= 1
+        assert len(body["shard_cells"]) == 2
+
+    def test_point_round_trips_isb(self, loaded):
+        status, body = loaded.handle(
+            "POST", "/query", {"op": "point", "coord": [1, 1], "values": [0, 0]}
+        )
+        assert status == 200
+        isb = isb_from_dict(body["isb"])
+        assert isb == loaded.router.point((1, 1), (0, 0))
+
+    def test_slice_and_exceptions(self, loaded):
+        status, body = loaded.handle(
+            "POST",
+            "/query",
+            {"op": "slice", "coord": [1, 1], "fixed": {"d0": 0}},
+        )
+        assert status == 200
+        cells = cells_from_payload(body["cells"])
+        assert cells == loaded.router.slice((1, 1), {"d0": 0})
+
+        status, body = loaded.handle("POST", "/query", {"op": "exceptions"})
+        assert status == 200
+        coords = {tuple(entry["coord"]) for entry in body["cuboids"]}
+        assert loaded.cube.layers.o_coord in coords
+
+    def test_change_exceptions(self, loaded):
+        status, body = loaded.handle(
+            "POST", "/query", {"op": "change_exceptions", "layer": "o"}
+        )
+        assert status == 200
+        assert cells_from_payload(body["cells"]) == (
+            loaded.router.change_exceptions(1, "o")
+        )
+
+    def test_domain_error_maps_to_400(self, loaded):
+        status, body = loaded.handle(
+            "POST", "/query", {"op": "point", "coord": [9, 9], "values": [0, 0]}
+        )
+        assert status == 400
+        assert "error" in body and body["type"]
+
+    def test_unknown_op_and_route(self, loaded):
+        status, body = loaded.handle("POST", "/query", {"op": "magic"})
+        assert status == 400
+        status, body = loaded.handle("GET", "/nope")
+        assert status == 404
+
+    def test_malformed_query_fields_map_to_400(self, loaded):
+        """Missing or mistyped /query fields are a client error, never an
+        unanswered (dropped) request."""
+        for payload in (
+            {"op": "point"},  # missing coord/values
+            {"op": "point", "coord": [1, 1], "values": [0, 0], "window": "x"},
+            {"op": "top_slopes", "coord": [1, 1], "k": "many"},
+            {"op": "roll_up", "coord": [1, 1], "values": [0, 0]},  # no dim
+        ):
+            status, body = loaded.handle("POST", "/query", payload)
+            assert status == 400, payload
+            assert "error" in body, payload
+
+    def test_malformed_ingest_rejected(self, service):
+        status, body = service.handle("POST", "/ingest", {"records": "nope"})
+        assert status == 400
+        status, body = service.handle(
+            "POST", "/ingest", {"records": [{"values": [0, 0]}]}
+        )
+        assert status == 400
+        assert service.cube.records_ingested == 0
+
+
+class TestLiveServer:
+    def test_end_to_end_over_sockets(self, service):
+        server = make_server(service, port=0)
+        port = server.server_address[1]
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        base = f"http://127.0.0.1:{port}"
+
+        def post(path, body):
+            req = urllib.request.Request(
+                base + path,
+                data=json.dumps(body).encode("utf-8"),
+                headers={"Content-Type": "application/json"},
+            )
+            with urllib.request.urlopen(req) as response:
+                return json.loads(response.read())
+
+        try:
+            records = workload(3)
+            rows = [
+                {"values": list(r.values), "t": r.t, "z": r.z}
+                for r in records
+            ]
+            assert post("/ingest", {"records": rows})["ingested"] == len(rows)
+            assert post("/advance", {"t": 6 * TPQ})["current_quarter"] == 6
+
+            body = post(
+                "/query", {"op": "point", "coord": [1, 1], "values": [0, 0]}
+            )
+            assert isb_from_dict(body["isb"]) == service.router.point(
+                (1, 1), (0, 0)
+            )
+
+            body = post("/query", {"op": "watch_list"})
+            assert cells_from_payload(body["cells"]) == (
+                service.router.watch_list()
+            )
+
+            with urllib.request.urlopen(base + "/health") as response:
+                health = json.loads(response.read())
+            assert health["status"] == "ok"
+
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                post("/query", {"op": "magic"})
+            assert excinfo.value.code == 400
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)

@@ -1,0 +1,140 @@
+"""QueryRouter: cached answers, seal-time invalidation, correctness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.query.api import RegressionCubeView
+from repro.service.router import LRUCache, QueryRouter
+from repro.service.sharding import ShardedStreamCube
+from repro.stream.records import StreamRecord
+
+from tests.service.conftest import TPQ, workload
+
+
+@pytest.fixture
+def cube(layers, policy):
+    cube = ShardedStreamCube(
+        layers, policy, n_shards=2, ticks_per_quarter=TPQ
+    )
+    cube.ingest_batch(workload(3))
+    cube.advance_to(6 * TPQ)
+    yield cube
+    cube.close()
+
+
+@pytest.fixture
+def router(cube):
+    return QueryRouter(cube, window_quarters=4)
+
+
+class TestLRUCache:
+    def test_capacity_evicts_least_recent(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh a
+        cache.put("c", 3)  # evicts b
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+
+    def test_hit_miss_accounting(self):
+        cache = LRUCache(4)
+        cache.put("k", "v")
+        cache.get("k")
+        cache.get("absent")
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_capacity_validated(self):
+        with pytest.raises(ServiceError):
+            LRUCache(0)
+
+
+class TestRouterQueries:
+    def test_point_matches_uncached_view(self, cube, router):
+        view = RegressionCubeView(cube.refresh(4))
+        some_cell = next(iter(cube.m_cells(4)))
+        assert router.point((2, 2), some_cell) == view.cell((2, 2), some_cell)
+        # Intermediate, non-materialized cuboid rolls up on the fly.
+        mid = (some_cell[0] // 3, some_cell[1])
+        assert router.point((1, 2), mid) == view.cell((1, 2), mid)
+
+    def test_second_query_is_a_cache_hit(self, router):
+        router.point((1, 1), (0, 0))
+        before = router.cache.hits
+        router.point((1, 1), (0, 0))
+        assert router.cache.hits == before + 1
+
+    def test_slice_and_top_slopes(self, cube, router):
+        view = RegressionCubeView(cube.refresh(4))
+        assert router.slice((1, 1), {"d0": 0}) == view.slice((1, 1), {"d0": 0})
+        assert router.top_slopes((1, 1), 3) == view.top_slopes((1, 1), 3)
+
+    def test_roll_up_and_drill_down(self, cube, router):
+        view = RegressionCubeView(cube.refresh(4))
+        some_cell = next(iter(cube.m_cells(4)))
+        assert router.roll_up((2, 2), some_cell, "d0") == view.roll_up(
+            (2, 2), some_cell, "d0"
+        )
+        assert router.drill_down((1, 1), (0, 0), "d0") == view.drill_down(
+            (1, 1), (0, 0), "d0"
+        )
+
+    def test_exceptions_include_o_layer(self, cube, router):
+        out = router.exceptions()
+        assert cube.layers.o_coord in out
+        assert out[cube.layers.o_coord] == router.watch_list()
+
+    def test_change_exceptions_layers(self, cube, router):
+        assert router.change_exceptions(1, "m") == cube.change_exceptions(1)
+        assert router.change_exceptions(1, "o") == (
+            cube.o_layer_change_exceptions(1)
+        )
+        with pytest.raises(ServiceError):
+            router.change_exceptions(1, "x")
+
+    def test_window_override(self, cube, router):
+        wide = router.point((1, 1), (0, 0), window_quarters=6)
+        narrow = router.point((1, 1), (0, 0), window_quarters=2)
+        assert wide.interval != narrow.interval
+
+    def test_refresh_happens_once_per_window(self, router):
+        router.point((1, 1), (0, 0))
+        router.slice((1, 1), {"d0": 0})
+        router.watch_list()
+        assert router.refreshes == 1
+        router.point((1, 1), (0, 0), window_quarters=2)
+        assert router.refreshes == 2
+
+
+class TestInvalidation:
+    def test_quarter_seal_clears_cache(self, cube, router):
+        stale = router.point((1, 1), (0, 0))
+        assert len(router.cache) == 1
+        epoch = router.epoch
+        # New data in a new quarter, then seal it.
+        t0 = 6 * TPQ
+        cube.ingest_batch(
+            [StreamRecord((0, 0), t, 50.0) for t in range(t0, t0 + TPQ)]
+        )
+        cube.advance_to(t0 + TPQ)
+        fresh = router.point((1, 1), (0, 0))
+        assert router.epoch == epoch + 1
+        assert fresh != stale  # the jump moved the regression
+        assert router.cache.hits == 0  # cleared, recomputed
+
+    def test_no_invalidation_within_a_quarter(self, cube, router):
+        router.point((1, 1), (0, 0))
+        # Mid-quarter records do not touch sealed history.
+        cube.ingest_batch([StreamRecord((0, 0), 6 * TPQ, 50.0)])
+        router.point((1, 1), (0, 0))
+        assert router.cache.hits == 1
+
+
+class TestValidation:
+    def test_window_quarters_validated(self, cube):
+        with pytest.raises(ServiceError):
+            QueryRouter(cube, window_quarters=0)

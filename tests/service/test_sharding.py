@@ -1,0 +1,249 @@
+"""Shard-count invariance: a partitioned cube equals a single engine exactly.
+
+The core property of the service layer (Theorem 3.2's losslessness made
+operational): for any quarter-ordered workload and any shard count, the
+merged m-layer ISBs and the exception sets are *bit-identical* to a single
+:class:`StreamCubeEngine` fed the same records.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ServiceError, StreamError
+from repro.service.merge import disjoint_union
+from repro.service.sharding import ShardedStreamCube, stable_shard_index
+from repro.stream.engine import StreamCubeEngine
+from repro.stream.records import StreamRecord
+
+from tests.service.conftest import TPQ, workload
+
+SHARD_COUNTS = (1, 2, 7)
+
+
+def single_engine(layers, policy, records, end_tick):
+    engine = StreamCubeEngine(layers, policy, ticks_per_quarter=TPQ)
+    engine.ingest_many(records)
+    engine.advance_to(end_tick)
+    return engine
+
+
+def sharded(layers, policy, records, end_tick, k, batch_size=None):
+    cube = ShardedStreamCube(
+        layers, policy, n_shards=k, ticks_per_quarter=TPQ
+    )
+    if batch_size is None:
+        cube.ingest_batch(records)
+    else:
+        for i in range(0, len(records), batch_size):
+            cube.ingest_batch(records[i : i + batch_size])
+    cube.advance_to(end_tick)
+    return cube
+
+
+class TestShardInvariance:
+    @pytest.mark.parametrize("k", SHARD_COUNTS)
+    @pytest.mark.parametrize("seed", [3, 11, 42])
+    def test_m_layer_bit_identical(self, layers, policy, k, seed):
+        records = workload(seed)
+        end = 6 * TPQ
+        engine = single_engine(layers, policy, records, end)
+        with sharded(layers, policy, records, end, k) as cube:
+            # dict equality on frozen dataclasses is exact float equality.
+            assert cube.m_cells(4) == engine.m_cells(4)
+            assert cube.window_isbs(0, end - 1) == engine.window_isbs(
+                0, end - 1
+            )
+
+    @pytest.mark.parametrize("k", SHARD_COUNTS)
+    @pytest.mark.parametrize("seed", [3, 11])
+    def test_exception_sets_bit_identical(self, layers, policy, k, seed):
+        records = workload(seed)
+        end = 6 * TPQ
+        engine = single_engine(layers, policy, records, end)
+        with sharded(layers, policy, records, end, k) as cube:
+            assert cube.change_exceptions() == engine.change_exceptions()
+            assert cube.change_exceptions(2) == engine.change_exceptions(2)
+
+    @pytest.mark.parametrize("k", SHARD_COUNTS)
+    def test_batched_ingest_equals_one_batch(self, layers, policy, k):
+        records = workload(7)
+        end = 6 * TPQ
+        with sharded(layers, policy, records, end, k) as one, sharded(
+            layers, policy, records, end, k, batch_size=37
+        ) as many:
+            assert one.m_cells(4) == many.m_cells(4)
+
+    def test_shard_counts_agree_with_each_other(self, layers, policy):
+        """Everything — including float-sensitive merged aggregates — is
+        identical across shard counts, thanks to the canonical merge order."""
+        records = workload(19)
+        end = 6 * TPQ
+        results = []
+        for k in SHARD_COUNTS:
+            with sharded(layers, policy, records, end, k) as cube:
+                result = cube.refresh(4)
+                results.append(
+                    (
+                        cube.m_cells(4),
+                        dict(result.o_layer.items()),
+                        result.o_layer_exceptions(),
+                        cube.o_layer_change_exceptions(),
+                    )
+                )
+        for other in results[1:]:
+            assert other == results[0]
+
+    @pytest.mark.parametrize("k", SHARD_COUNTS)
+    def test_refresh_matches_single_engine(self, layers, policy, k):
+        """Merged cubing agrees with the single engine's cubing; coarser
+        cuboids only up to float roundoff (fold order differs), exception
+        *sets* exactly."""
+        records = workload(23)
+        end = 6 * TPQ
+        engine = single_engine(layers, policy, records, end)
+        expected = engine.refresh(4)
+        with sharded(layers, policy, records, end, k) as cube:
+            got = cube.refresh(4)
+            assert set(got.cuboids) == set(expected.cuboids)
+            for coord, cuboid in expected.cuboids.items():
+                merged = got.cuboids[coord]
+                assert set(merged.cells) == set(cuboid.cells)
+                for values, isb in cuboid.items():
+                    other = merged[values]
+                    assert isb.interval == other.interval
+                    assert math.isclose(isb.base, other.base, rel_tol=1e-9)
+                    assert math.isclose(isb.slope, other.slope, rel_tol=1e-9)
+            assert set(got.o_layer_exceptions()) == set(
+                expected.o_layer_exceptions()
+            )
+            assert set(got.retained_exceptions) == set(
+                expected.retained_exceptions
+            )
+            for coord, cells in expected.retained_exceptions.items():
+                assert set(got.retained_exceptions[coord]) == set(cells)
+
+    @pytest.mark.parametrize("k", SHARD_COUNTS)
+    def test_o_layer_change_matches_single_engine(self, layers, policy, k):
+        records = workload(29)
+        end = 6 * TPQ
+        engine = single_engine(layers, policy, records, end)
+        expected = engine.o_layer_change_exceptions()
+        with sharded(layers, policy, records, end, k) as cube:
+            got = cube.o_layer_change_exceptions()
+            assert set(got) == set(expected)
+            for key, isb in expected.items():
+                assert math.isclose(got[key].slope, isb.slope, rel_tol=1e-9)
+
+
+class TestPartitioning:
+    def test_stable_hash_is_deterministic(self):
+        assert stable_shard_index((3, "a"), 7) == stable_shard_index(
+            (3, "a"), 7
+        )
+        # int 1 and string "1" are different keys.
+        assert stable_shard_index((1,), 1000) != stable_shard_index(
+            ("1",), 1000
+        )
+
+    def test_keys_land_on_their_owner(self, layers, policy):
+        records = workload(5)
+        end = 6 * TPQ
+        with sharded(layers, policy, records, end, 5) as cube:
+            for i, shard in enumerate(cube.shards):
+                for key in shard.m_cells(4):
+                    assert cube.shard_index(key) == i
+
+    def test_partitions_spread(self, layers, policy):
+        records = workload(13)
+        end = 6 * TPQ
+        with sharded(layers, policy, records, end, 4) as cube:
+            assert all(count > 0 for count in cube.shard_cells)
+
+    def test_n_shards_validated(self, layers, policy):
+        with pytest.raises(ServiceError):
+            ShardedStreamCube(layers, policy, n_shards=0)
+
+
+class TestShardedIngestion:
+    def test_bad_batch_mutates_nothing(self, layers, policy):
+        cube = ShardedStreamCube(
+            layers, policy, n_shards=3, ticks_per_quarter=TPQ
+        )
+        good = [StreamRecord((0, 0), t, 1.0) for t in range(TPQ)]
+        bad = good + [
+            StreamRecord((1, 1), 2 * TPQ, 1.0),
+            StreamRecord((2, 2), 0, 1.0),  # goes back a quarter
+        ]
+        with pytest.raises(StreamError):
+            cube.ingest_batch(bad)
+        assert cube.records_ingested == 0
+        assert cube.tracked_cells == 0
+        cube.close()
+
+    def test_sealed_quarter_rejected(self, layers, policy):
+        cube = ShardedStreamCube(
+            layers, policy, n_shards=2, ticks_per_quarter=TPQ
+        )
+        cube.ingest_batch(
+            [StreamRecord((0, 0), TPQ, 1.0)]  # seals quarter 0 on ingest
+        )
+        with pytest.raises(StreamError):
+            cube.ingest_batch([StreamRecord((1, 1), 0, 1.0)])
+        cube.close()
+
+    def test_single_ingest_aligns_shards(self, layers, policy):
+        cube = ShardedStreamCube(
+            layers, policy, n_shards=3, ticks_per_quarter=TPQ
+        )
+        cube.ingest(StreamRecord((0, 0), 0, 1.0))
+        cube.ingest(StreamRecord((0, 0), TPQ, 1.0))  # crosses a boundary
+        assert all(
+            shard.current_quarter == 1 for shard in cube.shards
+        )
+        cube.close()
+
+    def test_empty_batch_is_noop(self, layers, policy):
+        with ShardedStreamCube(layers, policy, n_shards=2) as cube:
+            assert cube.ingest_batch([]) == 0
+
+    def test_prune_idle_sums_over_shards(self, layers, policy):
+        cube = ShardedStreamCube(
+            layers, policy, n_shards=3, ticks_per_quarter=TPQ
+        )
+        records = [
+            StreamRecord((v, v), t, 1.0)
+            for t in range(TPQ)
+            for v in range(6)
+        ]
+        cube.ingest_batch(records)
+        keep = [
+            StreamRecord((0, 0), t, 1.0) for t in range(TPQ, 4 * TPQ)
+        ]
+        cube.ingest_batch(keep)
+        cube.advance_to(4 * TPQ)
+        dropped = cube.prune_idle(2)
+        assert dropped == 5
+        assert cube.tracked_cells == 1
+        cube.close()
+
+
+class TestDisjointUnion:
+    def test_duplicate_key_rejected(self):
+        from repro.regression.isb import ISB
+
+        isb = ISB(0, 3, 1.0, 0.0)
+        with pytest.raises(ServiceError):
+            disjoint_union([{(0, 0): isb}, {(0, 0): isb}])
+
+    def test_canonical_order_is_shard_independent(self):
+        from repro.regression.isb import ISB
+
+        isb = ISB(0, 3, 1.0, 0.0)
+        a = {(2, 1): isb, (0, 0): isb}
+        b = {(1, 2): isb}
+        ab = disjoint_union([a, b])
+        ba = disjoint_union([b, a])
+        assert list(ab) == list(ba)

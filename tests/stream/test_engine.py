@@ -117,6 +117,40 @@ class TestIngestion:
             )
 
 
+class TestBatchIngestion:
+    def test_out_of_order_batch_rejected_before_any_mutation(self, layers):
+        engine = make_engine(layers)
+        batch = [
+            StreamRecord((0, 0), 0, 1.0),
+            StreamRecord((0, 0), 5, 1.0),  # quarter 1
+            StreamRecord((1, 1), 2, 1.0),  # back to quarter 0: bad
+        ]
+        with pytest.raises(StreamError, match="quarter-ordered"):
+            engine.ingest_many(batch)
+        # No partial state: nothing ingested, no quarter sealed.
+        assert engine.records_ingested == 0
+        assert engine.tracked_cells == 0
+        assert engine.current_quarter == 0
+
+    def test_batch_into_sealed_quarter_rejected(self, layers):
+        engine = make_engine(layers)
+        engine.ingest(StreamRecord((0, 0), 5, 1.0))  # seals quarter 0
+        with pytest.raises(StreamError, match="sealed"):
+            engine.ingest_many([StreamRecord((1, 1), 3, 1.0)])
+        assert engine.records_ingested == 1
+
+    def test_within_quarter_disorder_allowed(self, layers):
+        engine = make_engine(layers)
+        engine.ingest_many(
+            [
+                StreamRecord((0, 0), 2, 1.0),
+                StreamRecord((0, 0), 0, 2.0),  # same quarter: fine
+                StreamRecord((0, 0), 3, 3.0),
+            ]
+        )
+        assert engine.records_ingested == 3
+
+
 class TestWindows:
     def test_m_cells_window_matches_raw(self, layers):
         engine = make_engine(layers)

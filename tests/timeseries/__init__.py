@@ -1,0 +1,1 @@
+"""Test package marker (unique module paths for duplicate basenames)."""
