@@ -190,6 +190,21 @@ def main() -> int:
     all_ok &= all(ok for _, ok in checks)
     print(f"  ({time.time() - t0:.1f}s)\n")
 
+    # The declarative query layer: spec overhead, batching, cache profile.
+    from bench_query_layer import (
+        measure_query_layer,
+        query_layer_checks,
+        render_query_layer_table,
+    )
+
+    t0 = time.time()
+    point = measure_query_layer()
+    print(render_query_layer_table(point))
+    checks = query_layer_checks(point)
+    print(render_shape_checks(checks))
+    all_ok &= all(ok for _, ok in checks)
+    print(f"  ({time.time() - t0:.1f}s)\n")
+
     print("overall:", "ALL SHAPES REPRODUCED" if all_ok else "SHAPE MISMATCH")
     return 0 if all_ok else 1
 

@@ -6,8 +6,8 @@ Walks the paper's core ideas in order:
 2. aggregate ISBs losslessly over standard and time dimensions
    (Theorems 3.2 / 3.3);
 3. register a long history in a tilt time frame (Section 4.1);
-4. build a regression cube between the two critical layers and list the
-   exception cells (Sections 4.2-4.4).
+4. build a regression cube between the two critical layers and query it
+   through the declarative ``QuerySpec`` API (Sections 4.2-4.4).
 
 Run: ``python examples/quickstart.py``
 """
@@ -28,6 +28,8 @@ from repro import (
     natural_frame,
     popular_path_cubing,
 )
+from repro.io import spec_from_dict, spec_to_dict
+from repro.query import Q, RegressionCubeView, execute, execute_batch
 
 
 def step1_compress() -> None:
@@ -88,15 +90,24 @@ def step4_cube() -> None:
     print("\nAlgorithm 2 (popular-path):")
     print(pp.describe())
 
-    watch = {
-        k: v for k, v in sorted(
-            mo.o_layer_exceptions().items(),
-            key=lambda kv: -abs(kv[1].slope),
-        )[:3]
-    }
-    print("\ntop o-layer exceptions (the analyst's watch list):")
-    for values, isb in watch.items():
+    # Query through the declarative API: build a plan with the Q builder,
+    # hand it to the one execution engine.  The same specs (as JSON) drive
+    # the HTTP service's POST /query endpoint.
+    view = RegressionCubeView(mo)
+    o_coord = data.layers.o_coord
+    top_spec = Q.top_slopes(o_coord, k=3)
+    assert spec_from_dict(spec_to_dict(top_spec)) == top_spec  # JSON round trip
+    top = execute(view, top_spec).value
+    print("\ntop o-layer slopes (the analyst's watch list):")
+    for values, isb in top:
         print(f"  cell {values}: slope={isb.slope:+.4f}")
+
+    # Batches share one view; per-spec results come back in order.
+    items = execute_batch(
+        view, Q.batch(Q.watch_list(), Q.observation_deck())
+    )
+    watch, deck = (item.result.value for item in items)
+    print(f"batched: {len(watch)} of {len(deck)} o-layer cells are exceptional")
 
 
 def main() -> None:

@@ -51,7 +51,16 @@ from repro.cubing import (
     two_point_isb,
 )
 from repro.errors import ReproError
-from repro.query import DrillNode, ExceptionDriller, RegressionCubeView
+from repro.query import (
+    BatchQuery,
+    DrillNode,
+    ExceptionDriller,
+    Q,
+    QuerySpec,
+    RegressionCubeView,
+    execute,
+    execute_batch,
+)
 from repro.service import (
     QueryRouter,
     ShardedStreamCube,
@@ -166,6 +175,11 @@ __all__ = [
     "RegressionCubeView",
     "ExceptionDriller",
     "DrillNode",
+    "QuerySpec",
+    "BatchQuery",
+    "Q",
+    "execute",
+    "execute_batch",
     # service
     "ShardedStreamCube",
     "QueryRouter",

@@ -7,8 +7,9 @@ run with its exception watch list.  Useful as a smoke test of an
 installation.
 
 ``python -m repro serve --shards N --port P`` starts the sharded stream-cube
-HTTP service over a fanout schema (see :mod:`repro.service.http` for the
-endpoint reference).
+HTTP service over a fanout schema; ``POST /query`` accepts single query
+specs or ``{"queries": [...]}`` batches (see :mod:`repro.service.http` for
+the endpoint reference and :mod:`repro.query.spec` for the spec format).
 """
 
 from __future__ import annotations
@@ -70,6 +71,19 @@ def demo() -> int:
         f"{pp.total_retained_exceptions} <= {mo.total_retained_exceptions} "
         "exception cells"
     )
+
+    # The declarative query API: one batch, one engine, typed results.
+    from repro.query import Q, RegressionCubeView, execute_batch
+
+    view = RegressionCubeView(mo)
+    items = execute_batch(
+        view,
+        Q.batch(Q.watch_list(), Q.top_slopes(data.layers.o_coord, k=3)),
+    )
+    watch, top = (item.result.value for item in items)
+    print(f"\nquery batch: watch list holds {len(watch)} o-layer exceptions")
+    for values, isb in top:
+        print(f"  steepest cells: {values} slope={isb.slope:+.4f}")
     return 0 if (ok2 and ok3) else 1
 
 

@@ -77,6 +77,7 @@ def full_materialization(
         cuboids=cuboids,
         stats=stats,
         retained_exceptions=retained_exceptions,
+        complete_coords=frozenset(cuboids),
     )
 
 

@@ -219,4 +219,7 @@ def popular_path_cubing_from_tree(
         cuboids=result_cuboids,
         stats=stats,
         retained_exceptions=retained_exceptions,
+        # Path cuboids are fully materialized (step 2), so whole-cuboid
+        # queries can serve from them instead of re-aggregating the m-layer.
+        complete_coords=frozenset(path_set),
     )

@@ -38,7 +38,15 @@ Values = tuple[Hashable, ...]
 
 @dataclass
 class CubeResult:
-    """Output of a cubing algorithm."""
+    """Output of a cubing algorithm.
+
+    ``complete_coords`` names the cuboids (beyond the always-complete m- and
+    o-layers) whose entry in ``cuboids`` holds *every* cell of the group-by
+    rather than just retained exception cells: popular-path cubing completes
+    its path cuboids, full materialization completes everything.  Queries
+    use :meth:`complete_cuboid` to serve whole-cuboid scans from them
+    instead of re-aggregating the m-layer.
+    """
 
     layers: CriticalLayers
     policy: ExceptionPolicy
@@ -47,6 +55,7 @@ class CubeResult:
     retained_exceptions: dict[Coord, dict[Values, ISB]] = field(
         default_factory=dict
     )
+    complete_coords: frozenset[Coord] | None = None
 
     # ------------------------------------------------------------------
     # Convenience accessors
@@ -58,6 +67,20 @@ class CubeResult:
     @property
     def m_layer(self) -> Cuboid:
         return self.cuboids[self.layers.m_coord]
+
+    def is_complete(self, coord: Iterable[int]) -> bool:
+        """Whether ``cuboids[coord]`` holds every cell of its group-by."""
+        c = tuple(coord)
+        if c not in self.cuboids:
+            return False
+        if c in (self.layers.m_coord, self.layers.o_coord):
+            return True
+        return self.complete_coords is not None and c in self.complete_coords
+
+    def complete_cuboid(self, coord: Iterable[int]) -> Cuboid | None:
+        """The fully materialized cuboid at ``coord``, or ``None``."""
+        c = tuple(coord)
+        return self.cuboids[c] if self.is_complete(c) else None
 
     def cuboid(self, coord: Iterable[int]) -> Cuboid:
         c = tuple(coord)

@@ -28,6 +28,11 @@ __all__ = [
     "load_cells",
     "dump_exceptions",
     "load_exceptions",
+    "spec_to_dict",
+    "spec_from_dict",
+    "batch_to_dict",
+    "batch_from_dict",
+    "result_to_dict",
 ]
 
 Values = tuple[Hashable, ...]
@@ -77,6 +82,41 @@ def cells_from_payload(rows: list[dict[str, Any]]) -> dict[Values, ISB]:
             raise SchemaError(f"duplicate cell {values} in payload")
         out[values] = isb_from_dict(row["isb"])
     return out
+
+
+# ----------------------------------------------------------------------
+# Query-spec codecs (the wire format of the declarative query API).
+# The encode/decode logic lives with the spec classes in repro.query.spec;
+# these wrappers make repro.io the one serialization facade.  Imports are
+# function-local because repro.query.exec imports this module at load time.
+# ----------------------------------------------------------------------
+def spec_to_dict(spec: Any) -> dict[str, Any]:
+    """JSON-ready wire form of a :class:`~repro.query.spec.QuerySpec`."""
+    return spec.to_dict()
+
+
+def spec_from_dict(payload: Mapping[str, Any]) -> Any:
+    """Inverse of :func:`spec_to_dict`: ``decode(encode(spec)) == spec``."""
+    from repro.query.spec import spec_from_dict as decode
+
+    return decode(payload)
+
+
+def batch_to_dict(batch: Any) -> dict[str, Any]:
+    """JSON-ready wire form of a :class:`~repro.query.spec.BatchQuery`."""
+    return batch.to_dict()
+
+
+def batch_from_dict(payload: Mapping[str, Any]) -> Any:
+    """Inverse of :func:`batch_to_dict`."""
+    from repro.query.spec import BatchQuery
+
+    return BatchQuery.from_dict(payload)
+
+
+def result_to_dict(result: Any) -> dict[str, Any]:
+    """Wire form of a :class:`~repro.query.exec.QueryResult` envelope."""
+    return result.to_dict()
 
 
 def dump_cells(cells: Mapping[Values, ISB], path: str | Path) -> None:

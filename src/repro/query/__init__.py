@@ -1,6 +1,52 @@
-"""Query layer: OLAP operations and exception-guided drilling."""
+"""Query layer: declarative specs, one execution engine, OLAP views, drilling.
+
+``repro.query.spec`` defines the frozen :class:`QuerySpec` plan objects and
+the fluent :data:`Q` builder; ``repro.query.exec`` is the single engine that
+turns a spec into a :class:`QueryResult`; ``repro.query.api`` keeps the
+method-per-operation facade as thin delegates; ``repro.query.drill`` holds
+the exception-guided drilling workflow.
+"""
 
 from repro.query.api import RegressionCubeView
 from repro.query.drill import DrillNode, ExceptionDriller
+from repro.query.exec import BatchItem, QueryResult, execute, execute_batch
+from repro.query.spec import (
+    BatchQuery,
+    CellSpec,
+    DrillDownSpec,
+    ObservationDeckSpec,
+    Q,
+    QueryBuilder,
+    QuerySpec,
+    RollUpSpec,
+    SiblingDeviationSpec,
+    SiblingsSpec,
+    SliceSpec,
+    TopSlopesSpec,
+    WatchListSpec,
+    spec_from_dict,
+)
 
-__all__ = ["RegressionCubeView", "DrillNode", "ExceptionDriller"]
+__all__ = [
+    "RegressionCubeView",
+    "DrillNode",
+    "ExceptionDriller",
+    "QuerySpec",
+    "CellSpec",
+    "SliceSpec",
+    "RollUpSpec",
+    "DrillDownSpec",
+    "SiblingsSpec",
+    "SiblingDeviationSpec",
+    "TopSlopesSpec",
+    "ObservationDeckSpec",
+    "WatchListSpec",
+    "BatchQuery",
+    "QueryBuilder",
+    "Q",
+    "spec_from_dict",
+    "QueryResult",
+    "BatchItem",
+    "execute",
+    "execute_batch",
+]

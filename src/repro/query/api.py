@@ -3,17 +3,21 @@
 :class:`RegressionCubeView` wraps a :class:`~repro.cubing.result.CubeResult`
 with the operations an analyst at the observation deck performs: point
 queries (with on-the-fly roll-up from the m-layer when the target cell was
-not materialized), slices, roll-ups and drill-downs.  The exception-guided
-drilling workflow of Section 4.2/4.3 lives in :mod:`repro.query.drill`.
+not materialized), slices, roll-ups and drill-downs.  Every method is a thin
+delegate: it builds the corresponding :class:`~repro.query.spec.QuerySpec`
+plan and hands it to the single engine in :mod:`repro.query.exec`, so the
+Python facade, the cached router, and the HTTP service all share one
+validation and execution path.  The exception-guided drilling workflow of
+Section 4.2/4.3 lives in :mod:`repro.query.drill`.
 """
 
 from __future__ import annotations
 
 from typing import Hashable, Iterable, Mapping
 
-from repro.cube.cell import roll_up_values
 from repro.cubing.result import CubeResult
-from repro.errors import QueryError
+from repro.query.exec import execute
+from repro.query.spec import Q
 from repro.regression.isb import ISB
 
 __all__ = ["RegressionCubeView"]
@@ -42,25 +46,14 @@ class RegressionCubeView:
         m-layer with Theorem 3.2 — the "on-the-fly computation" option of
         Section 4.3.
         """
-        c = self.lattice.require(coord)
-        vals = self.schema.validate_values(tuple(values), c)
-        cuboid = self.result.cuboids.get(c)
-        if cuboid is not None:
-            isb = cuboid.get(vals)
-            if isb is not None:
-                return isb
-        isb = self.result.m_layer.roll_up_cell(c, vals)
-        if isb is None:
-            raise QueryError(f"cell {vals} at {c} has no supporting data")
-        return isb
+        return execute(self, Q.cell(tuple(coord), tuple(values))).value
 
     def cell_by_level_names(
         self, level_names: Iterable[str], values: Iterable[Hashable]
     ) -> ISB:
         """Point query addressed by level names, e.g.
         ``(("*", "city"), ("*", "city2"))``."""
-        coord = self.schema.coord_of_level_names(tuple(level_names))
-        return self.cell(coord, values)
+        return execute(self, Q.cell(tuple(level_names), tuple(values))).value
 
     # ------------------------------------------------------------------
     # Slice / dice
@@ -71,25 +64,11 @@ class RegressionCubeView:
         """Cells of a cuboid matching fixed dimension values.
 
         ``fixed`` maps dimension names to required values; unspecified
-        dimensions are unrestricted.  Operates on the materialized cuboid if
-        present, otherwise on an on-the-fly roll-up of the m-layer.
+        dimensions are unrestricted.  Operates on the materialized cuboid
+        when it is complete (m/o layer, popular-path cuboid, full
+        materialization), otherwise on an on-the-fly roll-up of the m-layer.
         """
-        c = self.lattice.require(coord)
-        fixed_idx = {
-            self.schema.dim_index(name): value for name, value in fixed.items()
-        }
-        cuboid = self.result.cuboids.get(c)
-        if cuboid is not None and (
-            c in (self.layers.m_coord, self.layers.o_coord)
-        ):
-            source = cuboid.items()
-        else:
-            source = self.result.m_layer.roll_up(c).items()
-        return {
-            values: isb
-            for values, isb in source
-            if all(values[i] == v for i, v in fixed_idx.items())
-        }
+        return execute(self, Q.slice(tuple(coord), dict(fixed))).value
 
     # ------------------------------------------------------------------
     # Roll-up / drill-down
@@ -105,17 +84,7 @@ class RegressionCubeView:
         Returns the parent cuboid coordinate, the parent cell values, and
         its regression.
         """
-        c = self.lattice.require(coord)
-        d = self.schema.dim_index(dim)
-        if c[d] - 1 < self.layers.o_coord[d]:
-            raise QueryError(
-                f"dimension {dim!r} is already at the o-layer level in {c}"
-            )
-        parent_coord = c[:d] + (c[d] - 1,) + c[d + 1 :]
-        parent_values = roll_up_values(
-            self.schema, tuple(values), c, parent_coord
-        )
-        return parent_coord, parent_values, self.cell(parent_coord, parent_values)
+        return execute(self, Q.roll_up(tuple(coord), tuple(values), dim)).value
 
     def drill_down(
         self,
@@ -125,44 +94,29 @@ class RegressionCubeView:
     ) -> dict[Values, ISB]:
         """One drill-down step: the children of a cell along ``dim``.
 
-        Children are aggregated from the m-layer (exact, Theorem 3.2);
-        returns a possibly-empty mapping of child cell values to ISBs.
+        Children are aggregated exactly (Theorem 3.2); returns a
+        possibly-empty mapping of child cell values to ISBs.
         """
-        c = self.lattice.require(coord)
-        vals = self.schema.validate_values(tuple(values), c)
-        d = self.schema.dim_index(dim)
-        if c[d] + 1 > self.layers.m_coord[d]:
-            raise QueryError(
-                f"dimension {dim!r} is already at the m-layer level in {c}"
-            )
-        child_coord = c[:d] + (c[d] + 1,) + c[d + 1 :]
-        child_cuboid = self.result.m_layer.roll_up(child_coord)
-        out: dict[Values, ISB] = {}
-        for child_values, isb in child_cuboid.items():
-            if roll_up_values(self.schema, child_values, child_coord, c) == vals:
-                out[child_values] = isb
-        return out
+        return execute(self, Q.drill_down(tuple(coord), tuple(values), dim)).value
 
     # ------------------------------------------------------------------
     # Observation-deck shortcuts
     # ------------------------------------------------------------------
     def observation_deck(self) -> dict[Values, ISB]:
         """All o-layer cells (what the analyst watches)."""
-        return dict(self.result.o_layer.items())
+        return execute(self, Q.observation_deck()).value
 
     def watch_list(self) -> dict[Values, ISB]:
         """The o-layer cells currently flagged exceptional."""
-        return self.result.o_layer_exceptions()
+        return execute(self, Q.watch_list()).value
 
     def top_slopes(self, coord: Iterable[int], k: int = 5) -> list[tuple[Values, ISB]]:
-        """The ``k`` steepest cells (by |slope|) of a cuboid."""
-        c = self.lattice.require(coord)
-        if c in (self.layers.m_coord, self.layers.o_coord):
-            cells = self.result.cuboids[c].items()
-        else:
-            cells = self.result.m_layer.roll_up(c).items()
-        ranked = sorted(cells, key=lambda kv: -abs(kv[1].slope))
-        return ranked[:k]
+        """The ``k`` steepest cells (by |slope|) of a cuboid.
+
+        ``k`` must be >= 1 (:class:`~repro.errors.QueryError` otherwise);
+        an empty cuboid yields an empty list.
+        """
+        return execute(self, Q.top_slopes(tuple(coord), k)).value
 
     def siblings(
         self,
@@ -173,33 +127,10 @@ class RegressionCubeView:
         """The cell's siblings along ``dim`` (Section 2.1's relation).
 
         Siblings share every dimension value except ``dim``, where they have
-        the *same parent* in the concept hierarchy.  Aggregated exactly from
-        the m-layer; the queried cell itself is excluded.
+        the *same parent* in the concept hierarchy.  Aggregated exactly; the
+        queried cell itself is excluded.
         """
-        c = self.lattice.require(coord)
-        vals = self.schema.validate_values(tuple(values), c)
-        d = self.schema.dim_index(dim)
-        level = c[d]
-        if level == 0:
-            raise QueryError(
-                f"dimension {dim!r} is '*' in cuboid {c}; a '*' value has "
-                "no siblings"
-            )
-        hier = self.schema.dimensions[d].hierarchy
-        parent = hier.parent(vals[d], level)
-        cuboid = self.result.m_layer.roll_up(c)
-        out: dict[Values, ISB] = {}
-        for cell_values, isb in cuboid.items():
-            if cell_values == vals:
-                continue
-            if any(
-                i != d and v != w
-                for i, (v, w) in enumerate(zip(cell_values, vals))
-            ):
-                continue
-            if hier.parent(cell_values[d], level) == parent:
-                out[cell_values] = isb
-        return out
+        return execute(self, Q.siblings(tuple(coord), tuple(values), dim)).value
 
     def sibling_deviation(
         self,
@@ -215,11 +146,6 @@ class RegressionCubeView:
         ``slope(cell) - mean(slope(siblings))``; raises
         :class:`QueryError` when the cell has no siblings to compare with.
         """
-        cell_isb = self.cell(coord, values)
-        brothers = self.siblings(coord, values, dim)
-        if not brothers:
-            raise QueryError(
-                f"cell {tuple(values)} has no siblings along {dim!r}"
-            )
-        mean_slope = sum(i.slope for i in brothers.values()) / len(brothers)
-        return cell_isb.slope - mean_slope
+        return execute(
+            self, Q.sibling_deviation(tuple(coord), tuple(values), dim)
+        ).value

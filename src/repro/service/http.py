@@ -10,15 +10,24 @@ loaders the checkpoint files use.
 Endpoints
 ---------
 ``GET  /health``   liveness + shard/quarter/record counters
-``GET  /stats``    router cache + partition-balance statistics
+``GET  /stats``    router cache/batch counters + partition-balance statistics
 ``POST /ingest``   ``{"records": [{"values": [...], "t": int, "z": float}]}``
 ``POST /advance``  ``{"t": int}`` — seal quiet quarters
-``POST /query``    ``{"op": "point" | "slice" | "roll_up" | "drill_down" |
-                   "exceptions" | "watch_list" | "change_exceptions" |
-                   "top_slopes", ...op-specific fields}``
+``POST /query``    one query spec (``{"op": "cell" | "slice" | "roll_up" |
+                   "drill_down" | "siblings" | "sibling_deviation" |
+                   "top_slopes" | "observation_deck" | "watch_list",
+                   ...spec fields}`` — see :mod:`repro.query.spec`), or a
+                   batch ``{"queries": [spec, ...]}`` executed against one
+                   merged view refresh with per-spec results and errors.
+                   ``exceptions`` / ``change_exceptions`` are cube-level
+                   ops served outside the spec engine.  The legacy op name
+                   ``point`` is accepted as an alias for ``cell``.
 
-Domain errors map to 400 with ``{"error", "type"}``; unknown routes to 404.
-The handler serializes access to the cube with one lock — shard parallelism
+The query path is a pure decode → execute → encode shim over
+:meth:`repro.service.router.QueryRouter.execute`; all validation lives in
+the specs, so the Python API and the wire raise identical errors.  Domain
+errors map to 400 with ``{"error", "type"}``; unknown routes to 404.  The
+handler serializes access to the cube with one lock — shard parallelism
 lives *inside* each call, so the lock bounds interleaving, not throughput.
 """
 
@@ -30,7 +39,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Hashable
 
 from repro.errors import ReproError, ServiceError
-from repro.io import cells_to_payload, isb_to_dict
+from repro.io import cells_to_payload, spec_from_dict
 from repro.regression.isb import ISB
 from repro.service.router import QueryRouter
 from repro.service.sharding import ShardedStreamCube
@@ -45,12 +54,6 @@ def _values_of(payload: Any) -> Values:
     if not isinstance(payload, list):
         raise ServiceError(f"'values' must be a list, got {type(payload).__name__}")
     return tuple(payload)
-
-
-def _coord_of(payload: Any) -> tuple[int, ...]:
-    if not isinstance(payload, list):
-        raise ServiceError(f"'coord' must be a list, got {type(payload).__name__}")
-    return tuple(int(level) for level in payload)
 
 
 def _exceptions_payload(
@@ -154,50 +157,23 @@ class StreamCubeService:
         return {"current_quarter": self.cube.current_quarter}
 
     def query(self, payload: dict[str, Any]) -> dict[str, Any]:
+        # Batch form: N specs, one merged view refresh per window/epoch,
+        # per-spec results *and* errors.
+        if "queries" in payload:
+            entries = payload["queries"]
+            if not isinstance(entries, list):
+                raise ServiceError("'queries' must be a list of query specs")
+            items = self.router.execute_batch(entries)
+            return {"count": len(items), "results": [it.to_dict() for it in items]}
+
+        # Cube-level ops that are not view operations (no spec class).
         op = payload.get("op")
-        window = payload.get("window")
-        window = int(window) if window is not None else None
-        if op == "point":
-            isb = self.router.point(
-                _coord_of(payload["coord"]), _values_of(payload["values"]), window
-            )
-            return {"op": op, "isb": isb_to_dict(isb)}
-        if op == "slice":
-            fixed = payload.get("fixed", {})
-            if not isinstance(fixed, dict):
-                raise ServiceError("'fixed' must be a {dimension: value} object")
-            cells = self.router.slice(_coord_of(payload["coord"]), fixed, window)
-            return {"op": op, "cells": cells_to_payload(cells)}
-        if op == "roll_up":
-            coord, values, isb = self.router.roll_up(
-                _coord_of(payload["coord"]),
-                _values_of(payload["values"]),
-                str(payload["dim"]),
-                window,
-            )
-            return {
-                "op": op,
-                "coord": list(coord),
-                "values": list(values),
-                "isb": isb_to_dict(isb),
-            }
-        if op == "drill_down":
-            cells = self.router.drill_down(
-                _coord_of(payload["coord"]),
-                _values_of(payload["values"]),
-                str(payload["dim"]),
-                window,
-            )
-            return {"op": op, "cells": cells_to_payload(cells)}
         if op == "exceptions":
+            window = payload.get("window")
+            window = int(window) if window is not None else None
             return {
                 "op": op,
                 "cuboids": _exceptions_payload(self.router.exceptions(window)),
-            }
-        if op == "watch_list":
-            return {
-                "op": op,
-                "cells": cells_to_payload(self.router.watch_list(window)),
             }
         if op == "change_exceptions":
             cells = self.router.change_exceptions(
@@ -205,18 +181,14 @@ class StreamCubeService:
                 str(payload.get("layer", "m")),
             )
             return {"op": op, "cells": cells_to_payload(cells)}
-        if op == "top_slopes":
-            ranked = self.router.top_slopes(
-                _coord_of(payload["coord"]), int(payload.get("k", 5)), window
-            )
-            return {
-                "op": op,
-                "cells": [
-                    {"values": list(values), "isb": isb_to_dict(isb)}
-                    for values, isb in ranked
-                ],
-            }
-        raise ServiceError(f"unknown query op {op!r}")
+
+        # Everything else is a spec: decode -> execute -> encode.
+        body = self.router.execute(spec_from_dict(payload)).to_dict()
+        if op and op != body["op"]:
+            # A legacy alias (e.g. "point") was requested: echo it back so
+            # pre-spec clients that dispatch on the response op keep working.
+            body["op"] = op
+        return body
 
 
 class _Handler(BaseHTTPRequestHandler):

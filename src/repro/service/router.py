@@ -1,12 +1,19 @@
 """Query serving over a sharded cube: merged views plus an LRU result cache.
 
-The router owns the read path.  It refreshes a merged
-:class:`~repro.cubing.result.CubeResult` lazily per analysis window, wraps it
-in a :class:`~repro.query.api.RegressionCubeView`, and memoizes individual
-query answers in a bounded LRU keyed on ``(operation, coord, values,
-window)``.  Every cached entry is derived from sealed quarters only, so the
-whole cache is invalidated exactly when a quarter seals (the cube's quarter
-clock advances) — between seals, answers are immutable and a hit is safe.
+The router owns the read path, and it is deliberately small: it manages
+merged-view refreshes per analysis window, resolves each incoming
+:class:`~repro.query.spec.QuerySpec` (filling the default window), and
+memoizes the :class:`~repro.query.exec.QueryResult` in a bounded LRU keyed
+on ``spec.cache_key()`` — the canonical plan identity, so equivalent plans
+built by any surface share one cache line.  Execution itself is the single
+engine in :mod:`repro.query.exec`.
+
+Every cached entry is derived from sealed quarters only, so the whole cache
+is invalidated exactly when a quarter seals (the cube's quarter clock
+advances) — between seals, answers are immutable and a hit is safe.
+
+The per-operation methods (``point``, ``slice``, ...) remain as one-line
+spec builders for callers that prefer the method style.
 """
 
 from __future__ import annotations
@@ -14,9 +21,12 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Any, Hashable, Iterable, Mapping
 
+from repro.cube.schema import CubeSchema
 from repro.cubing.result import CubeResult
 from repro.errors import ServiceError
 from repro.query.api import RegressionCubeView
+from repro.query.exec import BatchItem, QueryResult, execute, run_batch
+from repro.query.spec import BatchQuery, Q, QuerySpec, spec_from_dict
 from repro.regression.isb import ISB
 from repro.service.sharding import ShardedStreamCube
 from repro.stream.engine import Algorithm
@@ -62,18 +72,18 @@ class LRUCache:
 
 
 class QueryRouter:
-    """Cached point/slice/roll-up/exception queries over a sharded cube.
+    """Cached execution of query specs over a sharded cube.
 
     Parameters
     ----------
     cube:
         The sharded cube being served.
     window_quarters:
-        Default analysis window for queries that do not name one.
+        Default analysis window for specs that do not name one.
     algorithm:
         Cubing algorithm used for merged refreshes.
     cache_size:
-        LRU capacity for individual query answers.
+        LRU capacity for individual query results.
     """
 
     def __init__(
@@ -94,6 +104,8 @@ class QueryRouter:
         self._views: dict[int, RegressionCubeView] = {}
         self._epoch = cube.current_quarter
         self.refreshes = 0
+        self.batches = 0
+        self.specs_executed = 0
 
     # ------------------------------------------------------------------
     # Freshness
@@ -102,6 +114,10 @@ class QueryRouter:
     def epoch(self) -> int:
         """The quarter clock the cached answers were computed at."""
         return self._epoch
+
+    @property
+    def schema(self) -> CubeSchema:
+        return self.cube.layers.schema
 
     def _sync(self) -> None:
         """Invalidate everything when a quarter sealed since the last query."""
@@ -142,7 +158,47 @@ class QueryRouter:
         return value
 
     # ------------------------------------------------------------------
-    # Queries
+    # Spec execution (the primary interface)
+    # ------------------------------------------------------------------
+    def execute(self, spec: QuerySpec | Mapping[str, Any]) -> QueryResult:
+        """Execute one spec, memoized on its canonical cache key.
+
+        The spec's window defaults to the router's; names are resolved
+        against the cube's schema *before* the cache lookup, so equivalent
+        plans (level names vs indices, dict-ordered slices) hit one line.
+        """
+        if isinstance(spec, BatchQuery):
+            raise ServiceError("a BatchQuery must go through execute_batch")
+        if isinstance(spec, Mapping):
+            spec = spec_from_dict(spec)
+        self._sync()
+        window = self._window(spec.window_quarters)
+        resolved = spec.window(window).resolve(self.schema)
+        self.specs_executed += 1
+        key = resolved.cache_key()
+        result = self.cache.get(key)
+        if result is None:
+            result = execute(self.view(window), resolved, pre_resolved=True)
+            self.cache.put(key, result)
+        return result
+
+    def execute_batch(
+        self,
+        batch: BatchQuery | Iterable[QuerySpec | Mapping[str, Any]],
+    ) -> list[BatchItem]:
+        """Execute many specs, sharing refreshes and the result cache.
+
+        All specs of one window share a single merged-view refresh (the
+        per-window view is memoized per epoch).  Returns one
+        :class:`BatchItem` per entry, in order; a domain error on one entry
+        is recorded there and does not stop the rest.
+        """
+        entries = batch.specs if isinstance(batch, BatchQuery) else tuple(batch)
+        self.batches += 1
+        return run_batch(entries, self.execute)
+
+    # ------------------------------------------------------------------
+    # Method-style wrappers (one-line spec builders)
     # ------------------------------------------------------------------
     def point(
         self,
@@ -151,13 +207,9 @@ class QueryRouter:
         window_quarters: int | None = None,
     ) -> ISB:
         """One cell's regression (materialized or rolled up on the fly)."""
-        coord = tuple(coord)
-        values = tuple(values)
-        window = self._window(window_quarters)
-        return self._cached(
-            ("point", coord, values, window),
-            lambda: self.view(window).cell(coord, values),
-        )
+        return self.execute(
+            Q.cell(tuple(coord), tuple(values), window=window_quarters)
+        ).value
 
     def slice(
         self,
@@ -166,13 +218,9 @@ class QueryRouter:
         window_quarters: int | None = None,
     ) -> dict[Values, ISB]:
         """Cells of one cuboid matching fixed dimension values."""
-        coord = tuple(coord)
-        fixed_key = tuple(sorted(fixed.items()))
-        window = self._window(window_quarters)
-        return self._cached(
-            ("slice", coord, fixed_key, window),
-            lambda: self.view(window).slice(coord, dict(fixed)),
-        )
+        return self.execute(
+            Q.slice(tuple(coord), dict(fixed), window=window_quarters)
+        ).value
 
     def roll_up(
         self,
@@ -182,13 +230,9 @@ class QueryRouter:
         window_quarters: int | None = None,
     ) -> tuple[Coord, Values, ISB]:
         """One roll-up step of a cell along a named dimension."""
-        coord = tuple(coord)
-        values = tuple(values)
-        window = self._window(window_quarters)
-        return self._cached(
-            ("roll_up", coord, values, dim, window),
-            lambda: self.view(window).roll_up(coord, values, dim),
-        )
+        return self.execute(
+            Q.roll_up(tuple(coord), tuple(values), dim, window=window_quarters)
+        ).value
 
     def drill_down(
         self,
@@ -198,14 +242,62 @@ class QueryRouter:
         window_quarters: int | None = None,
     ) -> dict[Values, ISB]:
         """One drill-down step: the children of a cell along ``dim``."""
-        coord = tuple(coord)
-        values = tuple(values)
-        window = self._window(window_quarters)
-        return self._cached(
-            ("drill_down", coord, values, dim, window),
-            lambda: self.view(window).drill_down(coord, values, dim),
-        )
+        return self.execute(
+            Q.drill_down(tuple(coord), tuple(values), dim, window=window_quarters)
+        ).value
 
+    def siblings(
+        self,
+        coord: Iterable[int],
+        values: Iterable[Hashable],
+        dim: str,
+        window_quarters: int | None = None,
+    ) -> dict[Values, ISB]:
+        """The cell's same-parent siblings along ``dim``."""
+        return self.execute(
+            Q.siblings(tuple(coord), tuple(values), dim, window=window_quarters)
+        ).value
+
+    def sibling_deviation(
+        self,
+        coord: Iterable[int],
+        values: Iterable[Hashable],
+        dim: str,
+        window_quarters: int | None = None,
+    ) -> float:
+        """``slope(cell) - mean(slope(siblings))`` along ``dim``."""
+        return self.execute(
+            Q.sibling_deviation(
+                tuple(coord), tuple(values), dim, window=window_quarters
+            )
+        ).value
+
+    def top_slopes(
+        self,
+        coord: Iterable[int],
+        k: int = 5,
+        window_quarters: int | None = None,
+    ) -> list[tuple[Values, ISB]]:
+        """The ``k`` steepest cells of a cuboid."""
+        return self.execute(
+            Q.top_slopes(tuple(coord), k, window=window_quarters)
+        ).value
+
+    def observation_deck(
+        self, window_quarters: int | None = None
+    ) -> dict[Values, ISB]:
+        """All o-layer cells."""
+        return self.execute(Q.observation_deck(window=window_quarters)).value
+
+    def watch_list(
+        self, window_quarters: int | None = None
+    ) -> dict[Values, ISB]:
+        """The o-layer cells currently flagged exceptional."""
+        return self.execute(Q.watch_list(window=window_quarters)).value
+
+    # ------------------------------------------------------------------
+    # Cube-level queries (not view operations; cached by hand-built keys)
+    # ------------------------------------------------------------------
     def exceptions(
         self, window_quarters: int | None = None
     ) -> dict[Coord, dict[Values, ISB]]:
@@ -223,16 +315,6 @@ class QueryRouter:
 
         return self._cached(("exceptions", window), compute)
 
-    def watch_list(
-        self, window_quarters: int | None = None
-    ) -> dict[Values, ISB]:
-        """The o-layer cells currently flagged exceptional."""
-        window = self._window(window_quarters)
-        return self._cached(
-            ("watch_list", window),
-            lambda: self.view(window).watch_list(),
-        )
-
     def change_exceptions(
         self, quarters_apart: int = 1, layer: str = "m"
     ) -> dict[Values, ISB]:
@@ -247,20 +329,6 @@ class QueryRouter:
 
         return self._cached(("change", layer, quarters_apart), compute)
 
-    def top_slopes(
-        self,
-        coord: Iterable[int],
-        k: int = 5,
-        window_quarters: int | None = None,
-    ) -> list[tuple[Values, ISB]]:
-        """The ``k`` steepest cells of a cuboid."""
-        coord = tuple(coord)
-        window = self._window(window_quarters)
-        return self._cached(
-            ("top_slopes", coord, k, window),
-            lambda: self.view(window).top_slopes(coord, k),
-        )
-
     # ------------------------------------------------------------------
     # Accounting
     # ------------------------------------------------------------------
@@ -273,4 +341,7 @@ class QueryRouter:
             "cache_hits": self.cache.hits,
             "cache_misses": self.cache.misses,
             "refreshes": self.refreshes,
+            "views": len(self._views),
+            "batches": self.batches,
+            "specs_executed": self.specs_executed,
         }

@@ -1,0 +1,268 @@
+"""The execution engine: spec answers equal legacy answers and the oracle.
+
+The acceptance contract of the declarative API: every operation of
+:class:`RegressionCubeView` is expressible as a spec, ``execute(view, spec)``
+returns the same answer as the legacy method, specs round-trip through the
+JSON codec, and whole-cuboid scans serve from *complete* materialized
+cuboids (popular-path cuboids included) without changing answers.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cube.lattice import PopularPath
+from repro.cubing.full import full_materialization, intermediate_slopes
+from repro.cubing.mo_cubing import mo_cubing
+from repro.cubing.policy import GlobalSlopeThreshold, calibrate_threshold
+from repro.cubing.popular_path import popular_path_cubing
+from repro.errors import QueryError
+from repro.io import result_to_dict, spec_from_dict, spec_to_dict
+from repro.query import Q, RegressionCubeView, execute, execute_batch
+from repro.regression.isb import ISB
+from repro.stream.generator import DatasetSpec, generate_dataset
+from tests.conftest import isb_close
+
+
+@pytest.fixture(scope="module")
+def setup():
+    data = generate_dataset("D2L3C3T300", seed=8)
+    oracle = full_materialization(data.layers, data.cells)
+    tau = calibrate_threshold(intermediate_slopes(oracle), 0.1)
+    policy = GlobalSlopeThreshold(tau)
+    oracle = full_materialization(data.layers, data.cells, policy)
+    mo_view = RegressionCubeView(mo_cubing(data.layers, data.cells, policy))
+    pp_view = RegressionCubeView(
+        popular_path_cubing(data.layers, data.cells, policy)
+    )
+    return data, oracle, mo_view, pp_view
+
+
+def sample_cells(oracle, coord, n=3):
+    return list(oracle.cuboids[coord].cells)[:n]
+
+
+class TestEquivalenceWithLegacy:
+    """execute(view, spec) == the view method, for every operation."""
+
+    @pytest.mark.parametrize("which", ["mo", "pp"])
+    def test_all_ops_match_methods(self, setup, which):
+        data, oracle, mo_view, pp_view = setup
+        view = mo_view if which == "mo" else pp_view
+        m, o = data.layers.m_coord, data.layers.o_coord
+        mid = data.layers.intermediate_coords[0]
+        cell = next(iter(view.result.m_layer.cells))
+        dim0 = data.layers.schema.names[0]
+
+        pairs = [
+            (Q.cell(m, cell), view.cell(m, cell)),
+            (Q.slice(o, {dim0: 0}), view.slice(o, {dim0: 0})),
+            (Q.roll_up(m, cell, dim0), view.roll_up(m, cell, dim0)),
+            (
+                Q.drill_down(o, (0, 0), dim0),
+                view.drill_down(o, (0, 0), dim0),
+            ),
+            (Q.siblings(m, cell, dim0), view.siblings(m, cell, dim0)),
+            (Q.top_slopes(mid, k=4), view.top_slopes(mid, 4)),
+            (Q.observation_deck(), view.observation_deck()),
+            (Q.watch_list(), view.watch_list()),
+        ]
+        for spec, legacy in pairs:
+            assert execute(view, spec).value == legacy, spec.op
+            # ... and the spec survives the wire.
+            assert spec_from_dict(spec_to_dict(spec)) == spec
+
+    def test_sibling_deviation_matches(self, setup):
+        data, oracle, view, _ = setup
+        m = data.layers.m_coord
+        dim0 = data.layers.schema.names[0]
+        for cell in sample_cells(oracle, m, n=20):
+            try:
+                legacy = view.sibling_deviation(m, cell, dim0)
+            except QueryError:
+                continue
+            got = execute(view, Q.sibling_deviation(m, cell, dim0)).value
+            assert math.isclose(got, legacy, rel_tol=1e-12)
+            return
+        pytest.skip("no cell with siblings in the sample")
+
+
+class TestEquivalenceWithOracle:
+    def test_cell_sweep_every_cuboid(self, setup):
+        data, oracle, mo_view, pp_view = setup
+        for coord in data.layers.lattice.coords():
+            for values in sample_cells(oracle, coord):
+                expected = oracle.cuboids[coord][values]
+                for view in (mo_view, pp_view):
+                    got = execute(view, Q.cell(coord, values)).value
+                    assert isb_close(got, expected, tol=1e-7)
+
+    def test_slice_sweep_every_cuboid(self, setup):
+        data, oracle, mo_view, pp_view = setup
+        dim0 = data.layers.schema.names[0]
+        for coord in data.layers.lattice.coords():
+            anchor = next(iter(oracle.cuboids[coord].cells))
+            expected = {
+                v: isb
+                for v, isb in oracle.cuboids[coord].items()
+                if v[0] == anchor[0]
+            }
+            for view in (mo_view, pp_view):
+                got = execute(view, Q.slice(coord, {dim0: anchor[0]})).value
+                assert set(got) == set(expected)
+                for v, isb in got.items():
+                    assert isb_close(isb, expected[v], tol=1e-7)
+
+    def test_top_slopes_sweep_every_cuboid(self, setup):
+        data, oracle, mo_view, pp_view = setup
+        for coord in data.layers.lattice.coords():
+            steepest = max(
+                abs(isb.slope) for isb in oracle.cuboids[coord].cells.values()
+            )
+            for view in (mo_view, pp_view):
+                ranked = execute(view, Q.top_slopes(coord, k=3)).value
+                slopes = [abs(isb.slope) for _, isb in ranked]
+                assert slopes == sorted(slopes, reverse=True)
+                assert math.isclose(slopes[0], steepest, rel_tol=1e-7)
+
+    @settings(max_examples=40, deadline=None)
+    @given(data_=st.data())
+    def test_property_cell_matches_oracle_and_legacy(self, setup, data_):
+        data, oracle, mo_view, pp_view = setup
+        coord = data_.draw(
+            st.sampled_from(sorted(data.layers.lattice.coords()))
+        )
+        values = data_.draw(
+            st.sampled_from(sorted(oracle.cuboids[coord].cells))
+        )
+        view = data_.draw(st.sampled_from([mo_view, pp_view]))
+        spec = Q.cell(coord, values)
+        got = execute(view, spec).value
+        assert got == view.cell(coord, values)
+        assert isb_close(got, oracle.cuboids[coord][values], tol=1e-7)
+        assert spec_from_dict(spec_to_dict(spec)) == spec
+
+
+class TestCompleteCuboidServing:
+    """Satellite: whole-cuboid scans use materialized *complete* cuboids."""
+
+    @pytest.fixture
+    def poisoned(self):
+        """A full materialization with a sentinel cell planted mid-lattice.
+
+        The sentinel is not derivable from the m-layer, so any answer
+        containing it *must* have been served from the materialized cuboid.
+        """
+        layers = DatasetSpec(2, 2, 3, 1).build_layers()
+        cells = {
+            (i, j): ISB(0, 3, 1.0, 0.01 * (i + 1)) for i in range(9) for j in range(9)
+        }
+        result = full_materialization(layers, cells, GlobalSlopeThreshold(1.0))
+        mid = layers.intermediate_coords[0]
+        sentinel_key = next(iter(result.cuboids[mid].cells))
+        sentinel = ISB(0, 3, 123.0, 9.0)
+        result.cuboids[mid].cells[sentinel_key] = sentinel
+        return result, mid, sentinel_key, sentinel
+
+    def test_slice_serves_from_complete_cuboid(self, poisoned):
+        result, mid, key, sentinel = poisoned
+        view = RegressionCubeView(result)
+        assert view.slice(mid, {})[key] == sentinel
+
+    def test_top_slopes_serves_from_complete_cuboid(self, poisoned):
+        result, mid, key, sentinel = poisoned
+        view = RegressionCubeView(result)
+        assert view.top_slopes(mid, k=1) == [(key, sentinel)]
+
+    def test_partial_cuboids_fall_back_to_m_layer(self, poisoned):
+        result, mid, key, sentinel = poisoned
+        result.complete_coords = frozenset()  # demote: nothing complete
+        view = RegressionCubeView(result)
+        assert view.slice(mid, {})[key] != sentinel
+        assert view.top_slopes(mid, k=1)[0][1] != sentinel
+
+    def test_popular_path_marks_exactly_the_path(self, setup):
+        data, _, _, pp_view = setup
+        path = PopularPath.default(data.layers.lattice)
+        result = pp_view.result
+        for coord in data.layers.lattice.coords():
+            assert result.is_complete(coord) == (
+                coord in path.coords
+                or coord in (data.layers.m_coord, data.layers.o_coord)
+            )
+
+
+class TestTopSlopesRobustness:
+    """Satellite: empty cuboids yield [], bad k raises QueryError."""
+
+    def test_empty_cube(self):
+        layers = DatasetSpec(2, 2, 3, 1).build_layers()
+        result = mo_cubing(layers, {}, GlobalSlopeThreshold(0.1))
+        view = RegressionCubeView(result)
+        assert view.top_slopes(layers.o_coord, k=5) == []
+        assert view.top_slopes(layers.intermediate_coords[0], k=5) == []
+
+    def test_bad_k_raises_instead_of_empty_list(self, setup):
+        data, _, view, _ = setup
+        with pytest.raises(QueryError):
+            view.top_slopes(data.layers.o_coord, k=0)
+        with pytest.raises(QueryError):
+            view.top_slopes(data.layers.o_coord, k=-3)
+
+
+class TestBatchesAndEnvelopes:
+    def test_batch_reports_results_and_errors_in_order(self, setup):
+        data, _, view, _ = setup
+        o = data.layers.o_coord
+        items = execute_batch(
+            view,
+            Q.batch(
+                Q.watch_list(),
+                Q.cell((9, 9), (0, 0)),  # invalid: out of schema range
+                Q.top_slopes(o, k=2),
+            ),
+        )
+        assert [item.ok for item in items] == [True, False, True]
+        assert items[0].result.value == view.watch_list()
+        assert items[1].error_type == "SchemaError"
+        assert items[1].error
+        assert items[2].result.value == view.top_slopes(o, 2)
+
+    def test_batch_accepts_wire_dicts(self, setup):
+        data, _, view, _ = setup
+        items = execute_batch(
+            view, [{"op": "watch_list"}, {"op": "magic"}]
+        )
+        assert items[0].ok and not items[1].ok
+        assert items[1].error_type == "QueryError"
+
+    def test_execute_accepts_wire_dict(self, setup):
+        data, _, view, _ = setup
+        got = execute(view, {"op": "observation_deck"}).value
+        assert got == view.observation_deck()
+
+    def test_execute_rejects_batchquery(self, setup):
+        _, _, view, _ = setup
+        with pytest.raises(QueryError):
+            execute(view, Q.batch(Q.watch_list()))
+
+    def test_result_envelope_shapes(self, setup):
+        data, _, view, _ = setup
+        m, o = data.layers.m_coord, data.layers.o_coord
+        cell = next(iter(view.result.m_layer.cells))
+        dim0 = data.layers.schema.names[0]
+        payload = result_to_dict(execute(view, Q.cell(m, cell)))
+        assert payload["op"] == "cell" and set(payload["isb"]) == {
+            "t_b", "t_e", "base", "slope",
+        }
+        payload = result_to_dict(execute(view, Q.roll_up(m, cell, dim0)))
+        assert set(payload) == {"op", "coord", "values", "isb"}
+        payload = result_to_dict(execute(view, Q.top_slopes(o, k=2)))
+        assert payload["op"] == "top_slopes"
+        assert all(set(row) == {"values", "isb"} for row in payload["cells"])
+        payload = result_to_dict(execute(view, Q.watch_list()))
+        assert isinstance(payload["cells"], list)

@@ -124,6 +124,109 @@ class TestDispatch:
         assert service.cube.records_ingested == 0
 
 
+class TestBatchQueries:
+    def test_batch_returns_per_spec_results_and_errors(self, loaded):
+        status, body = loaded.handle(
+            "POST",
+            "/query",
+            {
+                "queries": [
+                    {"op": "watch_list"},
+                    {"op": "top_slopes", "coord": [1, 1], "k": 3},
+                    {"op": "cell", "coord": [9, 9], "values": [0, 0]},
+                ]
+            },
+        )
+        assert status == 200
+        assert body["count"] == 3
+        watch, top, bad = body["results"]
+        assert watch["ok"] is True
+        assert cells_from_payload(watch["cells"]) == loaded.router.watch_list()
+        assert top["ok"] is True
+        assert len(top["cells"]) <= 3
+        assert bad["ok"] is False
+        assert bad["type"] == "SchemaError"
+        assert bad["error"]
+
+    def test_batch_shares_one_view_refresh(self, loaded):
+        before = loaded.router.refreshes
+        status, _ = loaded.handle(
+            "POST",
+            "/query",
+            {
+                "queries": [
+                    {"op": "cell", "coord": [1, 1], "values": [0, 0]},
+                    {"op": "slice", "coord": [1, 1], "fixed": {"d0": 0}},
+                    {"op": "observation_deck"},
+                    {"op": "siblings", "coord": [2, 2], "values": [0, 0],
+                     "dim": "d0"},
+                ]
+            },
+        )
+        assert status == 200
+        assert loaded.router.refreshes == before + 1
+
+    def test_batch_matches_single_requests(self, loaded):
+        single = [
+            loaded.handle("POST", "/query", q)[1]
+            for q in (
+                {"op": "cell", "coord": [1, 1], "values": [0, 0]},
+                {"op": "watch_list"},
+            )
+        ]
+        status, body = loaded.handle(
+            "POST",
+            "/query",
+            {"queries": [
+                {"op": "cell", "coord": [1, 1], "values": [0, 0]},
+                {"op": "watch_list"},
+            ]},
+        )
+        assert status == 200
+        for got, expected in zip(body["results"], single):
+            assert {k: v for k, v in got.items() if k != "ok"} == expected
+
+    def test_batch_requires_a_list(self, loaded):
+        status, body = loaded.handle("POST", "/query", {"queries": "nope"})
+        assert status == 400
+        assert body["type"] == "ServiceError"
+
+    def test_legacy_point_alias_matches_cell(self, loaded):
+        _, old = loaded.handle(
+            "POST", "/query", {"op": "point", "coord": [1, 1], "values": [0, 0]}
+        )
+        _, new = loaded.handle(
+            "POST", "/query", {"op": "cell", "coord": [1, 1], "values": [0, 0]}
+        )
+        # Same answer; the legacy op name is echoed back to legacy clients.
+        assert old["isb"] == new["isb"]
+        assert old["op"] == "point"
+        assert new["op"] == "cell"
+
+
+class TestStatsEndpoint:
+    def test_stats_expose_cache_views_and_batches(self, loaded):
+        loaded.handle(
+            "POST", "/query", {"op": "cell", "coord": [1, 1], "values": [0, 0]}
+        )
+        loaded.handle(
+            "POST", "/query", {"op": "cell", "coord": [1, 1], "values": [0, 0]}
+        )
+        loaded.handle("POST", "/query", {"queries": [{"op": "watch_list"}]})
+        status, body = loaded.handle("GET", "/stats")
+        assert status == 200
+        router = body["router"]
+        assert router["cache_hits"] >= 1
+        assert router["cache_misses"] >= 1
+        assert router["cache_entries"] >= 1
+        assert router["cache_capacity"] >= router["cache_entries"]
+        assert router["views"] == 1
+        assert router["batches"] == 1
+        assert router["specs_executed"] == 3
+        assert len(body["shard_cells"]) == 2
+        assert sum(body["shard_cells"]) > 0
+
+
 class TestLiveServer:
     def test_end_to_end_over_sockets(self, service):
         server = make_server(service, port=0)

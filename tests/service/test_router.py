@@ -6,6 +6,7 @@ import pytest
 
 from repro.errors import ServiceError
 from repro.query.api import RegressionCubeView
+from repro.query.spec import Q
 from repro.service.router import LRUCache, QueryRouter
 from repro.service.sharding import ShardedStreamCube
 from repro.stream.records import StreamRecord
@@ -132,6 +133,61 @@ class TestInvalidation:
         cube.ingest_batch([StreamRecord((0, 0), 6 * TPQ, 50.0)])
         router.point((1, 1), (0, 0))
         assert router.cache.hits == 1
+
+
+class TestSpecExecution:
+    def test_execute_fills_the_default_window(self, router):
+        result = router.execute(Q.cell((1, 1), (0, 0)))
+        assert result.spec.window_quarters == router.window_quarters
+        # The method-style wrapper builds the same plan -> same cache line.
+        before = router.cache.hits
+        assert router.point((1, 1), (0, 0)) == result.value
+        assert router.cache.hits == before + 1
+
+    def test_equivalent_plans_share_one_cache_line(self, router):
+        router.execute(Q.slice((1, 1), {"d0": 0, "d1": 1}))
+        before = router.cache.hits
+        router.execute(Q.slice((1, 1)).where(d1=1, d0=0))
+        assert router.cache.hits == before + 1
+
+    def test_level_names_resolve_to_the_same_cache_line(self, cube, router):
+        names = cube.layers.schema.describe_coord((1, 2))
+        router.execute(Q.cell((1, 2), (0, 0)))
+        before = router.cache.hits
+        router.execute(Q.cell(tuple(names), (0, 0)))
+        assert router.cache.hits == before + 1
+
+    def test_execute_accepts_wire_dicts(self, router):
+        got = router.execute({"op": "watch_list"})
+        assert got.value == router.watch_list()
+
+    def test_execute_batch_reports_in_order(self, router):
+        items = router.execute_batch(
+            Q.batch(Q.watch_list(), Q.cell((9, 9), (0, 0)), Q.top_slopes((1, 1)))
+        )
+        assert [item.ok for item in items] == [True, False, True]
+        assert items[1].error_type == "SchemaError"
+        assert router.batches == 1
+        assert router.specs_executed >= 2  # the failing spec never executes
+
+    def test_execute_rejects_batchquery(self, router):
+        with pytest.raises(ServiceError):
+            router.execute(Q.batch(Q.watch_list()))
+
+    def test_new_method_wrappers_match_view(self, cube, router):
+        view = RegressionCubeView(cube.refresh(4))
+        some_cell = next(iter(cube.m_cells(4)))
+        assert router.siblings((2, 2), some_cell, "d0") == view.siblings(
+            (2, 2), some_cell, "d0"
+        )
+        assert router.observation_deck() == view.observation_deck()
+
+    def test_stats_include_spec_counters(self, router):
+        router.point((1, 1), (0, 0))
+        stats = router.stats()
+        assert stats["specs_executed"] == 1
+        assert stats["views"] == 1
+        assert stats["batches"] == 0
 
 
 class TestValidation:
