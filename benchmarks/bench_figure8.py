@@ -15,6 +15,13 @@ Expected shape (paper Section 5):
 
 Each benchmark's ``extra_info`` carries the memory-model M-bytes and the
 retained-exception count for the corresponding panel (b) series.
+
+Both algorithms aggregate through the columnar kernels
+(``repro.regression.kernels``): H-tree bulk loading and interior
+aggregation, and one grouped Theorem 3.2 kernel call per rolled-up /
+drilled cuboid (scalar fallback when numpy is absent).  Run through
+``benchmarks/report.py --json PATH`` for machine-readable ``BENCH_*.json``
+output.
 """
 
 from __future__ import annotations

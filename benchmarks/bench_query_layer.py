@@ -2,7 +2,10 @@
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/bench_query_layer.py
+    PYTHONPATH=src python benchmarks/bench_query_layer.py [--json PATH]
+
+``--json PATH`` (or ``REPRO_BENCH_JSON=PATH``) additionally writes
+``BENCH_query_layer.json`` with the measured profile.
 
 Measures the cost structure of the declarative query API over a loaded
 sharded service:
@@ -199,13 +202,51 @@ def query_layer_checks(point: QueryLayerPoint) -> list[tuple[str, bool]]:
     ]
 
 
+def json_entries(point: QueryLayerPoint, scale: str) -> list[dict]:
+    """The machine-readable form of one run (see ``repro.bench.jsonout``)."""
+    per_spec = [
+        ("spec_build", point.build_us / 1e6),
+        ("spec_codec_roundtrip", point.codec_us / 1e6),
+        ("query_uncached", point.uncached_us / 1e6),
+        ("query_cached", point.cached_us / 1e6),
+    ]
+    entries = [
+        {"op": op, "scale": scale, "wall_s": round(wall, 9),
+         "records_per_s": None}
+        for op, wall in per_spec
+    ]
+    for op, wall_ms in (
+        ("per_request_dispatch", point.per_request_ms),
+        ("batched_dispatch", point.batched_ms),
+    ):
+        entries.append(
+            {
+                "op": op,
+                "scale": scale,
+                "n_specs": point.n_specs,
+                "wall_s": round(wall_ms / 1e3, 6),
+                "records_per_s": round(point.n_specs / (wall_ms / 1e3), 1),
+            }
+        )
+    return entries
+
+
 def main() -> int:
+    from repro.bench.jsonout import json_path_from_args, write_bench_json
+    from repro.bench.reporting import render_shape_checks
+    from repro.bench.workloads import current_scale
+
     point = measure_query_layer()
     print(render_query_layer_table(point))
     checks = query_layer_checks(point)
-    from repro.bench.reporting import render_shape_checks
-
     print(render_shape_checks(checks))
+    json_path = json_path_from_args()
+    if json_path:
+        scale = current_scale().name
+        target = write_bench_json(
+            json_path, "query_layer", scale, json_entries(point, scale)
+        )
+        print(f"wrote {target}")
     return 0 if all(ok for _, ok in checks) else 1
 
 

@@ -2,7 +2,7 @@
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/bench_service_throughput.py
+    PYTHONPATH=src python benchmarks/bench_service_throughput.py [--json PATH]
 
 Measures, at 1/2/4 shards over the same seeded workload:
 
@@ -10,6 +10,16 @@ Measures, at 1/2/4 shards over the same seeded workload:
 * merged-refresh cost (the first query of an epoch pays it),
 * uncached query latency (merged view warm, LRU miss path), and
 * cached query latency (LRU hit path).
+
+Ingestion runs on the columnar fast path (grouped batch routing, one
+grouped-fit kernel per sealed quarter, bulk tilt-frame promotion — see
+``repro.regression.kernels``); without numpy the engines fall back to the
+scalar reference path and this bench simply measures that.
+
+``--json PATH`` (or ``REPRO_BENCH_JSON=PATH``) additionally writes
+``BENCH_service_throughput.json`` — op, scale, wall seconds, records/s and
+peak memory per shard count — which is what the CI perf-smoke job diffs
+against the committed baseline in ``benchmarks/baselines/``.
 
 Also runnable through :mod:`benchmarks.report` (a service section follows the
 paper figures).  Pure-Python shards share the GIL, so ingest is not expected
@@ -19,6 +29,7 @@ the later process-shard PR has a baseline to beat.
 
 from __future__ import annotations
 
+import gc
 import random
 import sys
 import time
@@ -67,19 +78,30 @@ def _workload(seed: int = 17) -> list[StreamRecord]:
     return records
 
 
-def measure_service(n_shards: int, records: list[StreamRecord]) -> ServicePoint:
+def measure_service(
+    n_shards: int, records: list[StreamRecord], rounds: int = 3
+) -> ServicePoint:
     layers = DatasetSpec(3, 3, 10, 1).build_layers()
-    with ShardedStreamCube(
-        layers,
-        GlobalSlopeThreshold(0.05),
-        n_shards=n_shards,
-        ticks_per_quarter=_TPQ,
-    ) as cube:
+    # Best-of-N over fresh cubes: single-shot wall times on a shared machine
+    # jitter far more than the 25% CI regression gate tolerates.
+    ingest_s = float("inf")
+    cube = None
+    for _ in range(rounds):
+        if cube is not None:
+            cube.close()
+        candidate = ShardedStreamCube(
+            layers,
+            GlobalSlopeThreshold(0.05),
+            n_shards=n_shards,
+            ticks_per_quarter=_TPQ,
+        )
+        gc.collect()
         t0 = time.perf_counter()
-        cube.ingest_batch(records)
-        cube.advance_to(_QUARTERS * _TPQ)
-        ingest_s = time.perf_counter() - t0
-
+        candidate.ingest_batch(records)
+        candidate.advance_to(_QUARTERS * _TPQ)
+        ingest_s = min(ingest_s, time.perf_counter() - t0)
+        cube = candidate
+    with cube:
         router = QueryRouter(cube, window_quarters=4)
         m_coord = layers.m_coord
         t0 = time.perf_counter()
@@ -163,13 +185,69 @@ def service_checks(rows: list[ServicePoint]) -> list[tuple[str, bool]]:
     ]
 
 
+def json_entries(rows: list[ServicePoint], scale: str) -> list[dict]:
+    """The machine-readable form of one run (see ``repro.bench.jsonout``)."""
+    entries: list[dict] = []
+    for p in rows:
+        entries.append(
+            {
+                "op": "ingest_batch",
+                "scale": scale,
+                "shards": p.shards,
+                "n_records": p.n_records,
+                "wall_s": round(p.ingest_s, 6),
+                "records_per_s": round(p.ingest_rps, 1),
+            }
+        )
+        entries.append(
+            {
+                "op": "refresh",
+                "scale": scale,
+                "shards": p.shards,
+                "wall_s": round(p.refresh_ms / 1e3, 6),
+                "records_per_s": None,
+            }
+        )
+        entries.append(
+            {
+                "op": "query_uncached",
+                "scale": scale,
+                "shards": p.shards,
+                "wall_s": round(p.uncached_us / 1e6, 9),
+                "records_per_s": None,
+            }
+        )
+        entries.append(
+            {
+                "op": "query_cached",
+                "scale": scale,
+                "shards": p.shards,
+                "wall_s": round(p.cached_us / 1e6, 9),
+                "records_per_s": None,
+            }
+        )
+    return entries
+
+
 def main() -> int:
+    from repro.bench.jsonout import json_path_from_args, write_bench_json
+    from repro.bench.reporting import render_shape_checks
+    from repro.bench.workloads import current_scale
+
     rows = service_throughput_series()
     print(render_service_table(rows))
     checks = service_checks(rows)
-    from repro.bench.reporting import render_shape_checks
-
     print(render_shape_checks(checks))
+    json_path = json_path_from_args()
+    if json_path:
+        scale = current_scale().name
+        target = write_bench_json(
+            json_path,
+            "service_throughput",
+            scale,
+            json_entries(rows, scale),
+        )
+        print(f"wrote {target}")
     return 0 if all(ok for _, ok in checks) else 1
 
 

@@ -1,0 +1,107 @@
+"""CI perf-smoke gate: fail on ingest-throughput regressions.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service_throughput.py --json out/
+    PYTHONPATH=src python benchmarks/check_regression.py \
+        --current out/BENCH_service_throughput.json \
+        [--baseline benchmarks/baselines/BENCH_service_throughput.json] \
+        [--max-regression 0.25]
+
+Compares the current run's ``ingest_batch`` records/s per shard count
+against the committed baseline and exits non-zero if any point regresses by
+more than ``--max-regression`` (default 25%).
+
+Hardware normalization: raw records/s are incomparable across machines, so
+both documents carry a ``machine_score`` (a fixed CPU mini-workload timed at
+bench time — see :func:`repro.bench.jsonout.machine_score`).  The gate
+compares *normalized* throughput, ``records_per_s / machine_score``, which
+cancels the runner-speed factor to first order.  The margin is deliberately
+generous; this is a smoke gate against large regressions (a kernel fast path
+silently falling back to the scalar loop), not a microbenchmark tribunal.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+_DEFAULT_BASELINE = (
+    Path(__file__).parent / "baselines" / "BENCH_service_throughput.json"
+)
+
+
+def _ingest_points(document: dict) -> dict[int, float]:
+    """``{shards: records_per_s}`` for the ingest entries of one document."""
+    out: dict[int, float] = {}
+    for entry in document.get("entries", []):
+        if entry.get("op") == "ingest_batch" and entry.get("records_per_s"):
+            out[int(entry["shards"])] = float(entry["records_per_s"])
+    return out
+
+
+def compare(
+    baseline: dict, current: dict, max_regression: float
+) -> list[str]:
+    """Human-readable verdict lines; lines starting with FAIL gate the job."""
+    base_points = _ingest_points(baseline)
+    cur_points = _ingest_points(current)
+    if not base_points:
+        return ["FAIL baseline document has no ingest_batch entries"]
+    if not cur_points:
+        return ["FAIL current document has no ingest_batch entries"]
+    base_score = float(baseline.get("machine_score") or 0.0)
+    cur_score = float(current.get("machine_score") or 0.0)
+    if base_score <= 0.0 or cur_score <= 0.0:
+        return ["FAIL machine_score missing; cannot normalize throughput"]
+    lines = [
+        f"machine_score: baseline {base_score:.2f}, current {cur_score:.2f}"
+    ]
+    for shards, base_rps in sorted(base_points.items()):
+        cur_rps = cur_points.get(shards)
+        if cur_rps is None:
+            lines.append(f"FAIL shards={shards}: missing from current run")
+            continue
+        base_norm = base_rps / base_score
+        cur_norm = cur_rps / cur_score
+        ratio = cur_norm / base_norm
+        floor = 1.0 - max_regression
+        verdict = "PASS" if ratio >= floor else "FAIL"
+        lines.append(
+            f"{verdict} shards={shards}: {cur_rps:,.0f} rec/s "
+            f"(normalized {ratio:.2f}x of baseline {base_rps:,.0f}; "
+            f"floor {floor:.2f}x)"
+        )
+    return lines
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", type=Path, default=_DEFAULT_BASELINE,
+        help="committed baseline JSON (default: benchmarks/baselines/)",
+    )
+    parser.add_argument(
+        "--current", type=Path, required=True,
+        help="freshly generated BENCH_service_throughput.json",
+    )
+    parser.add_argument(
+        "--max-regression", type=float, default=0.25,
+        help="allowed fractional drop in normalized records/s (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+    baseline = json.loads(args.baseline.read_text())
+    current = json.loads(args.current.read_text())
+    lines = compare(baseline, current, args.max_regression)
+    failed = any(line.startswith("FAIL") for line in lines)
+    print("perf smoke: ingest throughput vs committed baseline")
+    for line in lines:
+        print(" ", line)
+    print("perf smoke:", "FAIL" if failed else "PASS")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,10 +4,16 @@ Usage::
 
     python benchmarks/report.py            # small scale (default)
     REPRO_BENCH_SCALE=paper python benchmarks/report.py
+    python benchmarks/report.py --json .   # also write BENCH_report.json
 
 Prints, for each of Figures 8-10, the two panels (time, memory) as text
 tables, then evaluates the paper's qualitative claims against the measured
 numbers.  The output of this script is the source for EXPERIMENTS.md.
+
+``--json PATH`` (or ``REPRO_BENCH_JSON=PATH``) additionally writes
+``BENCH_report.json``: one entry per (figure, x-point, algorithm) with wall
+time and modeled memory, plus the service-throughput and query-layer
+sections — the machine-readable perf trajectory of the whole report.
 """
 
 from __future__ import annotations
@@ -126,7 +132,30 @@ def _fig10_checks(rows):
     ]
 
 
+def _figure_entries(figure: str, scale_name: str, rows) -> list[dict]:
+    entries = []
+    for row in rows:
+        for point in row.points:
+            entries.append(
+                {
+                    "op": f"{figure}:{point.algorithm}",
+                    "scale": scale_name,
+                    "x": row.x_label,
+                    "wall_s": round(point.runtime_s, 6),
+                    "model_megabytes": round(point.megabytes, 4),
+                    "cells_computed": point.cells_computed,
+                    "records_per_s": None,
+                }
+            )
+    return entries
+
+
 def main() -> int:
+    from repro.bench.jsonout import json_path_from_args, write_bench_json
+
+    json_path = json_path_from_args()
+    json_entries: list[dict] = []
+
     scale = current_scale()
     print(f"# scale profile: {scale.name}")
     print()
@@ -151,6 +180,7 @@ def main() -> int:
     checks = _fig8_checks(rows8)
     print(render_shape_checks(checks))
     all_ok &= all(ok for _, ok in checks)
+    json_entries += _figure_entries("figure8", scale.name, rows8)
     print(f"  ({time.time() - t0:.1f}s)\n")
 
     t0 = time.time()
@@ -159,6 +189,7 @@ def main() -> int:
     checks = _fig9_checks(rows9)
     print(render_shape_checks(checks))
     all_ok &= all(ok for _, ok in checks)
+    json_entries += _figure_entries("figure9", scale.name, rows9)
     print(f"  ({time.time() - t0:.1f}s)\n")
 
     t0 = time.time()
@@ -173,37 +204,38 @@ def main() -> int:
     checks = _fig10_checks(rows10)
     print(render_shape_checks(checks))
     all_ok &= all(ok for _, ok in checks)
+    json_entries += _figure_entries("figure10", scale.name, rows10)
     print(f"  ({time.time() - t0:.1f}s)\n")
 
     # Beyond the paper: the sharded service layer's throughput profile.
-    from bench_service_throughput import (
-        render_service_table,
-        service_checks,
-        service_throughput_series,
-    )
+    import bench_service_throughput as service_bench
 
     t0 = time.time()
-    service_rows = service_throughput_series()
-    print(render_service_table(service_rows))
-    checks = service_checks(service_rows)
+    service_rows = service_bench.service_throughput_series()
+    print(service_bench.render_service_table(service_rows))
+    checks = service_bench.service_checks(service_rows)
     print(render_shape_checks(checks))
     all_ok &= all(ok for _, ok in checks)
+    json_entries += service_bench.json_entries(service_rows, scale.name)
     print(f"  ({time.time() - t0:.1f}s)\n")
 
     # The declarative query layer: spec overhead, batching, cache profile.
-    from bench_query_layer import (
-        measure_query_layer,
-        query_layer_checks,
-        render_query_layer_table,
-    )
+    import bench_query_layer as query_bench
 
     t0 = time.time()
-    point = measure_query_layer()
-    print(render_query_layer_table(point))
-    checks = query_layer_checks(point)
+    point = query_bench.measure_query_layer()
+    print(query_bench.render_query_layer_table(point))
+    checks = query_bench.query_layer_checks(point)
     print(render_shape_checks(checks))
     all_ok &= all(ok for _, ok in checks)
+    json_entries += query_bench.json_entries(point, scale.name)
     print(f"  ({time.time() - t0:.1f}s)\n")
+
+    if json_path:
+        target = write_bench_json(
+            json_path, "report", scale.name, json_entries
+        )
+        print(f"wrote {target}\n")
 
     print("overall:", "ALL SHAPES REPRODUCED" if all_ok else "SHAPE MISMATCH")
     return 0 if all_ok else 1

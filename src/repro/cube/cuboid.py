@@ -15,6 +15,7 @@ from repro.cube.schema import CubeSchema
 from repro.errors import QueryError, SchemaError
 from repro.regression.aggregation import merge_standard
 from repro.regression.isb import ISB
+from repro.regression.kernels import merge_groups
 
 __all__ = ["Cuboid"]
 
@@ -88,7 +89,9 @@ class Cuboid:
             key = tuple(m(v) for m, v in zip(mappers, values))
             groups.setdefault(key, []).append(isb)
         out = Cuboid(self.schema, to_coord)
-        out.cells = {key: merge_standard(isbs) for key, isbs in groups.items()}
+        # Theorem 3.2 for every group in one columnar kernel call (falls
+        # back to per-group merge_standard for tiny batches / no numpy).
+        out.cells = merge_groups(groups)
         return out
 
     def roll_up_cell(self, to_coord: Coord, target_values: Values) -> ISB | None:

@@ -102,6 +102,40 @@ class CubeSchema:
             dim.hierarchy.validate_value(value, level)
         return tuple(values)
 
+    def values_validator(self, coord: Sequence[int]):
+        """A ``values -> tuple`` validator bound to one fixed coordinate.
+
+        Equivalent to ``validate_values(values, coord)`` but with the
+        coordinate validation and per-dimension lookups hoisted out; the
+        stream engine validates every new cell's key through this on the
+        ingest hot path.
+        """
+        coord = self.validate_coord(coord)
+        n = self.n_dims
+        # Hoist the per-dimension level check out of the per-call loop:
+        # membership alone remains (validate_value == level check + contains
+        # for fixed, pre-validated levels).
+        for dim, level in zip(self.dimensions, coord):
+            if level > 0:
+                dim.hierarchy._check_level(level)
+        checks = tuple(
+            (dim.hierarchy, level, dim.hierarchy.contains)
+            for dim, level in zip(self.dimensions, coord)
+        )
+
+        def validate(values: Sequence[Hashable]) -> tuple[Hashable, ...]:
+            if len(values) != n:
+                raise SchemaError(
+                    f"cell {tuple(values)} has {len(values)} values for "
+                    f"{n} dimensions"
+                )
+            for (hierarchy, level, contains), value in zip(checks, values):
+                if not contains(value, level):
+                    hierarchy.validate_value(value, level)  # exact error
+            return tuple(values)
+
+        return validate
+
     def coord_of_level_names(self, level_names: Sequence[str]) -> tuple[int, ...]:
         """Translate per-dimension level *names* into a coordinate.
 

@@ -26,8 +26,7 @@ def build_mo_htree(
     """H-tree in cardinality-ascending order, loaded with the m-layer cells."""
     order = cardinality_ascending_order(layers.schema, layers.m_coord)
     tree = HTree(layers.schema, layers.m_coord, order)
-    for values, isb in cells:
-        tree.insert(values, isb)
+    tree.insert_many(cells)
     return tree
 
 
@@ -46,6 +45,5 @@ def build_path_htree(
     """
     order = list(path.attribute_order)
     return_tree = HTree(layers.schema, layers.m_coord, order)
-    for values, isb in cells:
-        return_tree.insert(values, isb)
+    return_tree.insert_many(cells)
     return return_tree

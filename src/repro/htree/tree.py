@@ -19,13 +19,14 @@ Two attribute orders matter:
 
 from __future__ import annotations
 
-from typing import Hashable, Iterator, Sequence
+from typing import Hashable, Iterable, Iterator, Sequence
 
 from repro.cube.hierarchy import ALL
 from repro.cube.schema import CubeSchema
 from repro.errors import CubingError, SchemaError
 from repro.htree.header import HeaderTable
 from repro.htree.node import HTreeNode
+from repro.regression import kernels
 from repro.regression.aggregation import merge_standard
 from repro.regression.isb import ISB
 
@@ -133,6 +134,48 @@ class HTree:
         self.tuple_count += 1
         return node
 
+    def insert_many(
+        self, cells: Iterable[tuple[Sequence[Hashable], ISB]]
+    ) -> None:
+        """Bulk-insert m-layer tuples with the per-tuple work hoisted out.
+
+        Semantically ``for values, isb in cells: self.insert(values, isb)``,
+        but the expansion resolves each attribute through a prebuilt
+        :meth:`~repro.cube.hierarchy.ConceptHierarchy.ancestor_mapper` and a
+        coordinate-bound value validator instead of re-deriving both per
+        tuple — the builders in :mod:`repro.cubing.build` load whole
+        m-layers through this.
+        """
+        validate = self.schema.values_validator(self.m_coord)
+        mappers = [
+            (
+                d,
+                self.schema.dimensions[d].hierarchy.ancestor_mapper(
+                    self.m_coord[d], level
+                ),
+            )
+            for d, level in self.attributes
+        ]
+        headers = self.headers
+        for m_values, isb in cells:
+            values = validate(m_values)
+            node = self.root
+            for attr_index, (d, mapper) in enumerate(mappers):
+                value = mapper(values[d])
+                child = node.children.get(value)
+                if child is None:
+                    child = HTreeNode(attr_index, value, parent=node)
+                    node.children[value] = child
+                    headers[attr_index].register(child)
+                    self.node_count += 1
+                node = child
+            node.isb = (
+                isb
+                if node.isb is None
+                else merge_standard([node.isb, isb])
+            )
+            self.tuple_count += 1
+
     # ------------------------------------------------------------------
     # Traversal
     # ------------------------------------------------------------------
@@ -210,8 +253,55 @@ class HTree:
         After this, a path-order tree materializes every cuboid along the
         popular path in its nodes ("with the aggregated regression points
         stored in the nonleaf nodes", Algorithm 2 Step 2).
+
+        With numpy available the pass runs level-wise bottom-up: each
+        depth's parent sums are one grouped kernel call
+        (:func:`repro.regression.kernels.segment_merge`) over the children
+        gathered through the header tables, producing bit-identical results
+        to the recursive scalar fold (both add children sequentially in
+        child order).
         """
-        self._aggregate(self.root)
+        if kernels.HAVE_NUMPY and self.attributes:
+            self._aggregate_levelwise()
+        else:
+            self._aggregate(self.root)
+
+    def _aggregate_levelwise(self) -> None:
+        depth = len(self.attributes)
+        for leaf in self.nodes_at_depth(depth):
+            if leaf.isb is None:
+                raise CubingError("leaf without an ISB; insert data first")
+        window: tuple[int, int] | None = None
+        for depth in range(len(self.attributes) - 1, -1, -1):
+            parents = list(self.nodes_at_depth(depth))
+            if not parents:  # nothing registered at this depth yet
+                continue
+            children_isbs: list[ISB] = []
+            starts: list[int] = []
+            for parent in parents:
+                if not parent.children:
+                    # A leaf shallower than the full depth cannot exist by
+                    # construction (insert always walks every attribute) —
+                    # except the root of an empty tree, caught below.
+                    raise CubingError("leaf without an ISB; insert data first")
+                starts.append(len(children_isbs))
+                for child in parent.children.values():
+                    assert child.isb is not None  # set by the deeper pass
+                    children_isbs.append(child.isb)
+            cols = kernels.ISBColumns.from_isbs(children_isbs)
+            if window is None:
+                if len(children_isbs) and not (
+                    int(cols.t_b.min()) == int(cols.t_b.max())
+                    and int(cols.t_e.min()) == int(cols.t_e.max())
+                ):
+                    raise CubingError(
+                        "m-layer cells with differing windows cannot share "
+                        "a tree"
+                    )
+                window = (int(cols.t_b[0]), int(cols.t_e[0]))
+            merged = kernels.segment_merge(cols, starts).to_isbs()
+            for parent, isb in zip(parents, merged):
+                parent.isb = isb
 
     def _aggregate(self, node: HTreeNode) -> ISB:
         if node.is_leaf:

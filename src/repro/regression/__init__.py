@@ -8,7 +8,11 @@ Section 3 plus the Section 6.2 multiple-regression generalization):
 * :mod:`repro.regression.isb` — the 4-number ISB representation and its
   IntVal twin (Section 3.2, Theorem 3.1).
 * :mod:`repro.regression.aggregation` — Theorem 3.2 (standard dimensions)
-  and Theorem 3.3 (time dimension) lossless aggregation.
+  and Theorem 3.3 (time dimension) lossless aggregation (the scalar
+  reference implementation).
+* :mod:`repro.regression.kernels` — columnar (struct-of-arrays) twins of the
+  aggregation theorems plus grouped-reduce kernels; the numpy fast path the
+  hot loops run on, property-pinned against the scalar reference.
 * :mod:`repro.regression.basis` / :mod:`repro.regression.multiple` — the
   generalized theory: mergeable sufficient statistics for multiple linear
   regression with arbitrary (possibly non-linear) basis functions.
@@ -31,6 +35,16 @@ from repro.regression.basis import (
     spatio_temporal_design,
 )
 from repro.regression.isb import ISB, IntVal, isb_of_series
+from repro.regression.kernels import (
+    HAVE_NUMPY,
+    ISBColumns,
+    group_fit,
+    merge_groups,
+    merge_standard_cols,
+    merge_time_cols,
+    merge_time_grid,
+    segment_merge,
+)
 from repro.regression.linear import (
     LinearFit,
     RunningRegression,
@@ -51,6 +65,14 @@ __all__ = [
     "interval_length",
     "interval_mean_t",
     "svs",
+    "HAVE_NUMPY",
+    "ISBColumns",
+    "group_fit",
+    "merge_groups",
+    "merge_standard_cols",
+    "merge_time_cols",
+    "merge_time_grid",
+    "segment_merge",
     "merge_standard",
     "merge_time",
     "merge_time_pair",

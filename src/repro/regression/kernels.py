@@ -1,0 +1,461 @@
+"""Columnar ISB kernels: vectorized Theorems 3.2 / 3.3 over struct-of-arrays.
+
+The scalar functions in :mod:`repro.regression.aggregation` are the
+*reference* implementation of the paper's aggregation theorems — one frozen
+:class:`~repro.regression.isb.ISB` per cell, ``math.fsum`` folds, and the
+exact error messages the rest of the library pins.  They are also what makes
+every hot path pay Python-object prices.  This module provides the columnar
+counterparts: ISB batches held as numpy arrays (:class:`ISBColumns`) and
+kernels that aggregate thousands of cells in a handful of C-level passes.
+
+Numeric compatibility contract
+------------------------------
+
+* **Grouped sums are order-preserving.**  Every grouped reduction here goes
+  through ``np.bincount``, whose C loop adds weights sequentially in input
+  order.  A kernel therefore produces *bit-identical* results to a scalar
+  loop that folds the same values left to right — which is exactly how the
+  stream engine's sealing accumulator (:class:`~repro.regression.linear.
+  RunningRegression`) and the H-tree's interior aggregation already sum.
+* **fsum call sites are ulp-compatible, not bit-compatible.**
+  ``merge_standard`` / ``merge_time`` use ``math.fsum`` (correctly rounded);
+  a vectorized fold cannot reproduce that bit for bit.  The kernels compute
+  the same formulas with sequential IEEE-754 double adds, so results agree
+  to a few ulps (property-pinned at 1e-9 relative tolerance in
+  ``tests/regression/test_kernels.py``).  Nothing in the library compares
+  ISBs across the two paths more tightly than that.
+* **Per-group independence.**  All grouped kernels compute each group from
+  its own rows only, with a fixed per-group operation order, so a group's
+  result does not depend on what other groups share the batch.  This is what
+  lets the sharded service stay bit-identical to a single engine: each
+  cell's arithmetic is the same whether it is sealed alongside 10 cells or
+  10,000.
+
+When numpy is unavailable (:data:`HAVE_NUMPY` is ``False``) every caller
+falls back to the scalar reference path; the kernels themselves raise
+:class:`~repro.errors.AggregationError` if invoked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from repro.errors import AggregationError
+from repro.regression.isb import ISB
+
+try:  # numpy is a normal dependency, but every consumer degrades gracefully
+    import numpy as np
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - exercised only on stripped installs
+    np = None  # type: ignore[assignment]
+    HAVE_NUMPY = False
+
+if TYPE_CHECKING:  # pragma: no cover
+    import numpy.typing as npt
+
+__all__ = [
+    "HAVE_NUMPY",
+    "ISBColumns",
+    "merge_standard_cols",
+    "merge_time_cols",
+    "segment_merge",
+    "merge_time_grid",
+    "group_fit",
+    "merge_groups",
+]
+
+#: Below this many rows the numpy call overhead outweighs the vector win;
+#: callers use it to decide between the kernel and the scalar loop.
+VECTOR_MIN_ROWS = 4
+
+
+def _require_numpy() -> None:
+    if not HAVE_NUMPY:  # pragma: no cover - stripped installs only
+        raise AggregationError(
+            "columnar ISB kernels require numpy; use the scalar functions in "
+            "repro.regression.aggregation instead"
+        )
+
+
+@dataclass(frozen=True)
+class ISBColumns:
+    """A batch of ISBs as a struct of arrays (``t_b``/``t_e``/``base``/``slope``).
+
+    The columnar twin of ``list[ISB]``: four parallel numpy arrays instead of
+    one Python object per cell.  Rows keep their order — kernels that group
+    rows rely on it for order-preserving sums.
+    """
+
+    t_b: "npt.NDArray"  # int64
+    t_e: "npt.NDArray"  # int64
+    base: "npt.NDArray"  # float64
+    slope: "npt.NDArray"  # float64
+
+    def __post_init__(self) -> None:
+        n = len(self.t_b)
+        if not (len(self.t_e) == len(self.base) == len(self.slope) == n):
+            raise AggregationError("ISBColumns arrays must share one length")
+
+    def __len__(self) -> int:
+        return len(self.t_b)
+
+    @classmethod
+    def from_isbs(cls, isbs: Sequence[ISB] | Iterable[ISB]) -> "ISBColumns":
+        """Pack ISB objects into columns (one pass, order preserved)."""
+        _require_numpy()
+        items = list(isbs)
+        n = len(items)
+        t_b = np.fromiter((i.t_b for i in items), dtype=np.int64, count=n)
+        t_e = np.fromiter((i.t_e for i in items), dtype=np.int64, count=n)
+        base = np.fromiter((i.base for i in items), dtype=np.float64, count=n)
+        slope = np.fromiter((i.slope for i in items), dtype=np.float64, count=n)
+        return cls(t_b, t_e, base, slope)
+
+    def to_isbs(self) -> list[ISB]:
+        """Unpack back into ISB objects (the only per-row Python cost)."""
+        return [
+            ISB(tb, te, b, s)
+            for tb, te, b, s in zip(
+                self.t_b.tolist(),
+                self.t_e.tolist(),
+                self.base.tolist(),
+                self.slope.tolist(),
+            )
+        ]
+
+    def row(self, i: int) -> ISB:
+        """One row as an ISB."""
+        return ISB(
+            int(self.t_b[i]), int(self.t_e[i]),
+            float(self.base[i]), float(self.slope[i]),
+        )
+
+
+# ----------------------------------------------------------------------
+# Theorem 3.2 (standard dimensions)
+# ----------------------------------------------------------------------
+
+
+def merge_standard_cols(cols: ISBColumns) -> ISB:
+    """Vectorized Theorem 3.2: aggregate one batch of same-interval ISBs.
+
+    Columnar counterpart of :func:`~repro.regression.aggregation.
+    merge_standard`; ulp-compatible with it (sequential sums instead of
+    ``fsum`` — see the module docstring).
+    """
+    _require_numpy()
+    n = len(cols)
+    if n == 0:
+        raise AggregationError("merge_standard requires at least one child")
+    t_b = int(cols.t_b[0])
+    t_e = int(cols.t_e[0])
+    bad = _first_interval_mismatch(cols.t_b, cols.t_e, t_b, t_e)
+    if bad is not None:
+        raise AggregationError(
+            "standard-dimension aggregation requires identical intervals; "
+            f"got {(t_b, t_e)} and "
+            f"{(int(cols.t_b[bad]), int(cols.t_e[bad]))}"
+        )
+    return ISB(t_b, t_e, float(np.sum(cols.base)), float(np.sum(cols.slope)))
+
+
+def _segment_ids(starts: "npt.NDArray", n: int) -> "npt.NDArray":
+    """Row -> segment index for contiguous segments given their starts."""
+    counts = np.diff(np.append(starts, n))
+    return np.repeat(np.arange(len(starts), dtype=np.int64), counts)
+
+
+def _first_interval_mismatch(t_b, t_e, tb0: int, te0: int) -> int | None:
+    mism = (t_b != tb0) | (t_e != te0)
+    if mism.any():
+        return int(np.argmax(mism))
+    return None
+
+
+def segment_merge(cols: ISBColumns, seg_starts: Sequence[int]) -> ISBColumns:
+    """Grouped Theorem 3.2: merge contiguous row segments in one pass.
+
+    ``seg_starts`` holds the first row index of each segment (sorted
+    ascending, first element 0); segment ``g`` spans
+    ``[seg_starts[g], seg_starts[g+1])``.  Rows of one segment must share
+    their interval (the standard-dimension precondition).  Returns one
+    merged row per segment, bit-identical to folding each segment's bases
+    and slopes left to right.
+
+    This is the grouped-reduce kernel behind H-tree bulk aggregation, cuboid
+    roll-up and the popular-path drill merges: build the groups once (sort
+    key / dict of lists), then aggregate every group in two ``bincount``
+    passes instead of one ``merge_standard`` call per group.
+    """
+    _require_numpy()
+    n = len(cols)
+    starts = np.asarray(seg_starts, dtype=np.int64)
+    if len(starts) == 0 or n == 0:
+        raise AggregationError("segment_merge requires at least one segment")
+    if starts[0] != 0 or (np.diff(starts) <= 0).any() or starts[-1] >= n:
+        raise AggregationError(
+            "segment starts must begin at 0, increase strictly and stay "
+            "inside the batch"
+        )
+    n_seg = len(starts)
+    seg_ids = _segment_ids(starts, n)
+
+    first_tb = cols.t_b[starts]
+    first_te = cols.t_e[starts]
+    mism = (cols.t_b != first_tb[seg_ids]) | (cols.t_e != first_te[seg_ids])
+    if mism.any():
+        bad = int(np.argmax(mism))
+        g = int(seg_ids[bad])
+        raise AggregationError(
+            "standard-dimension aggregation requires identical intervals; "
+            f"got {(int(first_tb[g]), int(first_te[g]))} and "
+            f"{(int(cols.t_b[bad]), int(cols.t_e[bad]))}"
+        )
+    base = np.bincount(seg_ids, weights=cols.base, minlength=n_seg)
+    slope = np.bincount(seg_ids, weights=cols.slope, minlength=n_seg)
+    return ISBColumns(first_tb, first_te, base, slope)
+
+
+# ----------------------------------------------------------------------
+# Theorem 3.3 (time dimension)
+# ----------------------------------------------------------------------
+
+
+def merge_time_cols(cols: ISBColumns) -> ISB:
+    """Vectorized Theorem 3.3: aggregate one batch of time-adjacent ISBs.
+
+    Children need not be passed sorted; they are ordered by start tick, the
+    adjacency precondition is validated vectorized, and the slope/base
+    formula runs as array expressions.  Ulp-compatible with
+    :func:`~repro.regression.aggregation.merge_time`.
+    """
+    _require_numpy()
+    k = len(cols)
+    if k == 0:
+        raise AggregationError("merge_time requires at least one child")
+    order = np.argsort(cols.t_b, kind="stable")
+    t_b = cols.t_b[order]
+    t_e = cols.t_e[order]
+    if k == 1:
+        return cols.row(int(order[0]))
+    gap = t_e[:-1] + 1 != t_b[1:]
+    if gap.any():
+        i = int(np.argmax(gap))
+        raise AggregationError(
+            "time-dimension aggregation requires adjacent intervals; "
+            f"got {(int(t_b[i]), int(t_e[i]))} followed by "
+            f"{(int(t_b[i + 1]), int(t_e[i + 1]))}"
+        )
+    base = cols.base[order]
+    slope = cols.slope[order]
+    n_i = t_e - t_b + 1
+    # S_i from each child's ISB: the LSE line passes through the mean point.
+    sums = (base + slope * ((t_b + t_e) / 2.0)) * n_i
+    s_a = float(np.sum(sums))
+    tb_a = int(t_b[0])
+    te_a = int(t_e[-1])
+    n_a = te_a - tb_a + 1
+    denom = float(n_a**3 - n_a)
+    prefix_n = np.concatenate(([0], np.cumsum(n_i)[:-1]))
+    w = (n_i**3 - n_i) / denom
+    coeff = (2 * prefix_n + n_i - n_a) / denom
+    terms = w * slope + 6.0 * coeff * ((n_a * sums - n_i * s_a) / n_a)
+    slope_a = float(np.sum(terms))
+    z_mean_a = s_a / n_a
+    t_mean_a = (tb_a + te_a) / 2.0
+    base_a = z_mean_a - slope_a * t_mean_a
+    return ISB(tb_a, te_a, base_a, slope_a)
+
+
+def merge_time_grid(columns: Sequence[ISBColumns]) -> ISBColumns:
+    """Grouped Theorem 3.3 over *aligned* groups: one time merge per row.
+
+    ``columns[r]`` holds child ``r`` of every group; within a column all
+    rows must share one interval, and the column intervals must be adjacent
+    in order (``columns[r].t_e + 1 == columns[r+1].t_b``).  This is exactly
+    the shape of bulk tilt-frame promotion and bulk window assembly: G
+    aligned frames each merge the same R slot positions.  Row ``g`` of the
+    result is the Theorem 3.3 merge of ``(columns[0][g], ..,
+    columns[R-1][g])``, computed from row ``g``'s values alone (per-group
+    independence — see the module docstring).
+    """
+    _require_numpy()
+    if not columns:
+        raise AggregationError("merge_time requires at least one child")
+    g = len(columns[0])
+    for col in columns:
+        if len(col) != g:
+            raise AggregationError(
+                "aligned time merge requires equally long columns"
+            )
+    intervals = []
+    for col in columns:
+        tb0 = int(col.t_b[0]) if g else 0
+        te0 = int(col.t_e[0]) if g else -1
+        if g and _first_interval_mismatch(col.t_b, col.t_e, tb0, te0) is not None:
+            raise AggregationError(
+                "aligned time merge requires one interval per column"
+            )
+        intervals.append((tb0, te0))
+    for (pb, pe), (nb, ne) in zip(intervals, intervals[1:]):
+        if pe + 1 != nb:
+            raise AggregationError(
+                "time-dimension aggregation requires adjacent intervals; "
+                f"got {(pb, pe)} followed by {(nb, ne)}"
+            )
+    if len(columns) == 1:
+        col = columns[0]
+        return ISBColumns(
+            col.t_b.copy(), col.t_e.copy(), col.base.copy(), col.slope.copy()
+        )
+
+    tb_a, te_a = intervals[0][0], intervals[-1][1]
+    n_a = te_a - tb_a + 1
+    denom = float(n_a**3 - n_a)
+    # Child sums S_i per group (G-vectors), then the Theorem 3.3 fold in
+    # child order — sequential elementwise adds keep every group's operation
+    # order fixed and independent of G.
+    sums = []
+    s_a = np.zeros(g, dtype=np.float64)
+    for (tb, te), col in zip(intervals, columns):
+        n_i = te - tb + 1
+        s_i = (col.base + col.slope * ((tb + te) / 2.0)) * n_i
+        sums.append(s_i)
+        s_a = s_a + s_i
+    slope_a = np.zeros(g, dtype=np.float64)
+    prefix_n = 0
+    for (tb, te), col, s_i in zip(intervals, columns, sums):
+        n_i = te - tb + 1
+        w = (n_i**3 - n_i) / denom
+        coeff = (2 * prefix_n + n_i - n_a) / denom
+        slope_a = slope_a + w * col.slope
+        slope_a = slope_a + 6.0 * coeff * ((n_a * s_i - n_i * s_a) / n_a)
+        prefix_n += n_i
+    z_mean_a = s_a / n_a
+    t_mean_a = (tb_a + te_a) / 2.0
+    base_a = z_mean_a - slope_a * t_mean_a
+    out_tb = np.full(g, tb_a, dtype=np.int64)
+    out_te = np.full(g, te_a, dtype=np.int64)
+    return ISBColumns(out_tb, out_te, base_a, slope_a)
+
+
+# ----------------------------------------------------------------------
+# Grouped sealing fit (the engine's quarter boundary)
+# ----------------------------------------------------------------------
+
+
+def group_fit(
+    ticks: "npt.NDArray",
+    sums: "npt.NDArray",
+    seg_starts: Sequence[int],
+    lo: int,
+    hi: int,
+) -> tuple["npt.NDArray", "npt.NDArray"]:
+    """Grouped best-effort LSE fit over one sealing window ``[lo, hi]``.
+
+    ``ticks``/``sums`` concatenate every cell's per-tick sums (each cell's
+    segment in ascending tick order); ``seg_starts`` marks segment starts as
+    in :func:`segment_merge`.  Returns ``(base, slope)`` arrays, one row per
+    cell, replicating :meth:`repro.regression.linear.RunningRegression.
+    fit_window` bit for bit: the five running sums are accumulated with
+    order-preserving ``bincount`` adds and the closed-form expressions use
+    the same association order as the scalar code.  Cells whose single
+    distinct tick makes the variance zero get the flat line at their mean,
+    exactly as the scalar path does.  (Empty cells never reach this kernel —
+    the engine seals those with the shared zero ISB.)
+    """
+    _require_numpy()
+    n_rows = len(ticks)
+    starts = np.asarray(seg_starts, dtype=np.int64)
+    if len(starts) == 0 or n_rows == 0:
+        raise AggregationError("group_fit requires at least one segment")
+    if starts[0] != 0 or (np.diff(starts) <= 0).any() or starts[-1] >= n_rows:
+        raise AggregationError(
+            "segment starts must begin at 0, increase strictly and stay "
+            "inside the batch"
+        )
+    if int(ticks.min()) < lo or int(ticks.max()) > hi:
+        raise AggregationError(
+            f"recorded ticks fall outside the window [{lo}, {hi}]"
+        )
+    n_seg = len(starts)
+    seg_ids = _segment_ids(starts, n_rows)
+
+    t = ticks.astype(np.float64)
+    n = np.bincount(seg_ids, minlength=n_seg).astype(np.float64)
+    sum_t = np.bincount(seg_ids, weights=t, minlength=n_seg)
+    sum_z = np.bincount(seg_ids, weights=sums, minlength=n_seg)
+    sum_tz = np.bincount(seg_ids, weights=t * sums, minlength=n_seg)
+    sum_t2 = np.bincount(seg_ids, weights=t * t, minlength=n_seg)
+
+    t_mean = sum_t / n
+    z_mean = sum_z / n
+    denom = sum_t2 - (n * t_mean) * t_mean
+    numer = sum_tz - (n * t_mean) * z_mean
+    flat = denom == 0.0
+    safe = np.where(flat, 1.0, denom)
+    slope = np.where(flat, 0.0, numer / safe)
+    base = np.where(flat, z_mean, z_mean - slope * t_mean)
+    return base, slope
+
+
+# ----------------------------------------------------------------------
+# Grouped standard-dimension merge over keyed groups
+# ----------------------------------------------------------------------
+
+#: Total group rows below which ``merge_groups`` stays on the scalar path —
+#: packing a handful of ISBs into arrays costs more than it saves.
+GROUP_MERGE_MIN_ROWS = 32
+
+
+def merge_groups(groups: "dict", min_rows: int = GROUP_MERGE_MIN_ROWS) -> "dict":
+    """Merge ``{key: [ISB, ...]}`` groups with one :func:`segment_merge`.
+
+    The grouped counterpart of calling :func:`~repro.regression.aggregation.
+    merge_standard` per group — cuboid roll-up, popular-path drilling and
+    H-tree bulk loads all reduce to this shape.  Groups may have different
+    intervals from each other; rows *within* one group must share theirs.
+
+    Falls back to the scalar path (``fsum``-based, correctly rounded) when
+    numpy is absent or the batch is tiny; the kernel path folds each group
+    sequentially in list order, agreeing with the scalar result to ulps.
+    """
+    from repro.regression.aggregation import merge_standard
+
+    if not HAVE_NUMPY:
+        return {key: merge_standard(isbs) for key, isbs in groups.items()}
+    # 1- and 2-child groups dominate real roll-ups and cost more to pack
+    # into arrays than to merge; both inline forms are bit-identical to the
+    # kernel *and* the fsum reference (a 2-term fsum is one IEEE add).
+    out: dict = {}
+    pending_keys: list = []
+    flat: list[ISB] = []
+    starts: list[int] = []
+    for key, isbs in groups.items():
+        k = len(isbs)
+        if k == 1:
+            out[key] = isbs[0]
+        elif k == 2:
+            a, b = isbs
+            if a.t_b != b.t_b or a.t_e != b.t_e:
+                raise AggregationError(
+                    "standard-dimension aggregation requires identical "
+                    f"intervals; got {a.interval} and {b.interval}"
+                )
+            out[key] = ISB(a.t_b, a.t_e, a.base + b.base, a.slope + b.slope)
+        else:
+            out[key] = None  # placeholder keeps the group order
+            pending_keys.append(key)
+            starts.append(len(flat))
+            flat.extend(isbs)
+    if flat:
+        if len(flat) < min_rows:
+            for key in pending_keys:
+                out[key] = merge_standard(groups[key])
+        else:
+            merged = segment_merge(ISBColumns.from_isbs(flat), starts)
+            for key, isb in zip(pending_keys, merged.to_isbs()):
+                out[key] = isb
+    return out

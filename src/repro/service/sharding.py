@@ -56,10 +56,11 @@ def stable_shard_index(values: Values, n_shards: int) -> int:
     over a canonical encoding is stable everywhere and cheap enough for the
     ingest path.
     """
-    digest = hashlib.blake2b(digest_size=8)
-    for value in values:
-        digest.update(repr(value).encode("utf-8"))
-        digest.update(b"\x1f")
+    digest = hashlib.blake2b(
+        b"\x1f".join(repr(value).encode("utf-8") for value in values)
+        + b"\x1f",
+        digest_size=8,
+    )
     return int.from_bytes(digest.digest(), "big") % n_shards
 
 
@@ -182,14 +183,38 @@ class ShardedStreamCube:
         batch = list(records)
         if not batch:
             return 0
-        validate_quarter_order(
+        quarters = validate_quarter_order(
             batch, self.current_quarter, self.ticks_per_quarter
         )
-        groups: list[list[StreamRecord]] = [[] for _ in self.shards]
-        for record in batch:
-            groups[self.shard_index(self.key_fn(record))].append(record)
+        # One routing pass does all the per-record work: key once, hash
+        # once, and bucket straight into the per-quarter, per-cell groups
+        # the engines apply (so nothing downstream touches records again).
+        # The segment shape built here must mirror what
+        # StreamCubeEngine.ingest_grouped builds — both feed
+        # apply_segments' (quarter, {key: (ticks, values)}) contract.
+        n_shards = len(self.shards)
+        key_fn = self.key_fn
+        segments: list[list] = [[] for _ in self.shards]
+        current: list = [None] * n_shards
+        counts = [0] * n_shards
+        for record, quarter in zip(batch, quarters):
+            key = key_fn(record)
+            idx = stable_shard_index(key, n_shards)
+            segment = current[idx]
+            if segment is None or segment[0] != quarter:
+                segment = (quarter, {})
+                current[idx] = segment
+                segments[idx].append(segment)
+            groups = segment[1]
+            group = groups.get(key)
+            if group is None:
+                groups[key] = group = ([], [])
+            group[0].append(record.t)
+            group[1].append(record.z)
+            counts[idx] += 1
         self._map_shards(
-            lambda shard, group: shard.ingest_many(group), groups
+            lambda shard, work: shard.apply_segments(*work),
+            list(zip(segments, counts)),
         )
         self._align(max(shard.current_quarter for shard in self.shards))
         return len(batch)

@@ -27,10 +27,14 @@ from repro.cubing.policy import ExceptionPolicy, two_point_isb
 from repro.cubing.popular_path import popular_path_cubing
 from repro.cubing.result import CubeResult
 from repro.errors import StreamError, TiltFrameError
+from repro.regression import kernels
 from repro.regression.isb import ISB
 from repro.regression.linear import RunningRegression
 from repro.stream.records import StreamRecord
-from repro.tilt.frame import TiltLevelSpec, TiltTimeFrame
+from repro.tilt.frame import TiltLevelSpec, TiltTimeFrame, bulk_insert
+
+if kernels.HAVE_NUMPY:
+    import numpy as np
 
 __all__ = [
     "StreamCubeEngine",
@@ -48,31 +52,35 @@ Algorithm = Literal["mo", "popular", "multiway", "full"]
 
 def validate_quarter_order(
     batch: list[StreamRecord], current_quarter: int, ticks_per_quarter: int
-) -> None:
+) -> list[int]:
     """Enforce the batch ordering contract before any state is mutated.
 
     Quarters must be non-decreasing across the batch and none may precede
     ``current_quarter``; within one quarter any tick order is fine.  Shared
     by the single engine's :meth:`~StreamCubeEngine.ingest_many` and the
     sharded cube's ``ingest_batch`` so the contract cannot diverge.
+
+    Returns the per-record quarter indices so callers can group the batch
+    without re-deriving ``t // ticks_per_quarter`` per record.
     """
+    quarters = [record.t // ticks_per_quarter for record in batch]
     high = current_quarter
-    for i, record in enumerate(batch):
-        quarter = record.t // ticks_per_quarter
+    for i, quarter in enumerate(quarters):
         if quarter < current_quarter:
             raise StreamError(
-                f"batch record {i} at t={record.t} belongs to sealed "
+                f"batch record {i} at t={batch[i].t} belongs to sealed "
                 f"quarter {quarter} (current quarter is {current_quarter}); "
                 "batch rejected, no records ingested"
             )
         if quarter < high:
             raise StreamError(
-                f"batch record {i} at t={record.t} (quarter {quarter}) "
+                f"batch record {i} at t={batch[i].t} (quarter {quarter}) "
                 f"goes back past quarter {high} seen earlier in the "
                 "batch; batches must be quarter-ordered — batch "
                 "rejected, no records ingested"
             )
         high = quarter
+    return quarters
 
 
 def change_window_bounds(
@@ -128,6 +136,12 @@ def engine_frame_levels(ticks_per_quarter: int) -> list[TiltLevelSpec]:
     ]
 
 
+#: Minimum records in one (cell, quarter) group before the grouped ingest
+#: path builds numpy arrays; smaller groups stay on the dict loop, whose
+#: result is bit-identical (see :meth:`_CellState.add_many`).
+_GROUP_VECTOR_MIN = 16
+
+
 class _CellState:
     """Per-m-layer-cell streaming state.
 
@@ -136,20 +150,65 @@ class _CellState:
     standard-dimension semantics of Section 3.3: a cell's series is the sum
     of its contributing streams) — and the quarter's ISB is fitted over the
     per-tick sums at sealing time.  Memory per cell is O(ticks_per_quarter).
+
+    ``last_active_quarter`` records the quarter of the newest record the
+    cell has received; :meth:`StreamCubeEngine.prune_idle` reads it instead
+    of probing the tilt frame.
     """
 
-    __slots__ = ("frame", "tick_sums")
+    __slots__ = ("frame", "tick_sums", "last_active_quarter")
 
-    def __init__(self, frame: TiltTimeFrame) -> None:
+    def __init__(self, frame: TiltTimeFrame, quarter: int) -> None:
         self.frame = frame
         self.tick_sums: dict[int, float] = {}
+        self.last_active_quarter = quarter
 
     def add(self, t: int, z: float) -> None:
         self.tick_sums[t] = self.tick_sums.get(t, 0.0) + z
 
+    def add_many(self, ts: list[int], zs: list[float]) -> None:
+        """Accumulate one (cell, quarter) group of a batch.
+
+        Bit-identical to calling :meth:`add` per record: when the quarter's
+        accumulator is untouched, summing a tick's batch records left to
+        right from 0.0 (what ``np.bincount`` does) performs exactly the IEEE
+        additions the dict loop would; when partial sums already exist, the
+        group stays on the dict loop so the existing sum folds in record
+        order.
+        """
+        sums = self.tick_sums
+        if (
+            sums
+            or len(ts) < _GROUP_VECTOR_MIN
+            or not kernels.HAVE_NUMPY
+        ):
+            for t, z in zip(ts, zs):
+                sums[t] = sums.get(t, 0.0) + z
+            return
+        t_arr = np.asarray(ts, dtype=np.int64)
+        t0 = int(t_arr.min())
+        offsets = t_arr - t0
+        span = int(offsets.max()) + 1
+        totals = np.bincount(offsets, weights=zs, minlength=span)
+        present = np.bincount(offsets, minlength=span) > 0
+        ticks = (np.nonzero(present)[0] + t0).tolist()
+        for t, z in zip(ticks, totals[present].tolist()):
+            sums[t] = z
+
+    def sorted_items(self) -> list[tuple[int, float]]:
+        """The per-tick sums in ascending tick order (the sealing order)."""
+        return sorted(self.tick_sums.items())
+
     def seal(self, lo: int, hi: int) -> ISB:
+        """Fit and clear the quarter's accumulator (scalar reference path).
+
+        Ticks are folded in ascending order — the canonical sealing order —
+        so the sealed ISB does not depend on record arrival order and
+        matches the grouped kernel (:func:`repro.regression.kernels.
+        group_fit`) bit for bit.
+        """
         running = RunningRegression()
-        for t, z in self.tick_sums.items():
+        for t, z in self.sorted_items():
             running.add(t, z)
         self.tick_sums.clear()
         fit = running.fit_window(lo, hi)
@@ -198,6 +257,12 @@ class StreamCubeEngine:
         self._cells: dict[Values, _CellState] = {}
         self._current_quarter = 0
         self._records_ingested = 0
+        self._validate_values = layers.schema.values_validator(layers.m_coord)
+        # The zero prototype: an always-idle frame that seals alongside the
+        # real cells.  New cells clone it instead of replaying the
+        # zero-quarter backfill, and prune_idle probes it once per call for
+        # window coverability (all cell frames share its geometry).
+        self._zero_frame = TiltTimeFrame(self._frame_levels, origin=0)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -227,14 +292,24 @@ class StreamCubeEngine:
             raise StreamError(f"no data seen for cell {tuple(values)}") from None
 
     def prune_idle(self, idle_quarters: int) -> int:
-        """Drop cells with no activity in the last ``idle_quarters`` quarters.
+        """Drop cells with no records in the last ``idle_quarters`` quarters.
 
         Long-running deployments see churn — users move away, sensors are
         decommissioned — and per-cell frames are the engine's only unbounded
-        state.  A cell is idle when its recent sealed quarters (and its
-        current accumulation) are all zero.  Returns the number of cells
-        dropped; dropped cells re-enter (zero-backfilled) if they speak
-        again.
+        state.  Each cell tracks the quarter of its newest record
+        (``last_active_quarter``), so idleness is an O(1) comparison per
+        cell: a cell whose last record predates the window was sealed from
+        empty accumulators throughout it, i.e. its recent slots are exactly
+        the flat zero line the old frame probe looked for.  The frame is
+        consulted only once per call — through the engine's zero prototype,
+        whose geometry every cell frame shares — to check that the window is
+        actually covered by retained history (an uncoverable window proves
+        nothing, exactly as before).
+
+        A cell that keeps reporting *zeros* counts as active here (it has
+        records); the previous implementation pruned it.  Returns the number
+        of cells dropped; dropped cells re-enter (zero-backfilled) if they
+        speak again.
         """
         if idle_quarters < 1:
             raise StreamError("idle_quarters must be >= 1")
@@ -244,16 +319,16 @@ class StreamCubeEngine:
         q = self.ticks_per_quarter
         end = self._current_quarter * q - 1
         start = end - window * q + 1
-        dead = []
-        for key, state in self._cells.items():
-            if state.tick_sums:
-                continue  # accumulating right now: alive
-            try:
-                recent = state.frame.query(start, end)
-            except TiltFrameError:
-                continue  # window not fully covered: cannot prove idleness
-            if recent.base == 0.0 and recent.slope == 0.0:
-                dead.append(key)
+        try:
+            self._zero_frame.window_plan(start, end)
+        except TiltFrameError:
+            return 0  # window not fully covered: cannot prove idleness
+        cutoff = self._current_quarter - window
+        dead = [
+            key
+            for key, state in self._cells.items()
+            if not state.tick_sums and state.last_active_quarter < cutoff
+        ]
         for key in dead:
             del self._cells[key]
         return len(dead)
@@ -280,6 +355,7 @@ class StreamCubeEngine:
         if state is None:
             state = self._new_cell(key)
         state.add(record.t, record.z)
+        state.last_active_quarter = quarter
         self._records_ingested += 1
 
     def ingest_many(self, records: Iterable[StreamRecord]) -> None:
@@ -293,13 +369,76 @@ class StreamCubeEngine:
         stream cannot undo.  The whole batch is checked before any state is
         mutated, so a bad batch raises :class:`StreamError` and leaves the
         engine exactly as it was (no partial ingestion).
+
+        Batches take the grouped fast path: records are bucketed by
+        ``(cell, quarter)`` in one pass, sealing runs once per quarter
+        boundary, and each group applies one accumulator update — instead of
+        re-deriving the quarter and re-dispatching per record as
+        :meth:`ingest` must.  The resulting engine state is bit-identical to
+        record-at-a-time ingestion (property-pinned in
+        ``tests/stream/test_grouped_ingest.py``).
         """
         batch = list(records)
-        validate_quarter_order(
+        quarters = validate_quarter_order(
             batch, self._current_quarter, self.ticks_per_quarter
         )
-        for record in batch:
-            self.ingest(record)
+        self.ingest_grouped(batch, quarters)
+
+    def ingest_grouped(
+        self,
+        batch: list[StreamRecord],
+        quarters: list[int],
+    ) -> None:
+        """Grouped ingestion of an already-validated, quarter-ordered batch.
+
+        ``quarters`` is :func:`validate_quarter_order`'s output for the
+        batch.  One pass buckets the batch into per-quarter, per-cell
+        ``(ticks, values)`` groups, then :meth:`apply_segments` seals each
+        quarter boundary once and applies one accumulator update per group.
+        Callers that cannot guarantee the ordering contract must use
+        :meth:`ingest_many`.
+        """
+        key_fn = self.key_fn
+        segments: list[tuple[int, dict[Values, tuple[list[int], list[float]]]]]
+        segments = []
+        groups: dict[Values, tuple[list[int], list[float]]] | None = None
+        segment_quarter = -1
+        for record, quarter in zip(batch, quarters):
+            if groups is None or quarter != segment_quarter:
+                groups = {}
+                segments.append((quarter, groups))
+                segment_quarter = quarter
+            key = key_fn(record)
+            group = groups.get(key)
+            if group is None:
+                groups[key] = group = ([], [])
+            group[0].append(record.t)
+            group[1].append(record.z)
+        self.apply_segments(segments, len(batch))
+
+    def apply_segments(
+        self,
+        segments: list[tuple[int, dict[Values, tuple[list[int], list[float]]]]],
+        n_records: int,
+    ) -> None:
+        """Apply pre-grouped quarter segments (the grouped-ingest backend).
+
+        Each segment is ``(quarter, {cell key -> (ticks, values)})`` with
+        quarters strictly increasing and none sealed; groups preserve record
+        order.  The sharded cube builds these per shard in its routing pass
+        so records are grouped exactly once end to end.
+        """
+        cells = self._cells
+        for quarter, groups in segments:
+            if quarter > self._current_quarter:
+                self._seal_through(quarter)
+            for key, (ts, zs) in groups.items():
+                state = cells.get(key)
+                if state is None:
+                    state = self._new_cell(key)
+                state.add_many(ts, zs)
+                state.last_active_quarter = quarter
+        self._records_ingested += n_records
 
     def advance_to(self, t: int) -> None:
         """Seal every quarter ending at or before primitive tick ``t - 1``.
@@ -312,13 +451,12 @@ class StreamCubeEngine:
             self._seal_through(quarter)
 
     def _new_cell(self, key: Values) -> _CellState:
-        key = self.layers.schema.validate_values(key, self.layers.m_coord)
-        frame = TiltTimeFrame(self._frame_levels, origin=0)
-        state = _CellState(frame)
-        # Backfill the quarters before this cell's first activity with flat
-        # zero usage so every cell's frame shares the global quarter grid.
-        for q in range(self._current_quarter):
-            state.frame.insert(self._zero_quarter(q))
+        key = self._validate_values(key)
+        # Clone the zero prototype instead of building a frame and replaying
+        # every sealed quarter: the prototype *is* the zero-backfilled state
+        # (it seals alongside the real cells), so every cell's frame shares
+        # the global quarter grid at O(levels) spawn cost.
+        state = _CellState(self._zero_frame.clone(), self._current_quarter)
         self._cells[key] = state
         return state
 
@@ -327,11 +465,54 @@ class StreamCubeEngine:
         return ISB(quarter * q, quarter * q + q - 1, 0.0, 0.0)
 
     def _seal_through(self, quarter: int) -> None:
+        """Seal every quarter up to (excluding) ``quarter`` for all cells.
+
+        One grouped kernel call fits every active cell's quarter
+        (:func:`repro.regression.kernels.group_fit`, bit-identical to the
+        scalar :meth:`_CellState.seal`), idle cells share a single zero ISB,
+        and all frames advance through one :func:`~repro.tilt.frame.
+        bulk_insert` — promotions included — instead of N ``seal``/
+        ``insert`` pairs.
+        """
+        tpq = self.ticks_per_quarter
         for q in range(self._current_quarter, quarter):
-            lo = q * self.ticks_per_quarter
-            hi = lo + self.ticks_per_quarter - 1
-            for state in self._cells.values():
-                state.frame.insert(state.seal(lo, hi))
+            lo = q * tpq
+            hi = lo + tpq - 1
+            zero = self._zero_quarter(q)
+            states = list(self._cells.values())
+            mask = [bool(state.tick_sums) for state in states]
+            active = [state for state, m in zip(states, mask) if m]
+            if active and kernels.HAVE_NUMPY:
+                ticks: list[int] = []
+                sums: list[float] = []
+                starts: list[int] = []
+                for state in active:
+                    starts.append(len(ticks))
+                    for t, z in state.sorted_items():
+                        ticks.append(t)
+                        sums.append(z)
+                    state.tick_sums.clear()
+                base, slope = kernels.group_fit(
+                    np.asarray(ticks, dtype=np.int64),
+                    np.asarray(sums, dtype=np.float64),
+                    starts,
+                    lo,
+                    hi,
+                )
+                active_isbs = [
+                    ISB(lo, hi, b, s)
+                    for b, s in zip(base.tolist(), slope.tolist())
+                ]
+            else:
+                active_isbs = [state.seal(lo, hi) for state in active]
+            sealed = iter(active_isbs)
+            frames = [state.frame for state in states]
+            frames.append(self._zero_frame)
+            isbs = [next(sealed) if m else zero for m in mask]
+            isbs.append(zero)
+            # The engine owns these frames and advances them in lockstep
+            # from one cloned prototype — alignment is an invariant.
+            bulk_insert(frames, isbs, assume_aligned=True)
         self._current_quarter = quarter
 
     # ------------------------------------------------------------------
@@ -345,10 +526,40 @@ class StreamCubeEngine:
         the frame's slots.  This is the primitive the analysis views — and
         the cross-shard merge in :mod:`repro.service` — are built from.
         """
-        out: dict[Values, ISB] = {}
-        for key, state in self._cells.items():
+        if not self._cells:
+            return {}
+        keys = list(self._cells)
+        frames = [self._cells[key].frame for key in keys]
+        first = frames[0]
+        if kernels.HAVE_NUMPY and all(
+            f is first or f.aligned_with(first) for f in frames[1:]
+        ):
+            # All frames share the quarter grid, so one plan serves every
+            # cell and the Theorem 3.3 merges run as one grid kernel call.
             try:
-                out[key] = state.frame.query(t_b, t_e)
+                plan = first.window_plan(t_b, t_e)
+            except TiltFrameError as exc:
+                raise StreamError(
+                    f"cell {keys[0]}: window [{t_b},{t_e}] not covered: {exc}"
+                ) from exc
+            if len(plan) == 1:
+                level, pos, _, _ = plan[0]
+                return {
+                    key: frame._slots[level][pos]
+                    for key, frame in zip(keys, frames)
+                }
+            columns = [
+                kernels.ISBColumns.from_isbs(
+                    [frame._slots[level][pos] for frame in frames]
+                )
+                for level, pos, _, _ in plan
+            ]
+            merged = kernels.merge_time_grid(columns).to_isbs()
+            return dict(zip(keys, merged))
+        out: dict[Values, ISB] = {}
+        for key, frame in zip(keys, frames):
+            try:
+                out[key] = frame.query(t_b, t_e)
             except TiltFrameError as exc:
                 raise StreamError(
                     f"cell {key}: window [{t_b},{t_e}] not covered: {exc}"
@@ -457,6 +668,11 @@ def o_layer_change_from_windows(
     for key, isb in cur_window.items():
         o_key = tuple(m(v) for m, v in zip(mappers, key))
         cur_cells.setdefault(o_key, []).append(isb)
+    # Deliberately the fsum-based scalar merge, NOT the columnar kernel:
+    # fsum is permutation-invariant, and the sharded cube feeds this function
+    # canonically re-ordered windows whose per-group order differs from a
+    # single engine's — order-sensitive sums would break the bit-identity
+    # the service property tests pin.
     from repro.regression.aggregation import merge_standard
 
     out: dict[Values, ISB] = {}

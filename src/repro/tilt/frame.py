@@ -18,13 +18,19 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Iterator, Sequence
+from typing import Deque, Iterable, Iterator, Sequence
 
 from repro.errors import TiltFrameError
+from repro.regression import kernels
 from repro.regression.aggregation import merge_time
 from repro.regression.isb import ISB
 
-__all__ = ["TiltLevelSpec", "TiltTimeFrame"]
+__all__ = ["TiltLevelSpec", "TiltTimeFrame", "bulk_insert"]
+
+#: A window decomposition: ``(level index, slot position, t_b, t_e)`` per
+#: piece, finest available level first at every position (see
+#: :meth:`TiltTimeFrame.window_plan`).
+WindowPlan = list[tuple[int, int, int, int]]
 
 
 @dataclass(frozen=True)
@@ -197,6 +203,42 @@ class TiltTimeFrame:
         self._promote(level + 1)
 
     # ------------------------------------------------------------------
+    # Cloning (cheap engine-side cell spawning)
+    # ------------------------------------------------------------------
+    def clone(self) -> "TiltTimeFrame":
+        """An exact, independent copy of this frame's state.
+
+        Slots hold immutable ISBs, so the copy shares them; only the deques
+        are duplicated.  Skips ``__init__`` validation — the levels were
+        validated when this frame was built.  The stream engine uses this to
+        spawn a new cell's frame from its zero-backfilled prototype in O(L)
+        instead of replaying every sealed quarter.
+        """
+        other = object.__new__(TiltTimeFrame)
+        other.levels = self.levels
+        other.origin = self.origin
+        other._slots = [s.copy() for s in self._slots]  # keeps maxlen
+        other._next_tick = self._next_tick
+        other._evicted = self._evicted
+        return other
+
+    def aligned_with(self, other: "TiltTimeFrame") -> bool:
+        """True iff both frames share geometry, clock and slot counts.
+
+        Aligned frames promote and decompose windows identically, which is
+        what :func:`bulk_insert` and bulk window queries rely on.
+        """
+        if self._next_tick != other._next_tick or self.origin != other.origin:
+            return False
+        # Identity first: engine frames share one levels tuple via clone().
+        if self.levels is not other.levels and self.levels != other.levels:
+            return False
+        for a, b in zip(self._slots, other._slots):
+            if len(a) != len(b):
+                return False
+        return True
+
+    # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
     def query(self, t_b: int, t_e: int) -> ISB:
@@ -207,26 +249,44 @@ class TiltTimeFrame:
         :class:`TiltFrameError` when the window reaches beyond retained
         history or does not align with any slot boundary.
         """
+        plan = self.window_plan(t_b, t_e)
+        return merge_time(self.slots_at(plan))
+
+    def window_plan(self, t_b: int, t_e: int) -> WindowPlan:
+        """The slot decomposition ``query`` would use, as positions.
+
+        Returns ``(level index, slot position, t_b, t_e)`` per piece.  The
+        plan depends only on slot *boundaries*, so frames that are
+        :meth:`aligned_with` each other share one plan — the engine computes
+        it once and gathers every cell's slots with :meth:`slots_at`, then
+        merges all cells in one grouped Theorem 3.3 kernel call.
+        """
         if t_b > t_e:
             raise TiltFrameError(f"empty window [{t_b}, {t_e}]")
-        pieces: list[ISB] = []
+        plan: WindowPlan = []
         cursor = t_b
         while cursor <= t_e:
-            slot = self._finest_slot_at(cursor, t_e)
-            if slot is None:
+            piece = self._finest_slot_at(cursor, t_e)
+            if piece is None:
                 raise TiltFrameError(
                     f"window [{t_b}, {t_e}] not coverable from retained "
                     f"slots at tick {cursor}"
                 )
-            pieces.append(slot)
-            cursor = slot.t_e + 1
-        return merge_time(pieces)
+            plan.append(piece)
+            cursor = piece[3] + 1
+        return plan
 
-    def _finest_slot_at(self, start: int, limit: int) -> ISB | None:
-        for level_slots in self._slots:  # finest level first
-            for slot in level_slots:
+    def slots_at(self, plan: WindowPlan) -> list[ISB]:
+        """The retained slots a plan points at, in plan order."""
+        return [self._slots[level][pos] for level, pos, _, _ in plan]
+
+    def _finest_slot_at(
+        self, start: int, limit: int
+    ) -> tuple[int, int, int, int] | None:
+        for li, level_slots in enumerate(self._slots):  # finest level first
+            for pos, slot in enumerate(level_slots):
                 if slot.t_b == start and slot.t_e <= limit:
-                    return slot
+                    return (li, pos, slot.t_b, slot.t_e)
         return None
 
     def last_window(self, level: int | str, count: int) -> ISB:
@@ -256,3 +316,85 @@ class TiltTimeFrame:
             for lv, s in zip(self.levels, self._slots)
         )
         return f"TiltTimeFrame({parts}, now={self._next_tick})"
+
+
+def bulk_insert(
+    frames: Sequence[TiltTimeFrame],
+    isbs: Iterable[ISB],
+    assume_aligned: bool = False,
+) -> None:
+    """Insert one finest-level slot into many aligned frames at once.
+
+    Semantically ``for f, i in zip(frames, isbs): f.insert(i)``, but all
+    promotions triggered by the insert run as one grouped Theorem 3.3 kernel
+    call per level (:func:`repro.regression.kernels.merge_time_grid`)
+    instead of one ``merge_time`` per frame.  Aligned frames promote at the
+    same boundaries with the same child intervals, which is what makes the
+    grid shape possible — the stream engine keeps every cell's frame on one
+    global quarter grid for exactly this reason.
+
+    Numeric note: the kernel folds each frame's children sequentially where
+    scalar ``merge_time`` uses ``math.fsum``, so promoted slots agree with
+    the scalar path to ulps, not bits (see :mod:`repro.regression.kernels`).
+    Each frame's slots are computed from that frame's values alone, so
+    results do not depend on how many frames share the batch — a cell seals
+    identically on a 1-cell shard and a 10,000-cell engine.
+
+    Falls back to per-frame :meth:`TiltTimeFrame.insert` when numpy is
+    unavailable or the frames are not aligned.  ``assume_aligned=True``
+    skips the per-frame alignment check — only for callers that *own* the
+    frames and maintain alignment as an invariant (the stream engine, whose
+    frames are all clones of one prototype advanced in lockstep); a
+    misaligned frame would silently receive a slot at the wrong position.
+    """
+    frames = list(frames)
+    isb_list = list(isbs)
+    if len(frames) != len(isb_list):
+        raise TiltFrameError(
+            f"bulk_insert got {len(frames)} frames but {len(isb_list)} ISBs"
+        )
+    if not frames:
+        return
+    first = frames[0]
+    if not kernels.HAVE_NUMPY or not (
+        assume_aligned
+        or all(f is first or f.aligned_with(first) for f in frames[1:])
+    ):
+        for frame, isb in zip(frames, isb_list):
+            frame.insert(isb)
+        return
+
+    unit = first.levels[0].unit_ticks
+    expected = (first._next_tick, first._next_tick + unit - 1)
+    for isb in isb_list:
+        if isb.interval != expected:
+            raise TiltFrameError(
+                f"expected an ISB over {expected}, got {isb.interval}"
+            )
+    for frame, isb in zip(frames, isb_list):
+        frame._slots[0].append(isb)
+        frame._next_tick += unit
+
+    next_tick = first._next_tick
+    level = 0
+    while level + 1 < len(first.levels):
+        coarse = first.levels[level + 1]
+        if (next_tick - first.origin) % coarse.unit_ticks != 0:
+            break
+        ratio = coarse.unit_ticks // first.levels[level].unit_ticks
+        if len(first._slots[level]) < ratio:  # partial history at startup
+            break
+        columns = [
+            kernels.ISBColumns.from_isbs(
+                [frame._slots[level][r] for frame in frames]
+            )
+            for r in range(-ratio, 0)
+        ]
+        merged = kernels.merge_time_grid(columns).to_isbs()
+        coarsest = level + 1 == len(first.levels) - 1
+        for frame, slot in zip(frames, merged):
+            target = frame._slots[level + 1]
+            if len(target) == target.maxlen and coarsest:
+                frame._evicted += 1
+            target.append(slot)
+        level += 1

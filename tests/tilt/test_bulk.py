@@ -1,0 +1,111 @@
+"""Bulk tilt-frame operations vs the scalar path.
+
+``bulk_insert`` must evolve many aligned frames exactly like per-frame
+``insert`` up to kernel/fsum ulp differences (slot structure, clocks and
+eviction counters identical; values within 1e-9), and ``window_plan`` /
+``slots_at`` must reproduce ``query``'s decomposition.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.errors import TiltFrameError
+from repro.regression.isb import ISB
+from repro.tilt.frame import TiltLevelSpec, TiltTimeFrame, bulk_insert
+
+LEVELS = [
+    TiltLevelSpec("quarter", 2, 4),
+    TiltLevelSpec("hour", 8, 6),
+    TiltLevelSpec("day", 24, 3),
+]
+
+
+def drive(n_frames: int, n_steps: int, seed: int = 7):
+    rng = random.Random(seed)
+    scalar = [TiltTimeFrame(LEVELS) for _ in range(n_frames)]
+    bulk = [TiltTimeFrame(LEVELS) for _ in range(n_frames)]
+    t = 0
+    for _ in range(n_steps):
+        isbs = [
+            ISB(t, t + 1, rng.uniform(-3, 3), rng.uniform(-1, 1))
+            for _ in range(n_frames)
+        ]
+        for frame, isb in zip(scalar, isbs):
+            frame.insert(isb)
+        bulk_insert(bulk, isbs)
+        t += 2
+    return scalar, bulk
+
+
+class TestBulkInsert:
+    @pytest.mark.parametrize("n_frames", [1, 2, 9])
+    def test_matches_scalar_through_promotions_and_eviction(self, n_frames):
+        scalar, bulk = drive(n_frames, 60)  # crosses day slots + eviction
+        for fs, fb in zip(scalar, bulk):
+            assert fs.now == fb.now
+            assert fs.total_retained == fb.total_retained
+            assert fs.evicted_slots == fb.evicted_slots
+            for (name_a, a), (name_b, b) in zip(
+                fs.all_slots(), fb.all_slots()
+            ):
+                assert name_a == name_b and a.interval == b.interval
+                assert math.isclose(a.base, b.base, rel_tol=1e-9, abs_tol=1e-12)
+                assert math.isclose(
+                    a.slope, b.slope, rel_tol=1e-9, abs_tol=1e-12
+                )
+
+    def test_wrong_interval_rejected(self):
+        frames = [TiltTimeFrame(LEVELS) for _ in range(3)]
+        with pytest.raises(TiltFrameError):
+            bulk_insert(frames, [ISB(5, 6, 0.0, 0.0)] * 3)
+
+    def test_length_mismatch_rejected(self):
+        frames = [TiltTimeFrame(LEVELS) for _ in range(2)]
+        with pytest.raises(TiltFrameError):
+            bulk_insert(frames, [ISB(0, 1, 0.0, 0.0)])
+
+    def test_misaligned_frames_fall_back_to_scalar_insert(self):
+        ahead = TiltTimeFrame(LEVELS)
+        ahead.insert(ISB(0, 1, 1.0, 0.0))
+        behind = TiltTimeFrame(LEVELS)
+        with pytest.raises(TiltFrameError):
+            # per-frame fallback: `behind` expects [0,1], gets [2,3]
+            bulk_insert([ahead, behind], [ISB(2, 3, 0.0, 0.0)] * 2)
+
+
+class TestWindowPlan:
+    def test_plan_matches_query_decomposition(self):
+        frame = TiltTimeFrame(LEVELS)
+        rng = random.Random(3)
+        for t in range(0, 40, 2):
+            frame.insert(ISB(t, t + 1, rng.uniform(0, 1), 0.0))
+        span = frame.span()
+        assert span is not None
+        plan = frame.window_plan(span[0], span[1])
+        pieces = frame.slots_at(plan)
+        # Contiguous cover of the span, finest available first.
+        assert pieces[0].t_b == span[0] and pieces[-1].t_e == span[1]
+        for a, b in zip(pieces, pieces[1:]):
+            assert a.t_e + 1 == b.t_b
+        direct = frame.query(span[0], span[1])
+        from repro.regression.aggregation import merge_time
+
+        assert merge_time(pieces) == direct
+
+    def test_uncoverable_plan_raises(self):
+        frame = TiltTimeFrame(LEVELS)
+        frame.insert(ISB(0, 1, 1.0, 0.0))
+        with pytest.raises(TiltFrameError):
+            frame.window_plan(0, 5)
+
+    def test_clone_shares_plan_geometry(self):
+        frame = TiltTimeFrame(LEVELS)
+        for t in range(0, 16, 2):
+            frame.insert(ISB(t, t + 1, 1.0, 0.0))
+        twin = frame.clone()
+        assert twin.aligned_with(frame)
+        assert twin.window_plan(0, 15) == frame.window_plan(0, 15)
