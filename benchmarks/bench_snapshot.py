@@ -1,0 +1,233 @@
+"""Durability cost: snapshot/restore wall time and bytes-per-cell vs cells.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_snapshot.py [--json PATH]
+
+Builds sharded cubes at increasing m-layer cell counts (same seeded
+workload shape, 6 sealed quarters of history each, a mid-quarter unsealed
+tail so accumulators are part of the payload), then measures:
+
+* ``snapshot`` — wall time of ``ShardedStreamCube.snapshot(dir)`` (parallel
+  per-shard state extraction + JSON encode + atomic file writes) and the
+  resulting on-disk footprint in bytes per cell;
+* ``restore`` — wall time of ``ShardedStreamCube.restore(dir)`` back to a
+  serving cube, verified bit-identical (``window_isbs`` equality) before
+  the numbers are accepted.
+
+``--json PATH`` (or ``REPRO_BENCH_JSON=PATH``) writes ``BENCH_snapshot.json``
+via :mod:`repro.bench.jsonout`; also runnable through
+:mod:`benchmarks.report` (a durability section follows the service one).
+"""
+
+from __future__ import annotations
+
+import random
+import shutil
+import sys
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.cubing.policy import GlobalSlopeThreshold
+from repro.service.sharding import ShardedStreamCube
+from repro.stream.generator import DatasetSpec
+from repro.stream.records import StreamRecord
+
+_TPQ = 15
+_QUARTERS = 6
+_SHARDS = 2
+_CELL_COUNTS = (500, 2_000, 8_000)
+
+
+@dataclass(frozen=True)
+class SnapshotPoint:
+    """One cell count's measurements."""
+
+    n_cells: int
+    snapshot_s: float
+    restore_s: float
+    total_bytes: int
+
+    @property
+    def bytes_per_cell(self) -> float:
+        return self.total_bytes / self.n_cells
+
+    @property
+    def snapshot_cells_per_s(self) -> float:
+        return self.n_cells / self.snapshot_s
+
+    @property
+    def restore_cells_per_s(self) -> float:
+        return self.n_cells / self.restore_s
+
+
+def _build_cube(n_cells: int, seed: int = 31):
+    layers = DatasetSpec(3, 3, 10, 1).build_layers()
+    rng = random.Random(seed)
+    leaf_card = 10**3
+    cells = [
+        tuple(rng.randrange(leaf_card) for _ in range(3))
+        for _ in range(n_cells)
+    ]
+    records = []
+    # 6 sealed quarters of history plus a mid-quarter tail: every cell gets
+    # one reading per quarter, so the snapshot carries n_cells live frames
+    # and n_cells unsealed accumulators.
+    for quarter in range(_QUARTERS + 1):
+        base = quarter * _TPQ
+        for i, values in enumerate(cells):
+            records.append(
+                StreamRecord(values, base + (i % _TPQ), rng.uniform(0.0, 4.0))
+            )
+    cube = ShardedStreamCube(
+        layers,
+        GlobalSlopeThreshold(0.05),
+        n_shards=_SHARDS,
+        ticks_per_quarter=_TPQ,
+    )
+    cube.ingest_batch(records)
+    return layers, cube
+
+
+def measure_snapshot(n_cells: int, rounds: int = 3) -> SnapshotPoint:
+    layers, cube = _build_cube(n_cells)
+    workdir = Path(tempfile.mkdtemp(prefix="repro-bench-snapshot-"))
+    try:
+        with cube:
+            snapshot_s = float("inf")
+            for _ in range(rounds):
+                t0 = time.perf_counter()
+                cube.snapshot(workdir)
+                snapshot_s = min(snapshot_s, time.perf_counter() - t0)
+            total_bytes = sum(
+                p.stat().st_size for p in workdir.glob("*.json")
+            )
+            restore_s = float("inf")
+            restored = None
+            for _ in range(rounds):
+                if restored is not None:
+                    restored.close()
+                t0 = time.perf_counter()
+                restored = ShardedStreamCube.restore(
+                    workdir, layers, cube.policy
+                )
+                restore_s = min(restore_s, time.perf_counter() - t0)
+            with restored:
+                end = _QUARTERS * _TPQ
+                if restored.window_isbs(0, end - 1) != cube.window_isbs(
+                    0, end - 1
+                ):
+                    raise AssertionError(
+                        "restore is not bit-identical to the source cube"
+                    )
+            return SnapshotPoint(
+                n_cells=cube.tracked_cells,
+                snapshot_s=snapshot_s,
+                restore_s=restore_s,
+                total_bytes=total_bytes,
+            )
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+def snapshot_series(
+    cell_counts: tuple[int, ...] = _CELL_COUNTS,
+) -> list[SnapshotPoint]:
+    return [measure_snapshot(n) for n in cell_counts]
+
+
+def render_snapshot_table(rows: list[SnapshotPoint]) -> str:
+    header = (
+        f"{'cells':>7} | {'snapshot ms':>11} | {'restore ms':>10} | "
+        f"{'MB':>6} | {'bytes/cell':>10} | {'snap cells/s':>12}"
+    )
+    lines = [
+        "snapshot/restore (durability cost vs tracked cells)",
+        header,
+        "-" * len(header),
+    ]
+    for p in rows:
+        lines.append(
+            f"{p.n_cells:>7} | {p.snapshot_s * 1e3:>11.1f} | "
+            f"{p.restore_s * 1e3:>10.1f} | "
+            f"{p.total_bytes / 1e6:>6.2f} | {p.bytes_per_cell:>10.0f} | "
+            f"{p.snapshot_cells_per_s:>12.0f}"
+        )
+    return "\n".join(lines)
+
+
+def snapshot_checks(rows: list[SnapshotPoint]) -> list[tuple[str, bool]]:
+    lo, hi = rows[0], rows[-1]
+    growth = hi.n_cells / lo.n_cells
+    return [
+        (
+            "footprint: bytes/cell stays bounded (within 2x across the "
+            "sweep — per-cell state is O(frame), not O(history))",
+            max(p.bytes_per_cell for p in rows)
+            < 2.0 * min(p.bytes_per_cell for p in rows),
+        ),
+        (
+            "snapshot: wall time scales sub-quadratically with cells",
+            hi.snapshot_s / lo.snapshot_s < growth**2,
+        ),
+        (
+            "restore: wall time stays within 20x of snapshot time",
+            all(p.restore_s < 20.0 * p.snapshot_s for p in rows),
+        ),
+    ]
+
+
+def json_entries(rows: list[SnapshotPoint], scale: str) -> list[dict]:
+    """The machine-readable form of one run (see ``repro.bench.jsonout``)."""
+    entries: list[dict] = []
+    for p in rows:
+        entries.append(
+            {
+                "op": "snapshot",
+                "scale": scale,
+                "n_cells": p.n_cells,
+                "shards": _SHARDS,
+                "wall_s": round(p.snapshot_s, 6),
+                "total_bytes": p.total_bytes,
+                "bytes_per_cell": round(p.bytes_per_cell, 1),
+                "records_per_s": None,
+                "cells_per_s": round(p.snapshot_cells_per_s, 1),
+            }
+        )
+        entries.append(
+            {
+                "op": "restore",
+                "scale": scale,
+                "n_cells": p.n_cells,
+                "shards": _SHARDS,
+                "wall_s": round(p.restore_s, 6),
+                "records_per_s": None,
+                "cells_per_s": round(p.restore_cells_per_s, 1),
+            }
+        )
+    return entries
+
+
+def main() -> int:
+    from repro.bench.jsonout import json_path_from_args, write_bench_json
+    from repro.bench.reporting import render_shape_checks
+    from repro.bench.workloads import current_scale
+
+    rows = snapshot_series()
+    print(render_snapshot_table(rows))
+    checks = snapshot_checks(rows)
+    print(render_shape_checks(checks))
+    json_path = json_path_from_args()
+    if json_path:
+        scale = current_scale().name
+        target = write_bench_json(
+            json_path, "snapshot", scale, json_entries(rows, scale)
+        )
+        print(f"wrote {target}")
+    return 0 if all(ok for _, ok in checks) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

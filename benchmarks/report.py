@@ -231,6 +231,18 @@ def main() -> int:
     json_entries += query_bench.json_entries(point, scale.name)
     print(f"  ({time.time() - t0:.1f}s)\n")
 
+    # Durability: snapshot/restore wall time and on-disk footprint.
+    import bench_snapshot as snapshot_bench
+
+    t0 = time.time()
+    snap_rows = snapshot_bench.snapshot_series()
+    print(snapshot_bench.render_snapshot_table(snap_rows))
+    checks = snapshot_bench.snapshot_checks(snap_rows)
+    print(render_shape_checks(checks))
+    all_ok &= all(ok for _, ok in checks)
+    json_entries += snapshot_bench.json_entries(snap_rows, scale.name)
+    print(f"  ({time.time() - t0:.1f}s)\n")
+
     if json_path:
         target = write_bench_json(
             json_path, "report", scale.name, json_entries

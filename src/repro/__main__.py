@@ -10,6 +10,10 @@ installation.
 HTTP service over a fanout schema; ``POST /query`` accepts single query
 specs or ``{"queries": [...]}`` batches (see :mod:`repro.service.http` for
 the endpoint reference and :mod:`repro.query.spec` for the spec format).
+With ``--snapshot-dir DIR`` the service journals ingestion to a WAL and
+writes restorable snapshots (on demand, every K quarters, and on graceful
+shutdown); ``--restore DIR`` resumes from such a directory, optionally
+resharding via ``--shards``.
 """
 
 from __future__ import annotations
@@ -88,24 +92,129 @@ def demo() -> int:
 
 
 def build_service(args: argparse.Namespace):
-    """A StreamCubeService for the CLI flags (shared with the benchmark)."""
+    """A StreamCubeService for the CLI flags.
+
+    Fresh start: a new cube from the schema flags.  ``--restore DIR``:
+    rebuild the cube from the snapshot there (schema flags come from the
+    manifest's recorded app config, so a restored service is identical to
+    the one that wrote the snapshot), replay any WAL found alongside it,
+    and — when ``--shards`` names a *different* count — reshard during the
+    load.  ``--snapshot-dir DIR`` attaches a write-ahead log there and
+    enables ``POST /admin/snapshot``, ``--snapshot-every-quarters K``, and
+    the graceful-shutdown final snapshot.
+    """
+    from pathlib import Path
+
     from repro.service import QueryRouter, ShardedStreamCube, StreamCubeService
     from repro.stream.generator import DatasetSpec
+    from repro.stream.wal import QuarterWAL
 
+    from repro.errors import ServiceError
+
+    snapshot_dir = Path(args.snapshot_dir) if args.snapshot_dir else None
+    if (
+        snapshot_dir is not None
+        and not args.restore
+        and (snapshot_dir / "manifest.json").exists()
+    ):
+        # Refuse to bootstrap a fresh (empty) cube over an existing
+        # snapshot — that would overwrite the manifest and discard the
+        # previous run's state on the next compaction.
+        raise ServiceError(
+            f"{snapshot_dir} already holds a snapshot; start with "
+            f"--restore {snapshot_dir} to resume it, or point "
+            "--snapshot-dir somewhere else"
+        )
+    wal = (
+        QuarterWAL(snapshot_dir / "wal.jsonl")
+        if snapshot_dir is not None
+        else None
+    )
+    if wal is not None and not args.restore and wal.last_seq > 0:
+        # Same protection for a journal-only directory (a run that crashed
+        # before its first snapshot): a fresh start would never replay
+        # these entries and the first snapshot would compact them away.
+        raise ServiceError(
+            f"{wal.path} holds {wal.last_seq} unreplayed journal entries; "
+            f"start with --restore {snapshot_dir} to recover them, or "
+            "point --snapshot-dir somewhere else"
+        )
+
+    app = {
+        "dims": args.dims,
+        "levels": args.levels,
+        "fanout": args.fanout,
+        "threshold": args.threshold,
+        "window": args.window,
+    }
+    manifest = None
+    restore_wal = Path(args.restore) / "wal.jsonl" if args.restore else None
+    if args.restore:
+        if (Path(args.restore) / "manifest.json").exists():
+            manifest = ShardedStreamCube.read_manifest(args.restore)
+            recorded = manifest.get("app") or {}
+            if recorded:
+                app.update(recorded)
+                print(f"restoring with recorded app config: {recorded}")
+        elif not (restore_wal and restore_wal.exists()):
+            ShardedStreamCube.read_manifest(args.restore)  # raise the
+            # usual "no manifest" CodecError
+        # else: journal-only directory — the run crashed before its first
+        # snapshot; rebuild an empty cube below and replay the whole WAL.
     layers = DatasetSpec(
-        n_dims=args.dims,
-        n_levels=args.levels,
-        fanout=args.fanout,
+        n_dims=app["dims"],
+        n_levels=app["levels"],
+        fanout=app["fanout"],
         n_tuples=1,  # build_layers only needs the schema shape
     ).build_layers()
-    cube = ShardedStreamCube(
-        layers,
-        GlobalSlopeThreshold(args.threshold),
-        n_shards=args.shards,
-        ticks_per_quarter=args.ticks_per_quarter,
+    policy = GlobalSlopeThreshold(app["threshold"])
+
+    if args.restore and manifest is not None:
+        cube = ShardedStreamCube.restore(
+            args.restore,
+            layers,
+            policy,
+            n_shards=args.shards,  # None keeps the snapshot's count
+            wal=wal,
+        )
+    else:  # fresh cube — also the base of a journal-only recovery
+        cube = ShardedStreamCube(
+            layers,
+            policy,
+            n_shards=args.shards if args.shards is not None else 4,
+            ticks_per_quarter=args.ticks_per_quarter,
+            wal=wal,
+        )
+    if args.restore:
+        replayed = 0
+        if restore_wal is not None and restore_wal.exists():
+            after = int(manifest.get("wal_seq", 0)) if manifest else 0
+            if wal is not None and wal.path.resolve() == restore_wal.resolve():
+                replayed = wal.replay(cube, after_seq=after)
+            else:
+                with QuarterWAL(restore_wal) as old:
+                    replayed = old.replay(cube, after_seq=after)
+        print(
+            f"restored {cube.tracked_cells} cells on {cube.n_shards} shards "
+            f"at quarter {cube.current_quarter} "
+            f"({replayed} WAL entries replayed)"
+        )
+    router = QueryRouter(cube, window_quarters=app["window"])
+    service = StreamCubeService(
+        cube,
+        router,
+        snapshot_dir=snapshot_dir,
+        snapshot_every_quarters=args.snapshot_every_quarters,
+        app_config=app,
     )
-    router = QueryRouter(cube, window_quarters=args.window)
-    return StreamCubeService(cube, router)
+    if snapshot_dir is not None:
+        # Make the serving directory self-contained from the first moment:
+        # a fresh start gets an (empty) restorable baseline so a crash
+        # before the first periodic snapshot still recovers from WAL
+        # replay, and a restore's possibly resharded/replayed state
+        # becomes the new baseline with the WAL compacted to its tail.
+        service.write_snapshot()
+    return service
 
 
 def serve_command(args: argparse.Namespace) -> int:
@@ -143,7 +252,11 @@ def main(argv: list[str] | None = None) -> int:
         "serve", help="run the sharded stream-cube HTTP service"
     )
     serve_p.add_argument(
-        "--shards", type=int, default=4, help="engine shards (default 4)"
+        "--shards",
+        type=int,
+        default=None,
+        help="engine shards (default 4; with --restore, defaults to the "
+        "snapshot's count, and a different value reshards on load)",
     )
     serve_p.add_argument(
         "--port", type=int, default=8000, help="TCP port (default 8000)"
@@ -180,6 +293,28 @@ def main(argv: list[str] | None = None) -> int:
         type=int,
         default=4,
         help="default analysis window in quarters (default 4)",
+    )
+    serve_p.add_argument(
+        "--restore",
+        metavar="DIR",
+        default=None,
+        help="restore the cube from a snapshot directory (replaying any "
+        "WAL found there) instead of starting empty",
+    )
+    serve_p.add_argument(
+        "--snapshot-dir",
+        metavar="DIR",
+        default=None,
+        help="directory for snapshots and the write-ahead log; enables "
+        "POST /admin/snapshot and the graceful-shutdown final snapshot",
+    )
+    serve_p.add_argument(
+        "--snapshot-every-quarters",
+        type=int,
+        default=0,
+        metavar="K",
+        help="also snapshot automatically every K sealed quarters "
+        "(default 0: only on shutdown and POST /admin/snapshot)",
     )
 
     args = parser.parse_args(argv if argv is not None else [])

@@ -16,6 +16,7 @@ __all__ = [
     "AggregationError",
     "HierarchyError",
     "SchemaError",
+    "CodecError",
     "LayerError",
     "TiltFrameError",
     "CubingError",
@@ -56,6 +57,19 @@ class HierarchyError(ReproError):
 
 class SchemaError(ReproError):
     """A cube schema is inconsistent or a value does not fit the schema."""
+
+
+class CodecError(SchemaError):
+    """A serialized payload could not be decoded.
+
+    Raised by every decoder in :mod:`repro.io` (and the state codecs built
+    on it) when a payload is malformed: a missing or mistyped field, an
+    unknown format tag, an unsupported version.  The message always names
+    the codec and the offending field, so a bad checkpoint or wire payload
+    is diagnosable from the error alone.  Subclasses :class:`SchemaError`
+    because a malformed payload is a schema violation of the on-disk /
+    on-wire format — existing ``except SchemaError`` guards keep working.
+    """
 
 
 class LayerError(ReproError):

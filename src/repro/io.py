@@ -1,33 +1,51 @@
-"""JSON persistence for ISBs, m-layer datasets, and cubing results.
+"""JSON persistence for ISBs, tilt frames, engine state, and cubing results.
 
 Stream analysis checkpoints state: the m-layer of a window, the retained
-exception cells of the last refresh, or a generated benchmark dataset.
+exception cells of the last refresh, a generated benchmark dataset — and,
+since the durability refactor, whole tilt frames and engine snapshots.
 This module serializes those to a stable, human-inspectable JSON layout.
 
 Value tuples may mix ints and strings (fanout vs explicit hierarchies, plus
 the ``"*"`` sentinel), so each value is tagged on disk: ints as-is, strings
 as-is — JSON keeps the distinction — but tuple keys become lists, and dict
 keys become indexed arrays (JSON objects only allow string keys).
+
+Every decoder raises :class:`repro.errors.CodecError` (a
+:class:`~repro.errors.SchemaError`) on malformed payloads, naming the codec
+and the offending field — a corrupt checkpoint is diagnosable from the
+message alone, never a raw ``KeyError``.
+
+Round-trip exactness: floats are emitted through ``json`` (shortest
+round-trip ``repr``), so ``decode(encode(x))`` reproduces every ISB, slot,
+and accumulator *bit for bit* — the property the snapshot/restore layer
+(:mod:`repro.stream.state`) is built on.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Hashable, Mapping
+from typing import Any, Callable, Hashable, Mapping, TypeVar
 
-from repro.errors import SchemaError
+from repro.errors import CodecError, TiltFrameError
 from repro.regression.isb import ISB
+from repro.tilt.frame import TiltLevelSpec, TiltTimeFrame
 
 __all__ = [
     "isb_to_dict",
     "isb_from_dict",
+    "tilt_level_to_dict",
+    "tilt_level_from_dict",
+    "frame_to_dict",
+    "frame_from_dict",
     "cells_to_payload",
     "cells_from_payload",
     "dump_cells",
     "load_cells",
     "dump_exceptions",
     "load_exceptions",
+    "engine_state_to_dict",
+    "engine_state_from_dict",
     "spec_to_dict",
     "spec_from_dict",
     "batch_to_dict",
@@ -38,6 +56,55 @@ __all__ = [
 Values = tuple[Hashable, ...]
 
 _FORMAT_VERSION = 1
+
+#: Version tag of the state codecs (tilt frames, engine snapshots, WAL
+#: entries).  Bump when the payload shape changes; decoders reject unknown
+#: versions with a :class:`CodecError` instead of misreading them.
+STATE_VERSION = 1
+
+_T = TypeVar("_T")
+
+
+def decoding(codec: str, fn: Callable[[], _T]) -> _T:
+    """Run one decode step, converting raw lookup/type errors to CodecError.
+
+    Explicit validation stays preferable where the check is cheap; this
+    wrapper is the backstop that guarantees *no* decoder in this module (or
+    the state codecs built on it) ever surfaces a bare ``KeyError`` /
+    ``TypeError`` / ``ValueError`` from a malformed payload.
+    """
+    try:
+        return fn()
+    except CodecError:
+        raise
+    except KeyError as exc:
+        raise CodecError(f"{codec}: payload missing field {exc}") from None
+    except (
+        TypeError,
+        ValueError,
+        AttributeError,
+        IndexError,
+        TiltFrameError,  # invalid level specs / frame geometry in payloads
+    ) as exc:
+        raise CodecError(f"{codec}: malformed payload ({exc})") from None
+
+
+def check_format(codec: str, payload: Any, fmt: str, version: int) -> None:
+    """Validate a document's ``format`` / ``version`` envelope."""
+    if not isinstance(payload, Mapping):
+        raise CodecError(
+            f"{codec}: expected a JSON object, got {type(payload).__name__}"
+        )
+    if payload.get("format") != fmt:
+        raise CodecError(
+            f"{codec}: not a {fmt} payload "
+            f"(format tag is {payload.get('format')!r})"
+        )
+    if payload.get("version") != version:
+        raise CodecError(
+            f"{codec}: unsupported version {payload.get('version')!r} "
+            f"(this build reads version {version})"
+        )
 
 
 def isb_to_dict(isb: ISB) -> dict[str, Any]:
@@ -52,15 +119,105 @@ def isb_to_dict(isb: ISB) -> dict[str, Any]:
 
 def isb_from_dict(payload: Mapping[str, Any]) -> ISB:
     """Inverse of :func:`isb_to_dict`."""
-    try:
-        return ISB(
+    return decoding(
+        "isb",
+        lambda: ISB(
             t_b=int(payload["t_b"]),
             t_e=int(payload["t_e"]),
             base=float(payload["base"]),
             slope=float(payload["slope"]),
-        )
-    except KeyError as exc:
-        raise SchemaError(f"ISB payload missing field {exc}") from None
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Tilt-frame codecs (the regression/tilt layer of the snapshot format).
+# ----------------------------------------------------------------------
+def tilt_level_to_dict(spec: TiltLevelSpec) -> dict[str, Any]:
+    """JSON-ready form of one :class:`~repro.tilt.frame.TiltLevelSpec`."""
+    return {
+        "name": spec.name,
+        "unit_ticks": spec.unit_ticks,
+        "capacity": spec.capacity,
+    }
+
+
+def tilt_level_from_dict(payload: Mapping[str, Any]) -> TiltLevelSpec:
+    """Inverse of :func:`tilt_level_to_dict`."""
+    return decoding(
+        "tilt_level",
+        lambda: TiltLevelSpec(
+            name=str(payload["name"]),
+            unit_ticks=int(payload["unit_ticks"]),
+            capacity=int(payload["capacity"]),
+        ),
+    )
+
+
+def frame_to_dict(frame: TiltTimeFrame) -> dict[str, Any]:
+    """Versioned JSON-ready form of a whole tilt frame.
+
+    Captures everything :meth:`TiltTimeFrame.from_state` needs: level
+    specs, origin, clock (``now``), the eviction counter, and every
+    retained slot per level.  ``frame_from_dict(frame_to_dict(f))`` is
+    bit-identical to ``f`` — same slots, same clock, same accounting.
+    """
+    return {
+        "format": "repro-tilt-frame",
+        "version": STATE_VERSION,
+        "levels": [tilt_level_to_dict(lv) for lv in frame.levels],
+        "origin": frame.origin,
+        "next_tick": frame.now,
+        "evicted": frame.evicted_slots,
+        "slots": [
+            [isb_to_dict(slot) for slot in frame.slots(i)]
+            for i in range(len(frame.levels))
+        ],
+    }
+
+
+def frame_from_dict(
+    payload: Mapping[str, Any],
+    levels: tuple[TiltLevelSpec, ...] | None = None,
+) -> TiltTimeFrame:
+    """Inverse of :func:`frame_to_dict`.
+
+    ``levels``, when given, must equal the payload's level specs and is
+    used *by identity* for the rebuilt frame — the stream engine passes one
+    shared tuple so every restored cell frame keeps the identity-based
+    alignment fast path (:meth:`TiltTimeFrame.aligned_with`).
+    """
+    check_format("tilt_frame", payload, "repro-tilt-frame", STATE_VERSION)
+    decoded = tuple(
+        tilt_level_from_dict(entry)
+        for entry in decoding("tilt_frame", lambda: list(payload["levels"]))
+    )
+    if levels is not None:
+        if tuple(levels) != decoded:
+            raise CodecError(
+                "tilt_frame: payload levels do not match the shared level "
+                f"specs ({decoded} vs {tuple(levels)})"
+            )
+        decoded = tuple(levels)
+
+    def build() -> TiltTimeFrame:
+        try:
+            return TiltTimeFrame.from_state(
+                decoded,
+                origin=int(payload["origin"]),
+                next_tick=int(payload["next_tick"]),
+                evicted=int(payload["evicted"]),
+                slots=[
+                    [isb_from_dict(entry) for entry in level_slots]
+                    for level_slots in payload["slots"]
+                ],
+            )
+        except TiltFrameError as exc:
+            # Structurally invalid state (over-capacity slots, bad level
+            # geometry) is a malformed payload from the codec's viewpoint.
+            raise CodecError(f"tilt_frame: invalid frame state ({exc})") from None
+
+    return decoding("tilt_frame", build)
 
 
 def cells_to_payload(cells: Mapping[Values, ISB]) -> list[dict[str, Any]]:
@@ -77,11 +234,32 @@ def cells_from_payload(rows: list[dict[str, Any]]) -> dict[Values, ISB]:
     """Inverse of :func:`cells_to_payload`; rejects duplicate cells."""
     out: dict[Values, ISB] = {}
     for row in rows:
-        values = tuple(row["values"])
+        values = decoding("cells", lambda: tuple(row["values"]))
         if values in out:
-            raise SchemaError(f"duplicate cell {values} in payload")
-        out[values] = isb_from_dict(row["isb"])
+            raise CodecError(f"cells: duplicate cell {values} in payload")
+        out[values] = isb_from_dict(
+            decoding("cells", lambda: row["isb"])
+        )
     return out
+
+
+# ----------------------------------------------------------------------
+# Engine-state codecs (the stream layer of the snapshot format).
+# The encode/decode logic lives with EngineState in repro.stream.state;
+# these wrappers keep repro.io the one serialization facade.  Imports are
+# function-local because repro.stream.state imports this module at load
+# time.
+# ----------------------------------------------------------------------
+def engine_state_to_dict(state: Any) -> dict[str, Any]:
+    """JSON-ready form of a :class:`~repro.stream.state.EngineState`."""
+    return state.to_dict()
+
+
+def engine_state_from_dict(payload: Mapping[str, Any]) -> Any:
+    """Inverse of :func:`engine_state_to_dict` — bit-identical round trip."""
+    from repro.stream.state import EngineState
+
+    return EngineState.from_dict(payload)
 
 
 # ----------------------------------------------------------------------
@@ -119,6 +297,13 @@ def result_to_dict(result: Any) -> dict[str, Any]:
     return result.to_dict()
 
 
+def _load_json(codec: str, path: str | Path) -> Any:
+    try:
+        return json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise CodecError(f"{codec}: {path} is not valid JSON ({exc})") from None
+
+
 def dump_cells(cells: Mapping[Values, ISB], path: str | Path) -> None:
     """Write an m-layer (or any cell mapping) to a JSON file."""
     payload = {
@@ -131,14 +316,11 @@ def dump_cells(cells: Mapping[Values, ISB], path: str | Path) -> None:
 
 def load_cells(path: str | Path) -> dict[Values, ISB]:
     """Read a cell mapping written by :func:`dump_cells`."""
-    payload = json.loads(Path(path).read_text())
-    if payload.get("format") != "repro-cells":
-        raise SchemaError(f"{path}: not a repro-cells file")
-    if payload.get("version") != _FORMAT_VERSION:
-        raise SchemaError(
-            f"{path}: unsupported version {payload.get('version')}"
-        )
-    return cells_from_payload(payload["cells"])
+    payload = _load_json("cells", path)
+    check_format("cells", payload, "repro-cells", _FORMAT_VERSION)
+    return cells_from_payload(
+        decoding("cells", lambda: payload["cells"])
+    )
 
 
 def dump_exceptions(
@@ -161,14 +343,15 @@ def load_exceptions(
     path: str | Path,
 ) -> dict[tuple[int, ...], dict[Values, ISB]]:
     """Read exception cells written by :func:`dump_exceptions`."""
-    payload = json.loads(Path(path).read_text())
-    if payload.get("format") != "repro-exceptions":
-        raise SchemaError(f"{path}: not a repro-exceptions file")
-    if payload.get("version") != _FORMAT_VERSION:
-        raise SchemaError(
-            f"{path}: unsupported version {payload.get('version')}"
-        )
-    return {
-        tuple(entry["coord"]): cells_from_payload(entry["cells"])
-        for entry in payload["cuboids"]
-    }
+    payload = _load_json("exceptions", path)
+    check_format("exceptions", payload, "repro-exceptions", _FORMAT_VERSION)
+
+    def build() -> dict[tuple[int, ...], dict[Values, ISB]]:
+        return {
+            tuple(int(c) for c in entry["coord"]): cells_from_payload(
+                entry["cells"]
+            )
+            for entry in payload["cuboids"]
+        }
+
+    return decoding("exceptions", build)

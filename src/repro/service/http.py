@@ -11,8 +11,11 @@ Endpoints
 ---------
 ``GET  /health``   liveness + shard/quarter/record counters
 ``GET  /stats``    router cache/batch counters + partition-balance statistics
+                   + durability counters (snapshots written, WAL seq)
 ``POST /ingest``   ``{"records": [{"values": [...], "t": int, "z": float}]}``
 ``POST /advance``  ``{"t": int}`` — seal quiet quarters
+``POST /admin/snapshot``  write a cube snapshot to the configured
+                   ``--snapshot-dir`` now; returns the manifest summary
 ``POST /query``    one query spec (``{"op": "cell" | "slice" | "roll_up" |
                    "drill_down" | "siblings" | "sibling_deviation" |
                    "top_slopes" | "observation_deck" | "watch_list",
@@ -34,9 +37,12 @@ lives *inside* each call, so the lock bounds interleaving, not throughput.
 from __future__ import annotations
 
 import json
+import signal
+import sys
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Hashable
+from pathlib import Path
+from typing import Any, Hashable, Mapping
 
 from repro.errors import ReproError, ServiceError
 from repro.io import cells_to_payload, spec_from_dict
@@ -71,12 +77,56 @@ class StreamCubeService:
     Keeping request dispatch off the socket (``handle(method, path,
     payload)`` → ``(status, body)``) makes the whole service unit-testable
     without binding a port; the HTTP handler below is a thin shell.
+
+    Durability configuration (all optional):
+
+    snapshot_dir:
+        Where ``POST /admin/snapshot``, the periodic trigger, and the
+        graceful-shutdown hook write cube snapshots.  ``None`` disables
+        all three.
+    snapshot_every_quarters:
+        Write a snapshot automatically whenever the quarter clock has
+        advanced this many quarters since the last one (checked after each
+        ingest/advance; 0 disables the periodic trigger).  Each snapshot
+        compacts the cube's WAL through the sequence number the snapshot
+        captured.
+    app_config:
+        Recorded verbatim under the manifest's ``"app"`` key — the serving
+        CLI stores its schema flags there so ``--restore`` can rebuild an
+        identical service.
     """
 
-    def __init__(self, cube: ShardedStreamCube, router: QueryRouter) -> None:
+    def __init__(
+        self,
+        cube: ShardedStreamCube,
+        router: QueryRouter,
+        snapshot_dir: str | Path | None = None,
+        snapshot_every_quarters: int = 0,
+        app_config: Mapping[str, Any] | None = None,
+    ) -> None:
+        if snapshot_every_quarters < 0:
+            raise ServiceError(
+                "snapshot_every_quarters must be >= 0, got "
+                f"{snapshot_every_quarters}"
+            )
+        if snapshot_every_quarters and snapshot_dir is None:
+            raise ServiceError(
+                "snapshot_every_quarters needs a snapshot_dir to write to"
+            )
         self.cube = cube
         self.router = router
+        self.snapshot_dir = Path(snapshot_dir) if snapshot_dir else None
+        self.snapshot_every_quarters = snapshot_every_quarters
+        self.app_config = dict(app_config) if app_config else None
+        self.snapshots_written = 0
+        self._last_snapshot_quarter = cube.current_quarter
         self._lock = threading.Lock()
+
+    def close(self) -> None:
+        """Release the cube's pool and the WAL file handle."""
+        self.cube.close()
+        if self.cube.wal is not None:
+            self.cube.wal.close()
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -91,6 +141,7 @@ class StreamCubeService:
             ("POST", "/ingest"): self.ingest,
             ("POST", "/advance"): self.advance,
             ("POST", "/query"): self.query,
+            ("POST", "/admin/snapshot"): self.admin_snapshot,
         }
         handler = routes.get((method, path))
         if handler is None:
@@ -125,6 +176,19 @@ class StreamCubeService:
             "router": self.router.stats(),
             "shard_cells": self.cube.shard_cells,
             "ticks_per_quarter": self.cube.ticks_per_quarter,
+            "durability": {
+                "snapshot_dir": (
+                    str(self.snapshot_dir) if self.snapshot_dir else None
+                ),
+                "snapshot_every_quarters": self.snapshot_every_quarters,
+                "snapshots_written": self.snapshots_written,
+                "last_snapshot_quarter": self._last_snapshot_quarter,
+                "wal_seq": (
+                    self.cube.wal.last_seq
+                    if self.cube.wal is not None
+                    else None
+                ),
+            },
         }
 
     def ingest(self, payload: dict[str, Any]) -> dict[str, Any]:
@@ -143,6 +207,7 @@ class StreamCubeService:
         except (KeyError, TypeError, ValueError) as exc:
             raise ServiceError(f"malformed record in batch: {exc}") from exc
         count = self.cube.ingest_batch(records)
+        self._maybe_snapshot()
         return {
             "ingested": count,
             "current_quarter": self.cube.current_quarter,
@@ -154,7 +219,50 @@ class StreamCubeService:
         except (KeyError, TypeError, ValueError) as exc:
             raise ServiceError("advance payload needs an integer 't'") from exc
         self.cube.advance_to(t)
+        self._maybe_snapshot()
         return {"current_quarter": self.cube.current_quarter}
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+    def admin_snapshot(self, payload: dict[str, Any]) -> dict[str, Any]:
+        return self.write_snapshot()
+
+    def write_snapshot(self) -> dict[str, Any]:
+        """Snapshot the cube to ``snapshot_dir`` and compact the WAL.
+
+        The WAL is truncated through the sequence number the snapshot
+        captured — everything at or below it is durable in the snapshot,
+        so the journal shrinks back to the unsealed tail.  Callers hold the
+        service lock (the HTTP route) or own the service exclusively (the
+        shutdown hook), so the snapshot sees a quiescent cube.
+        """
+        if self.snapshot_dir is None:
+            raise ServiceError(
+                "no snapshot directory configured (serve with --snapshot-dir)"
+            )
+        manifest = self.cube.snapshot(self.snapshot_dir, extra=self.app_config)
+        if self.cube.wal is not None:
+            self.cube.wal.truncate_through(manifest["wal_seq"])
+        self.snapshots_written += 1
+        self._last_snapshot_quarter = self.cube.current_quarter
+        return {
+            "path": str(self.snapshot_dir),
+            "shards": manifest["n_shards"],
+            "current_quarter": manifest["current_quarter"],
+            "tracked_cells": manifest["tracked_cells"],
+            "records_ingested": manifest["records_ingested"],
+            "wal_seq": manifest["wal_seq"],
+        }
+
+    def _maybe_snapshot(self) -> None:
+        """The periodic trigger: snapshot when K quarters sealed since the
+        last one (runs under the service lock, after ingest/advance)."""
+        if self.snapshot_dir is None or not self.snapshot_every_quarters:
+            return
+        elapsed = self.cube.current_quarter - self._last_snapshot_quarter
+        if elapsed >= self.snapshot_every_quarters:
+            self.write_snapshot()
 
     def query(self, payload: dict[str, Any]) -> dict[str, Any]:
         # Batch form: N specs, one merged view refresh per window/epoch,
@@ -243,17 +351,54 @@ def make_server(
 def serve(
     service: StreamCubeService, host: str = "127.0.0.1", port: int = 8000
 ) -> None:
-    """Serve forever (Ctrl-C to stop)."""
+    """Serve until SIGTERM / SIGINT (Ctrl-C), then shut down gracefully.
+
+    The serving loop runs on a background thread while the main thread
+    waits for a stop signal; on SIGTERM/SIGINT the listener stops
+    accepting, in-flight requests drain (``server_close`` joins the
+    request threads), and — when the service has a ``snapshot_dir`` — a
+    final snapshot is written so a clean shutdown is always restorable
+    from disk, WAL already compacted.
+    """
     server = make_server(service, host, port)
     address = f"http://{server.server_address[0]}:{server.server_address[1]}"
     print(
         f"repro stream-cube service on {address} "
         f"({service.cube.n_shards} shards)"
     )
+    stop = threading.Event()
+    previous: list[tuple[signal.Signals, Any]] = []
     try:
-        server.serve_forever()
-    except KeyboardInterrupt:
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            previous.append(
+                (sig, signal.signal(sig, lambda *_: stop.set()))
+            )
+    except ValueError:  # pragma: no cover - not the main thread (tests)
+        pass
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-serve", daemon=True
+    )
+    thread.start()
+    try:
+        stop.wait()
+    except KeyboardInterrupt:  # pragma: no cover - signal handler races
         pass
     finally:
-        server.server_close()
-        service.cube.close()
+        print("shutting down: draining in-flight requests")
+        server.shutdown()
+        thread.join()
+        server.server_close()  # joins request threads: the drain
+        try:
+            if service.snapshot_dir is not None:
+                summary = service.write_snapshot()
+                print(
+                    f"final snapshot: {summary['path']} "
+                    f"(quarter {summary['current_quarter']}, "
+                    f"{summary['tracked_cells']} cells)"
+                )
+        except (ReproError, OSError) as exc:  # pragma: no cover - disk trouble
+            print(f"final snapshot failed: {exc}", file=sys.stderr)
+        finally:
+            service.close()
+            for sig, handler in previous:
+                signal.signal(sig, handler)

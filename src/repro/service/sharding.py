@@ -20,14 +20,25 @@ the single engine.
 from __future__ import annotations
 
 import hashlib
+import json
+import os
+import re
 from concurrent.futures import ThreadPoolExecutor
-from typing import Hashable, Iterable
+from pathlib import Path
+from typing import Any, Hashable, Iterable, Mapping
 
 from repro.cube.lattice import PopularPath
 from repro.cube.layers import CriticalLayers
 from repro.cubing.policy import ExceptionPolicy
 from repro.cubing.result import CubeResult
-from repro.errors import ServiceError, StreamError
+from repro.errors import CodecError, ServiceError, StreamError
+from repro.io import (
+    STATE_VERSION,
+    check_format,
+    decoding,
+    engine_state_from_dict,
+    engine_state_to_dict,
+)
 from repro.regression.isb import ISB
 from repro.service.merge import disjoint_union
 from repro.stream.engine import (
@@ -40,11 +51,32 @@ from repro.stream.engine import (
     validate_quarter_order,
 )
 from repro.stream.records import StreamRecord
+from repro.stream.state import EngineState
+from repro.stream.wal import QuarterWAL
 from repro.tilt.frame import TiltLevelSpec
 
 __all__ = ["ShardedStreamCube", "stable_shard_index"]
 
 Values = tuple[Hashable, ...]
+
+_MANIFEST = "manifest.json"
+_SNAPSHOT_FORMAT = "repro-snapshot"
+
+
+def _write_atomic(path: Path, text: str) -> None:
+    """Write a file through a temp name + fsync + ``os.replace``.
+
+    The fsync before the rename matters: ``write_snapshot`` compacts the
+    WAL against the snapshot immediately after, so the snapshot files must
+    be durable — not just renamed in the page cache — before the journal
+    entries they supersede are allowed to disappear.
+    """
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(text)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
 
 
 def stable_shard_index(values: Values, n_shards: int) -> int:
@@ -64,6 +96,38 @@ def stable_shard_index(values: Values, n_shards: int) -> int:
     return int.from_bytes(digest.digest(), "big") % n_shards
 
 
+def _repartition_states(
+    states: list[EngineState], new_n: int
+) -> list[EngineState]:
+    """Re-partition aligned per-shard states over a new shard count.
+
+    Each cell's :class:`~repro.stream.state.CellSnapshot` moves wholesale
+    to its new owner (``stable_shard_index`` over the new count), so no ISB
+    arithmetic happens at all — the re-partitioned cube is bit-identical by
+    construction.  The lifetime record counter is a cube-level statistic
+    whose per-shard split is meaningless after moving cells between shards;
+    the aggregate is preserved by assigning it to shard 0.
+    """
+    template = states[0]
+    total_records = sum(state.records_ingested for state in states)
+    cells: list[dict[Values, Any]] = [{} for _ in range(new_n)]
+    for state in states:
+        for key, cell in state.cells.items():
+            cells[stable_shard_index(key, new_n)][key] = cell
+    return [
+        EngineState(
+            ticks_per_quarter=template.ticks_per_quarter,
+            frame_levels=template.frame_levels,
+            current_quarter=template.current_quarter,
+            records_ingested=total_records if i == 0 else 0,
+            zero_frame=template.zero_frame.clone(),
+            cells=cells[i],
+            wal_seq=max(state.wal_seq for state in states),
+        )
+        for i in range(new_n)
+    ]
+
+
 class ShardedStreamCube:
     """One logical stream cube partitioned across N independent engines.
 
@@ -76,6 +140,12 @@ class ShardedStreamCube:
         Per-cell arithmetic is pure Python, so threads mostly help when a
         shard operation releases the GIL or a later PR swaps in process
         shards; the pool is the dispatch seam either way.
+    wal:
+        Optional :class:`~repro.stream.wal.QuarterWAL` journaling the
+        *cube-level* ingestion stream (batches before routing, explicit
+        advances).  Shards never journal individually — replaying the cube
+        journal through :meth:`ingest_batch` re-routes every record to the
+        same owner shard, so one log covers the whole cube.
 
     The cube is not safe for *concurrent callers* — the HTTP layer
     serializes access — but each call fans out across shards in parallel.
@@ -93,11 +163,14 @@ class ShardedStreamCube:
         ticks_per_quarter: int = 15,
         frame_levels: Iterable[TiltLevelSpec] | None = None,
         max_workers: int | None = None,
+        wal: QuarterWAL | None = None,
     ) -> None:
         if n_shards < 1:
             raise ServiceError(f"n_shards must be >= 1, got {n_shards}")
         self.layers = layers
         self.policy = policy
+        self.wal = wal
+        self._key_fn_arg = key_fn
         self.key_fn: KeyFn = key_fn if key_fn is not None else (
             lambda record: record.values
         )
@@ -117,6 +190,7 @@ class ShardedStreamCube:
             max_workers=max_workers if max_workers is not None else n_shards,
             thread_name_prefix="repro-shard",
         )
+        self._snapshots_taken = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -164,7 +238,20 @@ class ShardedStreamCube:
     # ------------------------------------------------------------------
     def ingest(self, record: StreamRecord) -> None:
         """Ingest one record on its owner shard, keeping shards aligned."""
-        owner = self.shards[self.shard_index(self.key_fn(record))]
+        key = self.key_fn(record)
+        owner = self.shards[self.shard_index(key)]
+        if self.wal is not None:
+            # Validate before journaling: a journaled record must never
+            # fail on replay (the owner shard re-checks both conditions).
+            quarter = record.t // self.ticks_per_quarter
+            if quarter < self.current_quarter:
+                raise StreamError(
+                    f"record at t={record.t} belongs to sealed quarter "
+                    f"{quarter} (current quarter is {self.current_quarter})"
+                )
+            if key not in owner._cells:
+                owner.validate_cell_key(key)
+            self.wal.append_batch([record], quarter)
         owner.ingest(record)
         if owner.current_quarter > min(
             shard.current_quarter for shard in self.shards
@@ -174,11 +261,13 @@ class ShardedStreamCube:
     def ingest_batch(self, records: Iterable[StreamRecord]) -> int:
         """Group a quarter-ordered batch per shard and dispatch in parallel.
 
-        The batch obeys the same ordering contract as
-        :meth:`StreamCubeEngine.ingest_many` — quarters non-decreasing, none
-        sealed — validated against the *global* order before any shard is
-        touched, so a bad batch mutates nothing.  Returns the number of
-        records ingested.
+        The batch obeys the same validation contract as
+        :meth:`StreamCubeEngine.ingest_many` — quarters non-decreasing,
+        none sealed — checked against the *global* order before any shard
+        is touched, so a bad batch mutates nothing; with a WAL attached,
+        new cell keys are additionally schema-validated before the batch
+        is journaled, so a rejected batch can never poison the log.
+        Returns the number of records ingested.
         """
         batch = list(records)
         if not batch:
@@ -212,6 +301,13 @@ class ShardedStreamCube:
             group[0].append(record.t)
             group[1].append(record.z)
             counts[idx] += 1
+        if self.wal is not None:
+            # Journal integrity: validate every new cell key before the
+            # batch is journaled, so the log can never hold a batch that
+            # would fail on replay.  WAL-off skips the pass entirely.
+            for shard, shard_segments in zip(self.shards, segments):
+                shard.validate_segment_keys(shard_segments)
+            self.wal.append_batch(batch, quarters[-1])
         self._map_shards(
             lambda shard, work: shard.apply_segments(*work),
             list(zip(segments, counts)),
@@ -222,6 +318,10 @@ class ShardedStreamCube:
     def advance_to(self, t: int) -> None:
         """Seal quiet quarters on every shard in parallel (cf. the single
         engine's :meth:`~repro.stream.engine.StreamCubeEngine.advance_to`)."""
+        if self.wal is not None:
+            quarter = t // self.ticks_per_quarter
+            if quarter > self.current_quarter:
+                self.wal.append_advance(t, quarter)
         self._map_shards(lambda shard, _: shard.advance_to(t), self.shards)
 
     def prune_idle(self, idle_quarters: int) -> int:
@@ -290,6 +390,225 @@ class ShardedStreamCube:
         """
         cells = self.m_cells(window_quarters)
         return run_cubing(self.layers, cells, self.policy, algorithm, path)
+
+    # ------------------------------------------------------------------
+    # Durability and elasticity: snapshot / restore / reshard
+    # ------------------------------------------------------------------
+    def snapshot(
+        self, directory: str | Path, extra: Mapping[str, Any] | None = None
+    ) -> dict[str, Any]:
+        """Write a complete cube snapshot into ``directory``; return the
+        manifest.
+
+        Layout: one ``shard-<i>-<generation>.json`` engine-state file per
+        shard (extracted and written in parallel on the cube's pool) plus a
+        ``manifest.json`` naming them.  The manifest is written *last*,
+        through a temp file + ``os.replace``, so a crash mid-snapshot
+        leaves the previous snapshot fully intact — the generation tag in
+        the shard filenames keeps new files from overwriting the ones the
+        old manifest still references.  Stale shard files from earlier
+        generations are removed after the manifest lands.
+
+        ``extra``, when given, is stored under the manifest's ``"app"`` key
+        — the serving CLI records its schema flags there so ``--restore``
+        can rebuild an identical service without re-specifying them.
+        """
+        target = Path(directory)
+        target.mkdir(parents=True, exist_ok=True)
+        states = self._map_shards(
+            lambda shard, _: shard.snapshot(), self.shards
+        )
+        wal_seq = self.wal.last_seq if self.wal is not None else 0
+        # The generation tag makes each snapshot's shard filenames unique:
+        # a counter monotonic across both this cube's snapshots and
+        # whatever earlier process wrote into the directory (scanned from
+        # the existing filenames), so no snapshot ever overwrites files a
+        # live manifest still references — not even after prune_idle (which
+        # changes state the other markers cannot see) or a restart.  A
+        # crash mid-snapshot therefore always leaves the previous snapshot
+        # fully intact.
+        on_disk = (
+            int(m.group(1))
+            for p in target.glob("shard-*-g*.json")
+            if (m := re.search(r"-g(\d+)\.json$", p.name))
+        )
+        self._snapshots_taken = max(
+            [self._snapshots_taken, *on_disk], default=0
+        ) + 1
+        generation = (
+            f"q{self.current_quarter}-s{wal_seq}"
+            f"-r{self.records_ingested}-g{self._snapshots_taken}"
+        )
+        names = [
+            f"shard-{i:02d}-{generation}.json" for i in range(len(states))
+        ]
+
+        def write_shard(_shard: StreamCubeEngine, work) -> None:
+            name, state = work
+            _write_atomic(
+                target / name,
+                json.dumps(engine_state_to_dict(state)),
+            )
+
+        self._map_shards(write_shard, list(zip(names, states)))
+        manifest: dict[str, Any] = {
+            "format": _SNAPSHOT_FORMAT,
+            "version": STATE_VERSION,
+            "n_shards": len(self.shards),
+            "ticks_per_quarter": self.ticks_per_quarter,
+            "current_quarter": self.current_quarter,
+            "records_ingested": self.records_ingested,
+            "tracked_cells": self.tracked_cells,
+            "wal_seq": wal_seq,
+            "shards": names,
+        }
+        if extra:
+            manifest["app"] = dict(extra)
+        _write_atomic(target / _MANIFEST, json.dumps(manifest, indent=1))
+        referenced = set(names)
+        for stale in target.glob("shard-*.json"):
+            if stale.name not in referenced:
+                stale.unlink(missing_ok=True)
+        return manifest
+
+    @staticmethod
+    def read_manifest(directory: str | Path) -> dict[str, Any]:
+        """The validated manifest of a snapshot directory."""
+        path = Path(directory) / _MANIFEST
+        if not path.exists():
+            raise CodecError(f"snapshot: no {_MANIFEST} in {directory}")
+        payload = decoding("snapshot", lambda: json.loads(path.read_text()))
+        check_format("snapshot", payload, _SNAPSHOT_FORMAT, STATE_VERSION)
+        return payload
+
+    @classmethod
+    def restore(
+        cls,
+        directory: str | Path,
+        layers: CriticalLayers,
+        policy: ExceptionPolicy,
+        key_fn: KeyFn | None = None,
+        n_shards: int | None = None,
+        max_workers: int | None = None,
+        wal: QuarterWAL | None = None,
+    ) -> "ShardedStreamCube":
+        """Rebuild a cube from a snapshot directory.
+
+        ``layers`` / ``policy`` / ``key_fn`` are configuration, supplied
+        exactly as to the original constructor (cells are re-validated
+        against the schema on load).  ``n_shards`` defaults to the
+        snapshot's shard count; passing a *different* count re-partitions
+        every cell with :func:`stable_shard_index` during the load — online
+        resharding is just a restore with a new count.  Follow with
+        ``wal.replay(cube, after_seq=manifest["wal_seq"])`` to recover an
+        interrupted run (the serving CLI does this for you).
+        """
+        target = Path(directory)
+        manifest = cls.read_manifest(target)
+
+        def load(name: str) -> EngineState:
+            path = target / name
+            if not path.exists():
+                raise CodecError(
+                    f"snapshot: manifest references missing file {path}"
+                )
+            payload = decoding(
+                "snapshot", lambda: json.loads(path.read_text())
+            )
+            return engine_state_from_dict(payload)
+
+        names = decoding("snapshot", lambda: list(manifest["shards"]))
+        if len(names) != int(manifest["n_shards"]):
+            raise CodecError(
+                f"snapshot: manifest lists {len(names)} shard files for "
+                f"{manifest['n_shards']} shards"
+            )
+        with ThreadPoolExecutor(
+            max_workers=max(1, len(names)), thread_name_prefix="repro-restore"
+        ) as pool:
+            states = list(pool.map(load, names))
+        return cls._from_states(
+            states,
+            layers,
+            policy,
+            key_fn=key_fn,
+            n_shards=n_shards,
+            max_workers=max_workers,
+            wal=wal,
+        )
+
+    def reshard(
+        self, new_n: int, max_workers: int | None = None
+    ) -> "ShardedStreamCube":
+        """A new cube with ``new_n`` shards holding this cube's exact state.
+
+        Every cell's complete streaming state — tilt frame, unsealed
+        accumulators, activity marker — is extracted (in parallel) and
+        re-partitioned with :func:`stable_shard_index` over the new count,
+        so the resharded cube's ``window_isbs`` / ``refresh`` / exception
+        sets are bit-identical to this cube's and ingestion continues
+        seamlessly mid-quarter.  This cube is left untouched (close it when
+        the cut-over is done); the returned cube shares no mutable state
+        with it.
+        """
+        states = self._map_shards(
+            lambda shard, _: shard.snapshot(), self.shards
+        )
+        return type(self)._from_states(
+            states,
+            self.layers,
+            self.policy,
+            key_fn=self._key_fn_arg,
+            n_shards=new_n,
+            max_workers=max_workers,
+            wal=None,
+        )
+
+    @classmethod
+    def _from_states(
+        cls,
+        states: list[EngineState],
+        layers: CriticalLayers,
+        policy: ExceptionPolicy,
+        key_fn: KeyFn | None,
+        n_shards: int | None,
+        max_workers: int | None,
+        wal: QuarterWAL | None,
+    ) -> "ShardedStreamCube":
+        """Build a cube from per-shard engine states, re-partitioning when
+        the target shard count differs from ``len(states)``."""
+        if not states:
+            raise ServiceError("cannot build a cube from zero shard states")
+        tpq = states[0].ticks_per_quarter
+        quarter = states[0].current_quarter
+        for state in states[1:]:
+            if (
+                state.ticks_per_quarter != tpq
+                or state.current_quarter != quarter
+            ):
+                raise ServiceError(
+                    "shard states disagree on ticks_per_quarter / quarter "
+                    "clock; snapshot is not from one aligned cube"
+                )
+        target_n = len(states) if n_shards is None else n_shards
+        if target_n < 1:
+            raise ServiceError(f"n_shards must be >= 1, got {target_n}")
+        if target_n != len(states):
+            states = _repartition_states(states, target_n)
+        cube = cls(
+            layers,
+            policy,
+            n_shards=target_n,
+            key_fn=key_fn,
+            ticks_per_quarter=tpq,
+            frame_levels=states[0].frame_levels,
+            max_workers=max_workers,
+            wal=wal,
+        )
+        cube._map_shards(
+            lambda shard, state: shard.load_state(state), states
+        )
+        return cube
 
     def change_exceptions(self, quarters_apart: int = 1) -> dict[Values, ISB]:
         """Merged m-layer window-over-window change exceptions.

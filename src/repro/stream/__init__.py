@@ -6,8 +6,14 @@ from repro.stream.power_grid import PowerGridConfig, PowerGridSimulator, USER_GR
 from repro.stream.records import StreamRecord, sort_records, validate_monotonic
 from repro.stream.replay import capture, replay_records, write_records
 from repro.stream.sliding import SlidingWindowRegression
+from repro.stream.state import CellSnapshot, EngineState
+from repro.stream.wal import QuarterWAL, WalEntry
 
 __all__ = [
+    "CellSnapshot",
+    "EngineState",
+    "QuarterWAL",
+    "WalEntry",
     "DatasetSpec",
     "GeneratedDataset",
     "generate_dataset",

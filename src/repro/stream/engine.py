@@ -31,6 +31,8 @@ from repro.regression import kernels
 from repro.regression.isb import ISB
 from repro.regression.linear import RunningRegression
 from repro.stream.records import StreamRecord
+from repro.stream.state import CellSnapshot, EngineState
+from repro.stream.wal import QuarterWAL
 from repro.tilt.frame import TiltLevelSpec, TiltTimeFrame, bulk_insert
 
 if kernels.HAVE_NUMPY:
@@ -231,6 +233,12 @@ class StreamCubeEngine:
         Primitive ticks per finest tilt-frame slot.
     frame_levels:
         Tilt-frame level specs; defaults to :func:`engine_frame_levels`.
+    wal:
+        Optional :class:`~repro.stream.wal.QuarterWAL`.  When attached,
+        every accepted batch and explicit clock advance is journaled
+        *before* it mutates engine state, so a crash loses nothing that was
+        acknowledged; when ``None`` (the default) the ingest paths pay one
+        ``is None`` check and nothing else.
     """
 
     def __init__(
@@ -240,6 +248,7 @@ class StreamCubeEngine:
         key_fn: KeyFn | None = None,
         ticks_per_quarter: int = 15,
         frame_levels: Iterable[TiltLevelSpec] | None = None,
+        wal: QuarterWAL | None = None,
     ) -> None:
         if ticks_per_quarter < 1:
             raise StreamError("ticks_per_quarter must be >= 1")
@@ -254,6 +263,7 @@ class StreamCubeEngine:
             if frame_levels is not None
             else engine_frame_levels(ticks_per_quarter)
         )
+        self.wal = wal
         self._cells: dict[Values, _CellState] = {}
         self._current_quarter = 0
         self._records_ingested = 0
@@ -336,11 +346,22 @@ class StreamCubeEngine:
     # ------------------------------------------------------------------
     # Ingestion
     # ------------------------------------------------------------------
+    def validate_cell_key(self, key: Values) -> Values:
+        """Schema-validate one m-layer key (the canonical tuple comes back).
+
+        Exposed so batch paths — here and in the sharded cube — can reject
+        a record *before* any state is mutated or any WAL entry is written:
+        a journaled batch must never fail on replay.
+        """
+        return self._validate_values(key)
+
     def ingest(self, record: StreamRecord) -> None:
         """Ingest one primitive record.
 
         Records must not go back past a sealed quarter; within the current
         quarter any order is accepted (the running sums are order-free).
+        A record that fails validation — sealed quarter or out-of-schema
+        key — is rejected before any state is mutated or journaled.
         """
         quarter = record.t // self.ticks_per_quarter
         if quarter < self._current_quarter:
@@ -348,9 +369,13 @@ class StreamCubeEngine:
                 f"record at t={record.t} belongs to sealed quarter {quarter} "
                 f"(current quarter is {self._current_quarter})"
             )
+        key = self.key_fn(record)
+        if self.wal is not None:
+            if key not in self._cells:
+                self._validate_values(key)
+            self.wal.append_batch([record], quarter)
         if quarter > self._current_quarter:
             self._seal_through(quarter)
-        key = self.key_fn(record)
         state = self._cells.get(key)
         if state is None:
             state = self._new_cell(key)
@@ -366,9 +391,15 @@ class StreamCubeEngine:
         already-sealed quarter.  Within one quarter any tick order is fine —
         per-tick accumulation is order-free — but a record whose quarter
         precedes an earlier record's quarter would force sealing that the
-        stream cannot undo.  The whole batch is checked before any state is
-        mutated, so a bad batch raises :class:`StreamError` and leaves the
-        engine exactly as it was (no partial ingestion).
+        stream cannot undo.  The whole batch is order-checked before any
+        state is mutated, so a bad batch raises :class:`StreamError` and
+        leaves the engine exactly as it was (no partial ingestion).
+
+        With a WAL attached, every *new* cell key is additionally
+        schema-validated up front, before journaling, so the log can never
+        hold a batch that would fail on replay.  The default (WAL-off)
+        path skips that batch-wide pass and keeps the lazy per-new-cell
+        validation — zero added overhead.
 
         Batches take the grouped fast path: records are bucketed by
         ``(cell, quarter)`` in one pass, sealing runs once per quarter
@@ -395,8 +426,27 @@ class StreamCubeEngine:
         batch.  One pass buckets the batch into per-quarter, per-cell
         ``(ticks, values)`` groups, then :meth:`apply_segments` seals each
         quarter boundary once and applies one accumulator update per group.
-        Callers that cannot guarantee the ordering contract must use
-        :meth:`ingest_many`.
+        With a WAL attached, the batch is journaled (after new-key
+        validation) exactly as :meth:`ingest_many` would — every accepted
+        batch reaches the log no matter which ingest surface it entered
+        through.  Callers that cannot guarantee the ordering contract must
+        use :meth:`ingest_many`.
+        """
+        segments = self.group_segments(batch, quarters)
+        if self.wal is not None and batch:
+            self.validate_segment_keys(segments)
+            self.wal.append_batch(batch, quarters[-1])
+        self.apply_segments(segments, len(batch))
+
+    def group_segments(
+        self,
+        batch: list[StreamRecord],
+        quarters: list[int],
+    ) -> list[tuple[int, dict[Values, tuple[list[int], list[float]]]]]:
+        """Bucket a quarter-ordered batch into per-quarter, per-cell groups.
+
+        Pure (no engine state is touched), so callers can group, validate,
+        journal, and only then apply.
         """
         key_fn = self.key_fn
         segments: list[tuple[int, dict[Values, tuple[list[int], list[float]]]]]
@@ -414,7 +464,23 @@ class StreamCubeEngine:
                 groups[key] = group = ([], [])
             group[0].append(record.t)
             group[1].append(record.z)
-        self.apply_segments(segments, len(batch))
+        return segments
+
+    def validate_segment_keys(
+        self,
+        segments: list[tuple[int, dict[Values, tuple[list[int], list[float]]]]],
+    ) -> None:
+        """Schema-validate every *new* cell key in pre-grouped segments.
+
+        Runs once per group (not per record) and only for keys the engine
+        has not seen, so the whole batch is accepted or rejected before any
+        accumulator, frame, or journal is touched.
+        """
+        cells = self._cells
+        for _, groups in segments:
+            for key in groups:
+                if key not in cells:
+                    self._validate_values(key)
 
     def apply_segments(
         self,
@@ -448,6 +514,8 @@ class StreamCubeEngine:
         """
         quarter = t // self.ticks_per_quarter
         if quarter > self._current_quarter:
+            if self.wal is not None:
+                self.wal.append_advance(t, quarter)
             self._seal_through(quarter)
 
     def _new_cell(self, key: Values) -> _CellState:
@@ -514,6 +582,103 @@ class StreamCubeEngine:
             # from one cloned prototype — alignment is an invariant.
             bulk_insert(frames, isbs, assume_aligned=True)
         self._current_quarter = quarter
+
+    # ------------------------------------------------------------------
+    # Durability: explicit state extraction and re-loading
+    # ------------------------------------------------------------------
+    def snapshot(self) -> EngineState:
+        """A complete, independent extract of the engine's stream state.
+
+        Frames are cloned and accumulators copied, so the snapshot is
+        immune to further ingestion; layers/policy/key_fn are configuration
+        and deliberately not captured (see :mod:`repro.stream.state`).
+        When a WAL is attached, the snapshot records its sequence
+        high-water mark so recovery replays only what the snapshot missed.
+        """
+        return EngineState(
+            ticks_per_quarter=self.ticks_per_quarter,
+            frame_levels=tuple(self._frame_levels),
+            current_quarter=self._current_quarter,
+            records_ingested=self._records_ingested,
+            zero_frame=self._zero_frame.clone(),
+            cells={
+                key: CellSnapshot(
+                    frame=state.frame.clone(),
+                    tick_sums=dict(state.tick_sums),
+                    last_active_quarter=state.last_active_quarter,
+                )
+                for key, state in self._cells.items()
+            },
+            wal_seq=self.wal.last_seq if self.wal is not None else 0,
+        )
+
+    @classmethod
+    def restore(
+        cls,
+        state: EngineState,
+        layers: CriticalLayers,
+        policy: ExceptionPolicy,
+        key_fn: KeyFn | None = None,
+        wal: QuarterWAL | None = None,
+    ) -> "StreamCubeEngine":
+        """Rebuild an engine from a snapshot, bit-identical to the original.
+
+        ``layers`` / ``policy`` / ``key_fn`` are supplied exactly as they
+        were to the original constructor; the snapshot's cells are
+        re-validated against the supplied schema, so loading a snapshot
+        under an incompatible cube raises instead of corrupting silently.
+        To recover an interrupted run, follow with ``wal.replay(engine,
+        after_seq=state.wal_seq)``.
+        """
+        engine = cls(
+            layers,
+            policy,
+            key_fn=key_fn,
+            ticks_per_quarter=state.ticks_per_quarter,
+            frame_levels=state.frame_levels,
+            wal=wal,
+        )
+        engine.load_state(state)
+        return engine
+
+    def load_state(self, state: EngineState) -> None:
+        """Replace this engine's stream state with a snapshot's.
+
+        The cells, frames, accumulators, quarter clock, and record counter
+        all come from the snapshot; the engine's configuration (layers,
+        policy, key_fn) stays.  Every restored frame must share the zero
+        prototype's geometry and clock — a snapshot that violates that
+        (corruption, or hand-edited state) raises :class:`StreamError`
+        before any state is replaced.
+        """
+        if state.ticks_per_quarter != self.ticks_per_quarter:
+            raise StreamError(
+                f"snapshot has ticks_per_quarter={state.ticks_per_quarter}, "
+                f"engine is configured with {self.ticks_per_quarter}"
+            )
+        zero = state.zero_frame.clone()
+        if zero.now != state.current_quarter * self.ticks_per_quarter:
+            raise StreamError(
+                f"snapshot zero frame clock ({zero.now}) disagrees with its "
+                f"current quarter ({state.current_quarter})"
+            )
+        cells: dict[Values, _CellState] = {}
+        for key, cell in state.cells.items():
+            if not cell.frame.aligned_with(zero):
+                raise StreamError(
+                    f"snapshot cell {key}: frame is not aligned with the "
+                    "zero prototype (corrupt or inconsistent snapshot)"
+                )
+            restored = _CellState(
+                cell.frame.clone(), cell.last_active_quarter
+            )
+            restored.tick_sums = dict(cell.tick_sums)
+            cells[self._validate_values(key)] = restored
+        self._frame_levels = list(state.frame_levels)
+        self._zero_frame = zero
+        self._cells = cells
+        self._current_quarter = state.current_quarter
+        self._records_ingested = state.records_ingested
 
     # ------------------------------------------------------------------
     # Analysis

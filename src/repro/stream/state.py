@@ -1,0 +1,174 @@
+"""Explicit, serializable engine state (the durability seam).
+
+The stream engine's internals — per-cell tilt frames, the current quarter's
+per-tick accumulators, activity bookkeeping, the shared zero prototype —
+were process-private until the durability refactor.  This module names that
+state: :class:`EngineState` is a complete, self-contained extract of one
+:class:`~repro.stream.engine.StreamCubeEngine`, deep enough that restoring
+it (``StreamCubeEngine.restore``) yields an engine bit-identical to the
+original, shallow enough that a snapshot never blocks ingestion for longer
+than a state copy.
+
+What is *not* captured: the critical layers, the exception policy, and the
+key function.  Those are code/configuration, not stream state — the caller
+supplies them again on restore (exactly as it supplied them to the original
+constructor), and the restored cells are re-validated against the supplied
+schema so a snapshot cannot be silently loaded under an incompatible cube.
+
+Serialization goes through :mod:`repro.io` (``engine_state_to_dict`` /
+``engine_state_from_dict``); floats survive the JSON round trip bit for bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable, Mapping
+
+from repro.errors import CodecError
+from repro.io import (
+    STATE_VERSION,
+    check_format,
+    decoding,
+    frame_from_dict,
+    frame_to_dict,
+    tilt_level_from_dict,
+    tilt_level_to_dict,
+)
+from repro.tilt.frame import TiltLevelSpec, TiltTimeFrame
+
+__all__ = ["CellSnapshot", "EngineState"]
+
+Values = tuple[Hashable, ...]
+
+
+@dataclass(frozen=True)
+class CellSnapshot:
+    """One m-layer cell's complete streaming state.
+
+    ``frame`` is the cell's tilt frame (sealed history), ``tick_sums`` the
+    current unsealed quarter's per-tick accumulators, and
+    ``last_active_quarter`` the activity marker ``prune_idle`` reads.  The
+    frame and dict are private copies — mutating the live engine after a
+    snapshot does not disturb the snapshot.
+    """
+
+    frame: TiltTimeFrame
+    tick_sums: dict[int, float]
+    last_active_quarter: int
+
+
+@dataclass(frozen=True)
+class EngineState:
+    """A complete extract of one stream engine, ready to serialize.
+
+    Attributes
+    ----------
+    ticks_per_quarter, frame_levels:
+        The engine's time geometry (needed to rebuild compatible frames).
+    current_quarter:
+        The quarter accumulating at snapshot time.
+    records_ingested:
+        The engine's lifetime record counter.
+    zero_frame:
+        The engine's zero prototype — the always-idle frame every cell
+        clones; restoring it keeps new-cell spawning and window planning
+        identical after a restore.
+    cells:
+        Per-cell :class:`CellSnapshot`, keyed by m-layer values.
+    wal_seq:
+        High-water mark of the attached write-ahead log at snapshot time
+        (0 when no WAL is attached).  Recovery replays only WAL entries
+        *after* this sequence number, so a mid-quarter snapshot composes
+        with the journal without double-counting (see
+        :mod:`repro.stream.wal`).
+    """
+
+    ticks_per_quarter: int
+    frame_levels: tuple[TiltLevelSpec, ...]
+    current_quarter: int
+    records_ingested: int
+    zero_frame: TiltTimeFrame
+    cells: dict[Values, CellSnapshot]
+    wal_seq: int = 0
+
+    # ------------------------------------------------------------------
+    # Codec
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """Versioned JSON-ready form (see :mod:`repro.io`).
+
+        Tick accumulators are emitted as ``[tick, sum]`` pairs in insertion
+        order (JSON objects only allow string keys); the restore path
+        rebuilds the dict in the same order, so even dict iteration order —
+        which the sealing path sorts anyway — survives the round trip.
+        """
+        return {
+            "format": "repro-engine-state",
+            "version": STATE_VERSION,
+            "ticks_per_quarter": self.ticks_per_quarter,
+            "frame_levels": [
+                tilt_level_to_dict(lv) for lv in self.frame_levels
+            ],
+            "current_quarter": self.current_quarter,
+            "records_ingested": self.records_ingested,
+            "wal_seq": self.wal_seq,
+            "zero_frame": frame_to_dict(self.zero_frame),
+            "cells": [
+                {
+                    "values": list(values),
+                    "frame": frame_to_dict(cell.frame),
+                    "tick_sums": [
+                        [t, z] for t, z in cell.tick_sums.items()
+                    ],
+                    "last_active_quarter": cell.last_active_quarter,
+                }
+                for values, cell in self.cells.items()
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "EngineState":
+        """Inverse of :meth:`to_dict` — bit-identical round trip."""
+        check_format(
+            "engine_state", payload, "repro-engine-state", STATE_VERSION
+        )
+        levels = tuple(
+            tilt_level_from_dict(entry)
+            for entry in decoding(
+                "engine_state", lambda: list(payload["frame_levels"])
+            )
+        )
+        zero = frame_from_dict(
+            decoding("engine_state", lambda: payload["zero_frame"]),
+            levels=levels,
+        )
+        cells: dict[Values, CellSnapshot] = {}
+        for row in decoding("engine_state", lambda: list(payload["cells"])):
+            def build(row: Mapping[str, Any] = row) -> tuple[Values, CellSnapshot]:
+                return tuple(row["values"]), CellSnapshot(
+                    frame=frame_from_dict(row["frame"], levels=levels),
+                    tick_sums={
+                        int(t): float(z) for t, z in row["tick_sums"]
+                    },
+                    last_active_quarter=int(row["last_active_quarter"]),
+                )
+
+            values, cell = decoding("engine_state", build)
+            if values in cells:
+                raise CodecError(
+                    f"engine_state: duplicate cell {values} in payload"
+                )
+            cells[values] = cell
+
+        def finish() -> EngineState:
+            return cls(
+                ticks_per_quarter=int(payload["ticks_per_quarter"]),
+                frame_levels=levels,
+                current_quarter=int(payload["current_quarter"]),
+                records_ingested=int(payload["records_ingested"]),
+                zero_frame=zero,
+                cells=cells,
+                wal_seq=int(payload.get("wal_seq", 0)),
+            )
+
+        return decoding("engine_state", finish)

@@ -222,6 +222,44 @@ class TiltTimeFrame:
         other._evicted = self._evicted
         return other
 
+    @classmethod
+    def from_state(
+        cls,
+        levels: Sequence[TiltLevelSpec],
+        origin: int,
+        next_tick: int,
+        evicted: int,
+        slots: Sequence[Sequence[ISB]],
+    ) -> "TiltTimeFrame":
+        """Rebuild a frame from externalized state (the snapshot codec).
+
+        The inverse of reading ``levels`` / ``origin`` / ``now`` /
+        ``evicted_slots`` / per-level ``slots()``: level specs are
+        re-validated through ``__init__`` (a corrupted snapshot must not
+        produce a frame that violates promotion invariants), then the
+        retained slots are installed verbatim — restored frames are
+        bit-identical to the originals, slot for slot, including eviction
+        accounting.  Passing an already-validated ``levels`` tuple shared
+        by sibling frames keeps the engine's identity-based alignment fast
+        path intact after a restore.
+        """
+        frame = cls(levels, origin=origin)
+        if len(slots) != len(frame.levels):
+            raise TiltFrameError(
+                f"frame state has {len(slots)} slot levels for "
+                f"{len(frame.levels)} level specs"
+            )
+        for deque_, level_slots, spec in zip(frame._slots, slots, frame.levels):
+            if len(level_slots) > spec.capacity:
+                raise TiltFrameError(
+                    f"level {spec.name!r} state holds {len(level_slots)} "
+                    f"slots, over its capacity {spec.capacity}"
+                )
+            deque_.extend(level_slots)
+        frame._next_tick = next_tick
+        frame._evicted = evicted
+        return frame
+
     def aligned_with(self, other: "TiltTimeFrame") -> bool:
         """True iff both frames share geometry, clock and slot counts.
 

@@ -1,0 +1,276 @@
+"""Engine snapshot/restore: bit-identical state extraction and re-loading.
+
+The durability contract of :mod:`repro.stream.state`: ``snapshot()`` at any
+moment — mid-quarter included — then ``restore()`` (optionally through the
+JSON codec) yields an engine whose every observable (window ISBs, refresh
+results, pending accumulators, counters, pruning behaviour) is bit-identical
+to the original, and whose *future* (continuing to ingest the same records)
+is bit-identical too.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cube.hierarchy import FanoutHierarchy
+from repro.cube.layers import CriticalLayers
+from repro.cube.schema import CubeSchema, Dimension
+from repro.cubing.policy import GlobalSlopeThreshold
+from repro.errors import CodecError, SchemaError, StreamError
+from repro.io import (
+    engine_state_from_dict,
+    engine_state_to_dict,
+    frame_from_dict,
+    frame_to_dict,
+    tilt_level_from_dict,
+    tilt_level_to_dict,
+)
+from repro.stream.engine import StreamCubeEngine
+from repro.stream.records import StreamRecord
+from repro.stream.state import EngineState
+from repro.tilt.frame import TiltLevelSpec, TiltTimeFrame
+
+TPQ = 4
+
+
+def build_layers() -> CriticalLayers:
+    schema = CubeSchema(
+        [
+            Dimension("a", FanoutHierarchy("a", 2, 3)),
+            Dimension("b", FanoutHierarchy("b", 2, 3)),
+        ]
+    )
+    return CriticalLayers(schema, m_coord=(2, 2), o_coord=(1, 1))
+
+
+def make_engine(layers=None) -> StreamCubeEngine:
+    return StreamCubeEngine(
+        layers if layers is not None else build_layers(),
+        GlobalSlopeThreshold(0.1),
+        ticks_per_quarter=TPQ,
+    )
+
+
+def random_records(seed: int, n: int, quarters: int) -> list[StreamRecord]:
+    rng = random.Random(seed)
+    out = []
+    ticks = sorted(rng.randrange(quarters * TPQ) for _ in range(n))
+    for t in ticks:
+        values = (rng.randrange(9), rng.randrange(9))
+        out.append(StreamRecord(values, t, rng.uniform(-2.0, 5.0)))
+    return out
+
+
+def assert_engines_identical(a: StreamCubeEngine, b: StreamCubeEngine) -> None:
+    assert a.current_quarter == b.current_quarter
+    assert a.records_ingested == b.records_ingested
+    assert set(a._cells) == set(b._cells)
+    for key in a._cells:
+        sa, sb = a._cells[key], b._cells[key]
+        assert sa.tick_sums == sb.tick_sums
+        assert sa.last_active_quarter == sb.last_active_quarter
+        assert list(sa.frame.all_slots()) == list(sb.frame.all_slots())
+        assert sa.frame.now == sb.frame.now
+        assert sa.frame.evicted_slots == sb.frame.evicted_slots
+
+
+class TestTiltFrameCodec:
+    def test_round_trip_bit_identical(self):
+        frame = TiltTimeFrame(
+            [TiltLevelSpec("q", 4, 4), TiltLevelSpec("h", 16, 6)], origin=0
+        )
+        rng = random.Random(3)
+        from repro.regression.isb import ISB
+
+        for i in range(23):
+            lo = i * 4
+            frame.insert(ISB(lo, lo + 3, rng.uniform(-1, 1), rng.uniform(-1, 1)))
+        back = frame_from_dict(frame_to_dict(frame))
+        assert list(back.all_slots()) == list(frame.all_slots())
+        assert back.now == frame.now
+        assert back.origin == frame.origin
+        assert back.evicted_slots == frame.evicted_slots
+        assert back.aligned_with(frame)
+
+    def test_json_survives_floats(self):
+        frame = TiltTimeFrame([TiltLevelSpec("q", 1, 8)])
+        from repro.regression.isb import ISB
+
+        frame.insert(ISB(0, 0, 0.1 + 0.2, -1e-17))
+        wire = json.loads(json.dumps(frame_to_dict(frame)))
+        back = frame_from_dict(wire)
+        assert list(back.all_slots()) == list(frame.all_slots())
+
+    def test_level_spec_round_trip(self):
+        spec = TiltLevelSpec("day", 96, 31)
+        assert tilt_level_from_dict(tilt_level_to_dict(spec)) == spec
+
+    def test_shared_levels_identity(self):
+        frame = TiltTimeFrame([TiltLevelSpec("q", 4, 4)])
+        levels = frame.levels
+        back = frame_from_dict(frame_to_dict(frame), levels=levels)
+        assert back.levels is levels
+
+    def test_shared_levels_mismatch_raises(self):
+        frame = TiltTimeFrame([TiltLevelSpec("q", 4, 4)])
+        with pytest.raises(CodecError, match="do not match"):
+            frame_from_dict(
+                frame_to_dict(frame), levels=(TiltLevelSpec("q", 8, 4),)
+            )
+
+    def test_over_capacity_slots_rejected(self):
+        frame = TiltTimeFrame([TiltLevelSpec("q", 1, 2)])
+        from repro.regression.isb import ISB
+
+        frame.insert(ISB(0, 0, 1.0, 0.0))
+        payload = frame_to_dict(frame)
+        payload["slots"][0] = payload["slots"][0] * 5
+        with pytest.raises(CodecError):
+            frame_from_dict(payload)
+
+
+class TestEngineSnapshot:
+    def test_round_trip_in_memory(self):
+        engine = make_engine()
+        engine.ingest_many(random_records(1, 200, 5))
+        restored = StreamCubeEngine.restore(
+            engine.snapshot(), engine.layers, engine.policy
+        )
+        assert_engines_identical(engine, restored)
+
+    def test_round_trip_through_json(self):
+        engine = make_engine()
+        engine.ingest_many(random_records(2, 150, 4))
+        wire = json.loads(json.dumps(engine_state_to_dict(engine.snapshot())))
+        restored = StreamCubeEngine.restore(
+            engine_state_from_dict(wire), engine.layers, engine.policy
+        )
+        assert_engines_identical(engine, restored)
+
+    def test_snapshot_is_independent_of_live_engine(self):
+        engine = make_engine()
+        records = random_records(3, 120, 4)
+        engine.ingest_many(records[:60])
+        state = engine.snapshot()
+        before = engine_state_to_dict(state)
+        engine.ingest_many(records[60:])  # mutate the live engine
+        engine.advance_to(4 * TPQ)
+        assert engine_state_to_dict(state) == before
+
+    def test_restore_under_wrong_schema_raises(self):
+        engine = make_engine()
+        engine.ingest_many(random_records(4, 50, 3))
+        schema = CubeSchema([Dimension("a", FanoutHierarchy("a", 2, 3))])
+        other = CriticalLayers(schema, m_coord=(2,), o_coord=(1,))
+        with pytest.raises(SchemaError):
+            StreamCubeEngine.restore(engine.snapshot(), other, engine.policy)
+
+    def test_restore_under_wrong_ticks_per_quarter_raises(self):
+        engine = make_engine()
+        engine.ingest_many(random_records(5, 50, 3))
+        other = StreamCubeEngine(
+            engine.layers, engine.policy, ticks_per_quarter=TPQ + 1
+        )
+        with pytest.raises(StreamError, match="ticks_per_quarter"):
+            other.load_state(engine.snapshot())
+
+    def test_misaligned_snapshot_frame_raises(self):
+        engine = make_engine()
+        engine.ingest_many(random_records(6, 80, 4))
+        state = engine.snapshot()
+        key = next(iter(state.cells))
+        broken = dict(state.cells)
+        victim = broken[key]
+        stale = engine._zero_frame.clone()
+        stale._next_tick += TPQ  # desync the clock
+        broken[key] = type(victim)(
+            frame=stale,
+            tick_sums=victim.tick_sums,
+            last_active_quarter=victim.last_active_quarter,
+        )
+        bad = EngineState(
+            ticks_per_quarter=state.ticks_per_quarter,
+            frame_levels=state.frame_levels,
+            current_quarter=state.current_quarter,
+            records_ingested=state.records_ingested,
+            zero_frame=state.zero_frame,
+            cells=broken,
+        )
+        with pytest.raises(StreamError, match="not aligned"):
+            StreamCubeEngine.restore(bad, engine.layers, engine.policy)
+
+    def test_restored_engine_keeps_bulk_fast_paths(self):
+        """Restored frames must share one levels tuple (identity alignment)."""
+        engine = make_engine()
+        engine.ingest_many(random_records(7, 100, 4))
+        wire = engine_state_to_dict(engine.snapshot())
+        state = engine_state_from_dict(wire)
+        restored = StreamCubeEngine.restore(state, engine.layers, engine.policy)
+        frames = [s.frame for s in restored._cells.values()]
+        assert all(f.levels is restored._zero_frame.levels for f in frames)
+
+    def test_prune_composes_with_restore(self):
+        """Pruned cells stay pruned; last_active_quarter survives."""
+        engine = make_engine()
+        active, idle = (0, 0), (8, 8)
+        engine.ingest(StreamRecord(idle, 1, 1.0))
+        for q in range(8):
+            engine.ingest(StreamRecord(active, q * TPQ, 2.0))
+        engine.advance_to(8 * TPQ)
+        dropped = engine.prune_idle(4)
+        assert dropped == 1
+        restored = StreamCubeEngine.restore(
+            engine_state_from_dict(
+                json.loads(
+                    json.dumps(engine_state_to_dict(engine.snapshot()))
+                )
+            ),
+            engine.layers,
+            engine.policy,
+        )
+        assert idle not in restored._cells
+        assert (
+            restored._cells[active].last_active_quarter
+            == engine._cells[active].last_active_quarter
+        )
+        # Pruning again on the restored engine drops nothing new.
+        assert restored.prune_idle(4) == 0
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    cut=st.floats(min_value=0.05, max_value=0.95),
+)
+@settings(max_examples=25, deadline=None)
+def test_snapshot_restore_continue_is_bit_identical(seed, cut):
+    """snapshot anywhere -> restore -> keep ingesting == uninterrupted run."""
+    layers = build_layers()
+    records = random_records(seed, 160, 5)
+    split = max(1, int(len(records) * cut))
+    uninterrupted = make_engine(layers)
+    uninterrupted.ingest_many(records)
+    uninterrupted.advance_to(5 * TPQ)
+
+    first = make_engine(layers)
+    first.ingest_many(records[:split])
+    state = engine_state_from_dict(
+        json.loads(json.dumps(engine_state_to_dict(first.snapshot())))
+    )
+    resumed = StreamCubeEngine.restore(
+        state, layers, GlobalSlopeThreshold(0.1)
+    )
+    resumed.ingest_many(records[split:])
+    resumed.advance_to(5 * TPQ)
+    assert_engines_identical(uninterrupted, resumed)
+    assert resumed.window_isbs(0, 5 * TPQ - 1) == uninterrupted.window_isbs(
+        0, 5 * TPQ - 1
+    )
+    ru = uninterrupted.refresh(4)
+    rr = resumed.refresh(4)
+    assert rr.o_layer_exceptions() == ru.o_layer_exceptions()
+    assert rr.retained_exceptions == ru.retained_exceptions

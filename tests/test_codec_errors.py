@@ -1,0 +1,153 @@
+"""Typed codec errors: every decoder fails with a contextual CodecError.
+
+The satellite contract: no decoder in :mod:`repro.io` (or the state codecs
+built on it) ever surfaces a raw ``KeyError``/``TypeError``/``ValueError``
+from a malformed payload — always a :class:`~repro.errors.CodecError`
+naming the codec and the problem, and ``CodecError`` slots under
+``SchemaError``/``ReproError`` so existing guards keep working.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import io
+from repro.errors import CodecError, ReproError, SchemaError
+from repro.regression.isb import ISB
+from repro.stream.state import EngineState
+
+
+class TestHierarchy:
+    def test_codec_error_is_schema_and_repro_error(self):
+        assert issubclass(CodecError, SchemaError)
+        assert issubclass(CodecError, ReproError)
+
+
+class TestIsbCodec:
+    def test_missing_field_names_it(self):
+        with pytest.raises(CodecError, match=r"isb: payload missing field 'slope'"):
+            io.isb_from_dict({"t_b": 0, "t_e": 3, "base": 1.0})
+
+    def test_mistyped_field_is_codec_error(self):
+        with pytest.raises(CodecError, match="isb: malformed payload"):
+            io.isb_from_dict({"t_b": 0, "t_e": 3, "base": "xyz", "slope": 0.0})
+
+    def test_non_mapping_payload_is_codec_error(self):
+        with pytest.raises(CodecError, match="isb"):
+            io.isb_from_dict(None)  # type: ignore[arg-type]
+
+
+class TestCellsCodec:
+    def test_missing_values_field(self):
+        with pytest.raises(CodecError, match="cells"):
+            io.cells_from_payload([{"isb": io.isb_to_dict(ISB(0, 1, 0, 0))}])
+
+    def test_duplicate_cells_rejected(self):
+        row = {"values": [1, 2], "isb": io.isb_to_dict(ISB(0, 1, 0.0, 0.0))}
+        with pytest.raises(CodecError, match="duplicate cell"):
+            io.cells_from_payload([row, dict(row)])
+
+    def test_load_cells_rejects_non_json(self, tmp_path):
+        path = tmp_path / "cells.json"
+        path.write_text("{ not json")
+        with pytest.raises(CodecError, match="not valid JSON"):
+            io.load_cells(path)
+
+    def test_load_cells_rejects_wrong_format(self, tmp_path):
+        path = tmp_path / "cells.json"
+        path.write_text(json.dumps({"format": "other", "version": 1}))
+        with pytest.raises(CodecError, match="not a repro-cells payload"):
+            io.load_cells(path)
+
+    def test_load_cells_rejects_wrong_version(self, tmp_path):
+        path = tmp_path / "cells.json"
+        path.write_text(
+            json.dumps({"format": "repro-cells", "version": 99, "cells": []})
+        )
+        with pytest.raises(CodecError, match="unsupported version 99"):
+            io.load_cells(path)
+
+    def test_load_cells_rejects_malformed_rows(self, tmp_path):
+        path = tmp_path / "cells.json"
+        path.write_text(
+            json.dumps(
+                {"format": "repro-cells", "version": 1, "cells": [{"bad": 1}]}
+            )
+        )
+        with pytest.raises(CodecError):
+            io.load_cells(path)
+
+
+class TestExceptionsCodec:
+    def test_load_exceptions_rejects_wrong_format(self, tmp_path):
+        path = tmp_path / "exc.json"
+        path.write_text(json.dumps({"format": "repro-cells", "version": 1}))
+        with pytest.raises(CodecError, match="not a repro-exceptions payload"):
+            io.load_exceptions(path)
+
+    def test_load_exceptions_rejects_malformed_cuboids(self, tmp_path):
+        path = tmp_path / "exc.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "format": "repro-exceptions",
+                    "version": 1,
+                    "cuboids": [{"coord": "nope"}],
+                }
+            )
+        )
+        with pytest.raises(CodecError, match="exceptions"):
+            io.load_exceptions(path)
+
+
+class TestFrameCodec:
+    def test_wrong_format_tag(self):
+        with pytest.raises(CodecError, match="not a repro-tilt-frame"):
+            io.frame_from_dict({"format": "nope", "version": 1})
+
+    def test_missing_slots_field(self):
+        payload = {
+            "format": "repro-tilt-frame",
+            "version": 1,
+            "levels": [{"name": "q", "unit_ticks": 4, "capacity": 4}],
+            "origin": 0,
+            "next_tick": 0,
+            "evicted": 0,
+        }
+        with pytest.raises(CodecError, match="tilt_frame"):
+            io.frame_from_dict(payload)
+
+    def test_invalid_level_spec_is_codec_error(self):
+        with pytest.raises(CodecError, match="tilt_level"):
+            io.tilt_level_from_dict({"name": "q", "unit_ticks": 0, "capacity": 4})
+
+
+class TestEngineStateCodec:
+    def test_wrong_format_tag(self):
+        with pytest.raises(CodecError, match="not a repro-engine-state"):
+            EngineState.from_dict({"format": "nope", "version": 1})
+
+    def test_malformed_cell_row(self):
+        payload = {
+            "format": "repro-engine-state",
+            "version": 1,
+            "ticks_per_quarter": 4,
+            "frame_levels": [{"name": "q", "unit_ticks": 4, "capacity": 4}],
+            "current_quarter": 0,
+            "records_ingested": 0,
+            "wal_seq": 0,
+            "zero_frame": {
+                "format": "repro-tilt-frame",
+                "version": 1,
+                "levels": [{"name": "q", "unit_ticks": 4, "capacity": 4}],
+                "origin": 0,
+                "next_tick": 0,
+                "evicted": 0,
+                "slots": [[]],
+            },
+            "cells": [{"values": [1, 2]}],  # no frame / tick_sums
+        }
+        with pytest.raises(CodecError, match="engine_state"):
+            EngineState.from_dict(payload)
