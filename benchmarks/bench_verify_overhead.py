@@ -1,0 +1,235 @@
+"""Oracle cost: what differential verification adds on top of the engine.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_verify_overhead.py [--json PATH]
+
+The verify subsystem is deliberately naive — it retains raw records and
+refits everything with ``math.fsum`` — so its cost bounds how often the
+chaos suite can afford to check.  This bench pins that cost so a future
+"make the oracle faster" change (or an accidental 10x regression in it)
+shows up in the perf trajectory:
+
+* ``ingest`` — engine-only batch ingestion throughput (the baseline);
+* ``mirror`` — the same workload with the oracle mirroring every batch
+  (what a scenario run pays on the ingest side);
+* ``window_check`` — one full m-cells differential check (oracle refit of
+  every cell + ulp comparison), in cells per second;
+* ``scenario`` — wall time of one representative chaos scenario end to end
+  (``steady_burst``, one seed).
+
+``--json PATH`` (or ``REPRO_BENCH_JSON=PATH``) writes
+``BENCH_verify_overhead.json`` via :mod:`repro.bench.jsonout`; also
+runnable through :mod:`benchmarks.report` (the verification section).
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+import time
+from dataclasses import dataclass
+
+from repro.cubing.policy import GlobalSlopeThreshold
+from repro.stream.engine import StreamCubeEngine
+from repro.stream.generator import DatasetSpec
+from repro.stream.records import StreamRecord
+from repro.verify.oracle import RawStreamOracle, assert_cells_equal
+from repro.verify.scenarios import run_scenario
+
+_TPQ = 15
+_QUARTERS = 8
+_WINDOW = 4
+_CELLS = 200
+_PER_TICK = 8
+
+
+@dataclass(frozen=True)
+class VerifyPoint:
+    """One run's measurements."""
+
+    n_records: int
+    n_cells: int
+    ingest_s: float
+    mirror_s: float
+    check_s: float
+    scenario_s: float
+
+    @property
+    def ingest_rps(self) -> float:
+        return self.n_records / self.ingest_s
+
+    @property
+    def mirror_rps(self) -> float:
+        return self.n_records / self.mirror_s
+
+    @property
+    def mirror_overhead(self) -> float:
+        """Slowdown factor the oracle mirror adds to ingestion."""
+        return self.mirror_s / self.ingest_s
+
+    @property
+    def check_cells_per_s(self) -> float:
+        return self.n_cells / self.check_s
+
+
+def _workload(seed: int = 13) -> list[StreamRecord]:
+    rng = random.Random(seed)
+    leaf_card = 9
+    pool = sorted(
+        {(rng.randrange(leaf_card), rng.randrange(leaf_card)) for _ in range(_CELLS)}
+    )
+    trends = {k: (rng.uniform(-4, 4), rng.uniform(-0.5, 0.5)) for k in pool}
+    records = []
+    for t in range(_QUARTERS * _TPQ):
+        for _ in range(_PER_TICK):
+            key = rng.choice(pool)
+            base, slope = trends[key]
+            records.append(
+                StreamRecord(key, t, base + slope * t + rng.uniform(-0.5, 0.5))
+            )
+    return records
+
+
+def _fresh():
+    layers = DatasetSpec(2, 2, 3, 1).build_layers()
+    policy = GlobalSlopeThreshold(0.05)
+    engine = StreamCubeEngine(layers, policy, ticks_per_quarter=_TPQ)
+    oracle = RawStreamOracle(layers, policy, ticks_per_quarter=_TPQ)
+    return engine, oracle
+
+
+def measure_verify_overhead(rounds: int = 3) -> VerifyPoint:
+    records = _workload()
+    batches = [
+        [r for r in records if r.t // _TPQ == q] for q in range(_QUARTERS)
+    ]
+
+    ingest_s = float("inf")
+    for _ in range(rounds):
+        engine, _ = _fresh()
+        t0 = time.perf_counter()
+        for batch in batches:
+            engine.ingest_many(batch)
+        engine.advance_to(_QUARTERS * _TPQ)
+        ingest_s = min(ingest_s, time.perf_counter() - t0)
+
+    mirror_s = float("inf")
+    for _ in range(rounds):
+        engine, oracle = _fresh()
+        t0 = time.perf_counter()
+        for batch in batches:
+            engine.ingest_many(batch)
+            oracle.ingest(batch)
+        engine.advance_to(_QUARTERS * _TPQ)
+        oracle.advance_to(_QUARTERS * _TPQ)
+        mirror_s = min(mirror_s, time.perf_counter() - t0)
+
+    # One full differential window check on the mirrored pair.
+    check_s = float("inf")
+    cells = engine.m_cells(_WINDOW)
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        assert_cells_equal(cells, oracle.m_cells(_WINDOW), "bench m-cells")
+        check_s = min(check_s, time.perf_counter() - t0)
+
+    scenario_s = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        run_scenario("steady_burst", seed=29)
+        scenario_s = min(scenario_s, time.perf_counter() - t0)
+
+    return VerifyPoint(
+        n_records=len(records),
+        n_cells=len(cells),
+        ingest_s=ingest_s,
+        mirror_s=mirror_s,
+        check_s=check_s,
+        scenario_s=scenario_s,
+    )
+
+
+def render_verify_table(point: VerifyPoint) -> str:
+    lines = [
+        "verification overhead (oracle mirror + differential checks)",
+        f"  workload: {point.n_records} records -> {point.n_cells} m-cells "
+        f"over {_QUARTERS} quarters",
+        f"  engine-only ingest:   {point.ingest_rps:>12,.0f} records/s",
+        f"  with oracle mirror:   {point.mirror_rps:>12,.0f} records/s "
+        f"({point.mirror_overhead:.2f}x the engine-only wall time)",
+        f"  window check:         {point.check_cells_per_s:>12,.0f} "
+        f"cells/s ({point.check_s * 1e3:.1f} ms per full m-layer audit)",
+        f"  one chaos scenario:   {point.scenario_s * 1e3:>12,.1f} ms "
+        "(steady_burst, one seed)",
+    ]
+    return "\n".join(lines)
+
+
+def verify_checks(point: VerifyPoint) -> list[tuple[str, bool]]:
+    return [
+        (
+            "mirroring: the oracle's ingest tax stays under 10x the engine "
+            "(it only appends records)",
+            point.mirror_overhead < 10.0,
+        ),
+        (
+            "checking: a full m-layer audit stays under 5s at bench scale",
+            point.check_s < 5.0,
+        ),
+        (
+            "scenarios: one seeded chaos scenario completes within 30s",
+            point.scenario_s < 30.0,
+        ),
+    ]
+
+
+def json_entries(point: VerifyPoint, scale: str) -> list[dict]:
+    """The machine-readable form of one run (see ``repro.bench.jsonout``)."""
+    return [
+        {
+            "op": "verify_mirror",
+            "scale": scale,
+            "n_records": point.n_records,
+            "n_cells": point.n_cells,
+            "wall_s": round(point.mirror_s, 6),
+            "records_per_s": round(point.mirror_rps, 1),
+            "overhead_x": round(point.mirror_overhead, 3),
+        },
+        {
+            "op": "verify_window_check",
+            "scale": scale,
+            "n_cells": point.n_cells,
+            "wall_s": round(point.check_s, 6),
+            "records_per_s": None,
+            "cells_per_s": round(point.check_cells_per_s, 1),
+        },
+        {
+            "op": "verify_scenario",
+            "scale": scale,
+            "wall_s": round(point.scenario_s, 6),
+            "records_per_s": None,
+        },
+    ]
+
+
+def main() -> int:
+    from repro.bench.jsonout import json_path_from_args, write_bench_json
+    from repro.bench.reporting import render_shape_checks
+    from repro.bench.workloads import current_scale
+
+    point = measure_verify_overhead()
+    print(render_verify_table(point))
+    checks = verify_checks(point)
+    print(render_shape_checks(checks))
+    json_path = json_path_from_args()
+    if json_path:
+        scale = current_scale().name
+        target = write_bench_json(
+            json_path, "verify_overhead", scale, json_entries(point, scale)
+        )
+        print(f"wrote {target}")
+    return 0 if all(ok for _, ok in checks) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

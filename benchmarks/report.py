@@ -243,6 +243,18 @@ def main() -> int:
     json_entries += snapshot_bench.json_entries(snap_rows, scale.name)
     print(f"  ({time.time() - t0:.1f}s)\n")
 
+    # Verification: what the differential oracle costs to keep around.
+    import bench_verify_overhead as verify_bench
+
+    t0 = time.time()
+    verify_point = verify_bench.measure_verify_overhead()
+    print(verify_bench.render_verify_table(verify_point))
+    checks = verify_bench.verify_checks(verify_point)
+    print(render_shape_checks(checks))
+    all_ok &= all(ok for _, ok in checks)
+    json_entries += verify_bench.json_entries(verify_point, scale.name)
+    print(f"  ({time.time() - t0:.1f}s)\n")
+
     if json_path:
         target = write_bench_json(
             json_path, "report", scale.name, json_entries

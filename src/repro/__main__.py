@@ -238,6 +238,12 @@ def serve_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def soak_command(args: argparse.Namespace) -> int:
+    from repro.verify.soak import main as soak_main
+
+    return soak_main(args)
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; ``argv`` defaults to no arguments (the demo), and the
     ``python -m repro`` block below passes the real command line."""
@@ -247,6 +253,42 @@ def main(argv: list[str] | None = None) -> int:
     )
     sub = parser.add_subparsers(dest="command")
     sub.add_parser("demo", help="run the 30-second self-demonstration")
+
+    soak_p = sub.add_parser(
+        "soak",
+        help="hammer a live service with concurrent seeded traffic and "
+        "verify the final state against the brute-force oracle",
+    )
+    soak_p.add_argument(
+        "--seed", type=int, default=0, help="RNG seed (default 0)"
+    )
+    soak_p.add_argument(
+        "--duration",
+        type=float,
+        default=30.0,
+        help="how long to run the concurrent phase, seconds (default 30)",
+    )
+    soak_p.add_argument(
+        "--shards", type=int, default=4, help="engine shards (default 4)"
+    )
+    soak_p.add_argument(
+        "--ingest-threads",
+        type=int,
+        default=3,
+        help="concurrent ingest workers (default 3)",
+    )
+    soak_p.add_argument(
+        "--query-threads",
+        type=int,
+        default=2,
+        help="concurrent query workers (default 2)",
+    )
+    soak_p.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port (default 0: pick an ephemeral port)",
+    )
 
     serve_p = sub.add_parser(
         "serve", help="run the sharded stream-cube HTTP service"
@@ -320,6 +362,8 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv if argv is not None else [])
     if args.command == "serve":
         return serve_command(args)
+    if args.command == "soak":
+        return soak_command(args)
     return demo()
 
 

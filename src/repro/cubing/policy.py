@@ -14,10 +14,9 @@ noteworthy as a steep rise for the paper's monitoring scenarios.
 
 from __future__ import annotations
 
+import math
 from abc import ABC, abstractmethod
 from typing import Callable, Iterable, Mapping, Sequence
-
-import numpy as np
 
 from repro.errors import CubingError
 from repro.regression.isb import ISB
@@ -152,8 +151,8 @@ def calibrate_threshold(
     a sample itself, so that the float-level noise of different aggregation
     orders cannot flip a boundary cell's verdict between algorithms.
     """
-    abs_slopes = np.abs(np.fromiter(slopes, dtype=float))
-    if abs_slopes.size == 0:
+    abs_slopes = sorted(abs(float(s)) for s in slopes)
+    if not abs_slopes:
         raise CubingError("cannot calibrate a threshold on zero cells")
     if not 0.0 < target_rate <= 1.0:
         raise CubingError(
@@ -161,8 +160,12 @@ def calibrate_threshold(
         )
     if target_rate == 1.0:
         return 0.0
-    pivot = float(np.quantile(abs_slopes, 1.0 - target_rate, method="lower"))
-    below = abs_slopes[abs_slopes < pivot]
-    if below.size == 0:
+    # The "lower" quantile: the sample at floor((n-1) * q) of the sorted
+    # population — the same element numpy's method="lower" selects, so the
+    # scalar and numpy builds calibrate to bit-identical thresholds.
+    position = (len(abs_slopes) - 1) * (1.0 - target_rate)
+    pivot = abs_slopes[math.floor(position)]
+    below = [s for s in abs_slopes if s < pivot]
+    if not below:
         return pivot / 2.0 if pivot > 0 else 0.0
-    return (pivot + float(below.max())) / 2.0
+    return (pivot + max(below)) / 2.0

@@ -29,7 +29,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
-import numpy as np
+try:  # multiple regression is linear algebra; it degrades to a clear error
+    import numpy as np
+except ImportError:  # pragma: no cover - stripped installs only
+    np = None  # type: ignore[assignment]
+
+
+def _require_numpy() -> None:
+    if np is None:
+        raise ModuleNotFoundError(
+            "multiple linear regression (repro.regression.multiple) "
+            "requires numpy; the ISB/linear pipeline works without it"
+        )
 
 from repro.errors import (
     AggregationError,
@@ -59,7 +70,13 @@ class MultipleFit:
 
     def predict_features(self, x: Sequence[float]) -> float:
         """Predict from an explicit feature vector."""
-        return float(np.dot(self.theta, np.asarray(x, dtype=float)))
+        features = [float(v) for v in x]
+        if len(features) != len(self.theta):
+            raise AggregationError(
+                f"feature vector has {len(features)} entries for "
+                f"{len(self.theta)} fitted parameters"
+            )
+        return float(sum(w * v for w, v in zip(self.theta, features)))
 
 
 class SufficientStats:
@@ -74,6 +91,7 @@ class SufficientStats:
     __slots__ = ("design", "n", "xtx", "xtz", "ztz", "ztz_valid", "t_b", "t_e")
 
     def __init__(self, design: Design | None = None) -> None:
+        _require_numpy()
         self.design = design if design is not None else linear_design()
         k = self.design.k
         self.n = 0

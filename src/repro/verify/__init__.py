@@ -1,0 +1,62 @@
+"""Differential verification: oracle, chaos scenarios, and the soak harness.
+
+The paper's central claim is *losslessness*: every compressed, sharded,
+cached, or recovered answer the system serves must equal what a naive
+regression over the retained raw stream would compute.  This subpackage is
+the machinery that checks that claim end to end:
+
+* :mod:`repro.verify.oracle` — a deliberately naive golden reference that
+  retains raw records and recomputes cells, roll-ups, windows, and o-layer
+  flags from scratch with ``math.fsum`` least squares, sharing no code with
+  the kernels, the H-tree, or the cubing algorithms; plus ulp-reporting
+  comparators.
+* :mod:`repro.verify.scenarios` — seeded, declarative chaos scenarios that
+  drive the engine, the sharded cube and the query layer through bursts,
+  duplicates, snapshots, reshards, WAL crashes, prunes, and cache churn,
+  differentially checking every step against the oracle.
+* :mod:`repro.verify.soak` — a multi-threaded soak runner hammering a live
+  HTTP server with concurrent ingest/query/snapshot traffic and verifying
+  the final state against the oracle (``python -m repro soak``).
+"""
+
+from repro.verify.oracle import (
+    DEFAULT_TOLERANCE,
+    OracleISB,
+    RawStreamOracle,
+    Tolerance,
+    VerifyMismatch,
+    assert_cells_equal,
+    assert_cube_equal,
+    assert_result_equal,
+    isb_agree,
+    ulp_distance,
+)
+from repro.verify.scenarios import (
+    SCENARIOS,
+    Scenario,
+    ScenarioReport,
+    ScenarioRunner,
+    run_scenario,
+)
+from repro.verify.soak import SoakConfig, SoakReport, run_soak
+
+__all__ = [
+    "DEFAULT_TOLERANCE",
+    "OracleISB",
+    "RawStreamOracle",
+    "Tolerance",
+    "VerifyMismatch",
+    "assert_cells_equal",
+    "assert_cube_equal",
+    "assert_result_equal",
+    "isb_agree",
+    "ulp_distance",
+    "SCENARIOS",
+    "Scenario",
+    "ScenarioReport",
+    "ScenarioRunner",
+    "run_scenario",
+    "SoakConfig",
+    "SoakReport",
+    "run_soak",
+]

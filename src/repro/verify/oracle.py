@@ -1,0 +1,635 @@
+"""The brute-force golden reference for differential verification.
+
+:class:`RawStreamOracle` retains every accepted primitive record and
+recomputes, from scratch and with ``math.fsum``-based least squares, every
+answer the optimized system derives through ISB compression, tilt-frame
+folding, columnar kernels, cross-shard merging, or snapshot/WAL recovery:
+quarter cells, analysis windows, cuboid roll-ups, o-layer exception flags,
+change regressions, and Framework 4.1 retention closures.
+
+Independence contract
+---------------------
+
+This module deliberately shares **no code** with
+:mod:`repro.regression.kernels`, :mod:`repro.regression.aggregation`,
+:mod:`repro.htree`, :mod:`repro.tilt`, or :mod:`repro.cubing`.  It consumes
+only *configuration* objects (schema, layers, policy thresholds) and the
+plain :class:`~repro.stream.records.StreamRecord` value type; all numerics
+are re-derived here from the paper's definitions:
+
+* a quarter's regression is the LSE fit over the quarter's per-tick sums
+  (several records of one cell at one tick sum point-wise), fitted over the
+  *recorded* ticks and presented over the full quarter — the documented
+  ``fit_window`` sealing semantics;
+* a multi-quarter window's regression is the LSE fit of the concatenated
+  per-quarter fitted lines sampled at every tick (the raw-data meaning of
+  Theorem 3.3's losslessness);
+* a coarser cuboid cell's series is the point-wise sum of its descendant
+  m-cells' fitted lines (Theorem 3.2's standard-dimension semantics);
+* exception flags compare ``|slope|`` against the policy's threshold for
+  the cuboid, and retention follows the Framework 4.1 closure.
+
+Comparators report disagreements in **ulps** (units in the last place of
+the larger magnitude).  The fast paths fold sums sequentially where this
+oracle uses ``fsum``, so agreement is to ulps, not bits; the default
+:data:`DEFAULT_TOLERANCE` (about 1e-9 relative, 1e-9 absolute floor)
+matches the compatibility contract pinned in
+``tests/regression/test_kernels.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Hashable, Iterable, Mapping
+
+from repro.cube.layers import CriticalLayers
+from repro.cubing.policy import ExceptionPolicy
+from repro.regression.isb import ISB
+from repro.stream.records import StreamRecord
+
+__all__ = [
+    "OracleISB",
+    "Tolerance",
+    "DEFAULT_TOLERANCE",
+    "VerifyMismatch",
+    "RawStreamOracle",
+    "ulp_distance",
+    "isb_agree",
+    "assert_cells_equal",
+    "assert_cube_equal",
+    "assert_result_equal",
+]
+
+Values = tuple[Hashable, ...]
+Coord = tuple[int, ...]
+KeyFn = Callable[[StreamRecord], Values]
+
+
+# ----------------------------------------------------------------------
+# Ulp-tolerance comparators
+# ----------------------------------------------------------------------
+class VerifyMismatch(AssertionError):
+    """A differential check failed; the message carries ulp diagnostics."""
+
+
+@dataclass(frozen=True)
+class Tolerance:
+    """How far an optimized answer may sit from the oracle's.
+
+    ``max_ulps`` bounds the relative disagreement in units of the last
+    place of the larger magnitude (2**22 ulps is about 1e-9 relative);
+    ``abs_tol`` floors the comparison for heavily cancelled near-zero
+    quantities, whose relative error is unbounded by construction.
+    """
+
+    max_ulps: float = float(2**22)
+    abs_tol: float = 1e-9
+
+
+DEFAULT_TOLERANCE = Tolerance()
+
+
+def ulp_distance(a: float, b: float) -> float:
+    """``|a - b|`` measured in ulps of the larger magnitude."""
+    if a == b:
+        return 0.0
+    scale = max(abs(a), abs(b))
+    return abs(a - b) / math.ulp(scale)
+
+
+def _floats_agree(a: float, b: float, tol: Tolerance) -> bool:
+    if a == b:
+        return True
+    if abs(a - b) <= tol.abs_tol:
+        return True
+    return ulp_distance(a, b) <= tol.max_ulps
+
+
+def _diff_text(what: str, a: float, b: float) -> str:
+    return (
+        f"{what}: system={a!r} oracle={b!r} "
+        f"(abs diff {abs(a - b):.3e}, {ulp_distance(a, b):.0f} ulps)"
+    )
+
+
+@dataclass(frozen=True)
+class OracleISB:
+    """The oracle's own 4-number regression summary (interval + line).
+
+    Intentionally *not* :class:`repro.regression.isb.ISB` — the oracle
+    produces and consumes only its own value type, so no shared method
+    (means, totals, merges) can leak system arithmetic into the reference.
+    """
+
+    t_b: int
+    t_e: int
+    base: float
+    slope: float
+
+    @property
+    def n(self) -> int:
+        return self.t_e - self.t_b + 1
+
+    def value_at(self, t: int) -> float:
+        return self.base + self.slope * t
+
+    def value_at_mean(self) -> float:
+        """The fitted value at the interval's mean tick (= the series mean)."""
+        return self.base + self.slope * ((self.t_b + self.t_e) / 2.0)
+
+
+def isb_agree(
+    actual: ISB, expected: OracleISB, tol: Tolerance = DEFAULT_TOLERANCE
+) -> str | None:
+    """``None`` when the system ISB matches the oracle's, else a report.
+
+    Lines are compared at their interval *endpoints* (the paper's IntVal
+    view), not as raw ``(base, slope)`` pairs: two fitted values determine
+    the line completely, and the endpoint values live at the data's own
+    magnitude.  ``base`` is the fitted value extrapolated to ``t = 0``,
+    which for a window sealed at tick ~10⁴ amplifies the sealing
+    equations' inherent ~1e-9 relative slope noise by the full distance to
+    the origin — a comparison there would measure conditioning, not
+    correctness.  The tolerance is scaled to the line's overall magnitude
+    (the larger endpoint), so a near-zero crossing at one endpoint does
+    not turn ulp noise into a false mismatch.
+    """
+    if (actual.t_b, actual.t_e) != (expected.t_b, expected.t_e):
+        return (
+            f"interval mismatch: system [{actual.t_b},{actual.t_e}] "
+            f"oracle [{expected.t_b},{expected.t_e}]"
+        )
+    pairs = [
+        ("z(t_b)", actual.predict(actual.t_b), expected.value_at(expected.t_b)),
+        ("z(t_e)", actual.predict(actual.t_e), expected.value_at(expected.t_e)),
+    ]
+    scale = max(*(abs(v) for _, a, b in pairs for v in (a, b)), 1.0)
+    allowed = max(tol.abs_tol, tol.max_ulps * math.ulp(scale))
+    problems = [
+        _diff_text(what, a, b)
+        for what, a, b in pairs
+        if abs(a - b) > allowed
+    ]
+    return "; ".join(problems) or None
+
+
+def assert_cells_equal(
+    actual: Mapping[Values, ISB],
+    expected: Mapping[Values, OracleISB],
+    what: str = "cells",
+    tol: Tolerance = DEFAULT_TOLERANCE,
+) -> None:
+    """Assert a system cell map matches the oracle's, with ulp reporting."""
+    missing = sorted(map(repr, set(expected) - set(actual)))
+    extra = sorted(map(repr, set(actual) - set(expected)))
+    if missing or extra:
+        raise VerifyMismatch(
+            f"{what}: key sets differ; system is missing "
+            f"{missing or 'nothing'} and has extra {extra or 'nothing'}"
+        )
+    for key, oracle_isb in expected.items():
+        report = isb_agree(actual[key], oracle_isb, tol)
+        if report:
+            raise VerifyMismatch(f"{what}[{key!r}]: {report}")
+
+
+# ----------------------------------------------------------------------
+# The oracle
+# ----------------------------------------------------------------------
+def _fsum_fit(
+    points: Iterable[tuple[int, float]], lo: int, hi: int
+) -> OracleISB:
+    """Naive LSE over ``(tick, value)`` points, presented over ``[lo, hi]``.
+
+    Mirrors the documented sealing semantics: no points is the flat zero
+    line, a single distinct tick is flat at its value, otherwise the
+    textbook centered least squares computed with ``math.fsum``.
+    """
+    pts = list(points)
+    if not pts:
+        return OracleISB(lo, hi, 0.0, 0.0)
+    n = len(pts)
+    mean_t = math.fsum(t for t, _ in pts) / n
+    mean_z = math.fsum(z for _, z in pts) / n
+    denom = math.fsum((t - mean_t) ** 2 for t, _ in pts)
+    if denom == 0.0:
+        return OracleISB(lo, hi, mean_z, 0.0)
+    numer = math.fsum((t - mean_t) * (z - mean_z) for t, z in pts)
+    slope = numer / denom
+    base = mean_z - slope * mean_t
+    return OracleISB(lo, hi, base, slope)
+
+
+class RawStreamOracle:
+    """Golden reference: raw records in, from-scratch regressions out.
+
+    Feed it exactly the traffic the system *accepted* (acknowledged
+    batches and explicit clock advances) and it will independently answer
+    every read the system serves.  Memory is O(records) and every query is
+    O(records + window) — the whole point is to be too simple to be wrong,
+    not to be fast.
+    """
+
+    def __init__(
+        self,
+        layers: CriticalLayers,
+        policy: ExceptionPolicy,
+        ticks_per_quarter: int = 15,
+        key_fn: KeyFn | None = None,
+    ) -> None:
+        self.layers = layers
+        self.policy = policy
+        self.ticks_per_quarter = ticks_per_quarter
+        self.key_fn: KeyFn = key_fn if key_fn is not None else (
+            lambda record: record.values
+        )
+        #: Raw retained history: cell key -> [(t, z), ...] in arrival order.
+        self._by_key: dict[Values, list[tuple[int, float]]] = {}
+        self._last_active: dict[Values, int] = {}
+        self.current_quarter = 0
+        self.records_ingested = 0
+
+    # ------------------------------------------------------------------
+    # Mirrored traffic
+    # ------------------------------------------------------------------
+    def ingest(self, records: Iterable[StreamRecord]) -> int:
+        """Mirror one accepted batch; returns how many records were added."""
+        count = 0
+        for record in records:
+            key = self.key_fn(record)
+            quarter = record.t // self.ticks_per_quarter
+            self._by_key.setdefault(key, []).append((record.t, record.z))
+            self._last_active[key] = quarter
+            if quarter > self.current_quarter:
+                self.current_quarter = quarter
+            count += 1
+        self.records_ingested += count
+        return count
+
+    def advance_to(self, t: int) -> None:
+        """Mirror an explicit clock advance."""
+        quarter = t // self.ticks_per_quarter
+        if quarter > self.current_quarter:
+            self.current_quarter = quarter
+
+    @property
+    def tracked_cells(self) -> int:
+        return len(self._by_key)
+
+    def keys(self) -> list[Values]:
+        return list(self._by_key)
+
+    # ------------------------------------------------------------------
+    # Pruning (idle-cell retirement mirrors the engine's documented rule)
+    # ------------------------------------------------------------------
+    def idle_keys(self, idle_quarters: int) -> set[Values]:
+        """Cells with no record in the last ``idle_quarters`` quarters."""
+        window = min(idle_quarters, self.current_quarter)
+        if window == 0:
+            return set()
+        cutoff = self.current_quarter - window
+        return {
+            key
+            for key, last in self._last_active.items()
+            if last < cutoff
+        }
+
+    def drop_keys(self, keys: Iterable[Values]) -> None:
+        """Forget pruned cells entirely.
+
+        A pruned cell that speaks again re-enters zero-backfilled, exactly
+        as the engine re-creates it from the zero prototype — so its old
+        records must stop contributing to every future answer.
+        """
+        for key in keys:
+            self._by_key.pop(key, None)
+            self._last_active.pop(key, None)
+
+    # ------------------------------------------------------------------
+    # From-scratch regression answers
+    # ------------------------------------------------------------------
+    def _quarter_points(
+        self, key: Values, quarter: int
+    ) -> list[tuple[int, float]]:
+        """Per-tick ``fsum`` sums of one cell's records within one quarter."""
+        lo = quarter * self.ticks_per_quarter
+        hi = lo + self.ticks_per_quarter - 1
+        per_tick: dict[int, list[float]] = {}
+        for t, z in self._by_key.get(key, ()):
+            if lo <= t <= hi:
+                per_tick.setdefault(t, []).append(z)
+        return sorted(
+            (t, math.fsum(zs)) for t, zs in per_tick.items()
+        )
+
+    def quarter_isb(self, key: Values, quarter: int) -> OracleISB:
+        """The sealed regression of one cell's quarter, from raw records."""
+        lo = quarter * self.ticks_per_quarter
+        hi = lo + self.ticks_per_quarter - 1
+        return _fsum_fit(self._quarter_points(key, quarter), lo, hi)
+
+    def _check_window(self, t_b: int, t_e: int) -> tuple[int, int]:
+        q = self.ticks_per_quarter
+        if t_b % q != 0 or (t_e + 1) % q != 0 or t_b > t_e:
+            raise VerifyMismatch(
+                f"oracle window [{t_b},{t_e}] is not quarter-aligned"
+            )
+        if t_e >= self.current_quarter * q:
+            raise VerifyMismatch(
+                f"oracle window [{t_b},{t_e}] reaches into the unsealed "
+                f"quarter {self.current_quarter}"
+            )
+        return t_b // q, (t_e + 1) // q
+
+    def cell_series(self, keys: Iterable[Values], t_b: int, t_e: int) -> list[float]:
+        """The summed fitted-line series of a cell group over a window.
+
+        Each member cell contributes its per-quarter fitted line sampled at
+        every tick (a quarter with no records contributes zeros — the
+        engine's zero-backfill); members sum point-wise per Theorem 3.2's
+        standard-dimension semantics.
+        """
+        q_b, q_e = self._check_window(t_b, t_e)
+        per_tick: list[list[float]] = [[] for _ in range(t_e - t_b + 1)]
+        for key in keys:
+            for quarter in range(q_b, q_e):
+                line = self.quarter_isb(key, quarter)
+                for t in range(line.t_b, line.t_e + 1):
+                    per_tick[t - t_b].append(line.value_at(t))
+        return [math.fsum(vals) for vals in per_tick]
+
+    def window_isb(
+        self, keys: Iterable[Values], t_b: int, t_e: int
+    ) -> OracleISB:
+        """The regression of a cell group's raw stream over a sealed window."""
+        series = self.cell_series(keys, t_b, t_e)
+        return _fsum_fit(
+            list(enumerate(series, start=t_b)), t_b, t_e
+        )
+
+    def window_bounds(self, window_quarters: int) -> tuple[int, int]:
+        """The tick bounds of "the last ``window_quarters`` sealed quarters"."""
+        q = self.ticks_per_quarter
+        t_e = self.current_quarter * q - 1
+        t_b = t_e - window_quarters * q + 1
+        return t_b, t_e
+
+    def window_isbs(self, t_b: int, t_e: int) -> dict[Values, OracleISB]:
+        """Every tracked m-cell's window regression (cf. engine.window_isbs)."""
+        return {
+            key: self.window_isb([key], t_b, t_e) for key in self._by_key
+        }
+
+    def m_cells(self, window_quarters: int = 4) -> dict[Values, OracleISB]:
+        t_b, t_e = self.window_bounds(window_quarters)
+        return self.window_isbs(t_b, t_e)
+
+    # ------------------------------------------------------------------
+    # Cuboid roll-ups and exception flags
+    # ------------------------------------------------------------------
+    def _groups_at(self, coord: Coord) -> dict[Values, list[Values]]:
+        """Tracked m-cells grouped by their ancestor cell at ``coord``."""
+        schema = self.layers.schema
+        m_coord = self.layers.m_coord
+        mappers = [
+            dim.hierarchy.ancestor_mapper(f, t)
+            for dim, f, t in zip(schema.dimensions, m_coord, coord)
+        ]
+        groups: dict[Values, list[Values]] = {}
+        for key in self._by_key:
+            ancestor = tuple(m(v) for m, v in zip(mappers, key))
+            groups.setdefault(ancestor, []).append(key)
+        return groups
+
+    def cuboid_cells(
+        self, coord: Iterable[int], window_quarters: int
+    ) -> dict[Values, OracleISB]:
+        """Every cell of one cuboid, re-aggregated from raw records."""
+        t_b, t_e = self.window_bounds(window_quarters)
+        return {
+            ancestor: self.window_isb(members, t_b, t_e)
+            for ancestor, members in self._groups_at(tuple(coord)).items()
+        }
+
+    def is_exception(self, isb: OracleISB, coord: Coord) -> bool:
+        return abs(isb.slope) >= self.policy.threshold_for(coord)
+
+    def exceptional_cells(
+        self, coord: Iterable[int], window_quarters: int
+    ) -> dict[Values, OracleISB]:
+        c = tuple(coord)
+        return {
+            values: isb
+            for values, isb in self.cuboid_cells(c, window_quarters).items()
+            if self.is_exception(isb, c)
+        }
+
+    def o_layer_cells(self, window_quarters: int) -> dict[Values, OracleISB]:
+        return self.cuboid_cells(self.layers.o_coord, window_quarters)
+
+    def o_layer_exceptions(
+        self, window_quarters: int
+    ) -> dict[Values, OracleISB]:
+        return self.exceptional_cells(self.layers.o_coord, window_quarters)
+
+    def closure(
+        self,
+        window_quarters: int,
+        seed_coords: Iterable[Coord] = (),
+    ) -> dict[Coord, dict[Values, OracleISB]]:
+        """Framework 4.1 retention, recomputed from raw records.
+
+        Seeded cuboids (the o-layer plus ``seed_coords``) retain all of
+        their exception cells; any other cuboid retains an exception cell
+        iff one of its one-step parent cells is itself retained.
+        """
+        lattice = self.layers.lattice
+        schema = self.layers.schema
+        seeds = {self.layers.o_coord} | {tuple(c) for c in seed_coords}
+        retained: dict[Coord, dict[Values, OracleISB]] = {}
+        for coord in lattice.top_down_order():
+            exceptional = self.exceptional_cells(coord, window_quarters)
+            if coord in seeds:
+                kept = exceptional
+            else:
+                kept = {}
+                for values, isb in exceptional.items():
+                    for p_coord in lattice.parents(coord):
+                        mappers = [
+                            dim.hierarchy.ancestor_mapper(f, t)
+                            for dim, f, t in zip(
+                                schema.dimensions, coord, p_coord
+                            )
+                        ]
+                        parent_values = tuple(
+                            m(v) for m, v in zip(mappers, values)
+                        )
+                        if parent_values in retained.get(p_coord, {}):
+                            kept[values] = isb
+                            break
+            retained[coord] = kept
+        retained.pop(self.layers.m_coord, None)
+        return retained
+
+    # ------------------------------------------------------------------
+    # Change regressions (current window vs the previous one)
+    # ------------------------------------------------------------------
+    def _two_point(self, prev: OracleISB, cur: OracleISB) -> OracleISB:
+        """The line through the two windows' mean points."""
+        t_prev = (prev.t_b + prev.t_e) / 2.0
+        t_cur = (cur.t_b + cur.t_e) / 2.0
+        prev_mean = prev.value_at_mean()
+        cur_mean = cur.value_at_mean()
+        slope = (cur_mean - prev_mean) / (t_cur - t_prev)
+        base = prev_mean - slope * t_prev
+        return OracleISB(prev.t_b, cur.t_e, base, slope)
+
+    def change_bounds(self, quarters_apart: int) -> tuple[int, int, int]:
+        q = self.ticks_per_quarter
+        end = self.current_quarter * q - 1
+        cur_b = end - quarters_apart * q + 1
+        prev_b = cur_b - quarters_apart * q
+        return prev_b, cur_b, end
+
+    def change_exceptions(
+        self, quarters_apart: int = 1
+    ) -> dict[Values, OracleISB]:
+        """M-layer current-vs-previous change exceptions, from raw records."""
+        prev_b, cur_b, end = self.change_bounds(quarters_apart)
+        m_coord = self.layers.m_coord
+        out: dict[Values, OracleISB] = {}
+        for key in self._by_key:
+            prev = self.window_isb([key], prev_b, cur_b - 1)
+            cur = self.window_isb([key], cur_b, end)
+            change = self._two_point(prev, cur)
+            if self.is_exception(change, m_coord):
+                out[key] = change
+        return out
+
+    def o_layer_change_exceptions(
+        self, quarters_apart: int = 1
+    ) -> dict[Values, OracleISB]:
+        """O-layer window-over-window change exceptions, from raw records."""
+        prev_b, cur_b, end = self.change_bounds(quarters_apart)
+        o_coord = self.layers.o_coord
+        out: dict[Values, OracleISB] = {}
+        for ancestor, members in self._groups_at(o_coord).items():
+            prev = self.window_isb(members, prev_b, cur_b - 1)
+            cur = self.window_isb(members, cur_b, end)
+            change = self._two_point(prev, cur)
+            if self.is_exception(change, o_coord):
+                out[ancestor] = change
+        return out
+
+
+# ----------------------------------------------------------------------
+# Whole-result comparators
+# ----------------------------------------------------------------------
+def _flag_sets_equal(
+    actual: Mapping[Values, ISB],
+    expected: Mapping[Values, OracleISB],
+    oracle: RawStreamOracle,
+    coord: Coord,
+    what: str,
+    tol: Tolerance,
+) -> None:
+    """Compare exception sets, tolerating only genuine threshold ties.
+
+    A cell present on one side only is a real failure unless its ``|slope|``
+    sits within tolerance of the policy threshold — the one place where a
+    ulp-level disagreement can legitimately flip a boolean.
+    """
+    threshold = oracle.policy.threshold_for(coord)
+
+    def is_tie(slope: float) -> bool:
+        return _floats_agree(abs(slope), threshold, tol)
+
+    for key in set(expected) - set(actual):
+        if not is_tie(expected[key].slope):
+            raise VerifyMismatch(
+                f"{what}: oracle flags {key!r} "
+                f"(|slope|={abs(expected[key].slope)!r} vs threshold "
+                f"{threshold!r}) but the system does not"
+            )
+    for key, isb in actual.items():
+        if key in expected:
+            report = isb_agree(isb, expected[key], tol)
+            if report:
+                raise VerifyMismatch(f"{what}[{key!r}]: {report}")
+        elif not is_tie(isb.slope):
+            raise VerifyMismatch(
+                f"{what}: system flags {key!r} "
+                f"(|slope|={abs(isb.slope)!r} vs threshold {threshold!r}) "
+                "but the oracle does not"
+            )
+
+
+def assert_cube_equal(
+    actual_cells: Mapping[Values, ISB],
+    oracle: RawStreamOracle,
+    coord: Iterable[int],
+    window_quarters: int,
+    tol: Tolerance = DEFAULT_TOLERANCE,
+) -> None:
+    """Assert one system cuboid equals the oracle's from-scratch roll-up."""
+    c = tuple(coord)
+    assert_cells_equal(
+        actual_cells,
+        oracle.cuboid_cells(c, window_quarters),
+        what=f"cuboid {c}",
+        tol=tol,
+    )
+
+
+def assert_result_equal(
+    result,
+    oracle: RawStreamOracle,
+    window_quarters: int,
+    tol: Tolerance = DEFAULT_TOLERANCE,
+) -> None:
+    """Assert a :class:`~repro.cubing.result.CubeResult` matches the oracle.
+
+    Checks the m-layer and o-layer cell for cell, the o-layer exception
+    flags, and the retained exception sets: popular-path results must equal
+    the Framework 4.1 closure seeded by their materialized path cuboids;
+    every other algorithm retains all exception cells of every cuboid.
+    """
+    layers = result.layers
+    assert_cube_equal(
+        dict(result.m_layer.items()), oracle, layers.m_coord,
+        window_quarters, tol,
+    )
+    assert_cube_equal(
+        dict(result.o_layer.items()), oracle, layers.o_coord,
+        window_quarters, tol,
+    )
+    _flag_sets_equal(
+        result.o_layer_exceptions(),
+        oracle.o_layer_exceptions(window_quarters),
+        oracle,
+        layers.o_coord,
+        "o-layer exceptions",
+        tol,
+    )
+    # The m- and o-layers are retained as full cuboids, never as exception
+    # sets, so the retained-exception comparison covers the intermediates.
+    if result.stats.algorithm.startswith("popular"):
+        seeds = tuple(result.complete_coords or ())
+        expected = oracle.closure(window_quarters, seeds)
+    else:
+        expected = {
+            coord: oracle.exceptional_cells(coord, window_quarters)
+            for coord in layers.lattice.coords()
+        }
+    expected.pop(layers.m_coord, None)
+    expected.pop(layers.o_coord, None)
+    for coord, cells in expected.items():
+        _flag_sets_equal(
+            result.retained_exceptions.get(coord, {}),
+            cells,
+            oracle,
+            coord,
+            f"retained exceptions at {coord}",
+            tol,
+        )

@@ -1,0 +1,1039 @@
+"""Seeded, declarative chaos scenarios, differentially checked end to end.
+
+A :class:`Scenario` is a cube configuration plus a composable event stream:
+traffic shapes (bursts, trickles, boundary ticks, duplicates, multi-quarter
+batches), quiet gaps, mid-quarter snapshot+restore, online resharding, WAL
+crash/replay, idle-cell pruning with revival, and query/cache churn.  The
+:class:`ScenarioRunner` interprets the events against *three* systems at
+once — a single :class:`~repro.stream.engine.StreamCubeEngine`, a
+:class:`~repro.service.sharding.ShardedStreamCube` (with a live WAL), and
+the ``Q``/``execute``/:class:`~repro.service.router.QueryRouter` query
+layer — and checks every answer against the brute-force
+:class:`~repro.verify.oracle.RawStreamOracle`:
+
+* engine and cube answers must agree with the oracle to ulps
+  (:data:`~repro.verify.oracle.DEFAULT_TOLERANCE`);
+* engine and cube must agree with *each other* bit for bit (the sharding
+  equivalence guarantee), as must every restored / resharded / replayed
+  successor.
+
+Everything is derived from one integer seed, so any failure replays
+exactly: ``run_scenario("crash_replay", seed=1234)``.
+"""
+
+from __future__ import annotations
+
+import random
+import shutil
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Hashable
+
+from repro.cubing.policy import GlobalSlopeThreshold
+from repro.query.api import RegressionCubeView
+from repro.query.exec import execute
+from repro.query.spec import Q
+from repro.service.router import QueryRouter
+from repro.service.sharding import ShardedStreamCube
+from repro.stream.engine import StreamCubeEngine, engine_frame_levels
+from repro.stream.generator import DatasetSpec
+from repro.stream.records import StreamRecord
+from repro.stream.wal import QuarterWAL
+from repro.verify.oracle import (
+    DEFAULT_TOLERANCE,
+    RawStreamOracle,
+    VerifyMismatch,
+    assert_cells_equal,
+    assert_result_equal,
+    isb_agree,
+)
+
+__all__ = [
+    "Scenario",
+    "ScenarioReport",
+    "ScenarioRunner",
+    "SCENARIOS",
+    "run_scenario",
+    # events
+    "Traffic",
+    "Advance",
+    "Check",
+    "SnapshotRestore",
+    "Reshard",
+    "CrashReplay",
+    "Prune",
+    "CacheChurn",
+]
+
+Values = tuple[Hashable, ...]
+
+
+# ----------------------------------------------------------------------
+# Events
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Traffic:
+    """Ingest seeded traffic.
+
+    ``style`` shapes the stream: ``"burst"`` is several records per tick,
+    ``"trickle"`` leaves most ticks (and some cells' whole quarters) empty,
+    ``"boundary"`` lands every record on a quarter's first or last tick,
+    ``"duplicate"`` repeats records — same (cell, tick) with new values and
+    exact duplicates of earlier records in the same batch.
+
+    ``batching`` picks the ingest surface: ``"per_quarter"`` one
+    ``ingest_many``/``ingest_batch`` call per quarter, ``"spanning"`` one
+    call for the whole multi-quarter batch, ``"single"`` record-at-a-time
+    ``ingest`` calls.
+    """
+
+    quarters: int = 2
+    rate: int = 3
+    style: str = "burst"
+    batching: str = "per_quarter"
+
+
+@dataclass(frozen=True)
+class Advance:
+    """Advance the clock over quiet quarters (no traffic)."""
+
+    quarters: int = 1
+
+
+@dataclass(frozen=True)
+class Check:
+    """Differentially verify current state against the oracle.
+
+    ``windows`` — m-layer window regressions (plus engine==cube equality);
+    ``cube`` — a full cubing refresh (cells, flags, retention closure);
+    ``queries`` — the declarative query layer through view and router;
+    ``changes`` — current-vs-previous change exceptions at both layers.
+    """
+
+    windows: bool = True
+    cube: bool = False
+    queries: bool = False
+    changes: bool = False
+    algorithm: str = "mo"
+
+
+@dataclass(frozen=True)
+class SnapshotRestore:
+    """Snapshot both systems (possibly mid-quarter), restore, and continue
+    on the restored instances — the rest of the scenario runs on them."""
+
+
+@dataclass(frozen=True)
+class Reshard:
+    """Online-reshard the cube to ``shards`` and continue on the result."""
+
+    shards: int = 5
+
+
+@dataclass(frozen=True)
+class CrashReplay:
+    """Simulate a crash: rebuild a cube from the last snapshot directory
+    plus WAL replay (with a torn final journal line) and verify it matches
+    the live cube bit for bit."""
+
+
+@dataclass(frozen=True)
+class Prune:
+    """Prune idle cells on engine and cube; verify the drop sets against
+    the oracle's idleness rule and mirror the drop into the oracle."""
+
+    idle_quarters: int = 2
+
+
+@dataclass(frozen=True)
+class CacheChurn:
+    """Exercise the router's result cache: repeat a query mix (hits must
+    equal misses), then watch a seal invalidate the epoch."""
+
+    repeats: int = 2
+
+
+Event = (
+    Traffic
+    | Advance
+    | Check
+    | SnapshotRestore
+    | Reshard
+    | CrashReplay
+    | Prune
+    | CacheChurn
+)
+
+
+# ----------------------------------------------------------------------
+# Scenario and report
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Scenario:
+    """A cube configuration plus the event stream to drive through it."""
+
+    name: str
+    description: str
+    events: tuple[Event, ...]
+    dims: int = 2
+    levels: int = 2
+    fanout: int = 3
+    ticks_per_quarter: int = 4
+    threshold: float = 0.06
+    window: int = 4
+    n_shards: int = 3
+    cell_pool: int = 10
+
+
+@dataclass
+class ScenarioReport:
+    """What one seeded scenario run did and verified."""
+
+    name: str
+    seed: int
+    records: int = 0
+    events: int = 0
+    checks: int = 0
+    cells_compared: int = 0
+
+
+# ----------------------------------------------------------------------
+# The runner
+# ----------------------------------------------------------------------
+class ScenarioRunner:
+    """Interpret one scenario's events against engine + cube + oracle."""
+
+    def __init__(self, scenario: Scenario, seed: int, workdir: str | Path):
+        self.scenario = scenario
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.workdir = Path(workdir)
+        self.layers = DatasetSpec(
+            scenario.dims, scenario.levels, scenario.fanout, 1
+        ).build_layers()
+        self.policy = GlobalSlopeThreshold(scenario.threshold)
+        self.tpq = scenario.ticks_per_quarter
+        self.engine = StreamCubeEngine(
+            self.layers, self.policy, ticks_per_quarter=self.tpq
+        )
+        self.snap_dir = self.workdir / "snapshots"
+        self.wal_path = self.snap_dir / "wal.jsonl"
+        self.snap_dir.mkdir(parents=True, exist_ok=True)
+        self.cube = ShardedStreamCube(
+            self.layers,
+            self.policy,
+            n_shards=scenario.n_shards,
+            ticks_per_quarter=self.tpq,
+            wal=QuarterWAL(self.wal_path),
+        )
+        self.router = QueryRouter(self.cube, window_quarters=scenario.window)
+        self.oracle = RawStreamOracle(
+            self.layers, self.policy, ticks_per_quarter=self.tpq
+        )
+        self.last_manifest: dict | None = None
+        # Per-cell ground-truth lines give the traffic a stable trend per
+        # cell, so slopes spread well away from zero *and* the threshold.
+        leaf_card = scenario.fanout**scenario.levels
+        pool: set[Values] = set()
+        while len(pool) < scenario.cell_pool:
+            pool.add(
+                tuple(
+                    self.rng.randrange(leaf_card)
+                    for _ in range(scenario.dims)
+                )
+            )
+        self.pool = sorted(pool)
+        self.trends = {
+            key: (self.rng.uniform(-4.0, 4.0), self.rng.uniform(-0.5, 0.5))
+            for key in self.pool
+        }
+        self.report = ScenarioReport(scenario.name, seed)
+
+    # ------------------------------------------------------------------
+    # Event interpretation
+    # ------------------------------------------------------------------
+    def run(self) -> ScenarioReport:
+        try:
+            for event in self.scenario.events:
+                self.apply(event)
+                self.report.events += 1
+            return self.report
+        finally:
+            self.cube.close()
+            if self.cube.wal is not None:
+                self.cube.wal.close()
+
+    def apply(self, event: Event) -> None:
+        handler = {
+            Traffic: self._traffic,
+            Advance: self._advance,
+            Check: self._check,
+            SnapshotRestore: self._snapshot_restore,
+            Reshard: self._reshard,
+            CrashReplay: self._crash_replay,
+            Prune: self._prune,
+            CacheChurn: self._cache_churn,
+        }[type(event)]
+        handler(event)
+
+    # -- traffic -------------------------------------------------------
+    def _make_quarter(self, quarter: int, event: Traffic) -> list[StreamRecord]:
+        rng = self.rng
+        lo = quarter * self.tpq
+        records: list[StreamRecord] = []
+
+        def reading(key: Values, t: int) -> StreamRecord:
+            base, slope = self.trends[key]
+            return StreamRecord(
+                key, t, base + slope * t + rng.uniform(-0.5, 0.5)
+            )
+
+        if event.style == "burst":
+            for t in range(lo, lo + self.tpq):
+                for _ in range(event.rate):
+                    records.append(reading(rng.choice(self.pool), t))
+        elif event.style == "trickle":
+            for key in self.pool:
+                if rng.random() < 0.5:
+                    continue  # this cell skips the whole quarter
+                for _ in range(max(1, event.rate // 2)):
+                    records.append(
+                        reading(key, lo + rng.randrange(self.tpq))
+                    )
+        elif event.style == "boundary":
+            edges = (lo, lo + self.tpq - 1)
+            for _ in range(event.rate * self.tpq):
+                records.append(
+                    reading(rng.choice(self.pool), rng.choice(edges))
+                )
+        elif event.style == "duplicate":
+            for t in range(lo, lo + self.tpq):
+                key = rng.choice(self.pool)
+                first = reading(key, t)
+                records.extend([first, first, reading(key, t)])
+        else:  # pragma: no cover - scenario author error
+            raise ValueError(f"unknown traffic style {event.style!r}")
+        if not records:
+            # Keep the quarter clock advancing even when a trickle quarter
+            # drew nothing: one reading so the batch is never empty.
+            records.append(
+                reading(rng.choice(self.pool), lo + rng.randrange(self.tpq))
+            )
+        rng.shuffle(records)  # any tick order within a quarter is legal
+        return records
+
+    def _traffic(self, event: Traffic) -> None:
+        start = self.oracle.current_quarter
+        per_quarter = [
+            self._make_quarter(start + i, event)
+            for i in range(event.quarters)
+        ]
+        if event.batching == "spanning":
+            batches = [[r for batch in per_quarter for r in batch]]
+        else:
+            batches = per_quarter
+        for batch in batches:
+            if not batch:
+                continue
+            if event.batching == "spanning":
+                batch.sort(key=lambda r: r.t // self.tpq)
+            if event.batching == "single":
+                for record in batch:
+                    self.engine.ingest(record)
+                    self.cube.ingest(record)
+            else:
+                self.engine.ingest_many(batch)
+                self.cube.ingest_batch(batch)
+            self.oracle.ingest(batch)
+            self.report.records += len(batch)
+
+    def _advance(self, event: Advance) -> None:
+        t = (self.oracle.current_quarter + event.quarters) * self.tpq
+        self.engine.advance_to(t)
+        self.cube.advance_to(t)
+        self.oracle.advance_to(t)
+
+    # -- differential checks -------------------------------------------
+    def _windows_ready(self, quarters: int) -> bool:
+        return self.oracle.current_quarter >= quarters
+
+    def _require_clocks_agree(self) -> None:
+        if not (
+            self.engine.current_quarter
+            == self.cube.current_quarter
+            == self.oracle.current_quarter
+        ):
+            raise VerifyMismatch(
+                f"clock drift: engine={self.engine.current_quarter} "
+                f"cube={self.cube.current_quarter} "
+                f"oracle={self.oracle.current_quarter}"
+            )
+
+    def _check(self, event: Check) -> None:
+        self._require_clocks_agree()
+        window = self.scenario.window
+        if not self._windows_ready(window):
+            raise VerifyMismatch(
+                f"scenario bug: Check before {window} quarters sealed"
+            )
+        if event.windows:
+            self._check_windows(window)
+        if event.cube:
+            self._check_cube(window, event.algorithm)
+        if event.queries:
+            self._check_queries(window)
+        if event.changes:
+            self._check_changes()
+        self.report.checks += 1
+
+    def _check_windows(self, window: int) -> None:
+        engine_cells = self.engine.m_cells(window)
+        cube_cells = self.cube.m_cells(window)
+        if engine_cells != cube_cells:
+            raise VerifyMismatch(
+                "sharding equivalence broken: engine and cube m-cells "
+                "differ (they must be bit-identical)"
+            )
+        oracle_cells = self.oracle.m_cells(window)
+        assert_cells_equal(engine_cells, oracle_cells, "m-cells")
+        self.report.cells_compared += len(oracle_cells)
+        # A shorter sub-window through the raw window_isbs surface.
+        sub = 1 + self.rng.randrange(min(window, 3))
+        t_b, t_e = self.oracle.window_bounds(sub)
+        engine_sub = self.engine.window_isbs(t_b, t_e)
+        if engine_sub != self.cube.window_isbs(t_b, t_e):
+            raise VerifyMismatch("engine/cube window_isbs differ")
+        assert_cells_equal(
+            engine_sub,
+            self.oracle.window_isbs(t_b, t_e),
+            f"window [{t_b},{t_e}]",
+        )
+
+    def _check_cube(self, window: int, algorithm: str) -> None:
+        result = self.engine.refresh(window, algorithm)
+        assert_result_equal(result, self.oracle, window)
+        cube_result = self.cube.refresh(window, algorithm)
+        assert_result_equal(cube_result, self.oracle, window)
+        self.report.cells_compared += len(result.m_layer)
+
+    def _check_changes(self) -> None:
+        if self.oracle.current_quarter < 2:
+            return
+        pairs = [
+            (
+                self.engine.change_exceptions(1),
+                self.oracle.change_exceptions(1),
+                "m-change",
+            ),
+            (
+                self.engine.o_layer_change_exceptions(1),
+                self.oracle.o_layer_change_exceptions(1),
+                "o-change",
+            ),
+        ]
+        cube_m = self.cube.change_exceptions(1)
+        cube_o = self.cube.o_layer_change_exceptions(1)
+        if pairs[0][0] != cube_m or pairs[1][0] != cube_o:
+            raise VerifyMismatch("engine/cube change exceptions differ")
+        for actual, expected, what in pairs:
+            if set(actual) != set(expected):
+                raise VerifyMismatch(
+                    f"{what}: flagged sets differ; system "
+                    f"{sorted(map(repr, actual))} vs oracle "
+                    f"{sorted(map(repr, expected))}"
+                )
+            for key, isb in actual.items():
+                problem = isb_agree(isb, expected[key])
+                if problem:
+                    raise VerifyMismatch(f"{what}[{key!r}]: {problem}")
+
+    # -- query layer ---------------------------------------------------
+    def _check_queries(self, window: int) -> None:
+        view = RegressionCubeView(self.engine.refresh(window))
+        schema = self.layers.schema
+        lattice = self.layers.lattice
+        rng = self.rng
+        coords = sorted(lattice.coords())
+        # Each oracle roll-up is a full fsum refit; memoize lazily since a
+        # run only touches the chosen coord, its neighbours, and the
+        # o-layer.
+        _memo: dict[tuple, dict] = {}
+
+        def oracle_cuboid(coord: tuple) -> dict:
+            if coord not in _memo:
+                _memo[coord] = self.oracle.cuboid_cells(coord, window)
+            return _memo[coord]
+
+        tol = DEFAULT_TOLERANCE
+
+        def check_one(spec, expected_fn) -> None:
+            for result in (
+                execute(view, spec),
+                self.router.execute(spec),
+                self.router.execute(spec),  # second router hit: cached
+            ):
+                expected_fn(result.value)
+            self.report.checks += 1
+
+        # cell + roll_up + drill_down + siblings on a random populated cell
+        coord = rng.choice(coords)
+        cells = oracle_cuboid(coord)
+        if cells:
+            values = rng.choice(sorted(cells))
+            expected = cells[values]
+
+            def expect_cell(value):
+                problem = isb_agree(value, expected, tol)
+                if problem:
+                    raise VerifyMismatch(f"query cell {values}: {problem}")
+
+            check_one(Q.cell(coord, values, window=window), expect_cell)
+
+            dims_up = [
+                d.name
+                for d, lvl, o in zip(
+                    schema.dimensions, coord, self.layers.o_coord
+                )
+                if lvl - 1 >= o
+            ]
+            if dims_up:
+                dim = rng.choice(dims_up)
+                d = schema.dim_index(dim)
+                parent_coord = coord[:d] + (coord[d] - 1,) + coord[d + 1:]
+
+                def expect_roll_up(value):
+                    p_coord, p_values, isb = value
+                    if p_coord != parent_coord:
+                        raise VerifyMismatch(
+                            f"roll_up coord {p_coord} != {parent_coord}"
+                        )
+                    want = oracle_cuboid(parent_coord)[p_values]
+                    problem = isb_agree(isb, want, tol)
+                    if problem:
+                        raise VerifyMismatch(
+                            f"roll_up {p_values}: {problem}"
+                        )
+
+                check_one(
+                    Q.roll_up(coord, values, dim, window=window),
+                    expect_roll_up,
+                )
+
+            dims_down = [
+                d.name
+                for d, lvl, m in zip(
+                    schema.dimensions, coord, self.layers.m_coord
+                )
+                if lvl + 1 <= m
+            ]
+            if dims_down:
+                dim = rng.choice(dims_down)
+                d = schema.dim_index(dim)
+                child_coord = coord[:d] + (coord[d] + 1,) + coord[d + 1:]
+                mappers = [
+                    dimension.hierarchy.ancestor_mapper(f, t)
+                    for dimension, f, t in zip(
+                        schema.dimensions, child_coord, coord
+                    )
+                ]
+                want_children = {
+                    child: isb
+                    for child, isb in oracle_cuboid(child_coord).items()
+                    if tuple(m(v) for m, v in zip(mappers, child)) == values
+                }
+
+                def expect_drill(value):
+                    assert_cells_equal(
+                        value, want_children, "drill_down", tol
+                    )
+
+                check_one(
+                    Q.drill_down(coord, values, dim, window=window),
+                    expect_drill,
+                )
+
+            hier_dims = [
+                d.name
+                for d, lvl in zip(schema.dimensions, coord)
+                if lvl >= 1
+            ]
+            if hier_dims:
+                dim = rng.choice(hier_dims)
+                d = schema.dim_index(dim)
+                level = coord[d]
+                hier = schema.dimensions[d].hierarchy
+                parent = hier.parent(values[d], level)
+                want_siblings = {
+                    other: isb
+                    for other, isb in cells.items()
+                    if other != values
+                    and all(
+                        i == d or v == w
+                        for i, (v, w) in enumerate(zip(other, values))
+                    )
+                    and hier.parent(other[d], level) == parent
+                }
+
+                def expect_siblings(value):
+                    assert_cells_equal(
+                        value, want_siblings, "siblings", tol
+                    )
+
+                check_one(
+                    Q.siblings(coord, values, dim, window=window),
+                    expect_siblings,
+                )
+
+        # slice with one fixed dimension value
+        named = [
+            (d.name, i)
+            for i, (d, lvl) in enumerate(zip(schema.dimensions, coord))
+            if lvl >= 1
+        ]
+        if cells and named:
+            name, i = rng.choice(named)
+            fixed_value = rng.choice(sorted(cells))[i]
+            want_slice = {
+                vals: isb
+                for vals, isb in cells.items()
+                if vals[i] == fixed_value
+            }
+
+            def expect_slice(value):
+                assert_cells_equal(value, want_slice, "slice", tol)
+
+            check_one(
+                Q.slice(coord, {name: fixed_value}, window=window),
+                expect_slice,
+            )
+
+        # top_slopes: every returned cell matches the oracle, and the cut
+        # line is consistent with the oracle ranking (ties allowed).
+        k = 1 + rng.randrange(4)
+        ranked = sorted(
+            (abs(isb.slope) for isb in cells.values()), reverse=True
+        )
+
+        def expect_top(value):
+            if len(value) != min(k, len(cells)):
+                raise VerifyMismatch(
+                    f"top_slopes returned {len(value)} of k={k} "
+                    f"({len(cells)} cells exist)"
+                )
+            for vals, isb in value:
+                problem = isb_agree(isb, cells[vals], tol)
+                if problem:
+                    raise VerifyMismatch(f"top_slopes {vals}: {problem}")
+            if value and len(cells) > k:
+                cut = ranked[k - 1]
+                low = min(abs(isb.slope) for _, isb in value)
+                if not low >= cut - 1e-9:
+                    raise VerifyMismatch(
+                        f"top_slopes cut line broken: weakest returned "
+                        f"|slope| {low!r} under oracle cut {cut!r}"
+                    )
+
+        check_one(Q.top_slopes(coord, k, window=window), expect_top)
+
+        # observation deck and watch list
+        o_cells = self.oracle.o_layer_cells(window)
+
+        def expect_deck(value):
+            assert_cells_equal(value, o_cells, "observation_deck", tol)
+
+        check_one(Q.observation_deck(window=window), expect_deck)
+
+        o_flags = self.oracle.o_layer_exceptions(window)
+
+        def expect_watch(value):
+            assert_cells_equal(value, o_flags, "watch_list", tol)
+
+        check_one(Q.watch_list(window=window), expect_watch)
+
+    # -- durability / elasticity / retirement ---------------------------
+    def _snapshot_restore(self, event: SnapshotRestore) -> None:
+        state = self.engine.snapshot()
+        restored_engine = StreamCubeEngine.restore(
+            state, self.layers, self.policy
+        )
+        self.last_manifest = self.cube.snapshot(self.snap_dir)
+        self.cube.wal.truncate_through(self.last_manifest["wal_seq"])
+        # The journal stays on the live cube until the restore proves out,
+        # so a failing check leaks neither the new pool nor the WAL handle
+        # (run()'s cleanup still owns both live resources).
+        restored_cube = ShardedStreamCube.restore(
+            self.snap_dir, self.layers, self.policy
+        )
+        old = self.cube
+        try:
+            if self._windows_ready(1):
+                t_b, t_e = self.oracle.window_bounds(1)
+                live = old.window_isbs(t_b, t_e)
+                if (
+                    restored_engine.window_isbs(t_b, t_e) != live
+                    or restored_cube.window_isbs(t_b, t_e) != live
+                ):
+                    raise VerifyMismatch(
+                        "snapshot/restore is not bit-identical to the "
+                        "live cube"
+                    )
+        except BaseException:
+            restored_cube.close()
+            raise
+        # Continue the scenario on the restored instances.
+        restored_cube.wal = old.wal
+        old.wal = None
+        self.engine = restored_engine
+        self.cube = restored_cube
+        old.close()
+        self.router = QueryRouter(
+            self.cube, window_quarters=self.scenario.window
+        )
+        self.report.checks += 1
+
+    def _reshard(self, event: Reshard) -> None:
+        resharded = self.cube.reshard(event.shards)
+        try:
+            if self._windows_ready(1):
+                t_b, t_e = self.oracle.window_bounds(1)
+                if resharded.window_isbs(t_b, t_e) != self.cube.window_isbs(
+                    t_b, t_e
+                ):
+                    raise VerifyMismatch(
+                        f"reshard {self.cube.n_shards}->{event.shards} is "
+                        "not bit-identical"
+                    )
+        except BaseException:
+            resharded.close()
+            raise
+        resharded.wal = self.cube.wal
+        self.cube.wal = None
+        self.cube.close()
+        self.cube = resharded
+        self.router = QueryRouter(
+            self.cube, window_quarters=self.scenario.window
+        )
+        self.report.checks += 1
+
+    def _crash_replay(self, event: CrashReplay) -> None:
+        if self.last_manifest is None:
+            self.last_manifest = self.cube.snapshot(self.snap_dir)
+            self.cube.wal.truncate_through(self.last_manifest["wal_seq"])
+            # Post-snapshot traffic gives the replay something to recover.
+            self._traffic(Traffic(quarters=1, rate=3))
+        crash_dir = self.workdir / "crash"
+        if crash_dir.exists():
+            shutil.rmtree(crash_dir)
+        shutil.copytree(self.snap_dir, crash_dir)
+        with open(crash_dir / "wal.jsonl", "a", encoding="utf-8") as fh:
+            fh.write('{"seq": 99999, "kind": "batch", "qu')  # torn append
+        recovered = ShardedStreamCube.restore(
+            crash_dir, self.layers, self.policy
+        )
+        with QuarterWAL(crash_dir / "wal.jsonl") as journal:
+            journal.replay(
+                recovered,
+                after_seq=int(self.last_manifest["wal_seq"]),
+            )
+        try:
+            if self._windows_ready(1):
+                t_b, t_e = self.oracle.window_bounds(1)
+                if recovered.window_isbs(t_b, t_e) != self.cube.window_isbs(
+                    t_b, t_e
+                ):
+                    raise VerifyMismatch(
+                        "crash recovery (snapshot + WAL replay) is not "
+                        "bit-identical to the uninterrupted cube"
+                    )
+                assert_cells_equal(
+                    recovered.window_isbs(t_b, t_e),
+                    self.oracle.window_isbs(t_b, t_e),
+                    "recovered window",
+                )
+            if recovered.records_ingested != self.oracle.records_ingested:
+                raise VerifyMismatch(
+                    f"recovery lost records: {recovered.records_ingested} "
+                    f"vs {self.oracle.records_ingested} accepted"
+                )
+        finally:
+            recovered.close()
+        self.report.checks += 1
+
+    def _prune(self, event: Prune) -> None:
+        candidates = self.oracle.idle_keys(event.idle_quarters)
+        dropped_engine = self.engine.prune_idle(event.idle_quarters)
+        dropped_cube = self.cube.prune_idle(event.idle_quarters)
+        if dropped_engine != dropped_cube:
+            raise VerifyMismatch(
+                f"engine pruned {dropped_engine} cells, cube pruned "
+                f"{dropped_cube}"
+            )
+        # The engine legitimately drops nothing when its tilt frames cannot
+        # cover the idleness window; within the finest level's capacity the
+        # window is certainly covered, so there a zero-drop with idle
+        # candidates is a real bug, not the bail-out — no escape hatch.
+        # (The runner builds its engines on the default frame geometry, so
+        # the public levels function is the supported way to read it.)
+        window = min(event.idle_quarters, self.oracle.current_quarter)
+        certainly_coverable = (
+            window <= engine_frame_levels(self.tpq)[0].capacity
+        )
+        if dropped_engine == len(candidates):
+            self.oracle.drop_keys(candidates)
+        elif dropped_engine == 0 and candidates and certainly_coverable:
+            raise VerifyMismatch(
+                f"prune dropped nothing although the {window}-quarter "
+                f"window is covered and the oracle finds "
+                f"{len(candidates)} idle cells "
+                f"({sorted(map(repr, candidates))})"
+            )
+        elif dropped_engine != 0:
+            raise VerifyMismatch(
+                f"prune dropped {dropped_engine} cells; oracle finds "
+                f"{len(candidates)} idle ({sorted(map(repr, candidates))})"
+            )
+        if self.engine.tracked_cells != self.oracle.tracked_cells:
+            raise VerifyMismatch(
+                f"after prune: engine tracks {self.engine.tracked_cells} "
+                f"cells, oracle {self.oracle.tracked_cells}"
+            )
+        self.report.checks += 1
+
+    def _cache_churn(self, event: CacheChurn) -> None:
+        window = self.scenario.window
+        if not self._windows_ready(window):
+            raise VerifyMismatch("scenario bug: CacheChurn before windows")
+        specs = [
+            Q.observation_deck(window=window),
+            Q.watch_list(window=window),
+            Q.top_slopes(self.layers.o_coord, 3, window=window),
+        ]
+        first = [self.router.execute(spec) for spec in specs]
+        before = self.router.cache.hits
+        for _ in range(event.repeats):
+            for spec, baseline in zip(specs, first):
+                again = self.router.execute(spec)
+                if again.value != baseline.value:
+                    raise VerifyMismatch(
+                        f"cache hit for {spec.op!r} returned a different "
+                        "answer than the original miss"
+                    )
+        if self.router.cache.hits < before + len(specs) * event.repeats:
+            raise VerifyMismatch("router cache did not serve repeat hits")
+        epoch = self.router.epoch
+        self._traffic(Traffic(quarters=1, rate=2))
+        self._advance(Advance(1))
+        deck = self.router.execute(specs[0])
+        if self.router.epoch == epoch:
+            raise VerifyMismatch(
+                "router epoch did not advance after a quarter sealed"
+            )
+        assert_cells_equal(
+            deck.value,
+            self.oracle.o_layer_cells(window),
+            "post-seal observation_deck",
+        )
+        self.report.checks += 1
+
+
+# ----------------------------------------------------------------------
+# The scenario catalogue
+# ----------------------------------------------------------------------
+def _scenario(name: str, description: str, *events: Event, **cfg) -> Scenario:
+    return Scenario(name, description, tuple(events), **cfg)
+
+
+FULL_CHECK = Check(windows=True, cube=True, queries=True, changes=True)
+
+# Quarter accounting: Traffic(quarters=n) starting at the accumulating
+# quarter q puts records into q .. q+n-1 and leaves q+n-1 *unsealed*; a
+# Check with the default window=4 therefore needs traffic/advances summing
+# to at least 5 quarter starts (or an explicit Advance) before it fires.
+SCENARIOS: dict[str, Scenario] = {
+    s.name: s
+    for s in [
+        _scenario(
+            "steady_burst",
+            "Dense uniform traffic, checked quarter over quarter.",
+            Traffic(quarters=4, rate=4),
+            Advance(1),
+            Check(),
+            Traffic(quarters=2, rate=4),
+            Advance(1),
+            Check(cube=True, changes=True),
+        ),
+        _scenario(
+            "sparse_trickle",
+            "Sparse traffic with empty ticks and whole silent quarters.",
+            Traffic(quarters=5, rate=2, style="trickle"),
+            Check(changes=True),
+            Traffic(quarters=1, rate=1, style="trickle"),
+            Advance(1),
+            Check(cube=True),
+        ),
+        _scenario(
+            "boundary_ticks",
+            "Every record lands on a quarter's first or last tick.",
+            Traffic(quarters=4, rate=2, style="boundary"),
+            Advance(1),
+            Check(cube=True),
+            Traffic(quarters=1, rate=2, style="boundary"),
+            Advance(1),
+            Check(changes=True),
+        ),
+        _scenario(
+            "duplicate_records",
+            "Same (cell, tick) repeated and exact duplicates in batches.",
+            Traffic(quarters=5, rate=3, style="duplicate"),
+            Check(cube=True, changes=True),
+        ),
+        _scenario(
+            "quiet_gaps",
+            "Traffic separated by advance-only quarters (zero sealing).",
+            Traffic(quarters=2, rate=3),
+            Advance(2),
+            Traffic(quarters=1, rate=3),
+            Advance(1),
+            Check(cube=True, changes=True),
+        ),
+        _scenario(
+            "multi_quarter_batches",
+            "Single ingest calls spanning several quarter boundaries.",
+            Traffic(quarters=4, rate=3, batching="spanning"),
+            Advance(1),
+            Check(),
+            Traffic(quarters=2, rate=3, batching="spanning"),
+            Advance(1),
+            Check(cube=True),
+        ),
+        _scenario(
+            "record_at_a_time",
+            "The per-record ingest surface (WAL per record) end to end.",
+            Traffic(quarters=4, rate=2, batching="single"),
+            Advance(1),
+            Check(cube=True, changes=True),
+            cell_pool=6,
+        ),
+        _scenario(
+            "snapshot_restore_midquarter",
+            "Snapshot with a hot unsealed quarter; continue on the restore.",
+            Traffic(quarters=4, rate=3),
+            SnapshotRestore(),  # quarter 3 is mid-accumulation here
+            Traffic(quarters=2, rate=3),
+            Advance(1),
+            Check(cube=True, changes=True),
+        ),
+        _scenario(
+            "reshard_midrun",
+            "Online k->j resharding mid-stream, both directions.",
+            Traffic(quarters=3, rate=3),
+            Reshard(shards=5),
+            Traffic(quarters=2, rate=3),
+            Advance(1),
+            Check(),
+            Reshard(shards=1),
+            Traffic(quarters=1, rate=3),
+            Check(cube=True),
+        ),
+        _scenario(
+            "crash_replay",
+            "Crash after a snapshot: recover from snapshot + torn WAL.",
+            Traffic(quarters=3, rate=3),
+            SnapshotRestore(),
+            Traffic(quarters=2, rate=3),
+            CrashReplay(),
+            Traffic(quarters=1, rate=3),
+            Advance(1),
+            Check(cube=True),
+        ),
+        _scenario(
+            "prune_then_revive",
+            "Cells go idle, get pruned, then speak again (zero-backfilled).",
+            Traffic(quarters=3, rate=3),
+            Traffic(quarters=3, rate=2, style="trickle"),
+            Prune(idle_quarters=2),
+            Traffic(quarters=2, rate=3),
+            Check(cube=True),
+            Prune(idle_quarters=1),
+            Check(),
+            cell_pool=8,
+        ),
+        _scenario(
+            "cache_churn",
+            "Query cache hit/miss interleaving across quarter seals.",
+            Traffic(quarters=4, rate=3),
+            Advance(1),
+            CacheChurn(repeats=2),
+            CacheChurn(repeats=1),
+            Check(queries=True),
+        ),
+        _scenario(
+            "query_sweep",
+            "Every query op checked against the oracle, twice per surface.",
+            Traffic(quarters=4, rate=4),
+            Advance(1),
+            Check(queries=True),
+            Traffic(quarters=1, rate=2, style="trickle"),
+            Advance(1),
+            Check(queries=True, changes=True),
+            dims=2,
+            levels=3,
+            fanout=2,
+        ),
+        _scenario(
+            "popular_path_check",
+            "Popular-path cubing's retention closure vs the oracle.",
+            Traffic(quarters=4, rate=4),
+            Advance(1),
+            Check(cube=True, algorithm="popular"),
+            Traffic(quarters=1, rate=3, style="trickle"),
+            Advance(1),
+            Check(cube=True, algorithm="full"),
+        ),
+        _scenario(
+            "single_tick_quarters",
+            "ticks_per_quarter=1: every record seals a quarter by itself.",
+            Traffic(quarters=6, rate=2),
+            Advance(1),
+            Check(cube=True, changes=True),
+            Traffic(quarters=2, rate=1, style="trickle"),
+            Advance(1),
+            Check(),
+            ticks_per_quarter=1,
+            cell_pool=6,
+        ),
+        _scenario(
+            "kitchen_sink",
+            "Everything composed: all traffic shapes, durability, queries.",
+            Traffic(quarters=3, rate=3),
+            Traffic(quarters=1, rate=2, style="boundary"),
+            Advance(1),
+            Traffic(quarters=1, rate=3, style="duplicate"),
+            SnapshotRestore(),
+            Traffic(quarters=2, rate=2, style="trickle", batching="spanning"),
+            Reshard(shards=2),
+            CrashReplay(),
+            Traffic(quarters=2, rate=3),
+            Prune(idle_quarters=3),
+            Advance(1),
+            FULL_CHECK,
+        ),
+    ]
+}
+
+
+def run_scenario(
+    scenario: Scenario | str,
+    seed: int,
+    workdir: str | Path | None = None,
+) -> ScenarioReport:
+    """Run one scenario under one seed; raises :class:`VerifyMismatch` on
+    any disagreement.  ``workdir`` (for snapshots and journals) defaults to
+    a fresh temporary directory."""
+    if isinstance(scenario, str):
+        scenario = SCENARIOS[scenario]
+    if workdir is not None:
+        return ScenarioRunner(scenario, seed, workdir).run()
+    with tempfile.TemporaryDirectory(prefix="repro-verify-") as tmp:
+        return ScenarioRunner(scenario, seed, tmp).run()

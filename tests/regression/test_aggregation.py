@@ -4,8 +4,9 @@ from __future__ import annotations
 
 import math
 
-import numpy as np
 import pytest
+
+np = pytest.importorskip("numpy")  # these tests exercise numpy-backed paths
 
 from repro.errors import AggregationError
 from repro.regression.aggregation import (

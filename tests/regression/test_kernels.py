@@ -10,8 +10,9 @@ from __future__ import annotations
 
 import math
 
-import numpy as np
 import pytest
+
+np = pytest.importorskip("numpy")  # these tests exercise numpy-backed paths
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -34,8 +35,26 @@ finite = st.floats(
 )
 
 
-def close(a: float, b: float) -> bool:
-    return math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-12)
+def isbs_close(got, ref) -> bool:
+    """Kernel-vs-scalar ISB agreement, compared at the interval endpoints.
+
+    ``base`` is the line extrapolated to t=0; for an interval far from the
+    origin its absolute noise is the slope noise amplified by the distance,
+    so a raw base comparison with a fixed abs_tol measures conditioning,
+    not correctness.  The fitted endpoint values carry the same information
+    at the data's own magnitude.
+    """
+    if got.interval != ref.interval:
+        return False
+    scale = max(
+        abs(ref.predict(ref.t_b)), abs(ref.predict(ref.t_e)), 1.0
+    )
+    return all(
+        math.isclose(
+            got.predict(t), ref.predict(t), rel_tol=1e-9, abs_tol=1e-9 * scale
+        )
+        for t in (got.t_b, got.t_e)
+    )
 
 
 @st.composite
@@ -76,7 +95,7 @@ class TestMergeStandardCols:
         ref = merge_standard(isbs)
         got = merge_standard_cols(ISBColumns.from_isbs(isbs))
         assert got.interval == ref.interval
-        assert close(got.base, ref.base) and close(got.slope, ref.slope)
+        assert isbs_close(got, ref)
 
     def test_single_child_exact(self):
         isb = ISB(3, 9, 1.25, -0.5)
@@ -104,7 +123,7 @@ class TestMergeTimeCols:
         ref = merge_time(shuffled)
         got = merge_time_cols(ISBColumns.from_isbs(shuffled))
         assert got.interval == ref.interval
-        assert close(got.base, ref.base) and close(got.slope, ref.slope)
+        assert isbs_close(got, ref)
 
     def test_single_child_unchanged(self):
         isb = ISB(7, 7, 2.0, 0.0)
@@ -138,7 +157,7 @@ class TestSegmentMerge:
             ref = merge_standard(group)
             got = merged.row(i)
             assert got.interval == ref.interval
-            assert close(got.base, ref.base) and close(got.slope, ref.slope)
+            assert isbs_close(got, ref)
 
     @given(groups=st.lists(same_interval_batches(), min_size=1, max_size=6))
     @settings(max_examples=50, deadline=None)
@@ -208,7 +227,7 @@ class TestMergeTimeGrid:
             ref = merge_time(rows[g])
             got = merged.row(g)
             assert got.interval == ref.interval
-            assert close(got.base, ref.base) and close(got.slope, ref.slope)
+            assert isbs_close(got, ref)
 
     def test_non_adjacent_columns_raise(self):
         cols = [
@@ -308,8 +327,7 @@ class TestMergeGroups:
         assert list(got) == list(ref)  # group order preserved
         for key in ref:
             assert got[key].interval == ref[key].interval
-            assert close(got[key].base, ref[key].base)
-            assert close(got[key].slope, ref[key].slope)
+            assert isbs_close(got[key], ref[key])
 
     def test_empty_groups_mapping(self):
         assert merge_groups({}) == {}

@@ -4,8 +4,9 @@ from __future__ import annotations
 
 import math
 
-import numpy as np
 import pytest
+
+np = pytest.importorskip("numpy")  # these tests exercise numpy-backed paths
 
 from repro.errors import (
     AggregationError,
@@ -214,3 +215,16 @@ class TestFitEdgeCases:
     def test_stored_numbers_counts(self):
         assert SufficientStats(linear_design()).stored_numbers == 3 + 2 + 2 + 2
         assert SufficientStats(polynomial_design(2)).stored_numbers == 6 + 3 + 2 + 2
+
+
+def test_predict_features_rejects_wrong_arity():
+    """A wrong-length feature vector must raise, never silently truncate."""
+    from repro.errors import AggregationError
+    from repro.regression.multiple import fit_multiple, linear_design
+
+    fit = fit_multiple(
+        [((float(t),), 1.0 + 0.5 * t) for t in range(6)], linear_design()
+    )
+    assert fit.predict_features([1.0, 3.0]) == pytest.approx(2.5)
+    with pytest.raises(AggregationError, match="entries for"):
+        fit.predict_features([3.0])

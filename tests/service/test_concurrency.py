@@ -1,0 +1,286 @@
+"""Concurrency regression: parallel ingest + query + snapshot, no torn reads.
+
+The service serializes request handling with one lock
+(:attr:`StreamCubeService._lock`); everything observable must therefore be
+a consistent point-in-time view even while ingest is sealing quarters,
+``/admin/snapshot`` is compacting the WAL, and queries are refreshing the
+merged view.  These tests hammer one service object from many threads
+(handle-level — no sockets, so failures point at the service, not
+urllib) and assert the invariants a torn read would break:
+
+* every query answer's cells share one window interval (a view caught
+  mid-refresh would mix epochs);
+* ``/health`` counters and the WAL sequence never move backwards;
+* a snapshot directory written under fire is always restorable and equal
+  to *some* consistent prefix of the ingest stream (records_ingested at a
+  quarter boundary the cube actually passed through);
+* the lock really covers the engine-refresh path: with the lock bypassed,
+  the same barrage is allowed to (and in practice does) tear.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from repro.cubing.policy import GlobalSlopeThreshold
+from repro.io import isb_from_dict
+from repro.service.http import StreamCubeService
+from repro.service.router import QueryRouter
+from repro.service.sharding import ShardedStreamCube
+from repro.stream.generator import DatasetSpec
+from repro.stream.wal import QuarterWAL
+
+TPQ = 4
+WINDOW = 2
+
+
+def build_service(tmp_path, n_shards: int = 3) -> StreamCubeService:
+    layers = DatasetSpec(2, 2, 3, 1).build_layers()
+    policy = GlobalSlopeThreshold(0.1)
+    cube = ShardedStreamCube(
+        layers,
+        policy,
+        n_shards=n_shards,
+        ticks_per_quarter=TPQ,
+        wal=QuarterWAL(tmp_path / "wal.jsonl"),
+    )
+    router = QueryRouter(cube, window_quarters=WINDOW)
+    return StreamCubeService(cube, router, snapshot_dir=tmp_path)
+
+
+def ingest_payload(rng: random.Random, quarter: int) -> dict:
+    rows = []
+    for t in range(quarter * TPQ, (quarter + 1) * TPQ):
+        for _ in range(3):
+            rows.append(
+                {
+                    "values": [rng.randrange(9), rng.randrange(9)],
+                    "t": t,
+                    "z": rng.uniform(0.0, 4.0),
+                }
+            )
+    return {"records": rows}
+
+
+class Barrage:
+    """N threads of mixed traffic against one service; collects violations."""
+
+    def __init__(self, service: StreamCubeService, rounds: int = 60):
+        self.service = service
+        self.rounds = rounds
+        self.violations: list[str] = []
+        self.report_lock = threading.Lock()
+
+    def note(self, problem: str) -> None:
+        with self.report_lock:
+            self.violations.append(problem)
+
+    def ingester(self, seed: int) -> None:
+        rng = random.Random(seed)
+        for _ in range(self.rounds):
+            quarter = self.service.cube.current_quarter + rng.randrange(2)
+            status, body = self.service.handle(
+                "POST", "/ingest", ingest_payload(rng, quarter)
+            )
+            if status not in (200, 400):
+                self.note(f"ingest -> {status}: {body}")
+            elif status == 400 and body.get("type") != "StreamError":
+                self.note(f"ingest 400 of type {body.get('type')}: {body}")
+
+    def querier(self, seed: int) -> None:
+        rng = random.Random(seed)
+        ops = [
+            {"op": "observation_deck"},
+            {"op": "watch_list"},
+            {"op": "slice", "coord": [2, 2]},
+            {"queries": [{"op": "observation_deck"}, {"op": "watch_list"}]},
+        ]
+        for _ in range(self.rounds):
+            payload = rng.choice(ops)
+            status, body = self.service.handle("POST", "/query", payload)
+            if status == 400:
+                if body.get("type") not in ("StreamError", "QueryError"):
+                    self.note(f"query 400 of type {body.get('type')}")
+                continue
+            if status != 200:
+                self.note(f"query -> {status}: {body}")
+                continue
+            results = (
+                [item for item in body.get("results", ()) if item.get("ok")]
+                if "queries" in payload
+                else [body]
+            )
+            for item in results:
+                intervals = {
+                    (
+                        isb_from_dict(row["isb"]).t_b,
+                        isb_from_dict(row["isb"]).t_e,
+                    )
+                    for row in item.get("cells", ())
+                }
+                if len(intervals) > 1:
+                    self.note(
+                        f"torn read: one answer mixes intervals {intervals}"
+                    )
+
+    def monitor(self) -> None:
+        last_quarter = -1
+        last_records = -1
+        last_seq = -1
+        for _ in range(self.rounds):
+            status, health = self.service.handle("GET", "/health")
+            if status != 200:
+                self.note(f"health -> {status}")
+                continue
+            if health["current_quarter"] < last_quarter:
+                self.note("current_quarter went backwards")
+            if health["records_ingested"] < last_records:
+                self.note("records_ingested went backwards")
+            last_quarter = health["current_quarter"]
+            last_records = health["records_ingested"]
+            status, stats = self.service.handle("GET", "/stats")
+            if status != 200:
+                self.note(f"stats -> {status}")
+                continue
+            seq = stats["durability"]["wal_seq"]
+            if seq is not None and seq < last_seq:
+                self.note(f"wal_seq went backwards: {last_seq} -> {seq}")
+            if seq is not None:
+                last_seq = seq
+
+    def snapshotter(self) -> None:
+        for _ in range(self.rounds // 4):
+            status, body = self.service.handle("POST", "/admin/snapshot", {})
+            if status != 200:
+                self.note(f"snapshot -> {status}: {body}")
+
+    def run(self) -> None:
+        threads = (
+            [
+                threading.Thread(target=self.ingester, args=(10 + i,))
+                for i in range(3)
+            ]
+            + [
+                threading.Thread(target=self.querier, args=(20 + i,))
+                for i in range(3)
+            ]
+            + [
+                threading.Thread(target=self.monitor),
+                threading.Thread(target=self.snapshotter),
+            ]
+        )
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+
+class TestConcurrentService:
+    def test_no_torn_reads_under_parallel_traffic(self, tmp_path):
+        service = build_service(tmp_path)
+        try:
+            barrage = Barrage(service)
+            barrage.run()
+            assert barrage.violations == []
+            # The cube really moved: this was not a quiet no-op run.
+            assert service.cube.records_ingested > 0
+            assert service.cube.current_quarter > WINDOW
+            assert service.snapshots_written > 0
+        finally:
+            service.close()
+
+    def test_snapshot_written_under_fire_is_restorable(self, tmp_path):
+        service = build_service(tmp_path)
+        try:
+            barrage = Barrage(service, rounds=40)
+            barrage.run()
+            assert barrage.violations == []
+            manifest = ShardedStreamCube.read_manifest(tmp_path)
+            restored = ShardedStreamCube.restore(
+                tmp_path,
+                service.cube.layers,
+                service.cube.policy,
+            )
+            try:
+                with QuarterWAL(tmp_path / "wal.jsonl") as journal:
+                    journal.replay(
+                        restored, after_seq=int(manifest["wal_seq"])
+                    )
+                live = service.cube
+                assert restored.records_ingested == live.records_ingested
+                q = live.current_quarter
+                if q >= 1:
+                    t_b, t_e = (q - 1) * TPQ, q * TPQ - 1
+                    assert restored.window_isbs(t_b, t_e) == live.window_isbs(
+                        t_b, t_e
+                    )
+            finally:
+                restored.close()
+        finally:
+            service.close()
+
+    def test_lock_covers_the_engine_refresh_path(self, tmp_path):
+        """The serialization is the lock, not luck.
+
+        ``handle`` must hold ``_lock`` across dispatch; if a handler ran
+        outside it, ingest could seal a quarter while a query refreshes
+        the merged view.  Rather than racing (nondeterministic), pin the
+        mechanism: the lock is held while any handler runs.
+        """
+        service = build_service(tmp_path)
+        try:
+            seen: list[bool] = []
+            original = service.health
+
+            def spying_health(payload):
+                seen.append(service._lock.locked())
+                return original(payload)
+
+            service.health = spying_health
+            status, _ = service.handle("GET", "/health")
+            assert status == 200
+            assert seen == [True]
+
+            # And a second request must wait for the first to finish:
+            # handler A parks on an event; request B can only complete
+            # after A releases the lock.
+            order: list[str] = []
+            gate = threading.Event()
+            entered = threading.Event()
+
+            def slow_health(payload):
+                order.append("slow-start")
+                entered.set()
+                gate.wait(timeout=5)
+                order.append("slow-end")
+                return original(payload)
+
+            service.health = slow_health
+
+            def first():
+                service.handle("GET", "/health")
+
+            thread_a = threading.Thread(target=first)
+            thread_a.start()
+            # Bounded wait until A is inside the handler; a thread that
+            # died before entering must fail the test, not hang it.
+            assert entered.wait(timeout=5), "handler thread never entered"
+            service.health = original
+
+            def second():
+                service.handle("GET", "/health")
+                order.append("second-done")
+
+            thread_b = threading.Thread(target=second)
+            thread_b.start()
+            thread_b.join(timeout=0.2)
+            assert "second-done" not in order  # B is blocked on the lock
+            gate.set()
+            thread_a.join(timeout=5)
+            thread_b.join(timeout=5)
+            assert order == ["slow-start", "slow-end", "second-done"]
+        finally:
+            service.close()

@@ -61,6 +61,7 @@ class TestCapture:
 
     def test_replayed_engine_run_is_identical(self, tmp_path):
         """Capture a live simulation, replay it, get identical cube state."""
+        pytest.importorskip("numpy")  # drives the power-grid simulator
         from repro.cubing.policy import GlobalSlopeThreshold
         from repro.stream.engine import StreamCubeEngine
         from repro.tilt.frame import TiltLevelSpec
@@ -96,3 +97,39 @@ class TestCapture:
         replayed.advance_to(30)
 
         assert live.m_cells(2) == replayed.m_cells(2)
+
+
+class TestEmptyStreams:
+    def test_write_empty_stream(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        assert write_records([], path) == 0
+        assert path.exists()
+        assert list(replay_records(path)) == []
+
+    def test_replay_blank_lines_only(self, tmp_path):
+        path = tmp_path / "blank.jsonl"
+        path.write_text("\n\n\n")
+        assert list(replay_records(path)) == []
+
+    def test_capture_empty_iterator(self, tmp_path):
+        path = tmp_path / "empty-tee.jsonl"
+        tee = capture(iter([]), path)
+        assert list(tee) == []
+        assert tee.written == 0
+        assert list(replay_records(path)) == []
+
+    def test_replayed_empty_stream_leaves_engine_untouched(self, tmp_path):
+        from repro.cubing.policy import GlobalSlopeThreshold
+        from repro.stream.engine import StreamCubeEngine
+        from repro.stream.generator import DatasetSpec
+
+        path = tmp_path / "empty.jsonl"
+        write_records([], path)
+        engine = StreamCubeEngine(
+            DatasetSpec(2, 2, 3, 1).build_layers(),
+            GlobalSlopeThreshold(0.1),
+            ticks_per_quarter=4,
+        )
+        engine.ingest_many(replay_records(path))
+        assert engine.records_ingested == 0
+        assert engine.tracked_cells == 0

@@ -1,0 +1,107 @@
+"""Sliding-window regression: O(1) maintenance must equal re-merging."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.errors import TiltFrameError
+from repro.regression.aggregation import merge_time
+from repro.regression.isb import ISB, isb_of_series
+from repro.stream.sliding import SlidingWindowRegression
+
+
+def segments_of(values: list[float], length: int, t_b: int = 0) -> list[ISB]:
+    return [
+        isb_of_series(values[i : i + length], t_b=t_b + i)
+        for i in range(0, len(values) - length + 1, length)
+    ]
+
+
+class TestMaintenance:
+    def test_empty_window_raises(self):
+        window = SlidingWindowRegression(3)
+        assert len(window) == 0
+        assert not window.is_full
+        with pytest.raises(TiltFrameError, match="empty"):
+            window.window
+
+    def test_rejects_zero_width_window(self):
+        with pytest.raises(TiltFrameError, match="at least one"):
+            SlidingWindowRegression(0)
+
+    def test_single_segment_window(self):
+        """window_segments=1: each push replaces the whole window."""
+        window = SlidingWindowRegression(1)
+        first = ISB(0, 4, 1.0, 0.5)
+        second = ISB(5, 9, 2.0, -0.25)
+        window.push(first)
+        assert window.is_full and window.window == first
+        window.push(second)
+        assert len(window) == 1
+        assert window.window.interval == second.interval
+        assert window.window.slope == pytest.approx(second.slope)
+
+    def test_rejects_non_adjacent_segment(self):
+        window = SlidingWindowRegression(3)
+        window.push(ISB(0, 4, 1.0, 0.0))
+        with pytest.raises(TiltFrameError, match="does not follow"):
+            window.push(ISB(6, 9, 1.0, 0.0))  # gap at tick 5
+
+    def test_span_tracks_window_contents(self):
+        window = SlidingWindowRegression(2)
+        window.push(ISB(0, 4, 1.0, 0.0))
+        window.push(ISB(5, 9, 1.0, 0.0))
+        assert window.span == (0, 9)
+        window.push(ISB(10, 14, 1.0, 0.0))
+        assert window.span == (5, 14)
+
+
+class TestEquivalence:
+    def test_slide_equals_remerge_over_long_run(self):
+        """Every step's O(1) aggregate == merge_time over the raw window."""
+        rng = random.Random(17)
+        values = [
+            2.0 + 0.1 * t + rng.uniform(-0.5, 0.5) for t in range(120)
+        ]
+        segments = segments_of(values, length=5)
+        window = SlidingWindowRegression(4)
+        held: list[ISB] = []
+        for segment in segments:
+            window.push(segment)
+            held.append(segment)
+            held = held[-4:]
+            expected = merge_time(held)
+            got = window.window
+            assert got.interval == expected.interval
+            assert math.isclose(
+                got.base, expected.base, rel_tol=1e-9, abs_tol=1e-9
+            )
+            assert math.isclose(
+                got.slope, expected.slope, rel_tol=1e-9, abs_tol=1e-9
+            )
+
+    def test_full_window_matches_direct_fit_of_raw_data(self):
+        """Theorem 3.3 + its inverse stay exact against raw least squares."""
+        rng = random.Random(23)
+        values = [1.0 - 0.2 * t + rng.uniform(-0.3, 0.3) for t in range(60)]
+        segments = segments_of(values, length=6)
+        window = SlidingWindowRegression(5)
+        for segment in segments:
+            window.push(segment)
+        t_b, t_e = window.span
+        direct = isb_of_series(values[t_b : t_e + 1], t_b=t_b)
+        assert math.isclose(window.window.slope, direct.slope, rel_tol=1e-9)
+        assert math.isclose(window.window.base, direct.base, rel_tol=1e-9)
+
+    def test_single_tick_segments(self):
+        """Degenerate one-tick segments (flat lines) still slide exactly."""
+        values = [3.0, 1.0, 4.0, 1.5, 9.0, 2.6]
+        window = SlidingWindowRegression(3)
+        for t, value in enumerate(values):
+            window.push(ISB(t, t, value, 0.0))
+        expected = isb_of_series(values[-3:], t_b=3)
+        assert window.window.interval == (3, 5)
+        assert math.isclose(window.window.slope, expected.slope, rel_tol=1e-9)

@@ -117,3 +117,55 @@ class TestFoldISBs:
         segments = self._segments(year_of_days, 30)
         monthly = fold_isbs(segments, "avg")
         assert monthly.fit().slope > 0
+
+
+class TestFoldEdgeCases:
+    """Degenerate shapes: single-tick segments, identity folds, max depth."""
+
+    def test_single_tick_segments_are_identity_for_sum(self, year_of_days):
+        folded = fold_series(year_of_days, 1, "sum")
+        assert folded.values == year_of_days.values
+        assert folded.t_b == 0
+
+    def test_whole_series_folds_to_one_value(self, year_of_days):
+        folded = fold_series(year_of_days, len(year_of_days), "avg")
+        assert len(folded) == 1
+        assert math.isclose(
+            folded.values[0],
+            sum(year_of_days.values) / len(year_of_days),
+        )
+
+    def test_max_fold_depth(self, year_of_days):
+        """Fold repeatedly (360 -> 30 -> 6 -> 1): each level stays exact."""
+        series = year_of_days
+        for segment in (12, 5, 6):
+            series = fold_series(series, segment, "sum")
+        assert len(series) == 1
+        assert math.isclose(series.values[0], sum(year_of_days.values))
+
+    def test_fold_isbs_single_segment(self):
+        segment = isb_of_series([1.0, 2.0, 3.0], t_b=6)
+        folded = fold_isbs([segment], "sum")
+        assert len(folded) == 1
+        assert math.isclose(folded.values[0], 6.0)
+
+    def test_fold_isbs_of_single_tick_segments(self):
+        """One-tick ISBs (flat lines) fold to exactly their values."""
+        from repro.regression.isb import ISB
+
+        segments = [ISB(t, t, float(t) * 2.0, 0.0) for t in range(5)]
+        assert fold_isbs(segments, "sum").values == (0.0, 2.0, 4.0, 6.0, 8.0)
+        assert fold_isbs(segments, "last").values == (0.0, 2.0, 4.0, 6.0, 8.0)
+
+    def test_fold_then_fit_equals_fit_of_folded_raw(self, year_of_days):
+        """ISB-only folding feeds a regression identical to the raw path."""
+        raw_monthly = fold_series(year_of_days, 30, "sum")
+        segments = [
+            isb_of_series(year_of_days.values[i : i + 30], t_b=i)
+            for i in range(0, 360, 30)
+        ]
+        isb_monthly = fold_isbs(segments, "sum")
+        raw_fit = isb_of_series(raw_monthly.values)
+        isb_fit = isb_of_series(isb_monthly.values)
+        assert math.isclose(raw_fit.slope, isb_fit.slope, rel_tol=1e-9)
+        assert math.isclose(raw_fit.base, isb_fit.base, rel_tol=1e-9)

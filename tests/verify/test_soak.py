@@ -1,0 +1,42 @@
+"""Short in-process soak runs: the concurrency harness must hold a seeded
+run with zero oracle mismatches (CI runs the same thing longer)."""
+
+from __future__ import annotations
+
+import argparse
+
+import pytest
+
+from repro.verify.soak import SoakConfig, run_soak
+
+
+@pytest.mark.parametrize("seed", [1, 2])
+def test_short_soak_zero_mismatches(seed, tmp_path):
+    config = SoakConfig(seed=seed, duration=1.5)
+    report = run_soak(config, tmp_path)
+    assert report.mismatches == 0, report.describe()
+    assert report.batches_acked > 0
+    assert report.records_acked == report.batches_acked * config.batch_records
+    assert report.snapshots >= 1
+    assert sum(report.requests.values()) > 0
+
+
+def test_soak_cli_entry(tmp_path, capsys, monkeypatch):
+    """`python -m repro soak` wiring: flags parse and the verdict prints."""
+    from repro.__main__ import main
+
+    code = main(["soak", "--seed", "5", "--duration", "1.0"])
+    out = capsys.readouterr().out
+    assert code == 0, out
+    assert "ZERO oracle mismatches" in out
+
+
+def test_report_describe_lists_problems():
+    from repro.verify.soak import SoakReport
+
+    report = SoakReport(seed=1, duration=2.0)
+    report.flag("something broke")
+    text = report.describe()
+    assert "1 mismatches" in text
+    assert "something broke" in text
+    assert report.mismatches == 1
