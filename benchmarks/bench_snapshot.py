@@ -169,6 +169,11 @@ def snapshot_checks(rows: list[SnapshotPoint]) -> list[tuple[str, bool]]:
             < 2.0 * min(p.bytes_per_cell for p in rows),
         ),
         (
+            "footprint: packed slot columns keep snapshots >=4x smaller "
+            "than the ~790 B/cell JSON-array baseline (<197.5 B/cell)",
+            max(p.bytes_per_cell for p in rows) < 790.0 / 4.0,
+        ),
+        (
             "snapshot: wall time scales sub-quadratically with cells",
             hi.snapshot_s / lo.snapshot_s < growth**2,
         ),

@@ -1,4 +1,4 @@
-"""CI perf-smoke gate: fail on ingest-throughput regressions.
+"""CI perf-smoke gate: fail on ingest-throughput / cold-query regressions.
 
 Usage::
 
@@ -6,11 +6,16 @@ Usage::
     PYTHONPATH=src python benchmarks/check_regression.py \
         --current out/BENCH_service_throughput.json \
         [--baseline benchmarks/baselines/BENCH_service_throughput.json] \
+        [--storage-current out/BENCH_storage.json] \
+        [--storage-baseline benchmarks/baselines/BENCH_storage.json] \
         [--max-regression 0.25]
 
 Compares the current run's ``ingest_batch`` records/s per shard count
 against the committed baseline and exits non-zero if any point regresses by
-more than ``--max-regression`` (default 25%).
+more than ``--max-regression`` (default 25%).  With ``--storage-current``,
+additionally gates the tiered-storage benchmark's cold-window query rate
+(deep ``window_isbs`` calls that fault pages back from disk, per backend
+and bound) the same way.
 
 Hardware normalization: raw records/s are incomparable across machines, so
 both documents carry a ``machine_score`` (a fixed CPU mini-workload timed at
@@ -30,6 +35,9 @@ from pathlib import Path
 
 _DEFAULT_BASELINE = (
     Path(__file__).parent / "baselines" / "BENCH_service_throughput.json"
+)
+_DEFAULT_STORAGE_BASELINE = (
+    Path(__file__).parent / "baselines" / "BENCH_storage.json"
 )
 
 
@@ -77,6 +85,49 @@ def compare(
     return lines
 
 
+def _cold_points(document: dict) -> dict[str, float]:
+    """``{"backend/bound": queries_per_s}`` for the cold-window entries."""
+    out: dict[str, float] = {}
+    for entry in document.get("entries", []):
+        if entry.get("op") == "cold_window" and entry.get("queries_per_s"):
+            key = f"{entry.get('backend')}/{entry.get('bound')}"
+            out[key] = float(entry["queries_per_s"])
+    return out
+
+
+def compare_storage(
+    baseline: dict, current: dict, max_regression: float
+) -> list[str]:
+    """Cold-window latency verdicts, same normalization as :func:`compare`."""
+    base_points = _cold_points(baseline)
+    cur_points = _cold_points(current)
+    if not base_points:
+        return ["FAIL storage baseline has no cold_window entries"]
+    if not cur_points:
+        return ["FAIL current storage document has no cold_window entries"]
+    base_score = float(baseline.get("machine_score") or 0.0)
+    cur_score = float(current.get("machine_score") or 0.0)
+    if base_score <= 0.0 or cur_score <= 0.0:
+        return ["FAIL machine_score missing; cannot normalize latency"]
+    lines = [
+        f"machine_score: baseline {base_score:.2f}, current {cur_score:.2f}"
+    ]
+    floor = 1.0 - max_regression
+    for key, base_qps in sorted(base_points.items()):
+        cur_qps = cur_points.get(key)
+        if cur_qps is None:
+            lines.append(f"FAIL {key}: missing from current run")
+            continue
+        ratio = (cur_qps / cur_score) / (base_qps / base_score)
+        verdict = "PASS" if ratio >= floor else "FAIL"
+        lines.append(
+            f"{verdict} {key}: {cur_qps:,.1f} cold queries/s "
+            f"(normalized {ratio:.2f}x of baseline {base_qps:,.1f}; "
+            f"floor {floor:.2f}x)"
+        )
+    return lines
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -86,6 +137,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--current", type=Path, required=True,
         help="freshly generated BENCH_service_throughput.json",
+    )
+    parser.add_argument(
+        "--storage-baseline", type=Path, default=_DEFAULT_STORAGE_BASELINE,
+        help="committed BENCH_storage.json baseline",
+    )
+    parser.add_argument(
+        "--storage-current", type=Path, default=None,
+        help="freshly generated BENCH_storage.json (enables the cold-query "
+        "latency gate)",
     )
     parser.add_argument(
         "--max-regression", type=float, default=0.25,
@@ -99,6 +159,16 @@ def main(argv: list[str] | None = None) -> int:
     print("perf smoke: ingest throughput vs committed baseline")
     for line in lines:
         print(" ", line)
+    if args.storage_current is not None:
+        storage_lines = compare_storage(
+            json.loads(args.storage_baseline.read_text()),
+            json.loads(args.storage_current.read_text()),
+            args.max_regression,
+        )
+        failed |= any(line.startswith("FAIL") for line in storage_lines)
+        print("perf smoke: cold-window query rate vs committed baseline")
+        for line in storage_lines:
+            print(" ", line)
     print("perf smoke:", "FAIL" if failed else "PASS")
     return 1 if failed else 0
 

@@ -243,6 +243,18 @@ def main() -> int:
     json_entries += snapshot_bench.json_entries(snap_rows, scale.name)
     print(f"  ({time.time() - t0:.1f}s)\n")
 
+    # Tiered storage: spill throughput, cold-window latency, bounded RSS.
+    import bench_storage as storage_bench
+
+    t0 = time.time()
+    storage_rows = storage_bench.storage_series()
+    print(storage_bench.render_storage_table(storage_rows))
+    checks = storage_bench.storage_checks(storage_rows)
+    print(render_shape_checks(checks))
+    all_ok &= all(ok for _, ok in checks)
+    json_entries += storage_bench.json_entries(storage_rows, scale.name)
+    print(f"  ({time.time() - t0:.1f}s)\n")
+
     # Verification: what the differential oracle costs to keep around.
     import bench_verify_overhead as verify_bench
 

@@ -9,7 +9,10 @@ Walks the paper's core ideas in order:
 4. build a regression cube between the two critical layers and query it
    through the declarative ``QuerySpec`` API (Sections 4.2-4.4);
 5. stream into a sharded cube, snapshot it mid-quarter, and restore —
-   durable, restartable state beyond the paper.
+   durable, restartable state beyond the paper;
+6. spill sealed history past a hot horizon to an on-disk cold store and
+   fault it back for a deep-history window — tiered storage, so resident
+   memory is bounded by the hot set, not by the stream's age.
 
 Run: ``python examples/quickstart.py``
 """
@@ -153,12 +156,61 @@ def step5_durability() -> None:
     restored.close()
 
 
+def step6_tiered_storage() -> None:
+    print("\n== 6. Tiered storage: spill sealed history, fault it back ==")
+    import random
+    import tempfile
+    from pathlib import Path
+
+    from repro import StreamRecord
+    from repro.storage import open_cold_store
+    from repro.stream.engine import StreamCubeEngine
+    from repro.stream.generator import DatasetSpec
+
+    layers = DatasetSpec(2, 2, 4, 1).build_layers()
+    store = open_cold_store(
+        Path(tempfile.mkdtemp()) / "cold", backend="file"
+    )
+    engine = StreamCubeEngine(
+        layers,
+        GlobalSlopeThreshold(0.1),
+        ticks_per_quarter=1,
+        storage=store,
+        hot_quarters=2,
+    )
+    rng = random.Random(5)
+    pool = [(rng.randrange(16), rng.randrange(16)) for _ in range(12)]
+    engine.ingest_many(
+        [
+            StreamRecord(key, q, rng.uniform(0, 3))
+            for q in range(480)
+            for key in pool
+        ]
+    )
+    engine.advance_to(480)  # 480 single-tick quarters = 2.5 tilt "days"
+    stats = engine.storage_stats()
+    print(
+        f"sealed 480 quarters: {stats['pages_spilled']} pages "
+        f"({stats['cold_slots']} slots) spilled to "
+        f"{stats['bytes_on_disk']:,} bytes on disk"
+    )
+    # The very first quarter left RAM long ago; the window faults its
+    # page back from the cold store transparently.
+    window = engine.window_isbs(0, 0)
+    print(
+        f"deep window [0,0]: {len(window)} cells answered with "
+        f"{engine.storage_stats()['cold_faults']} cold faults"
+    )
+    store.close()
+
+
 def main() -> None:
     step1_compress()
     step2_aggregate()
     step3_tilt_frame()
     step4_cube()
     step5_durability()
+    step6_tiered_storage()
 
 
 if __name__ == "__main__":

@@ -106,6 +106,7 @@ def build_service(args: argparse.Namespace):
     from pathlib import Path
 
     from repro.service import QueryRouter, ShardedStreamCube, StreamCubeService
+    from repro.storage import StorageConfig
     from repro.stream.generator import DatasetSpec
     from repro.stream.wal import QuarterWAL
 
@@ -140,6 +141,18 @@ def build_service(args: argparse.Namespace):
             "point --snapshot-dir somewhere else"
         )
 
+    storage_cfg = (
+        StorageConfig(
+            root=Path(args.storage_dir),
+            backend=args.storage_backend,
+            hot_quarters=(
+                args.hot_quarters if args.hot_quarters is not None else 4
+            ),
+        )
+        if args.storage_dir
+        else None
+    )
+
     app = {
         "dims": args.dims,
         "levels": args.levels,
@@ -170,12 +183,20 @@ def build_service(args: argparse.Namespace):
     policy = GlobalSlopeThreshold(app["threshold"])
 
     if args.restore and manifest is not None:
+        if manifest.get("storage") is not None and storage_cfg is None:
+            raise ServiceError(
+                "this snapshot was taken with tiered storage "
+                f"({manifest['storage']['backend']} backend); pass "
+                "--storage-dir pointing at its cold-store directory"
+            )
         cube = ShardedStreamCube.restore(
             args.restore,
             layers,
             policy,
             n_shards=args.shards,  # None keeps the snapshot's count
             wal=wal,
+            storage=storage_cfg,
+            hot_quarters=args.hot_quarters,
         )
     else:  # fresh cube — also the base of a journal-only recovery
         cube = ShardedStreamCube(
@@ -184,6 +205,7 @@ def build_service(args: argparse.Namespace):
             n_shards=args.shards if args.shards is not None else 4,
             ticks_per_quarter=args.ticks_per_quarter,
             wal=wal,
+            storage=storage_cfg,
         )
     if args.restore:
         replayed = 0
@@ -289,6 +311,20 @@ def main(argv: list[str] | None = None) -> int:
         default=0,
         help="TCP port (default 0: pick an ephemeral port)",
     )
+    soak_p.add_argument(
+        "--storage",
+        choices=("file", "sqlite"),
+        default=None,
+        help="also spill sealed history to a cold store of this backend "
+        "during the soak (default: no tiered storage)",
+    )
+    soak_p.add_argument(
+        "--hot-quarters",
+        type=int,
+        default=2,
+        metavar="K",
+        help="hot horizon for --storage runs (default 2)",
+    )
 
     serve_p = sub.add_parser(
         "serve", help="run the sharded stream-cube HTTP service"
@@ -357,6 +393,31 @@ def main(argv: list[str] | None = None) -> int:
         metavar="K",
         help="also snapshot automatically every K sealed quarters "
         "(default 0: only on shutdown and POST /admin/snapshot)",
+    )
+    serve_p.add_argument(
+        "--storage-dir",
+        metavar="DIR",
+        default=None,
+        help="tiered-storage root: sealed history past the hot horizon "
+        "spills to per-shard cold stores here, and deep-history queries "
+        "fault it back transparently (resident memory stays bounded by "
+        "the hot set)",
+    )
+    serve_p.add_argument(
+        "--storage-backend",
+        choices=("file", "sqlite"),
+        default="file",
+        help="cold-store backend (default file: append-only packed "
+        "columnar partitions)",
+    )
+    serve_p.add_argument(
+        "--hot-quarters",
+        type=int,
+        default=None,
+        metavar="K",
+        help="quarters of sealed history kept resident before spilling "
+        "(default 4; with --restore, defaults to the snapshot's setting); "
+        "needs --storage-dir",
     )
 
     args = parser.parse_args(argv if argv is not None else [])

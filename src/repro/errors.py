@@ -23,6 +23,7 @@ __all__ = [
     "StreamError",
     "QueryError",
     "ServiceError",
+    "StorageError",
 ]
 
 
@@ -94,3 +95,7 @@ class QueryError(ReproError):
 
 class ServiceError(ReproError):
     """The sharded service was mis-configured or received a bad request."""
+
+
+class StorageError(ReproError):
+    """A cold-store operation failed (corrupt page, missing segment...)."""

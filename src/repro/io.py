@@ -57,10 +57,14 @@ Values = tuple[Hashable, ...]
 
 _FORMAT_VERSION = 1
 
-#: Version tag of the state codecs (tilt frames, engine snapshots, WAL
-#: entries).  Bump when the payload shape changes; decoders reject unknown
-#: versions with a :class:`CodecError` instead of misreading them.
-STATE_VERSION = 1
+#: Version tag of the state codecs (tilt frames, engine snapshots, cube
+#: manifests).  Bump when the payload shape changes; decoders reject
+#: unknown versions with a :class:`CodecError` instead of misreading them.
+#: Version 2 packs per-cell ISB history as base64 float64 columns (the
+#: cold-page float codec) instead of JSON object arrays; version-1
+#: snapshots still load (the WAL keeps its own version, see
+#: :mod:`repro.stream.wal`).
+STATE_VERSION = 2
 
 _T = TypeVar("_T")
 
@@ -89,8 +93,16 @@ def decoding(codec: str, fn: Callable[[], _T]) -> _T:
         raise CodecError(f"{codec}: malformed payload ({exc})") from None
 
 
-def check_format(codec: str, payload: Any, fmt: str, version: int) -> None:
-    """Validate a document's ``format`` / ``version`` envelope."""
+def check_format(
+    codec: str, payload: Any, fmt: str, version: int | tuple[int, ...]
+) -> int:
+    """Validate a document's ``format`` / ``version`` envelope.
+
+    ``version`` may be a single supported version or a tuple of them (a
+    codec that still reads its older shape); the payload's accepted
+    version is returned so callers can dispatch decode paths on it.
+    """
+    versions = (version,) if isinstance(version, int) else tuple(version)
     if not isinstance(payload, Mapping):
         raise CodecError(
             f"{codec}: expected a JSON object, got {type(payload).__name__}"
@@ -100,11 +112,18 @@ def check_format(codec: str, payload: Any, fmt: str, version: int) -> None:
             f"{codec}: not a {fmt} payload "
             f"(format tag is {payload.get('format')!r})"
         )
-    if payload.get("version") != version:
-        raise CodecError(
-            f"{codec}: unsupported version {payload.get('version')!r} "
-            f"(this build reads version {version})"
+    got = payload.get("version")
+    if got not in versions:
+        readable = (
+            str(versions[0])
+            if len(versions) == 1
+            else " or ".join(str(v) for v in versions)
         )
+        raise CodecError(
+            f"{codec}: unsupported version {got!r} "
+            f"(this build reads version {readable})"
+        )
+    return int(got)
 
 
 def isb_to_dict(isb: ISB) -> dict[str, Any]:
@@ -187,7 +206,9 @@ def frame_from_dict(
     shared tuple so every restored cell frame keeps the identity-based
     alignment fast path (:meth:`TiltTimeFrame.aligned_with`).
     """
-    check_format("tilt_frame", payload, "repro-tilt-frame", STATE_VERSION)
+    # The frame payload's shape did not change between state versions 1
+    # and 2 (only the engine-state cell rows did), so both tags decode.
+    check_format("tilt_frame", payload, "repro-tilt-frame", (1, STATE_VERSION))
     decoded = tuple(
         tilt_level_from_dict(entry)
         for entry in decoding("tilt_frame", lambda: list(payload["levels"]))

@@ -12,6 +12,8 @@ Endpoints
 ``GET  /health``   liveness + shard/quarter/record counters
 ``GET  /stats``    router cache/batch counters + partition-balance statistics
                    + durability counters (snapshots written, WAL seq)
+                   + tiered-storage counters (cold pages, bytes on disk,
+                   spill/fault activity; ``null`` without ``--storage-dir``)
 ``POST /ingest``   ``{"records": [{"values": [...], "t": int, "z": float}]}``
 ``POST /advance``  ``{"t": int}`` — seal quiet quarters
 ``POST /admin/snapshot``  write a cube snapshot to the configured
@@ -176,6 +178,7 @@ class StreamCubeService:
             "router": self.router.stats(),
             "shard_cells": self.cube.shard_cells,
             "ticks_per_quarter": self.cube.ticks_per_quarter,
+            "storage": self.cube.storage_stats(),
             "durability": {
                 "snapshot_dir": (
                     str(self.snapshot_dir) if self.snapshot_dir else None
@@ -244,6 +247,9 @@ class StreamCubeService:
         manifest = self.cube.snapshot(self.snapshot_dir, extra=self.app_config)
         if self.cube.wal is not None:
             self.cube.wal.truncate_through(manifest["wal_seq"])
+        # Groom cold storage on the checkpoint cadence: superseded page
+        # versions and stale partition generations go when the journal does.
+        self.cube.compact_storage()
         self.snapshots_written += 1
         self._last_snapshot_quarter = self.cube.current_quarter
         return {

@@ -41,6 +41,11 @@ from repro.io import (
 )
 from repro.regression.isb import ISB
 from repro.service.merge import disjoint_union
+from repro.storage import (
+    StorageConfig,
+    open_shard_stores,
+    prune_stale_generations,
+)
 from repro.stream.engine import (
     Algorithm,
     KeyFn,
@@ -106,7 +111,11 @@ def _repartition_states(
     arithmetic happens at all — the re-partitioned cube is bit-identical by
     construction.  The lifetime record counter is a cube-level statistic
     whose per-shard split is meaningless after moving cells between shards;
-    the aggregate is preserved by assigning it to shard 0.
+    the aggregate is preserved by assigning it to shard 0.  Demoted spans
+    (``cold_spans``) are level-granular and identical on every aligned
+    shard, so they transfer to every new shard verbatim — the cold *pages*
+    are re-partitioned separately by
+    :func:`repro.storage.open_shard_stores`.
     """
     template = states[0]
     total_records = sum(state.records_ingested for state in states)
@@ -123,6 +132,7 @@ def _repartition_states(
             zero_frame=template.zero_frame.clone(),
             cells=cells[i],
             wal_seq=max(state.wal_seq for state in states),
+            cold_spans=template.cold_spans,
         )
         for i in range(new_n)
     ]
@@ -146,6 +156,17 @@ class ShardedStreamCube:
         advances).  Shards never journal individually — replaying the cube
         journal through :meth:`ingest_batch` re-routes every record to the
         same owner shard, so one log covers the whole cube.
+    storage:
+        Optional :class:`~repro.storage.StorageConfig`.  When given, each
+        shard engine gets its own cold store under ``storage.root`` (one
+        generation-tagged partition set per shard count — opening an
+        existing set written under a *different* shard count re-partitions
+        the cold pages, so resharding carries deep history along), sealed
+        history past ``storage.hot_quarters`` spills to disk, and deep
+        windows fault it back transparently.
+    hot_quarters:
+        Overrides ``storage.hot_quarters`` when given (the config default
+        serves the common case).  Ignored without ``storage``.
 
     The cube is not safe for *concurrent callers* — the HTTP layer
     serializes access — but each call fans out across shards in parallel.
@@ -164,6 +185,8 @@ class ShardedStreamCube:
         frame_levels: Iterable[TiltLevelSpec] | None = None,
         max_workers: int | None = None,
         wal: QuarterWAL | None = None,
+        storage: StorageConfig | None = None,
+        hot_quarters: int | None = None,
     ) -> None:
         if n_shards < 1:
             raise ServiceError(f"n_shards must be >= 1, got {n_shards}")
@@ -176,6 +199,18 @@ class ShardedStreamCube:
         )
         self.ticks_per_quarter = ticks_per_quarter
         levels = list(frame_levels) if frame_levels is not None else None
+        self._storage_config = storage
+        self._storage_generation = 0
+        self._stores = None
+        self.hot_quarters = (
+            hot_quarters
+            if hot_quarters is not None
+            else (storage.hot_quarters if storage is not None else None)
+        )
+        if storage is not None:
+            self._storage_generation, self._stores = open_shard_stores(
+                storage, n_shards, stable_shard_index
+            )
         self.shards = [
             StreamCubeEngine(
                 layers,
@@ -183,8 +218,10 @@ class ShardedStreamCube:
                 key_fn=key_fn,
                 ticks_per_quarter=ticks_per_quarter,
                 frame_levels=levels,
+                storage=self._stores[i] if self._stores else None,
+                hot_quarters=self.hot_quarters,
             )
-            for _ in range(n_shards)
+            for i in range(n_shards)
         ]
         self._pool = ThreadPoolExecutor(
             max_workers=max_workers if max_workers is not None else n_shards,
@@ -197,6 +234,9 @@ class ShardedStreamCube:
     # ------------------------------------------------------------------
     def close(self) -> None:
         self._pool.shutdown(wait=True)
+        if self._stores is not None:
+            for store in self._stores:
+                store.close()
 
     def __enter__(self) -> "ShardedStreamCube":
         return self
@@ -232,6 +272,63 @@ class ShardedStreamCube:
     def shard_index(self, values: Values) -> int:
         """The shard owning an m-layer key."""
         return stable_shard_index(tuple(values), len(self.shards))
+
+    def storage_stats(self) -> dict[str, Any] | None:
+        """The cube's tiered-storage picture, or ``None`` without storage.
+
+        Aggregates the per-shard engine counters (pages, rows, bytes on
+        disk, spill/fault activity) and names the backend, partition-set
+        generation and hot horizon — the ``/stats`` endpoint's ``storage``
+        block.
+        """
+        if self._storage_config is None:
+            return None
+        per_shard = self._map_shards(
+            lambda shard, _: shard.storage_stats(), self.shards
+        )
+        totals = {
+            key: sum(stats[key] for stats in per_shard)
+            for key in (
+                "pages",
+                "rows",
+                "bytes_on_disk",
+                "puts",
+                "gets",
+                "hot_cells",
+                "cold_slots",
+                "pages_spilled",
+                "cold_faults",
+            )
+        }
+        totals.update(
+            backend=self._storage_config.backend,
+            generation=self._storage_generation,
+            hot_quarters=self.hot_quarters,
+            shards=per_shard,
+        )
+        return totals
+
+    def compact_storage(self) -> int:
+        """Compact every shard's cold store; returns total bytes reclaimed.
+
+        Rewrites file partitions around superseded pages (or VACUUMs the
+        sqlite stores) and removes partition sets left behind by earlier
+        shard counts — safe here because this cube's generation is the
+        newest by construction.  The periodic-checkpoint path calls this
+        after each WAL truncation, so cold storage is groomed on the same
+        cadence as the journal.
+        """
+        if self._stores is None:
+            return 0
+        freed = sum(
+            self._map_shards(
+                lambda shard, _: shard.compact_storage(), self.shards
+            )
+        )
+        prune_stale_generations(
+            self._storage_config, self._storage_generation
+        )
+        return freed
 
     # ------------------------------------------------------------------
     # Ingestion
@@ -462,6 +559,15 @@ class ShardedStreamCube:
             "wal_seq": wal_seq,
             "shards": names,
         }
+        if self._storage_config is not None:
+            # The cold pages themselves live in the storage root, not the
+            # snapshot directory; the manifest records how to reopen them.
+            manifest["storage"] = {
+                "backend": self._storage_config.backend,
+                "hot_quarters": self.hot_quarters,
+                "generation": self._storage_generation,
+                "n_shards": len(self.shards),
+            }
         if extra:
             manifest["app"] = dict(extra)
         _write_atomic(target / _MANIFEST, json.dumps(manifest, indent=1))
@@ -478,7 +584,10 @@ class ShardedStreamCube:
         if not path.exists():
             raise CodecError(f"snapshot: no {_MANIFEST} in {directory}")
         payload = decoding("snapshot", lambda: json.loads(path.read_text()))
-        check_format("snapshot", payload, _SNAPSHOT_FORMAT, STATE_VERSION)
+        # (1, 2): manifests written before tiered storage still restore.
+        check_format(
+            "snapshot", payload, _SNAPSHOT_FORMAT, (1, STATE_VERSION)
+        )
         return payload
 
     @classmethod
@@ -491,6 +600,8 @@ class ShardedStreamCube:
         n_shards: int | None = None,
         max_workers: int | None = None,
         wal: QuarterWAL | None = None,
+        storage: StorageConfig | None = None,
+        hot_quarters: int | None = None,
     ) -> "ShardedStreamCube":
         """Rebuild a cube from a snapshot directory.
 
@@ -499,12 +610,21 @@ class ShardedStreamCube:
         against the schema on load).  ``n_shards`` defaults to the
         snapshot's shard count; passing a *different* count re-partitions
         every cell with :func:`stable_shard_index` during the load — online
-        resharding is just a restore with a new count.  Follow with
-        ``wal.replay(cube, after_seq=manifest["wal_seq"])`` to recover an
-        interrupted run (the serving CLI does this for you).
+        resharding is just a restore with a new count.  A snapshot taken
+        with tiered storage needs ``storage`` pointing at the same cold
+        root (``hot_quarters`` defaults to the snapshot's setting); the
+        shard-count change case re-partitions the cold pages on open.
+        Follow with ``wal.replay(cube, after_seq=manifest["wal_seq"])`` to
+        recover an interrupted run (the serving CLI does this for you).
         """
         target = Path(directory)
         manifest = cls.read_manifest(target)
+        if hot_quarters is None and storage is not None:
+            recorded = manifest.get("storage")
+            if recorded is not None:
+                hot_quarters = decoding(
+                    "snapshot", lambda: int(recorded["hot_quarters"])
+                )
 
         def load(name: str) -> EngineState:
             path = target / name
@@ -535,6 +655,8 @@ class ShardedStreamCube:
             n_shards=n_shards,
             max_workers=max_workers,
             wal=wal,
+            storage=storage,
+            hot_quarters=hot_quarters,
         )
 
     def reshard(
@@ -547,9 +669,12 @@ class ShardedStreamCube:
         re-partitioned with :func:`stable_shard_index` over the new count,
         so the resharded cube's ``window_isbs`` / ``refresh`` / exception
         sets are bit-identical to this cube's and ingestion continues
-        seamlessly mid-quarter.  This cube is left untouched (close it when
-        the cut-over is done); the returned cube shares no mutable state
-        with it.
+        seamlessly mid-quarter.  With tiered storage, the new cube reuses
+        this cube's storage root: opening it under the new shard count
+        re-partitions the cold pages into a fresh generation, so demoted
+        history moves with the cells.  This cube is left untouched (close
+        it when the cut-over is done); the returned cube shares no mutable
+        state with it.
         """
         states = self._map_shards(
             lambda shard, _: shard.snapshot(), self.shards
@@ -562,6 +687,8 @@ class ShardedStreamCube:
             n_shards=new_n,
             max_workers=max_workers,
             wal=None,
+            storage=self._storage_config,
+            hot_quarters=self.hot_quarters,
         )
 
     @classmethod
@@ -574,6 +701,8 @@ class ShardedStreamCube:
         n_shards: int | None,
         max_workers: int | None,
         wal: QuarterWAL | None,
+        storage: StorageConfig | None = None,
+        hot_quarters: int | None = None,
     ) -> "ShardedStreamCube":
         """Build a cube from per-shard engine states, re-partitioning when
         the target shard count differs from ``len(states)``."""
@@ -590,6 +719,11 @@ class ShardedStreamCube:
                     "shard states disagree on ticks_per_quarter / quarter "
                     "clock; snapshot is not from one aligned cube"
                 )
+            if state.cold_spans != states[0].cold_spans:
+                raise ServiceError(
+                    "shard states disagree on demoted (cold) spans; "
+                    "snapshot is not from one aligned cube"
+                )
         target_n = len(states) if n_shards is None else n_shards
         if target_n < 1:
             raise ServiceError(f"n_shards must be >= 1, got {target_n}")
@@ -604,6 +738,8 @@ class ShardedStreamCube:
             frame_levels=states[0].frame_levels,
             max_workers=max_workers,
             wal=wal,
+            storage=storage,
+            hot_quarters=hot_quarters,
         )
         cube._map_shards(
             lambda shard, state: shard.load_state(state), states

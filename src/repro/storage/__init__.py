@@ -1,0 +1,57 @@
+"""Tiered storage: pluggable cold stores for sealed ISB history.
+
+The tilt time frame keeps every sealed slot of every cell resident, which
+the paper's own arithmetic says is the wrong default at scale — sealed
+history dominates storage while queries overwhelmingly touch the recent
+hot set.  This package splits the two tiers: hot state (the unsealed
+quarter plus the most recent tilt slots) stays in RAM; everything older is
+*demoted* into a :class:`~repro.storage.base.ColdStore` as packed columnar
+pages (:class:`~repro.storage.pages.ColdPage`) and faulted back
+transparently when a deep-history window needs it.
+
+Layout of the package:
+
+* :mod:`repro.storage.pages` — the checksummed binary page codec shared by
+  every backend (one page per ``(level, interval)``, all cells' rows).
+* :mod:`repro.storage.base` — the backend interface (``put_segment`` /
+  ``get_segment`` / ``scan`` / ``stats`` / ``compact``) and the factory.
+* :mod:`repro.storage.files` — append-only partitioned ``.seg`` files,
+  mmap reads, latest-occurrence-wins compaction.
+* :mod:`repro.storage.sqlite_store` — the same pages as blobs in a
+  single-file sqlite database (stdlib ``sqlite3``; no new dependency).
+* :mod:`repro.storage.spill` — the :class:`~repro.storage.spill.ColdIndex`
+  span bookkeeping and the demotion-cutoff arithmetic the engine uses.
+* :mod:`repro.storage.layout` — per-shard store sets with generation
+  tags, so a k→j reshard repartitions cold pages without disturbing the
+  generation a live cube is still reading.
+"""
+
+from repro.storage.base import ColdStore, StoreStats, open_cold_store
+from repro.storage.files import FileColdStore
+from repro.storage.layout import (
+    StorageConfig,
+    open_shard_stores,
+    prune_stale_generations,
+    shard_store_path,
+)
+from repro.storage.pages import PAGE_VERSION, ColdPage, pack_f64, unpack_f64
+from repro.storage.spill import ColdIndex, demotion_cutoffs
+from repro.storage.sqlite_store import SqliteColdStore
+
+__all__ = [
+    "PAGE_VERSION",
+    "ColdPage",
+    "ColdStore",
+    "StoreStats",
+    "open_cold_store",
+    "FileColdStore",
+    "SqliteColdStore",
+    "ColdIndex",
+    "demotion_cutoffs",
+    "StorageConfig",
+    "open_shard_stores",
+    "prune_stale_generations",
+    "shard_store_path",
+    "pack_f64",
+    "unpack_f64",
+]

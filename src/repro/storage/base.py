@@ -1,0 +1,111 @@
+"""The cold-store backend interface and factory.
+
+A :class:`ColdStore` is a durable map from ``(level, t_b, t_e)`` to one
+:class:`~repro.storage.pages.ColdPage`.  The contract every backend obeys:
+
+* ``put_segment`` is **idempotent by key**: re-putting the same interval —
+  the crash-recovery path re-derives pages deterministically from the WAL —
+  must leave the store answering with the latest page, never erroring.
+* ``get_segment`` raises :class:`~repro.errors.StorageError` for a missing
+  key; the engine treats that as corruption, not as "no data" (the
+  :class:`~repro.storage.spill.ColdIndex` knows exactly what was demoted).
+* ``scan`` lists every stored key in sorted order — what reshard
+  repartitioning iterates.
+* ``compact`` reclaims space held by superseded or deleted rows and
+  returns the bytes freed; correctness never depends on calling it.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.errors import StorageError
+from repro.storage.pages import ColdPage
+
+__all__ = ["ColdStore", "StoreStats", "open_cold_store"]
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """A point-in-time summary of one cold store.
+
+    ``pages``/``rows`` count live (latest-occurrence) pages; ``puts`` and
+    ``gets`` are lifetime operation counters of this store *instance* —
+    they reset on reopen, which is what the ``/stats`` block wants (spill
+    and fault-in activity of the running process, not of all history).
+    """
+
+    backend: str
+    pages: int
+    rows: int
+    bytes_on_disk: int
+    puts: int
+    gets: int
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "backend": self.backend,
+            "pages": self.pages,
+            "rows": self.rows,
+            "bytes_on_disk": self.bytes_on_disk,
+            "puts": self.puts,
+            "gets": self.gets,
+        }
+
+
+class ColdStore(abc.ABC):
+    """Abstract cold store; see the module docstring for the contract."""
+
+    backend = "abstract"
+
+    @abc.abstractmethod
+    def put_segment(self, page: ColdPage) -> None:
+        """Durably store ``page`` under its ``(level, t_b, t_e)`` key."""
+
+    @abc.abstractmethod
+    def get_segment(self, level: int, t_b: int, t_e: int) -> ColdPage:
+        """The stored page for a key; :class:`StorageError` if absent."""
+
+    @abc.abstractmethod
+    def scan(self) -> list[tuple[int, int, int]]:
+        """Every stored ``(level, t_b, t_e)`` key, sorted."""
+
+    @abc.abstractmethod
+    def stats(self) -> StoreStats:
+        """Current :class:`StoreStats` for this store."""
+
+    @abc.abstractmethod
+    def compact(self) -> int:
+        """Reclaim superseded space; returns bytes freed (may be 0)."""
+
+    def close(self) -> None:
+        """Release any held resources (default: nothing to release)."""
+
+    def __enter__(self) -> "ColdStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def open_cold_store(path: str | Path, backend: str = "file") -> ColdStore:
+    """Open (creating if needed) a cold store of the named backend.
+
+    ``"file"`` expects/creates a directory of partitioned ``.seg`` files;
+    ``"sqlite"`` a single database file.  Imports are function-local so the
+    two backends stay independently importable.
+    """
+    if backend == "file":
+        from repro.storage.files import FileColdStore
+
+        return FileColdStore(path)
+    if backend == "sqlite":
+        from repro.storage.sqlite_store import SqliteColdStore
+
+        return SqliteColdStore(path)
+    raise StorageError(
+        f"unknown cold-store backend {backend!r} (expected 'file' or 'sqlite')"
+    )

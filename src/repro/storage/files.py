@@ -1,0 +1,181 @@
+"""Append-only partitioned file backend for cold pages.
+
+One directory per store; inside it, one segment file per ``(level, slot
+bucket)`` partition, named ``L{level:02d}-{bucket:06d}.seg`` where
+``bucket = t_b // partition_ticks``.  Appends are length-prefixed encoded
+pages; nothing is ever rewritten in place, so a crash can only tear the
+*tail* of one file, which the open-time scan truncates (the torn page was
+never acknowledged and is re-derivable from the WAL).
+
+Reads go through ``mmap``: the page's bytes are sliced straight out of the
+mapping (then materialized, so the mapping closes immediately) and decoded
+with ``frombuffer`` on the numpy path — no seek/read shuffle, no partial
+parses.
+
+Re-putting an existing key appends a new occurrence; the in-memory index
+keeps the **latest** occurrence per key, and :meth:`FileColdStore.compact`
+rewrites each partition keeping only live occurrences (temp file +
+``os.replace``, crash-safe).
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+import struct
+from pathlib import Path
+
+from repro.errors import StorageError
+from repro.storage.base import ColdStore, StoreStats
+from repro.storage.pages import PAGE_HEADER_BYTES, ColdPage, read_page_header
+
+__all__ = ["FileColdStore"]
+
+_LEN = struct.Struct("<I")
+
+#: Default ticks per partition file: one bucket per 4096 base ticks keeps
+#: file counts low for hot workloads without ever mapping giant files.
+DEFAULT_PARTITION_TICKS = 4096
+
+# (path, offset-of-page-bytes, page-length, n_rows) per live key.
+_Entry = tuple[Path, int, int, int]
+
+
+class FileColdStore(ColdStore):
+    """See the module docstring; ``root`` is created if absent."""
+
+    backend = "file"
+
+    def __init__(
+        self,
+        root: str | Path,
+        partition_ticks: int = DEFAULT_PARTITION_TICKS,
+    ) -> None:
+        if partition_ticks < 1:
+            raise StorageError("partition_ticks must be >= 1")
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.partition_ticks = partition_ticks
+        self._index: dict[tuple[int, int, int], _Entry] = {}
+        self._puts = 0
+        self._gets = 0
+        for path in sorted(self.root.glob("L*.seg")):
+            self._scan_file(path)
+
+    # ------------------------------------------------------------------
+    # Layout
+    # ------------------------------------------------------------------
+    def _partition_path(self, level: int, t_b: int) -> Path:
+        bucket = t_b // self.partition_ticks
+        return self.root / f"L{level:02d}-{bucket:06d}.seg"
+
+    def _scan_file(self, path: Path) -> None:
+        """Index one segment file by headers; truncate a torn tail."""
+        data = path.read_bytes()
+        offset = 0
+        good = 0
+        while offset < len(data):
+            if offset + _LEN.size > len(data):
+                break  # torn length prefix
+            (length,) = _LEN.unpack_from(data, offset)
+            start = offset + _LEN.size
+            if start + length > len(data) or length < PAGE_HEADER_BYTES:
+                break  # torn page bytes
+            try:
+                level, t_b, t_e, n_rows, keys_len, _, _, _ = read_page_header(
+                    memoryview(data)[start : start + PAGE_HEADER_BYTES]
+                )
+            except StorageError:
+                break  # header of a torn/garbled append
+            if length != PAGE_HEADER_BYTES + keys_len + 16 * n_rows:
+                break  # length prefix disagrees with the header: torn
+            self._index[(level, t_b, t_e)] = (path, start, length, n_rows)
+            offset = start + length
+            good = offset
+        if good < len(data):
+            # Anything after the last whole page was a torn append that was
+            # never acknowledged; drop it so future appends start clean.
+            with open(path, "r+b") as fh:
+                fh.truncate(good)
+
+    # ------------------------------------------------------------------
+    # ColdStore interface
+    # ------------------------------------------------------------------
+    def put_segment(self, page: ColdPage) -> None:
+        blob = page.encode()
+        path = self._partition_path(page.level, page.t_b)
+        with open(path, "ab") as fh:
+            offset = fh.tell()
+            fh.write(_LEN.pack(len(blob)))
+            fh.write(blob)
+            fh.flush()
+        self._index[(page.level, page.t_b, page.t_e)] = (
+            path,
+            offset + _LEN.size,
+            len(blob),
+            page.n_rows,
+        )
+        self._puts += 1
+
+    def get_segment(self, level: int, t_b: int, t_e: int) -> ColdPage:
+        entry = self._index.get((level, t_b, t_e))
+        if entry is None:
+            raise StorageError(
+                f"cold store {self.root} has no page for level {level} "
+                f"[{t_b},{t_e}]"
+            )
+        path, offset, length, _ = entry
+        with open(path, "rb") as fh:
+            with mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ) as mm:
+                data = bytes(mm[offset : offset + length])
+        self._gets += 1
+        return ColdPage.decode(data)
+
+    def scan(self) -> list[tuple[int, int, int]]:
+        return sorted(self._index)
+
+    def stats(self) -> StoreStats:
+        on_disk = sum(
+            p.stat().st_size for p in self.root.glob("L*.seg")
+        )
+        return StoreStats(
+            backend=self.backend,
+            pages=len(self._index),
+            rows=sum(entry[3] for entry in self._index.values()),
+            bytes_on_disk=on_disk,
+            puts=self._puts,
+            gets=self._gets,
+        )
+
+    def compact(self) -> int:
+        """Drop superseded occurrences by rewriting each partition file."""
+        by_path: dict[Path, list[tuple[tuple[int, int, int], _Entry]]] = {}
+        for key, entry in self._index.items():
+            by_path.setdefault(entry[0], []).append((key, entry))
+        reclaimed = 0
+        for path in sorted(self.root.glob("L*.seg")):
+            live = sorted(by_path.get(path, ()), key=lambda kv: kv[1][1])
+            old = path.read_bytes()
+            new_entries: list[tuple[tuple[int, int, int], int, int, int]] = []
+            chunks: list[bytes] = []
+            offset = 0
+            for key, (_, start, length, n_rows) in live:
+                chunks.append(_LEN.pack(length))
+                chunks.append(old[start : start + length])
+                new_entries.append((key, offset + _LEN.size, length, n_rows))
+                offset += _LEN.size + length
+            if offset == len(old):
+                continue  # nothing superseded in this file
+            reclaimed += len(old) - offset
+            if not live:
+                path.unlink()
+                continue
+            tmp = path.with_suffix(".seg.tmp")
+            with open(tmp, "wb") as fh:
+                fh.write(b"".join(chunks))
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+            for key, start, length, n_rows in new_entries:
+                self._index[key] = (path, start, length, n_rows)
+        return reclaimed

@@ -1,0 +1,264 @@
+"""Per-shard cold store sets with generation tags.
+
+A sharded cube needs one cold store per shard, and a k→j reshard needs the
+cold pages repartitioned — without disturbing the generation a still-live
+cube may be reading.  The layout under one storage root::
+
+    root/
+      g0001.ok                        # marker: {"generation", "n_shards", "backend"}
+      g0001-shard-00-of-03/           # file backend: a directory of .seg files
+      g0001-shard-01-of-03/
+      g0001-shard-02-of-03/
+      g0002.ok
+      g0002-shard-00-of-05.sqlite     # sqlite backend: one db file per shard
+      ...
+
+:func:`open_shard_stores` opens the newest complete generation when its
+shard count matches, and otherwise *repartitions* it into a fresh
+generation: every page key in the union of the old stores is re-split row
+by row with the caller's ``shard_key`` (the same stable hash the cube
+routes records with), empty pages included — a shard with no rows for an
+interval still needs the zero row for late-born cells.  The marker file is
+written only after every new store is populated, so a crash mid-reshard
+leaves the old generation authoritative and the partial one inert.
+
+Old generations are never pruned at open (a live cube may hold them);
+:func:`prune_stale_generations` runs from the checkpoint/compaction path.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import shutil
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Hashable
+
+from repro.errors import StorageError
+from repro.storage.base import ColdStore, open_cold_store
+from repro.storage.pages import ColdPage
+
+__all__ = [
+    "StorageConfig",
+    "open_shard_stores",
+    "prune_stale_generations",
+    "shard_store_path",
+]
+
+Values = tuple[Hashable, ...]
+ShardKey = Callable[[Values, int], int]
+
+_MARKER_RE = re.compile(r"^g(\d{4})\.ok$")
+
+
+@dataclass(frozen=True)
+class StorageConfig:
+    """Tiered-storage configuration of one sharded cube (or ``serve``).
+
+    ``root`` holds every generation of per-shard stores; ``backend`` is
+    ``"file"`` or ``"sqlite"``; ``hot_quarters`` is the hot horizon each
+    shard engine keeps resident before demoting sealed slots.
+    """
+
+    root: str | Path
+    backend: str = "file"
+    hot_quarters: int = 4
+
+    def __post_init__(self) -> None:
+        if self.backend not in ("file", "sqlite"):
+            raise StorageError(
+                f"unknown storage backend {self.backend!r} "
+                "(expected 'file' or 'sqlite')"
+            )
+        if self.hot_quarters < 1:
+            raise StorageError("hot_quarters must be >= 1")
+
+
+def shard_store_path(
+    root: str | Path, generation: int, shard: int, n_shards: int, backend: str
+) -> Path:
+    """The store path of one shard in one generation."""
+    name = f"g{generation:04d}-shard-{shard:02d}-of-{n_shards:02d}"
+    if backend == "sqlite":
+        name += ".sqlite"
+    return Path(root) / name
+
+
+def _marker_path(root: Path, generation: int) -> Path:
+    return root / f"g{generation:04d}.ok"
+
+
+def _read_generations(root: Path) -> list[dict]:
+    """Complete generations under ``root``, oldest first."""
+    out = []
+    for path in sorted(root.iterdir()) if root.exists() else []:
+        match = _MARKER_RE.match(path.name)
+        if not match:
+            continue
+        try:
+            meta = json.loads(path.read_text(encoding="utf-8"))
+            meta = {
+                "generation": int(meta["generation"]),
+                "n_shards": int(meta["n_shards"]),
+                "backend": str(meta["backend"]),
+            }
+        except (ValueError, KeyError, TypeError) as exc:
+            raise StorageError(
+                f"storage marker {path} is malformed ({exc})"
+            ) from None
+        if meta["generation"] != int(match.group(1)):
+            raise StorageError(
+                f"storage marker {path} disagrees with its own name"
+            )
+        out.append(meta)
+    return sorted(out, key=lambda m: m["generation"])
+
+
+def _write_marker(root: Path, generation: int, n_shards: int, backend: str) -> None:
+    path = _marker_path(root, generation)
+    tmp = path.with_suffix(".ok.tmp")
+    tmp.write_text(
+        json.dumps(
+            {
+                "generation": generation,
+                "n_shards": n_shards,
+                "backend": backend,
+            }
+        ),
+        encoding="utf-8",
+    )
+    os.replace(tmp, path)
+
+
+def _open_generation(
+    config: StorageConfig, generation: int, n_shards: int
+) -> list[ColdStore]:
+    return [
+        open_cold_store(
+            shard_store_path(
+                config.root, generation, i, n_shards, config.backend
+            ),
+            backend=config.backend,
+        )
+        for i in range(n_shards)
+    ]
+
+
+def open_shard_stores(
+    config: StorageConfig,
+    n_shards: int,
+    shard_key: ShardKey,
+) -> tuple[int, list[ColdStore]]:
+    """Open (creating or repartitioning as needed) ``n_shards`` cold stores.
+
+    Returns ``(generation, stores)``.  ``shard_key(values, n_shards)`` must
+    be the same stable routing the cube applies to records — repartitioned
+    rows land on the shard that will seal that cell's future quarters.
+    """
+    if n_shards < 1:
+        raise StorageError("n_shards must be >= 1")
+    root = Path(config.root)
+    root.mkdir(parents=True, exist_ok=True)
+    generations = _read_generations(root)
+    if not generations:
+        stores = _open_generation(config, 1, n_shards)
+        _write_marker(root, 1, n_shards, config.backend)
+        return 1, stores
+    newest = generations[-1]
+    if newest["backend"] != config.backend:
+        raise StorageError(
+            f"storage root {root} holds {newest['backend']!r} stores; "
+            f"configured backend is {config.backend!r}"
+        )
+    if newest["n_shards"] == n_shards:
+        return newest["generation"], _open_generation(
+            config, newest["generation"], n_shards
+        )
+    return _repartition(config, newest, n_shards, shard_key)
+
+
+def _repartition(
+    config: StorageConfig,
+    newest: dict,
+    n_shards: int,
+    shard_key: ShardKey,
+) -> tuple[int, list[ColdStore]]:
+    """Split the newest generation's pages row-by-row into a fresh one."""
+    root = Path(config.root)
+    old_stores = _open_generation(config, newest["generation"], newest["n_shards"])
+    generation = newest["generation"] + 1
+    try:
+        new_stores = _open_generation(config, generation, n_shards)
+        keys: set[tuple[int, int, int]] = set()
+        for store in old_stores:
+            keys.update(store.scan())
+        for level, t_b, t_e in sorted(keys):
+            pages = []
+            for store in old_stores:
+                try:
+                    pages.append(store.get_segment(level, t_b, t_e))
+                except StorageError:
+                    continue  # that shard held no rows for this interval
+            if not pages:  # pragma: no cover - scan/get raced nothing here
+                continue
+            zero = pages[0]
+            split: list[tuple[list[Values], list[float], list[float]]] = [
+                ([], [], []) for _ in range(n_shards)
+            ]
+            for page in pages:
+                for key, base, slope in zip(page.keys, page.base, page.slope):
+                    j = shard_key(key, n_shards)
+                    split[j][0].append(key)
+                    split[j][1].append(base)
+                    split[j][2].append(slope)
+            for j, (skeys, sbase, sslope) in enumerate(split):
+                # Empty pages are still written: a shard with no rows for
+                # this interval still answers late-born cells' fault-ins
+                # with the zero row.
+                new_stores[j].put_segment(
+                    ColdPage(
+                        level,
+                        t_b,
+                        t_e,
+                        skeys,
+                        sbase,
+                        sslope,
+                        zero_base=zero.zero_base,
+                        zero_slope=zero.zero_slope,
+                    )
+                )
+    finally:
+        for store in old_stores:
+            store.close()
+    _write_marker(root, generation, n_shards, config.backend)
+    return generation, new_stores
+
+
+def prune_stale_generations(
+    config: StorageConfig, keep_generation: int
+) -> int:
+    """Delete every generation older than ``keep_generation``.
+
+    Only the checkpoint path calls this (after a successful snapshot +
+    compaction), when no live cube can still be reading the old sets.
+    Returns the number of generations removed.
+    """
+    root = Path(config.root)
+    removed = 0
+    for meta in _read_generations(root):
+        generation = meta["generation"]
+        if generation >= keep_generation:
+            continue
+        for i in range(meta["n_shards"]):
+            path = shard_store_path(
+                root, generation, i, meta["n_shards"], meta["backend"]
+            )
+            if path.is_dir():
+                shutil.rmtree(path)
+            elif path.exists():
+                path.unlink()
+        _marker_path(root, generation).unlink()
+        removed += 1
+    return removed

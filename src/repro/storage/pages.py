@@ -1,0 +1,272 @@
+"""The packed columnar page codec shared by every cold-store backend.
+
+One :class:`ColdPage` holds every cell's sealed ISB for one tilt-frame
+``(level, [t_b, t_e])`` slot — a struct-of-arrays twin of
+:class:`~repro.regression.kernels.ISBColumns` frozen to disk.  Because all
+of an engine's frames advance in lockstep on one quarter grid, a demoted
+slot has the *same* interval in every cell, so the interval is stored once
+in the header and the body is just the cell keys plus two float64 columns.
+
+Binary layout (little-endian)::
+
+    header  "<4sHHqqIIIdd"                               52 bytes
+            magic b"RCP1", version, level,
+            t_b, t_e, n_rows, keys_len, crc32(body),
+            zero_base, zero_slope
+    body    keys: compact JSON array of key arrays      keys_len bytes
+            base:  n_rows float64                        8 * n_rows
+            slope: n_rows float64                        8 * n_rows
+
+The embedded zero row is the engine's zero prototype's exact ISB for the
+interval: a key missing from the page decodes to that row, which is
+bit-identical to the zero-backfill a late-born cell's cloned frame would
+have held.  The checksum covers the body; a corrupt page raises
+:class:`~repro.errors.StorageError` instead of decoding garbage.
+
+Floats travel as raw IEEE-754 doubles (``numpy`` ``tobytes`` /
+``frombuffer`` when available, ``struct`` otherwise — the two produce the
+same bytes), so pages round-trip bit for bit on either path.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from typing import Hashable, Sequence
+
+from repro.errors import StorageError
+from repro.regression import kernels
+from repro.regression.isb import ISB
+
+if kernels.HAVE_NUMPY:
+    import numpy as np
+
+__all__ = [
+    "PAGE_VERSION",
+    "PAGE_HEADER_BYTES",
+    "ColdPage",
+    "read_page_header",
+    "pack_f64",
+    "unpack_f64",
+]
+
+Values = tuple[Hashable, ...]
+
+#: Bump when the page layout changes; decoders reject unknown versions.
+PAGE_VERSION = 1
+
+_MAGIC = b"RCP1"
+_HEADER = struct.Struct("<4sHHqqIIIdd")
+
+#: Size of the fixed page header in bytes.
+PAGE_HEADER_BYTES = _HEADER.size
+
+
+def pack_f64(values: Sequence[float]) -> bytes:
+    """Raw little-endian IEEE-754 doubles (bit-exact, both codec paths)."""
+    if kernels.HAVE_NUMPY:
+        return np.asarray(values, dtype="<f8").tobytes()
+    return struct.pack(f"<{len(values)}d", *values)
+
+
+def unpack_f64(buf: bytes, count: int, offset: int = 0) -> tuple[float, ...]:
+    """Inverse of :func:`pack_f64` (reads ``count`` doubles at ``offset``)."""
+    if kernels.HAVE_NUMPY:
+        return tuple(
+            np.frombuffer(buf, dtype="<f8", count=count, offset=offset).tolist()
+        )
+    return struct.unpack_from(f"<{count}d", buf, offset)
+
+
+def _encode_keys(keys: Sequence[Values]) -> bytes:
+    return json.dumps(
+        [list(key) for key in keys], separators=(",", ":")
+    ).encode("utf-8")
+
+
+class ColdPage:
+    """One demoted tilt slot across all cells, ready to freeze or query.
+
+    ``keys[i]``'s sealed ISB over ``[t_b, t_e]`` is
+    ``ISB(t_b, t_e, base[i], slope[i])``; a key not in the page maps to the
+    zero row (see the module docstring).  Instances are value objects — the
+    engine caches decoded pages and shares them freely.
+    """
+
+    __slots__ = (
+        "level",
+        "t_b",
+        "t_e",
+        "keys",
+        "base",
+        "slope",
+        "zero_base",
+        "zero_slope",
+        "_row_of",
+    )
+
+    def __init__(
+        self,
+        level: int,
+        t_b: int,
+        t_e: int,
+        keys: Sequence[Values],
+        base: Sequence[float],
+        slope: Sequence[float],
+        zero_base: float = 0.0,
+        zero_slope: float = 0.0,
+    ) -> None:
+        if t_b > t_e:
+            raise StorageError(f"cold page with empty interval [{t_b}, {t_e}]")
+        if level < 0:
+            raise StorageError(f"cold page with negative level {level}")
+        self.keys: tuple[Values, ...] = tuple(tuple(k) for k in keys)
+        if not (len(self.keys) == len(base) == len(slope)):
+            raise StorageError(
+                f"cold page row mismatch: {len(self.keys)} keys, "
+                f"{len(base)} bases, {len(slope)} slopes"
+            )
+        self.level = level
+        self.t_b = t_b
+        self.t_e = t_e
+        self.base = tuple(float(b) for b in base)
+        self.slope = tuple(float(s) for s in slope)
+        self.zero_base = float(zero_base)
+        self.zero_slope = float(zero_slope)
+        self._row_of: dict[Values, int] | None = None
+
+    # ------------------------------------------------------------------
+    # Introspection / row access
+    # ------------------------------------------------------------------
+    @property
+    def n_rows(self) -> int:
+        return len(self.keys)
+
+    @property
+    def interval(self) -> tuple[int, int]:
+        return (self.t_b, self.t_e)
+
+    def zero_isb(self) -> ISB:
+        """The zero prototype's exact ISB for this interval."""
+        return ISB(self.t_b, self.t_e, self.zero_base, self.zero_slope)
+
+    def isb(self, key: Values) -> ISB:
+        """``key``'s row, or the zero row for keys absent at spill time.
+
+        The fallback is not a convenience: a cell born after this slot was
+        demoted cloned the zero prototype, so its (never-materialized) slot
+        for this interval *is* the zero row — returning it here keeps cold
+        reads bit-identical to the zero-backfill the frame would hold.
+        """
+        if self._row_of is None:
+            self._row_of = {k: i for i, k in enumerate(self.keys)}
+        i = self._row_of.get(tuple(key))
+        if i is None:
+            return self.zero_isb()
+        return ISB(self.t_b, self.t_e, self.base[i], self.slope[i])
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ColdPage):
+            return NotImplemented
+        return (
+            self.level == other.level
+            and self.t_b == other.t_b
+            and self.t_e == other.t_e
+            and self.keys == other.keys
+            and self.base == other.base
+            and self.slope == other.slope
+            and self.zero_base == other.zero_base
+            and self.zero_slope == other.zero_slope
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ColdPage(level={self.level}, [{self.t_b},{self.t_e}], "
+            f"rows={self.n_rows})"
+        )
+
+    # ------------------------------------------------------------------
+    # Codec
+    # ------------------------------------------------------------------
+    def encode(self) -> bytes:
+        """The page as bytes: checksummed header + keys + two f64 columns."""
+        keys_blob = _encode_keys(self.keys)
+        body = keys_blob + pack_f64(self.base) + pack_f64(self.slope)
+        header = _HEADER.pack(
+            _MAGIC,
+            PAGE_VERSION,
+            self.level,
+            self.t_b,
+            self.t_e,
+            self.n_rows,
+            len(keys_blob),
+            zlib.crc32(body),
+            self.zero_base,
+            self.zero_slope,
+        )
+        return header + body
+
+    @property
+    def encoded_size(self) -> int:
+        """Byte length :meth:`encode` will produce (header + body)."""
+        return _HEADER.size + len(_encode_keys(self.keys)) + 16 * self.n_rows
+
+    @classmethod
+    def decode(cls, buf: bytes | memoryview) -> "ColdPage":
+        """Inverse of :meth:`encode`; validates magic, version and checksum."""
+        data = bytes(buf)
+        header = read_page_header(data)
+        level, t_b, t_e, n_rows, keys_len, crc, zero_base, zero_slope = header
+        need = _HEADER.size + keys_len + 16 * n_rows
+        if len(data) < need:
+            raise StorageError(
+                f"cold page truncated: {len(data)} bytes, need {need}"
+            )
+        body = data[_HEADER.size : need]
+        if zlib.crc32(body) != crc:
+            raise StorageError(
+                f"cold page checksum mismatch for level {level} "
+                f"[{t_b},{t_e}] (corrupt page)"
+            )
+        try:
+            raw_keys = json.loads(body[:keys_len].decode("utf-8"))
+            keys = [tuple(k) for k in raw_keys]
+        except (ValueError, TypeError) as exc:
+            raise StorageError(f"cold page keys block is invalid: {exc}") from None
+        if len(keys) != n_rows:
+            raise StorageError(
+                f"cold page declares {n_rows} rows but has {len(keys)} keys"
+            )
+        base = unpack_f64(data, n_rows, _HEADER.size + keys_len)
+        slope = unpack_f64(data, n_rows, _HEADER.size + keys_len + 8 * n_rows)
+        return cls(
+            level, t_b, t_e, keys, base, slope, zero_base, zero_slope
+        )
+
+
+def read_page_header(
+    buf: bytes | memoryview,
+) -> tuple[int, int, int, int, int, int, float, float]:
+    """Decode just the fixed header of an encoded page.
+
+    Returns ``(level, t_b, t_e, n_rows, keys_len, crc32, zero_base,
+    zero_slope)``.  The full page length is ``PAGE_HEADER_BYTES + keys_len
+    + 16 * n_rows`` — enough for a backend to index a file by headers alone
+    without decoding any body.
+    """
+    if len(buf) < _HEADER.size:
+        raise StorageError(
+            f"cold page header truncated: {len(buf)} of {_HEADER.size} bytes"
+        )
+    magic, version, level, t_b, t_e, n_rows, keys_len, crc, zb, zs = (
+        _HEADER.unpack_from(bytes(buf[: _HEADER.size]))
+    )
+    if magic != _MAGIC:
+        raise StorageError(f"not a cold page (magic {magic!r})")
+    if version != PAGE_VERSION:
+        raise StorageError(
+            f"unsupported cold page version {version} "
+            f"(this build reads version {PAGE_VERSION})"
+        )
+    return (level, t_b, t_e, n_rows, keys_len, crc, zb, zs)

@@ -1,0 +1,111 @@
+"""Sqlite backend for cold pages: the same page codec, stored as blobs.
+
+One database file per store; a single ``pages`` table keyed by
+``(level, t_b, t_e)`` with the encoded page as a blob.  ``INSERT OR
+REPLACE`` gives the idempotent-put contract for free, sqlite's journal
+gives torn-write safety, and ``VACUUM`` implements :meth:`compact`.
+
+``sqlite3`` is in the standard library, so this backend adds no
+dependency; the connection is opened with ``check_same_thread=False`` and
+guarded by a lock because the sharded cube drives its shards from a thread
+pool.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import threading
+from pathlib import Path
+
+from repro.errors import StorageError
+from repro.storage.base import ColdStore, StoreStats
+from repro.storage.pages import ColdPage
+
+__all__ = ["SqliteColdStore"]
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS pages (
+    level  INTEGER NOT NULL,
+    t_b    INTEGER NOT NULL,
+    t_e    INTEGER NOT NULL,
+    n_rows INTEGER NOT NULL,
+    data   BLOB    NOT NULL,
+    PRIMARY KEY (level, t_b, t_e)
+)
+"""
+
+
+class SqliteColdStore(ColdStore):
+    """See the module docstring; the database file is created if absent."""
+
+    backend = "sqlite"
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._conn = sqlite3.connect(str(self.path), check_same_thread=False)
+        with self._lock:
+            self._conn.execute(_SCHEMA)
+            self._conn.commit()
+        self._puts = 0
+        self._gets = 0
+
+    def put_segment(self, page: ColdPage) -> None:
+        blob = page.encode()
+        with self._lock:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO pages "
+                "(level, t_b, t_e, n_rows, data) VALUES (?, ?, ?, ?, ?)",
+                (page.level, page.t_b, page.t_e, page.n_rows, blob),
+            )
+            self._conn.commit()
+        self._puts += 1
+
+    def get_segment(self, level: int, t_b: int, t_e: int) -> ColdPage:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT data FROM pages WHERE level = ? AND t_b = ? AND t_e = ?",
+                (level, t_b, t_e),
+            ).fetchone()
+        if row is None:
+            raise StorageError(
+                f"cold store {self.path} has no page for level {level} "
+                f"[{t_b},{t_e}]"
+            )
+        self._gets += 1
+        return ColdPage.decode(row[0])
+
+    def scan(self) -> list[tuple[int, int, int]]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT level, t_b, t_e FROM pages ORDER BY level, t_b, t_e"
+            ).fetchall()
+        return [(int(a), int(b), int(c)) for a, b, c in rows]
+
+    def stats(self) -> StoreStats:
+        with self._lock:
+            pages, rows = self._conn.execute(
+                "SELECT COUNT(*), COALESCE(SUM(n_rows), 0) FROM pages"
+            ).fetchone()
+        on_disk = self.path.stat().st_size if self.path.exists() else 0
+        return StoreStats(
+            backend=self.backend,
+            pages=int(pages),
+            rows=int(rows),
+            bytes_on_disk=on_disk,
+            puts=self._puts,
+            gets=self._gets,
+        )
+
+    def compact(self) -> int:
+        before = self.path.stat().st_size if self.path.exists() else 0
+        with self._lock:
+            self._conn.commit()
+            self._conn.execute("VACUUM")
+        after = self.path.stat().st_size if self.path.exists() else 0
+        return max(0, before - after)
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()

@@ -16,7 +16,8 @@ Time units: records carry *primitive* ticks (e.g. minutes);
 
 from __future__ import annotations
 
-from typing import Callable, Hashable, Iterable, Literal
+from collections import OrderedDict
+from typing import Any, Callable, Hashable, Iterable, Literal
 
 from repro.cube.lattice import PopularPath
 from repro.cube.layers import CriticalLayers
@@ -30,6 +31,9 @@ from repro.errors import StreamError, TiltFrameError
 from repro.regression import kernels
 from repro.regression.isb import ISB
 from repro.regression.linear import RunningRegression
+from repro.storage.base import ColdStore
+from repro.storage.pages import ColdPage
+from repro.storage.spill import ColdIndex, demotion_cutoffs
 from repro.stream.records import StreamRecord
 from repro.stream.state import CellSnapshot, EngineState
 from repro.stream.wal import QuarterWAL
@@ -158,12 +162,18 @@ class _CellState:
     of probing the tilt frame.
     """
 
-    __slots__ = ("frame", "tick_sums", "last_active_quarter")
+    __slots__ = ("frame", "tick_sums", "last_active_quarter", "cold_since")
 
     def __init__(self, frame: TiltTimeFrame, quarter: int) -> None:
         self.frame = frame
         self.tick_sums: dict[int, float] = {}
         self.last_active_quarter = quarter
+        # With tiered storage: the zero-frame clock at this cell's birth.
+        # Cold pages sealed *before* a cell existed may still carry rows
+        # under its key (a pruned predecessor); reads below this tick must
+        # answer the zero row — exactly what the cell's freshly cloned
+        # frame would have held.
+        self.cold_since = 0
 
     def add(self, t: int, z: float) -> None:
         self.tick_sums[t] = self.tick_sums.get(t, 0.0) + z
@@ -239,6 +249,16 @@ class StreamCubeEngine:
         *before* it mutates engine state, so a crash loses nothing that was
         acknowledged; when ``None`` (the default) the ingest paths pay one
         ``is None`` check and nothing else.
+    storage:
+        Optional :class:`~repro.storage.base.ColdStore`.  When attached,
+        every quarter seal demotes slots older than the hot horizon into
+        packed cold pages; deep-history windows fault them back
+        transparently, so resident memory is bounded by the hot set while
+        answers stay exact.
+    hot_quarters:
+        The hot horizon, in quarters, kept resident before demotion
+        (default 4 — one full hour of finest slots).  Ignored without
+        ``storage``.
     """
 
     def __init__(
@@ -249,9 +269,13 @@ class StreamCubeEngine:
         ticks_per_quarter: int = 15,
         frame_levels: Iterable[TiltLevelSpec] | None = None,
         wal: QuarterWAL | None = None,
+        storage: ColdStore | None = None,
+        hot_quarters: int | None = None,
     ) -> None:
         if ticks_per_quarter < 1:
             raise StreamError("ticks_per_quarter must be >= 1")
+        if hot_quarters is not None and hot_quarters < 1:
+            raise StreamError("hot_quarters must be >= 1")
         self.layers = layers
         self.policy = policy
         self.key_fn: KeyFn = key_fn if key_fn is not None else (
@@ -273,6 +297,18 @@ class StreamCubeEngine:
         # zero-quarter backfill, and prune_idle probes it once per call for
         # window coverability (all cell frames share its geometry).
         self._zero_frame = TiltTimeFrame(self._frame_levels, origin=0)
+        self._storage = storage
+        self.hot_quarters = 4 if hot_quarters is None else hot_quarters
+        self._pages_spilled = 0
+        self._cold_faults = 0
+        self._page_cache: OrderedDict[tuple[int, int, int], ColdPage]
+        self._page_cache = OrderedDict()
+        self._cold: ColdIndex | None = None
+        if storage is not None:
+            self._cold = ColdIndex(
+                [lv.unit_ticks for lv in self._frame_levels]
+            )
+            self._zero_frame.attach_cold(self._cold, self._zero_reader)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -525,6 +561,11 @@ class StreamCubeEngine:
         # (it seals alongside the real cells), so every cell's frame shares
         # the global quarter grid at O(levels) spawn cost.
         state = _CellState(self._zero_frame.clone(), self._current_quarter)
+        if self._storage is not None:
+            state.cold_since = self._zero_frame.now
+            state.frame.attach_cold(
+                self._cold, self._cell_reader(key, state)
+            )
         self._cells[key] = state
         return state
 
@@ -581,7 +622,143 @@ class StreamCubeEngine:
             # The engine owns these frames and advances them in lockstep
             # from one cloned prototype — alignment is an invariant.
             bulk_insert(frames, isbs, assume_aligned=True)
+            if self._storage is not None:
+                self._spill_cold()
         self._current_quarter = quarter
+
+    # ------------------------------------------------------------------
+    # Tiered storage: demotion (spill) and fault-in
+    # ------------------------------------------------------------------
+    def _spill_cold(self) -> None:
+        """Demote slots past the hot horizon into the cold store.
+
+        Runs after every quarter's ``bulk_insert``.  Per eligible level
+        (see :func:`repro.storage.spill.demotion_cutoffs`), the oldest
+        resident slots are packed — one :class:`ColdPage` per slot interval
+        across *all* cells, the zero prototype's slot embedded as the
+        page's zero row — written, and only then popped from every frame in
+        lockstep.  Pages are written even with zero tracked cells: a cell
+        born later still needs the zero row when it faults the interval in.
+
+        The arithmetic is deterministic in the sealed history, so a crash
+        after a spill but before the next snapshot loses nothing: WAL
+        replay re-seals the same quarters and re-derives bit-identical
+        pages (``put_segment`` is idempotent by interval).
+        """
+        zero = self._zero_frame
+        cutoffs = demotion_cutoffs(
+            [lv.unit_ticks for lv in zero.levels],
+            [lv.capacity for lv in zero.levels],
+            zero.origin,
+            zero.now,
+            self.hot_quarters * self.ticks_per_quarter,
+        )
+        items = list(self._cells.items())
+        for li, cutoff in enumerate(cutoffs):
+            if cutoff is None:
+                continue
+            zslots = zero._slots[li]
+            while zslots and zslots[0].t_e < cutoff:
+                zslot = zslots[0]
+                base: list[float] = []
+                slope: list[float] = []
+                for _, state in items:
+                    slot = state.frame._slots[li][0]
+                    base.append(slot.base)
+                    slope.append(slot.slope)
+                self._storage.put_segment(
+                    ColdPage(
+                        li,
+                        zslot.t_b,
+                        zslot.t_e,
+                        [key for key, _ in items],
+                        base,
+                        slope,
+                        zero_base=zslot.base,
+                        zero_slope=zslot.slope,
+                    )
+                )
+                zslots.popleft()
+                for _, state in items:
+                    state.frame._slots[li].popleft()
+                self._cold.record(li, zslot.t_b, zslot.t_e)
+                self._page_cache.pop((li, zslot.t_b, zslot.t_e), None)
+                self._pages_spilled += 1
+
+    #: Decoded cold pages kept hot; a deep window touches each page once
+    #: per call anyway, so a small LRU only needs to absorb *repeated*
+    #: deep queries.
+    _PAGE_CACHE_SLOTS = 32
+
+    def _load_page(self, level: int, t_b: int, t_e: int) -> ColdPage:
+        cache_key = (level, t_b, t_e)
+        page = self._page_cache.get(cache_key)
+        if page is not None:
+            self._page_cache.move_to_end(cache_key)
+            return page
+        page = self._storage.get_segment(level, t_b, t_e)
+        self._cold_faults += 1
+        self._page_cache[cache_key] = page
+        if len(self._page_cache) > self._PAGE_CACHE_SLOTS:
+            self._page_cache.popitem(last=False)
+        return page
+
+    def _zero_reader(self, level: int, t_b: int, t_e: int) -> ISB:
+        return self._load_page(level, t_b, t_e).zero_isb()
+
+    def _cell_reader(
+        self, key: Values, state: _CellState
+    ) -> Callable[[int, int, int], ISB]:
+        def read(level: int, t_b: int, t_e: int) -> ISB:
+            page = self._load_page(level, t_b, t_e)
+            if t_e < state.cold_since:
+                return page.zero_isb()
+            return page.isb(key)
+
+        return read
+
+    def _cold_rows(
+        self, level: int, t_b: int, t_e: int, keys: list[Values]
+    ) -> list[ISB]:
+        """Every listed cell's ISB for one cold slot, one page fault total."""
+        page = self._load_page(level, t_b, t_e)
+        out: list[ISB] = []
+        for key in keys:
+            if t_e < self._cells[key].cold_since:
+                out.append(page.zero_isb())
+            else:
+                out.append(page.isb(key))
+        return out
+
+    def storage_stats(self) -> dict[str, Any] | None:
+        """The ``/stats`` storage block, or ``None`` without a cold store."""
+        if self._storage is None:
+            return None
+        stats = self._storage.stats().to_dict()
+        stats.update(
+            hot_cells=len(self._cells),
+            hot_quarters=self.hot_quarters,
+            cold_slots=self._cold.total_slots,
+            pages_spilled=self._pages_spilled,
+            cold_faults=self._cold_faults,
+            page_cache_entries=len(self._page_cache),
+        )
+        return stats
+
+    def compact_storage(self) -> int:
+        """Compact the cold store; returns bytes reclaimed (0 without one).
+
+        Compaction rewrites around superseded page versions without
+        changing any live page's content, so the decoded-page cache stays
+        valid.
+        """
+        if self._storage is None:
+            return 0
+        return self._storage.compact()
+
+    def drop_page_cache(self) -> None:
+        """Evict every decoded cold page; the next deep window reads disk."""
+        self._page_cache.clear()
 
     # ------------------------------------------------------------------
     # Durability: explicit state extraction and re-loading
@@ -606,10 +783,19 @@ class StreamCubeEngine:
                     frame=state.frame.clone(),
                     tick_sums=dict(state.tick_sums),
                     last_active_quarter=state.last_active_quarter,
+                    cold_since=state.cold_since,
                 )
                 for key, state in self._cells.items()
             },
             wal_seq=self.wal.last_seq if self.wal is not None else 0,
+            cold_spans=(
+                tuple(
+                    None if span is None else (span[0], span[1])
+                    for span in self._cold.to_state()
+                )
+                if self._cold is not None
+                else None
+            ),
         )
 
     @classmethod
@@ -620,6 +806,8 @@ class StreamCubeEngine:
         policy: ExceptionPolicy,
         key_fn: KeyFn | None = None,
         wal: QuarterWAL | None = None,
+        storage: ColdStore | None = None,
+        hot_quarters: int | None = None,
     ) -> "StreamCubeEngine":
         """Rebuild an engine from a snapshot, bit-identical to the original.
 
@@ -627,8 +815,9 @@ class StreamCubeEngine:
         were to the original constructor; the snapshot's cells are
         re-validated against the supplied schema, so loading a snapshot
         under an incompatible cube raises instead of corrupting silently.
-        To recover an interrupted run, follow with ``wal.replay(engine,
-        after_seq=state.wal_seq)``.
+        A snapshot with demoted history additionally needs the ``storage``
+        store holding its cold pages.  To recover an interrupted run,
+        follow with ``wal.replay(engine, after_seq=state.wal_seq)``.
         """
         engine = cls(
             layers,
@@ -637,6 +826,8 @@ class StreamCubeEngine:
             ticks_per_quarter=state.ticks_per_quarter,
             frame_levels=state.frame_levels,
             wal=wal,
+            storage=storage,
+            hot_quarters=hot_quarters,
         )
         engine.load_state(state)
         return engine
@@ -662,6 +853,13 @@ class StreamCubeEngine:
                 f"snapshot zero frame clock ({zero.now}) disagrees with its "
                 f"current quarter ({state.current_quarter})"
             )
+        spans = state.cold_spans
+        has_cold = spans is not None and any(s is not None for s in spans)
+        if has_cold and self._storage is None:
+            raise StreamError(
+                "snapshot has demoted (cold) history but this engine has no "
+                "cold store configured; restore with the snapshot's storage"
+            )
         cells: dict[Values, _CellState] = {}
         for key, cell in state.cells.items():
             if not cell.frame.aligned_with(zero):
@@ -673,12 +871,26 @@ class StreamCubeEngine:
                 cell.frame.clone(), cell.last_active_quarter
             )
             restored.tick_sums = dict(cell.tick_sums)
+            restored.cold_since = cell.cold_since
             cells[self._validate_values(key)] = restored
         self._frame_levels = list(state.frame_levels)
         self._zero_frame = zero
         self._cells = cells
         self._current_quarter = state.current_quarter
         self._records_ingested = state.records_ingested
+        self._page_cache.clear()
+        if self._storage is not None:
+            units = [lv.unit_ticks for lv in self._frame_levels]
+            self._cold = (
+                ColdIndex.from_state(units, spans)
+                if spans is not None
+                else ColdIndex(units)
+            )
+            self._zero_frame.attach_cold(self._cold, self._zero_reader)
+            for key, restored in self._cells.items():
+                restored.frame.attach_cold(
+                    self._cold, self._cell_reader(key, restored)
+                )
 
     # ------------------------------------------------------------------
     # Analysis
@@ -708,17 +920,30 @@ class StreamCubeEngine:
                     f"cell {keys[0]}: window [{t_b},{t_e}] not covered: {exc}"
                 ) from exc
             if len(plan) == 1:
-                level, pos, _, _ = plan[0]
-                return {
-                    key: frame._slots[level][pos]
-                    for key, frame in zip(keys, frames)
-                }
-            columns = [
-                kernels.ISBColumns.from_isbs(
-                    [frame._slots[level][pos] for frame in frames]
+                level, pos, piece_b, piece_e = plan[0]
+                if pos >= 0:
+                    return {
+                        key: frame._slots[level][pos]
+                        for key, frame in zip(keys, frames)
+                    }
+                return dict(
+                    zip(keys, self._cold_rows(level, piece_b, piece_e, keys))
                 )
-                for level, pos, _, _ in plan
-            ]
+            columns = []
+            for level, pos, piece_b, piece_e in plan:
+                if pos >= 0:
+                    columns.append(
+                        kernels.ISBColumns.from_isbs(
+                            [frame._slots[level][pos] for frame in frames]
+                        )
+                    )
+                else:
+                    # One page fault serves every cell on this piece.
+                    columns.append(
+                        kernels.ISBColumns.from_isbs(
+                            self._cold_rows(level, piece_b, piece_e, keys)
+                        )
+                    )
             merged = kernels.merge_time_grid(columns).to_isbs()
             return dict(zip(keys, merged))
         out: dict[Values, ISB] = {}

@@ -40,12 +40,17 @@ from pathlib import Path
 from typing import Any, Iterable, Iterator, Protocol
 
 from repro.errors import CodecError, StreamError
-from repro.io import STATE_VERSION
 from repro.stream.records import StreamRecord
 
 __all__ = ["QuarterWAL", "WalEntry"]
 
 _FORMAT = "repro-wal"
+
+#: The journal's own header version.  Deliberately *not* tied to
+#: ``repro.io.STATE_VERSION``: the entry shape here has not changed, so
+#: journals written before the snapshot codec went to v2 must keep
+#: replaying.
+_WAL_VERSION = 1
 
 
 class _IngestTarget(Protocol):
@@ -150,7 +155,7 @@ class QuarterWAL:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             self._file = open(self.path, "a", encoding="utf-8")
             self._append_line(
-                {"format": _FORMAT, "version": STATE_VERSION}
+                {"format": _FORMAT, "version": _WAL_VERSION}
             )
         else:
             self._file = open(self.path, "a", encoding="utf-8")
@@ -236,7 +241,7 @@ class QuarterWAL:
                 ) from None
         if not payloads or payloads[0].get("format") != _FORMAT:
             raise CodecError(f"wal: {self.path} has no {_FORMAT} header")
-        if payloads[0].get("version") != STATE_VERSION:
+        if payloads[0].get("version") != _WAL_VERSION:
             raise CodecError(
                 f"wal: {self.path} has unsupported version "
                 f"{payloads[0].get('version')!r}"
@@ -303,7 +308,7 @@ class QuarterWAL:
         tmp = self.path.with_suffix(self.path.suffix + ".tmp")
         with open(tmp, "w", encoding="utf-8") as fh:
             fh.write(
-                json.dumps({"format": _FORMAT, "version": STATE_VERSION})
+                json.dumps({"format": _FORMAT, "version": _WAL_VERSION})
                 + "\n"
             )
             for entry in keep:

@@ -75,6 +75,15 @@ class TiltTimeFrame:
         are aligned to it.
     """
 
+    #: Cold-storage seam (class-level defaults keep frames storage-free by
+    #: default).  ``_cold`` answers "does a demoted slot start here?" (duck
+    #: typed: anything with ``has_slot(level, t_b)``, in practice one
+    #: :class:`repro.storage.spill.ColdIndex` shared by every frame of an
+    #: engine); ``_cold_reader(level, t_b, t_e)`` faults the slot's ISB
+    #: back in.  The tilt layer never imports the storage layer.
+    _cold = None
+    _cold_reader = None
+
     def __init__(self, levels: Sequence[TiltLevelSpec], origin: int = 0) -> None:
         if not levels:
             raise TiltFrameError("a tilt frame needs at least one level")
@@ -220,7 +229,21 @@ class TiltTimeFrame:
         other._slots = [s.copy() for s in self._slots]  # keeps maxlen
         other._next_tick = self._next_tick
         other._evicted = self._evicted
+        other._cold = self._cold
+        other._cold_reader = self._cold_reader
         return other
+
+    def attach_cold(self, index, reader) -> None:
+        """Wire this frame to demoted-slot bookkeeping and a fault-in reader.
+
+        ``index`` must answer ``has_slot(level, t_b)`` for slots that have
+        been demoted out of the deques; ``reader(level, t_b, t_e)`` must
+        return the demoted slot's exact ISB.  Window planning then covers
+        windows with cold slots too (see :meth:`window_plan`), and
+        :meth:`slots_at` faults them in transparently.
+        """
+        self._cold = index
+        self._cold_reader = reader
 
     @classmethod
     def from_state(
@@ -293,18 +316,38 @@ class TiltTimeFrame:
     def window_plan(self, t_b: int, t_e: int) -> WindowPlan:
         """The slot decomposition ``query`` would use, as positions.
 
-        Returns ``(level index, slot position, t_b, t_e)`` per piece.  The
-        plan depends only on slot *boundaries*, so frames that are
-        :meth:`aligned_with` each other share one plan — the engine computes
-        it once and gathers every cell's slots with :meth:`slots_at`, then
+        Returns ``(level index, slot position, t_b, t_e)`` per piece; a
+        position of ``-1`` marks a *cold* (demoted) slot that
+        :meth:`slots_at` faults back in.  The plan depends only on slot
+        *boundaries*, so frames that are :meth:`aligned_with` each other —
+        and share one cold index — share one plan: the engine computes it
+        once and gathers every cell's slots with :meth:`slots_at`, then
         merges all cells in one grouped Theorem 3.3 kernel call.
+
+        Planning is two-tier.  The *canonical* pass decomposes finest-first
+        over the slots a storage-free frame would retain (resident slots
+        plus cold slots still inside each level's capacity window), so any
+        window answerable without tiered storage gets the identical plan —
+        and the identical arithmetic — with it.  Only when that pass cannot
+        cover the window does the *archive* pass retry over the full cold
+        history, coarsest-first (fewer pages faulted per deep window); it
+        extends coverage toward the origin without changing any answer the
+        canonical pass already gave.
         """
         if t_b > t_e:
             raise TiltFrameError(f"empty window [{t_b}, {t_e}]")
+        try:
+            return self._plan(t_b, t_e, archive=False)
+        except TiltFrameError:
+            if self._cold is None:
+                raise
+            return self._plan(t_b, t_e, archive=True)
+
+    def _plan(self, t_b: int, t_e: int, archive: bool) -> WindowPlan:
         plan: WindowPlan = []
         cursor = t_b
         while cursor <= t_e:
-            piece = self._finest_slot_at(cursor, t_e)
+            piece = self._piece_at(cursor, t_e, archive)
             if piece is None:
                 raise TiltFrameError(
                     f"window [{t_b}, {t_e}] not coverable from retained "
@@ -315,17 +358,54 @@ class TiltTimeFrame:
         return plan
 
     def slots_at(self, plan: WindowPlan) -> list[ISB]:
-        """The retained slots a plan points at, in plan order."""
-        return [self._slots[level][pos] for level, pos, _, _ in plan]
+        """The slots a plan points at, in plan order (cold ones faulted in)."""
+        out: list[ISB] = []
+        for level, pos, piece_b, piece_e in plan:
+            if pos >= 0:
+                out.append(self._slots[level][pos])
+            else:
+                out.append(self._cold_reader(level, piece_b, piece_e))
+        return out
 
-    def _finest_slot_at(
-        self, start: int, limit: int
+    def _piece_at(
+        self, start: int, limit: int, archive: bool
     ) -> tuple[int, int, int, int] | None:
-        for li, level_slots in enumerate(self._slots):  # finest level first
-            for pos, slot in enumerate(level_slots):
+        cold = self._cold
+        if not archive:
+            for li, level_slots in enumerate(self._slots):  # finest first
+                for pos, slot in enumerate(level_slots):
+                    if slot.t_b == start and slot.t_e <= limit:
+                        return (li, pos, slot.t_b, slot.t_e)
+                if cold is not None and cold.has_slot(li, start):
+                    end = start + self.levels[li].unit_ticks - 1
+                    if end <= limit and start >= self._canonical_floor(li):
+                        return (li, -1, start, end)
+            return None
+        for li in range(len(self._slots) - 1, -1, -1):  # coarsest first
+            if cold is not None and cold.has_slot(li, start):
+                end = start + self.levels[li].unit_ticks - 1
+                if end <= limit:
+                    return (li, -1, start, end)
+            for pos, slot in enumerate(self._slots[li]):
                 if slot.t_b == start and slot.t_e <= limit:
                     return (li, pos, slot.t_b, slot.t_e)
         return None
+
+    def _canonical_floor(self, level: int) -> int:
+        """Oldest slot start a storage-free frame would still retain.
+
+        A level retains its ``capacity`` newest slots, ending at the last
+        completed unit boundary — a demoted slot older than that would have
+        been evicted by ``maxlen`` in a storage-free frame, so the
+        canonical planning pass must not see it (the archive pass may).
+        """
+        spec = self.levels[level]
+        last = (
+            self.origin
+            + ((self._next_tick - self.origin) // spec.unit_ticks)
+            * spec.unit_ticks
+        )
+        return last - spec.capacity * spec.unit_ticks
 
     def last_window(self, level: int | str, count: int) -> ISB:
         """Merged regression over the most recent ``count`` slots of a level.

@@ -19,16 +19,23 @@ layer — and checks every answer against the brute-force
 
 Everything is derived from one integer seed, so any failure replays
 exactly: ``run_scenario("crash_replay", seed=1234)``.
+
+Scenarios may also run under tiered storage (``Scenario.storage``): every
+system spills sealed history past a small hot horizon into a cold store,
+and the :class:`DeepWindow` event queries windows that *only* the cold
+tier can answer — any catalogue entry can be re-run spilling via
+``run_scenario(name, seed, storage="file")``.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import random
 import shutil
 import tempfile
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Hashable
+from typing import Any, Hashable
 
 from repro.cubing.policy import GlobalSlopeThreshold
 from repro.query.api import RegressionCubeView
@@ -36,6 +43,7 @@ from repro.query.exec import execute
 from repro.query.spec import Q
 from repro.service.router import QueryRouter
 from repro.service.sharding import ShardedStreamCube
+from repro.storage import StorageConfig, open_cold_store
 from repro.stream.engine import StreamCubeEngine, engine_frame_levels
 from repro.stream.generator import DatasetSpec
 from repro.stream.records import StreamRecord
@@ -64,6 +72,7 @@ __all__ = [
     "CrashReplay",
     "Prune",
     "CacheChurn",
+    "DeepWindow",
 ]
 
 Values = tuple[Hashable, ...]
@@ -154,6 +163,22 @@ class CacheChurn:
     repeats: int = 2
 
 
+@dataclass(frozen=True)
+class DeepWindow:
+    """Query windows that reach past the hot horizon into the cold store.
+
+    Only legal in a scenario with ``storage`` configured.  Checks the full
+    from-origin window plus seeded hour-, day-, and quarter-aligned
+    prefixes that end long before the hot set begins — windows a
+    storage-free engine cannot answer at all.  Engine and cube must agree
+    bit for bit, and both are checked against the oracle; once enough
+    quarters have sealed the event also insists the cold tier actually
+    participated (pages spilled, pages faulted back).
+    """
+
+    samples: int = 2
+
+
 Event = (
     Traffic
     | Advance
@@ -163,6 +188,7 @@ Event = (
     | CrashReplay
     | Prune
     | CacheChurn
+    | DeepWindow
 )
 
 
@@ -171,7 +197,13 @@ Event = (
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class Scenario:
-    """A cube configuration plus the event stream to drive through it."""
+    """A cube configuration plus the event stream to drive through it.
+
+    ``storage`` (``"file"`` / ``"sqlite"`` / ``None``) turns on tiered
+    storage for engine *and* cube: sealed slots older than ``hot_quarters``
+    are demoted to a cold store under the run's workdir and faulted back on
+    demand — the rest of the event stream runs unchanged on top.
+    """
 
     name: str
     description: str
@@ -184,6 +216,8 @@ class Scenario:
     window: int = 4
     n_shards: int = 3
     cell_pool: int = 10
+    storage: str | None = None
+    hot_quarters: int = 2
 
 
 @dataclass
@@ -214,8 +248,32 @@ class ScenarioRunner:
         ).build_layers()
         self.policy = GlobalSlopeThreshold(scenario.threshold)
         self.tpq = scenario.ticks_per_quarter
+        # With storage configured, engine and cube each spill into their
+        # own cold tier under the workdir (the engine shares one store
+        # instance across restores; the cube opens per-shard sets from the
+        # config and owns their lifecycle).
+        self._engine_store = (
+            open_cold_store(
+                self.workdir / "engine-store", backend=scenario.storage
+            )
+            if scenario.storage
+            else None
+        )
+        self._cube_storage = (
+            StorageConfig(
+                root=self.workdir / "cube-store",
+                backend=scenario.storage,
+                hot_quarters=scenario.hot_quarters,
+            )
+            if scenario.storage
+            else None
+        )
         self.engine = StreamCubeEngine(
-            self.layers, self.policy, ticks_per_quarter=self.tpq
+            self.layers,
+            self.policy,
+            ticks_per_quarter=self.tpq,
+            storage=self._engine_store,
+            hot_quarters=scenario.hot_quarters if scenario.storage else None,
         )
         self.snap_dir = self.workdir / "snapshots"
         self.wal_path = self.snap_dir / "wal.jsonl"
@@ -226,6 +284,8 @@ class ScenarioRunner:
             n_shards=scenario.n_shards,
             ticks_per_quarter=self.tpq,
             wal=QuarterWAL(self.wal_path),
+            storage=self._cube_storage,
+            hot_quarters=scenario.hot_quarters if scenario.storage else None,
         )
         self.router = QueryRouter(self.cube, window_quarters=scenario.window)
         self.oracle = RawStreamOracle(
@@ -263,6 +323,8 @@ class ScenarioRunner:
             self.cube.close()
             if self.cube.wal is not None:
                 self.cube.wal.close()
+            if self._engine_store is not None:
+                self._engine_store.close()
 
     def apply(self, event: Event) -> None:
         handler = {
@@ -274,6 +336,7 @@ class ScenarioRunner:
             CrashReplay: self._crash_replay,
             Prune: self._prune,
             CacheChurn: self._cache_churn,
+            DeepWindow: self._deep_window,
         }[type(event)]
         handler(event)
 
@@ -409,6 +472,62 @@ class ScenarioRunner:
             self.oracle.window_isbs(t_b, t_e),
             f"window [{t_b},{t_e}]",
         )
+
+    def _deep_window(self, event: DeepWindow) -> None:
+        if self.scenario.storage is None:
+            raise VerifyMismatch(
+                "scenario bug: DeepWindow in a scenario without storage"
+            )
+        self._require_clocks_agree()
+        sealed = self.oracle.current_quarter
+        if sealed < 2:
+            raise VerifyMismatch(
+                "scenario bug: DeepWindow before two quarters sealed"
+            )
+        t_end = sealed * self.tpq  # first unsealed tick
+        bounds = {(0, t_end - 1)}
+        # Hour- and day-aligned prefixes — windows whose tail lands on a
+        # coarse tilt boundary deep inside the demoted region.
+        for width in (4 * self.tpq, 96 * self.tpq):
+            n = t_end // width
+            for _ in range(event.samples if n else 0):
+                bounds.add((0, (1 + self.rng.randrange(n)) * width - 1))
+        # Quarter-granularity prefixes ending before the hot horizon
+        # begins.  The very first quarter is always among them: once it is
+        # demoted, no resident slot of any level can answer [0, tpq-1] —
+        # a random draw could land hour-aligned and be covered by resident
+        # coarse slots without touching the store at all.
+        deep = max(1, sealed - self.scenario.hot_quarters)
+        bounds.add((0, self.tpq - 1))
+        bounds.add((0, (1 + self.rng.randrange(deep)) * self.tpq - 1))
+        for t_b, t_e in sorted(bounds):
+            engine_cells = self.engine.window_isbs(t_b, t_e)
+            if engine_cells != self.cube.window_isbs(t_b, t_e):
+                raise VerifyMismatch(
+                    f"engine/cube deep window [{t_b},{t_e}] differ "
+                    "(they must be bit-identical)"
+                )
+            assert_cells_equal(
+                engine_cells,
+                self.oracle.window_isbs(t_b, t_e),
+                f"deep window [{t_b},{t_e}]",
+            )
+            self.report.cells_compared += len(engine_cells)
+        # Once history dwarfs the hot horizon, the cold tier must have
+        # actually carried these answers — a silent all-resident pass
+        # would mean the scenario never exercised spilling at all.
+        if sealed >= 8 * max(1, self.scenario.hot_quarters):
+            stats = self.engine.storage_stats()
+            if not stats or not stats["pages_spilled"]:
+                raise VerifyMismatch(
+                    f"no pages spilled after {sealed} quarters with "
+                    f"hot_quarters={self.scenario.hot_quarters}"
+                )
+            if not stats["cold_faults"]:
+                raise VerifyMismatch(
+                    "deep windows answered without faulting any cold page"
+                )
+        self.report.checks += 1
 
     def _check_cube(self, window: int, algorithm: str) -> None:
         result = self.engine.refresh(window, algorithm)
@@ -653,9 +772,16 @@ class ScenarioRunner:
 
     # -- durability / elasticity / retirement ---------------------------
     def _snapshot_restore(self, event: SnapshotRestore) -> None:
+        hot = (
+            self.scenario.hot_quarters if self.scenario.storage else None
+        )
         state = self.engine.snapshot()
         restored_engine = StreamCubeEngine.restore(
-            state, self.layers, self.policy
+            state,
+            self.layers,
+            self.policy,
+            storage=self._engine_store,
+            hot_quarters=hot,
         )
         self.last_manifest = self.cube.snapshot(self.snap_dir)
         self.cube.wal.truncate_through(self.last_manifest["wal_seq"])
@@ -663,7 +789,11 @@ class ScenarioRunner:
         # so a failing check leaks neither the new pool nor the WAL handle
         # (run()'s cleanup still owns both live resources).
         restored_cube = ShardedStreamCube.restore(
-            self.snap_dir, self.layers, self.policy
+            self.snap_dir,
+            self.layers,
+            self.policy,
+            storage=self._cube_storage,
+            hot_quarters=hot,
         )
         old = self.cube
         try:
@@ -726,10 +856,32 @@ class ScenarioRunner:
         if crash_dir.exists():
             shutil.rmtree(crash_dir)
         shutil.copytree(self.snap_dir, crash_dir)
+        crash_storage = None
+        if self._cube_storage is not None:
+            # Take the cold tier as the crash left it: pages demoted since
+            # the manifest landed are on disk, but the manifest's
+            # cold_spans predate them — replay re-seals those quarters and
+            # re-puts identical pages over the survivors (puts are
+            # idempotent), which is exactly the crash-between-spill-and-
+            # manifest-write recovery the storage design promises.
+            shutil.copytree(
+                Path(self._cube_storage.root), crash_dir / "storage"
+            )
+            crash_storage = StorageConfig(
+                root=crash_dir / "storage",
+                backend=self.scenario.storage,
+                hot_quarters=self.scenario.hot_quarters,
+            )
         with open(crash_dir / "wal.jsonl", "a", encoding="utf-8") as fh:
             fh.write('{"seq": 99999, "kind": "batch", "qu')  # torn append
         recovered = ShardedStreamCube.restore(
-            crash_dir, self.layers, self.policy
+            crash_dir,
+            self.layers,
+            self.policy,
+            storage=crash_storage,
+            hot_quarters=(
+                self.scenario.hot_quarters if crash_storage else None
+            ),
         )
         with QuarterWAL(crash_dir / "wal.jsonl") as journal:
             journal.replay(
@@ -751,6 +903,15 @@ class ScenarioRunner:
                     self.oracle.window_isbs(t_b, t_e),
                     "recovered window",
                 )
+            if crash_storage is not None and self._windows_ready(2):
+                t_hi = self.oracle.current_quarter * self.tpq - 1
+                if recovered.window_isbs(0, t_hi) != self.cube.window_isbs(
+                    0, t_hi
+                ):
+                    raise VerifyMismatch(
+                        "recovered cube's deep (cold) window diverges "
+                        "from the uninterrupted cube"
+                    )
             if recovered.records_ingested != self.oracle.records_ingested:
                 raise VerifyMismatch(
                     f"recovery lost records: {recovered.records_ingested} "
@@ -1004,6 +1165,57 @@ SCENARIOS: dict[str, Scenario] = {
             cell_pool=6,
         ),
         _scenario(
+            "spill_deep_window",
+            "Hundreds of sealed quarters spill to disk; windows reaching "
+            "back to the origin fault cold pages and match the oracle.",
+            Traffic(quarters=120, rate=2),
+            DeepWindow(),
+            Traffic(quarters=81, rate=1, style="trickle"),
+            Advance(1),
+            DeepWindow(samples=3),
+            Check(),
+            ticks_per_quarter=1,
+            storage="file",
+            hot_quarters=2,
+            cell_pool=6,
+        ),
+        _scenario(
+            "spill_snapshot_restore",
+            "Snapshot and reshard a cube whose history lives in a "
+            "populated sqlite cold store; deep windows stay identical.",
+            Traffic(quarters=20, rate=2),
+            SnapshotRestore(),
+            Traffic(quarters=8, rate=2),
+            Advance(1),
+            DeepWindow(),
+            Reshard(shards=2),
+            Traffic(quarters=4, rate=2, style="trickle"),
+            Advance(1),
+            DeepWindow(),
+            Check(cube=True),
+            ticks_per_quarter=2,
+            storage="sqlite",
+            hot_quarters=2,
+            cell_pool=8,
+        ),
+        _scenario(
+            "spill_crash_replay",
+            "Crash lands between a spill and the next manifest write: "
+            "recovery replays the WAL over the already-written cold pages.",
+            Traffic(quarters=12, rate=3),
+            SnapshotRestore(),
+            Traffic(quarters=6, rate=2),
+            CrashReplay(),
+            Traffic(quarters=2, rate=2),
+            Advance(1),
+            DeepWindow(),
+            Check(cube=True),
+            ticks_per_quarter=2,
+            storage="file",
+            hot_quarters=1,
+            cell_pool=8,
+        ),
+        _scenario(
             "kitchen_sink",
             "Everything composed: all traffic shapes, durability, queries.",
             Traffic(quarters=3, rate=3),
@@ -1027,12 +1239,24 @@ def run_scenario(
     scenario: Scenario | str,
     seed: int,
     workdir: str | Path | None = None,
+    storage: str | None = None,
+    hot_quarters: int | None = None,
 ) -> ScenarioReport:
     """Run one scenario under one seed; raises :class:`VerifyMismatch` on
-    any disagreement.  ``workdir`` (for snapshots and journals) defaults to
-    a fresh temporary directory."""
+    any disagreement.  ``workdir`` (for snapshots, journals and cold
+    stores) defaults to a fresh temporary directory.  ``storage`` /
+    ``hot_quarters`` override the scenario's tiered-storage configuration,
+    so the whole catalogue can be replayed spilling:
+    ``run_scenario("kitchen_sink", seed, storage="file")``."""
     if isinstance(scenario, str):
         scenario = SCENARIOS[scenario]
+    overrides: dict[str, Any] = {}
+    if storage is not None:
+        overrides["storage"] = storage
+    if hot_quarters is not None:
+        overrides["hot_quarters"] = hot_quarters
+    if overrides:
+        scenario = dataclasses.replace(scenario, **overrides)
     if workdir is not None:
         return ScenarioRunner(scenario, seed, workdir).run()
     with tempfile.TemporaryDirectory(prefix="repro-verify-") as tmp:

@@ -43,6 +43,7 @@ from repro.query.spec import Q
 from repro.service.http import StreamCubeService, make_server
 from repro.service.router import QueryRouter
 from repro.service.sharding import ShardedStreamCube
+from repro.storage import StorageConfig
 from repro.stream.generator import DatasetSpec
 from repro.stream.records import StreamRecord
 from repro.stream.wal import QuarterWAL
@@ -77,6 +78,13 @@ class SoakConfig:
     batch_records: int = 24
     host: str = "127.0.0.1"
     port: int = 0  # 0: pick an ephemeral port
+    #: Cold-store backend name ("file" / "sqlite"); None runs without
+    #: tiered storage.  With a backend set, sealed history past
+    #: ``hot_quarters`` spills to disk *while the soak hammers the
+    #: service*, so snapshot/compaction/deep-query interleavings run
+    #: against a spilling cube too.
+    storage: str | None = None
+    hot_quarters: int = 2
 
 
 @dataclass
@@ -350,12 +358,22 @@ def run_soak(config: SoakConfig, workdir: str | Path | None = None) -> SoakRepor
     ).build_layers()
     policy = GlobalSlopeThreshold(config.threshold)
     wal = QuarterWAL(snap_dir / "wal.jsonl")
+    storage_cfg = (
+        StorageConfig(
+            root=workdir / "storage",
+            backend=config.storage,
+            hot_quarters=config.hot_quarters,
+        )
+        if config.storage
+        else None
+    )
     cube = ShardedStreamCube(
         layers,
         policy,
         n_shards=config.shards,
         ticks_per_quarter=config.ticks_per_quarter,
         wal=wal,
+        storage=storage_cfg,
     )
     router = QueryRouter(cube, window_quarters=config.window)
     service = StreamCubeService(cube, router, snapshot_dir=snap_dir)
@@ -427,7 +445,9 @@ def run_soak(config: SoakConfig, workdir: str | Path | None = None) -> SoakRepor
 
     try:
         _final_audit(service, layers, policy, config, acked, report)
-        _restore_audit(service, layers, policy, snap_dir, report)
+        _restore_audit(
+            service, layers, policy, snap_dir, report, storage_cfg
+        )
     finally:
         service.close()
     report.final_quarter = cube.current_quarter
@@ -545,10 +565,14 @@ def _restore_audit(
     policy,
     snap_dir: Path,
     report: SoakReport,
+    storage_cfg: StorageConfig | None = None,
 ) -> None:
-    """The final durability check: snapshot + WAL replay == live cube."""
+    """The final durability check: snapshot + WAL replay == live cube
+    (with tiered storage, the restore reopens the same cold stores)."""
     manifest = service.write_snapshot()
-    restored = ShardedStreamCube.restore(snap_dir, layers, policy)
+    restored = ShardedStreamCube.restore(
+        snap_dir, layers, policy, storage=storage_cfg
+    )
     try:
         with QuarterWAL(snap_dir / "wal.jsonl") as journal:
             journal.replay(restored, after_seq=manifest["wal_seq"])
@@ -582,6 +606,8 @@ def main(args) -> int:
         ingest_threads=args.ingest_threads,
         query_threads=args.query_threads,
         port=args.port,
+        storage=getattr(args, "storage", None),
+        hot_quarters=getattr(args, "hot_quarters", None) or 2,
     )
     try:
         report = run_soak(config)

@@ -13,6 +13,7 @@ from repro.io import cells_from_payload, isb_from_dict
 from repro.service.http import StreamCubeService, make_server
 from repro.service.router import QueryRouter
 from repro.service.sharding import ShardedStreamCube
+from repro.storage import StorageConfig
 
 from tests.service.conftest import TPQ, workload
 
@@ -202,6 +203,87 @@ class TestBatchQueries:
         assert old["isb"] == new["isb"]
         assert old["op"] == "point"
         assert new["op"] == "cell"
+
+
+@pytest.fixture
+def tiered_service(layers, policy, tmp_path):
+    cube = ShardedStreamCube(
+        layers,
+        policy,
+        n_shards=2,
+        ticks_per_quarter=TPQ,
+        storage=StorageConfig(
+            root=tmp_path / "cold", backend="file", hot_quarters=1
+        ),
+    )
+    service = StreamCubeService(
+        cube,
+        QueryRouter(cube, window_quarters=4),
+        snapshot_dir=tmp_path / "snapshots",
+    )
+    rows = [
+        {"values": list(r.values), "t": r.t, "z": r.z} for r in workload(3)
+    ]
+    status, _ = service.handle("POST", "/ingest", {"records": rows})
+    assert status == 200
+    service.handle("POST", "/advance", {"t": 6 * TPQ})
+    yield service
+    cube.close()
+
+
+class TestStorageStats:
+    def test_storage_block_is_null_without_tiered_storage(self, loaded):
+        status, body = loaded.handle("GET", "/stats")
+        assert status == 200
+        assert body["storage"] is None
+
+    def test_storage_block_reports_the_cold_tier(self, tiered_service):
+        status, body = tiered_service.handle("GET", "/stats")
+        assert status == 200
+        storage = body["storage"]
+        assert storage["backend"] == "file"
+        assert storage["generation"] == 1
+        assert storage["hot_quarters"] == 1
+        assert storage["pages"] > 0
+        assert storage["rows"] > 0
+        assert storage["bytes_on_disk"] > 0
+        assert storage["pages_spilled"] > 0
+        assert storage["cold_slots"] > 0
+        assert len(storage["shards"]) == 2
+        assert storage["pages"] == sum(
+            shard["pages"] for shard in storage["shards"]
+        )
+
+    def test_cold_faults_show_up_after_a_deep_window(self, tiered_service):
+        _, before = tiered_service.handle("GET", "/stats")
+        # A five-quarter window starts mid-hour, so its decomposition needs
+        # quarter slots that were demoted (the resident hour slots only
+        # cover hour-aligned prefixes).
+        status, _ = tiered_service.handle(
+            "POST", "/query", {"op": "watch_list", "window": 5}
+        )
+        assert status == 200
+        _, after = tiered_service.handle("GET", "/stats")
+        assert (
+            after["storage"]["cold_faults"]
+            > before["storage"]["cold_faults"]
+        )
+
+    def test_admin_snapshot_compacts_the_cold_tier(self, tiered_service):
+        status, body = tiered_service.handle("POST", "/admin/snapshot", {})
+        assert status == 200
+        assert body["shards"] == 2
+        import json as jsonlib
+
+        manifest = jsonlib.loads(
+            (tiered_service.snapshot_dir / "manifest.json").read_text()
+        )
+        assert manifest["storage"]["backend"] == "file"
+        assert manifest["storage"]["hot_quarters"] == 1
+        # The stores survive checkpoint compaction and keep answering.
+        status, body = tiered_service.handle("GET", "/stats")
+        assert status == 200
+        assert body["storage"]["pages"] > 0
 
 
 class TestStatsEndpoint:

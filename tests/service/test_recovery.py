@@ -49,6 +49,9 @@ def serve_args(tmp_path, **overrides) -> argparse.Namespace:
         restore=None,
         snapshot_dir=str(tmp_path / "snaps"),
         snapshot_every_quarters=0,
+        storage_dir=None,
+        storage_backend="file",
+        hot_quarters=None,
     )
     defaults.update(overrides)
     return argparse.Namespace(**defaults)

@@ -1,0 +1,1 @@
+"""Tiered storage: page codec, cold-store backends, spill/fault paths."""

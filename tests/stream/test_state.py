@@ -242,6 +242,89 @@ class TestEngineSnapshot:
         assert restored.prune_idle(4) == 0
 
 
+def v1_payload(engine: StreamCubeEngine) -> dict:
+    """The pre-packed (version 1) wire shape of an engine's snapshot."""
+    state = engine.snapshot()
+    payload = engine_state_to_dict(state)
+    payload["version"] = 1
+    payload["cells"] = [
+        {
+            "values": list(values),
+            "frame": frame_to_dict(cell.frame),
+            "tick_sums": [[t, z] for t, z in cell.tick_sums.items()],
+            "last_active_quarter": cell.last_active_quarter,
+        }
+        for values, cell in state.cells.items()
+    ]
+    return payload
+
+
+class TestPackedStateCodec:
+    """Format version 2: packed base64 slot columns, version-1 compat."""
+
+    def loaded_engine(self, seed=9) -> StreamCubeEngine:
+        engine = make_engine()
+        engine.ingest_many(random_records(seed, 150, 6))
+        return engine
+
+    def test_version_2_rows_are_packed(self):
+        payload = engine_state_to_dict(self.loaded_engine().snapshot())
+        assert payload["version"] == 2
+        assert payload["cells"]
+        for row in payload["cells"]:
+            assert set(row) <= {"v", "s", "q", "t", "c"}
+            assert isinstance(row["s"], str)
+
+    def test_version_1_payload_still_loads(self):
+        engine = self.loaded_engine()
+        wire = json.loads(json.dumps(v1_payload(engine)))
+        restored = StreamCubeEngine.restore(
+            engine_state_from_dict(wire), engine.layers, engine.policy
+        )
+        assert_engines_identical(engine, restored)
+
+    def test_packed_form_is_substantially_smaller(self):
+        engine = self.loaded_engine()
+        packed = len(json.dumps(engine_state_to_dict(engine.snapshot())))
+        verbose = len(json.dumps(v1_payload(engine)))
+        assert packed < verbose / 2
+
+    def test_unknown_version_rejected(self):
+        payload = engine_state_to_dict(self.loaded_engine().snapshot())
+        payload["version"] = 3
+        with pytest.raises(CodecError, match="version"):
+            engine_state_from_dict(payload)
+
+    def test_torn_slot_blob_rejected(self):
+        payload = engine_state_to_dict(self.loaded_engine().snapshot())
+        payload["cells"][0]["s"] = payload["cells"][0]["s"][: -12]
+        with pytest.raises(CodecError):
+            engine_state_from_dict(payload)
+
+    def test_garbage_base64_rejected(self):
+        payload = engine_state_to_dict(self.loaded_engine().snapshot())
+        payload["cells"][0]["s"] = "!!!not base64!!!"
+        with pytest.raises(CodecError):
+            engine_state_from_dict(payload)
+
+    def test_torn_accumulator_column_rejected(self):
+        engine = self.loaded_engine()
+        payload = engine_state_to_dict(engine.snapshot())
+        row = next(r for r in payload["cells"] if "t" in r)
+        import base64
+
+        raw = base64.b64decode(row["t"])
+        row["t"] = base64.b64encode(raw[:-3]).decode("ascii")
+        with pytest.raises(CodecError, match="torn"):
+            engine_state_from_dict(payload)
+
+    def test_duplicate_cell_rejected(self):
+        payload = engine_state_to_dict(self.loaded_engine().snapshot())
+        payload["cells"].append(dict(payload["cells"][0]))
+        with pytest.raises(CodecError, match="duplicate"):
+            engine_state_from_dict(payload)
+
+
 @given(
     seed=st.integers(min_value=0, max_value=10_000),
     cut=st.floats(min_value=0.05, max_value=0.95),
