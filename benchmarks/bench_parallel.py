@@ -1,0 +1,214 @@
+"""Process-parallel ingest scaling: forked shard workers vs one process.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py [--json PATH]
+
+Measures batched ingest throughput (records/second through
+``ingest_batch`` + the sealing ``advance_to``) over the same seeded
+workload at:
+
+* ``inproc`` with 1 shard — the single-process baseline every scaling
+  claim is anchored to,
+* ``process`` with 1, 2 and 4 workers — forked shard engines behind the
+  supervised RPC of :mod:`repro.cluster.process`.
+
+The workload uses a bounded key space (realistic OLAP streams revisit
+cells), so the cube's route cache absorbs most of the parent-side hash
+routing and the per-record parent cost is routing + grouping + wire
+encoding.  Workers decode and apply in their own interpreters — their
+per-process GIL is the entire point — so on a machine with enough cores
+the 4-worker rate should clear twice the single-process rate.
+
+``--json PATH`` (or ``REPRO_BENCH_JSON=PATH``) writes
+``BENCH_parallel.json`` with one entry per (backend, workers) point plus
+the machine's usable-core count; the CI perf-smoke job feeds that to
+``check_regression.py --parallel-current``, which enforces the 2x
+scaling floor *only when the runner actually has 4 cores* (a 1-core
+container cannot parallelize anything) and gates normalized throughput
+against the committed baseline either way.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import random
+import sys
+import time
+from dataclasses import dataclass
+
+from repro.cubing.policy import GlobalSlopeThreshold
+from repro.service.sharding import ShardedStreamCube
+from repro.stream.generator import DatasetSpec
+from repro.stream.records import StreamRecord
+
+_TPQ = 15
+_QUARTERS = 6
+_RECORDS_PER_TICK = 400
+_LEAF_SPAN = 40  # keys drawn from 40^3 leaves: cells repeat across ticks
+
+
+@dataclass(frozen=True)
+class ParallelPoint:
+    """One (backend, workers) ingest measurement."""
+
+    backend: str
+    workers: int
+    n_records: int
+    ingest_s: float
+
+    @property
+    def ingest_rps(self) -> float:
+        return self.n_records / self.ingest_s
+
+
+def _workload(seed: int = 17) -> list[StreamRecord]:
+    rng = random.Random(seed)
+    records = []
+    for t in range(_QUARTERS * _TPQ):
+        for _ in range(_RECORDS_PER_TICK):
+            values = tuple(
+                rng.randrange(_LEAF_SPAN) for _ in range(3)
+            )
+            records.append(StreamRecord(values, t, rng.uniform(0.0, 4.0)))
+    return records
+
+
+def measure_ingest(
+    backend: str,
+    workers: int,
+    records: list[StreamRecord],
+    rounds: int = 2,
+) -> ParallelPoint:
+    layers = DatasetSpec(3, 3, 10, 1).build_layers()
+    best = float("inf")
+    for _ in range(rounds):
+        cube = ShardedStreamCube(
+            layers,
+            GlobalSlopeThreshold(0.05),
+            n_shards=workers,
+            ticks_per_quarter=_TPQ,
+            backend=backend,
+        )
+        try:
+            gc.collect()
+            t0 = time.perf_counter()
+            cube.ingest_batch(records)
+            cube.advance_to(_QUARTERS * _TPQ)
+            best = min(best, time.perf_counter() - t0)
+            assert cube.records_ingested == len(records)
+        finally:
+            cube.close()
+    return ParallelPoint(
+        backend=backend,
+        workers=workers,
+        n_records=len(records),
+        ingest_s=best,
+    )
+
+
+def parallel_series(
+    worker_counts: tuple[int, ...] = (1, 2, 4),
+) -> list[ParallelPoint]:
+    records = _workload()
+    rows = [measure_ingest("inproc", 1, records)]
+    rows.extend(
+        measure_ingest("process", k, records) for k in worker_counts
+    )
+    return rows
+
+
+def usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def render_parallel_table(rows: list[ParallelPoint]) -> str:
+    single = rows[0].ingest_rps
+    header = (
+        f"{'backend':>8} | {'workers':>7} | {'ingest rec/s':>12} | "
+        f"{'vs single':>9}"
+    )
+    lines = [
+        f"process-parallel ingest scaling ({usable_cores()} usable cores)",
+        header,
+        "-" * len(header),
+    ]
+    for p in rows:
+        lines.append(
+            f"{p.backend:>8} | {p.workers:>7} | {p.ingest_rps:>12,.0f} | "
+            f"{p.ingest_rps / single:>8.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def parallel_checks(rows: list[ParallelPoint]) -> list[tuple[str, bool]]:
+    single = rows[0]
+    process = [p for p in rows if p.backend == "process"]
+    checks = [
+        (
+            "coverage: inproc baseline plus 1/2/4-worker process points",
+            single.backend == "inproc"
+            and sorted(p.workers for p in process) == [1, 2, 4],
+        ),
+        (
+            "sanity: every point ingested the full workload",
+            all(p.n_records == single.n_records for p in rows),
+        ),
+    ]
+    if usable_cores() >= 4:
+        four = max(p.ingest_rps for p in process if p.workers == 4)
+        checks.append(
+            (
+                "scaling: 4 workers clear 2x the single-process rate",
+                four >= 2.0 * single.ingest_rps,
+            )
+        )
+    return checks
+
+
+def json_entries(rows: list[ParallelPoint], scale: str) -> list[dict]:
+    single = rows[0].ingest_rps
+    return [
+        {
+            "op": "ingest_batch",
+            "scale": scale,
+            "backend": p.backend,
+            "workers": p.workers,
+            "n_records": p.n_records,
+            "wall_s": round(p.ingest_s, 6),
+            "records_per_s": round(p.ingest_rps, 1),
+            "scaling_vs_single": round(p.ingest_rps / single, 3),
+        }
+        for p in rows
+    ]
+
+
+def main() -> int:
+    from repro.bench.jsonout import json_path_from_args, write_bench_json
+    from repro.bench.reporting import render_shape_checks
+    from repro.bench.workloads import current_scale
+
+    rows = parallel_series()
+    print(render_parallel_table(rows))
+    checks = parallel_checks(rows)
+    print(render_shape_checks(checks))
+    json_path = json_path_from_args()
+    if json_path:
+        scale = current_scale().name
+        target = write_bench_json(
+            json_path,
+            "parallel",
+            scale,
+            json_entries(rows, scale),
+            extra={"cpu_count": usable_cores()},
+        )
+        print(f"wrote {target}")
+    return 0 if all(ok for _, ok in checks) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

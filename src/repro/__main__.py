@@ -105,6 +105,7 @@ def build_service(args: argparse.Namespace):
     """
     from pathlib import Path
 
+    from repro.cluster import ClusterConfig
     from repro.service import QueryRouter, ShardedStreamCube, StreamCubeService
     from repro.storage import StorageConfig
     from repro.stream.generator import DatasetSpec
@@ -113,6 +114,28 @@ def build_service(args: argparse.Namespace):
     from repro.errors import ServiceError
 
     snapshot_dir = Path(args.snapshot_dir) if args.snapshot_dir else None
+    backend_name = getattr(args, "backend", "inproc")
+    workers = getattr(args, "workers", None)
+    if workers is not None:
+        if backend_name != "process":
+            raise ServiceError("--workers needs --backend process")
+        if args.shards is not None and args.shards != workers:
+            raise ServiceError(
+                f"--workers {workers} and --shards {args.shards} disagree; "
+                "the process backend runs one worker per shard — pass one"
+            )
+        args.shards = workers
+    # The snapshot directory doubles as the process workers' crash-recovery
+    # anchor: a restarted worker restores its slice of the latest snapshot
+    # there, then replays the WAL tail.
+    backend_cfg: str | ClusterConfig = (
+        ClusterConfig(
+            backend="process",
+            recovery_dir=str(snapshot_dir) if snapshot_dir else None,
+        )
+        if backend_name == "process"
+        else "inproc"
+    )
     if (
         snapshot_dir is not None
         and not args.restore
@@ -197,6 +220,7 @@ def build_service(args: argparse.Namespace):
             wal=wal,
             storage=storage_cfg,
             hot_quarters=args.hot_quarters,
+            backend=backend_cfg,
         )
     else:  # fresh cube — also the base of a journal-only recovery
         cube = ShardedStreamCube(
@@ -206,6 +230,7 @@ def build_service(args: argparse.Namespace):
             ticks_per_quarter=args.ticks_per_quarter,
             wal=wal,
             storage=storage_cfg,
+            backend=backend_cfg,
         )
     if args.restore:
         replayed = 0
@@ -325,6 +350,13 @@ def main(argv: list[str] | None = None) -> int:
         metavar="K",
         help="hot horizon for --storage runs (default 2)",
     )
+    soak_p.add_argument(
+        "--backend",
+        choices=("inproc", "process"),
+        default="inproc",
+        help="shard execution backend: in-process engines (default) or "
+        "one supervised worker process per shard",
+    )
 
     serve_p = sub.add_parser(
         "serve", help="run the sharded stream-cube HTTP service"
@@ -335,6 +367,22 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="engine shards (default 4; with --restore, defaults to the "
         "snapshot's count, and a different value reshards on load)",
+    )
+    serve_p.add_argument(
+        "--backend",
+        choices=("inproc", "process"),
+        default="inproc",
+        help="shard execution backend: in-process engines (default) or "
+        "one supervised worker process per shard (ingest scales past "
+        "the GIL; pair with --snapshot-dir for crash recovery)",
+    )
+    serve_p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for --backend process (one per shard; "
+        "sets the shard count)",
     )
     serve_p.add_argument(
         "--port", type=int, default=8000, help="TCP port (default 8000)"

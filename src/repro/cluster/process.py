@@ -1,0 +1,424 @@
+"""Process-parallel shards: forked workers, supervised RPC, crash recovery.
+
+Each shard engine runs in its own forked worker process
+(:func:`~repro.cluster.worker.worker_main`), connected to the parent by a
+``socketpair`` carrying the :mod:`repro.cluster.wire` frames.  Python's
+per-process GIL is the whole point: N workers seal and accumulate on N
+cores while the parent only routes, journals, and merges.
+
+Supervision model
+-----------------
+One dedicated I/O thread per worker (a single-thread executor) owns that
+worker's socket, so requests to a shard are strictly FIFO and no two
+threads ever interleave frames.  A bounded semaphore in front of each
+executor is the request queue: when ``queue_depth`` requests are in
+flight, the next submitter blocks — backpressure, not unbounded
+buffering.  A request that times out or hits EOF marks the worker dead
+(SIGKILL, socket closed) and every queued request fails fast with the
+internal :class:`~repro.cluster.wire.WorkerCrash` signal.
+
+:meth:`ProcessBackend.call` converts crashes by method classification:
+idempotent calls are retried against the revived worker, journaled
+mutations are treated as applied (the revival's WAL replay re-applied
+them), and everything else surfaces a :class:`ServiceError`.  Revival
+itself is fork + the cube-supplied ``recover`` callback (restore the
+shard's snapshot state, replay the WAL tail, re-align the clock), with a
+per-worker restart budget so a poisoned workload cannot crash-loop
+silently.
+
+Every reply piggybacks the worker's ``[quarter, records, cells]``
+counters, so cube property reads never pay a round trip.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import socket
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Any, Callable
+
+from repro.cluster import wire
+from repro.cluster.backends import ClusterConfig, ShardBackend
+from repro.cluster.wire import WorkerCrash
+from repro.cluster.worker import WorkerSpec, worker_main
+from repro.errors import ServiceError
+
+__all__ = ["ProcessBackend"]
+
+
+class _Worker:
+    """Parent-side state of one shard worker (mutated across restarts)."""
+
+    __slots__ = (
+        "index",
+        "process",
+        "sock",
+        "executor",
+        "slots",
+        "alive",
+        "epoch",
+        "restarts",
+        "counters",
+        "inflight",
+        "high_water",
+        "round_trips",
+        "gauge_lock",
+    )
+
+    def __init__(self, index: int, queue_depth: int) -> None:
+        self.index = index
+        self.process = None
+        self.sock: socket.socket | None = None
+        self.executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix=f"repro-rpc-{index}"
+        )
+        self.slots = threading.BoundedSemaphore(queue_depth)
+        self.alive = False
+        self.epoch = 0
+        self.restarts = 0
+        self.counters = [0, 0, 0]
+        self.inflight = 0
+        self.high_water = 0
+        self.round_trips = 0
+        self.gauge_lock = threading.Lock()
+
+
+class ProcessBackend(ShardBackend):
+    """One forked worker process per shard, with supervision.
+
+    Parameters
+    ----------
+    specs:
+        One :class:`~repro.cluster.worker.WorkerSpec` per shard.
+    recover:
+        Cube-supplied callback ``recover(shard)`` that rebuilds a freshly
+        forked worker's state (snapshot restore + WAL tail replay +
+        clock re-alignment).  Called under the supervisor lock after every
+        respawn; it may itself issue RPCs to the new worker.
+    config:
+        The :class:`~repro.cluster.backends.ClusterConfig` knobs.
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        specs: list[WorkerSpec],
+        recover: Callable[[int], None],
+        config: ClusterConfig,
+    ) -> None:
+        if not specs:
+            raise ServiceError("process backend needs at least one shard")
+        self.config = config
+        self._specs = specs
+        self._recover = recover
+        self._ctx = multiprocessing.get_context("fork")
+        self._lock = threading.RLock()
+        self._closed = False
+        self._restarts_total = 0
+        self._request_id = 0
+        self._workers = [
+            _Worker(i, config.queue_depth) for i in range(len(specs))
+        ]
+        try:
+            for worker in self._workers:
+                self._spawn(worker)
+            # The startup pings double as liveness checks and populate the
+            # piggybacked counters before the first property read.
+            for worker in self._workers:
+                self.submit(worker.index, "ping").result()
+        except BaseException:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------
+    # Worker lifecycle
+    # ------------------------------------------------------------------
+    def _spawn(self, worker: _Worker) -> None:
+        """Fork one worker and wire up its socket (lock held by caller)."""
+        parent_sock, child_sock = socket.socketpair()
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(child_sock, self._specs[worker.index], parent_sock),
+            daemon=True,
+            name=f"repro-shard-{worker.index}",
+        )
+        process.start()
+        child_sock.close()
+        parent_sock.settimeout(self.config.rpc_timeout)
+        worker.process = process
+        worker.sock = parent_sock
+        worker.alive = True
+        worker.epoch += 1
+
+    def _mark_dead(self, worker: _Worker) -> None:
+        """Declare a worker lost: kill it, close its socket, fail fast.
+
+        Deliberately lock-free (simple flag/fd operations only): it runs
+        on the worker's I/O thread, which must never wait on the
+        supervisor lock a reviving caller may hold while awaiting that
+        same thread.
+        """
+        worker.alive = False
+        sock = worker.sock
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+        process = worker.process
+        if process is not None and process.is_alive():
+            process.kill()
+            process.join(timeout=5.0)
+
+    def _revive(self, shard: int) -> None:
+        """Respawn a dead worker and rebuild its state (may recurse into
+        itself via the recovery RPCs, bounded by the restart budget)."""
+        with self._lock:
+            if self._closed:
+                raise ServiceError("process backend is closed")
+            worker = self._workers[shard]
+            if worker.alive:
+                return
+            if worker.restarts >= self.config.max_restarts:
+                raise ServiceError(
+                    f"shard worker {shard} exceeded its restart budget "
+                    f"({self.config.max_restarts}); giving up"
+                )
+            worker.restarts += 1
+            self._restarts_total += 1
+            self._spawn(worker)
+            try:
+                self._recover(shard)
+            except WorkerCrash:
+                # Died again mid-recovery: burn another restart.
+                self._revive(shard)
+            except BaseException:
+                # Recovery refused or failed: the fresh worker holds no
+                # state.  Leave it dead so every later call keeps failing
+                # loudly instead of silently answering from an empty
+                # shard.
+                self._mark_dead(worker)
+                raise
+
+    def _ensure_alive(self, shard: int) -> None:
+        if not self._workers[shard].alive:
+            self._revive(shard)
+
+    def kill_worker(self, shard: int) -> int:
+        """SIGKILL one worker (chaos testing); returns the killed pid.
+
+        Detection is deliberately left to the next RPC — that path *is*
+        what the chaos scenarios exercise.
+        """
+        process = self._workers[shard].process
+        if process is None or process.pid is None:
+            raise ServiceError(f"shard worker {shard} has no process")
+        os.kill(process.pid, signal.SIGKILL)
+        return process.pid
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        return len(self._workers)
+
+    def submit(self, shard: int, method: str, *args: Any) -> Future:
+        """Queue one request (bounded, FIFO); the future may fail with
+        :class:`WorkerCrash`.
+
+        Deliberately does *not* revive a dead worker: revival replays the
+        WAL, so it must only happen while no journaled work is queued
+        behind it.  ``call`` / ``settle`` revive at result time — after
+        every submission of the current logical operation is in — which
+        keeps a revived worker from ever double-applying a batch its
+        replay already covered.  A submit against a dead worker simply
+        yields a fast-failing future.
+        """
+        if self._closed:
+            raise ServiceError("process backend is closed")
+        worker = self._workers[shard]
+        payload = wire.encode_args(method, args)
+        worker.slots.acquire()  # backpressure: bounded per-worker queue
+        with worker.gauge_lock:
+            worker.inflight += 1
+            worker.high_water = max(worker.high_water, worker.inflight)
+        epoch = worker.epoch
+        try:
+            return worker.executor.submit(
+                self._roundtrip, worker, epoch, method, payload
+            )
+        except BaseException:
+            self._release_slot(worker)
+            raise
+
+    @staticmethod
+    def _release_slot(worker: _Worker) -> None:
+        with worker.gauge_lock:
+            worker.inflight -= 1
+        worker.slots.release()
+
+    def _roundtrip(
+        self, worker: _Worker, epoch: int, method: str, payload: list
+    ) -> Any:
+        """One request/reply exchange on the worker's I/O thread."""
+        try:
+            if not worker.alive or worker.epoch != epoch:
+                # Queued behind a crash (or a restart): the supervisor
+                # already rebuilt state past this request's epoch.
+                raise WorkerCrash(f"shard worker {worker.index} restarted")
+            self._request_id += 1
+            request_id = self._request_id
+            sock = worker.sock
+            try:
+                wire.send_frame(
+                    sock, {"id": request_id, "m": method, "a": payload}
+                )
+                reply = wire.recv_frame(sock)
+            except OSError as exc:  # timeout, reset, EOF mid-frame
+                self._mark_dead(worker)
+                raise WorkerCrash(
+                    f"shard worker {worker.index} failed during "
+                    f"{method}: {exc}"
+                ) from None
+            if reply is None or reply.get("id") != request_id:
+                self._mark_dead(worker)
+                raise WorkerCrash(
+                    f"shard worker {worker.index} closed its channel "
+                    f"during {method}"
+                )
+            worker.round_trips += 1
+            counters = reply.get("c")
+            if counters is not None:
+                worker.counters = counters
+            if not reply["ok"]:
+                raise wire.error_from_wire(reply["t"], reply["e"])
+            return wire.decode_result(method, reply.get("v"))
+        finally:
+            self._release_slot(worker)
+
+    def call(self, shard: int, method: str, *args: Any) -> Any:
+        """Invoke one shard, absorbing worker crashes by classification."""
+        while True:
+            try:
+                return self.submit(shard, method, *args).result()
+            except WorkerCrash:
+                outcome = self._after_crash(shard, method)
+                if outcome is not None:
+                    return None
+                # Idempotent: loop and retry against the revived worker
+                # (the restart budget bounds this loop).
+
+    def _after_crash(self, shard: int, method: str) -> bool | None:
+        """Recover from a crashed call; ``True`` = treat as applied,
+        ``None`` = retry."""
+        classification = wire.classify(method)
+        if classification == wire.UNRECOVERABLE:
+            raise ServiceError(
+                f"shard worker {shard} died during {method}, which is "
+                "neither journaled nor idempotent; cube state is not "
+                "automatically recoverable"
+            )
+        self._ensure_alive(shard)
+        if classification == wire.REPLAY_COVERED:
+            # Journaled before dispatch: the revival's WAL replay already
+            # applied it on the fresh worker.
+            return True
+        return None
+
+    def settle(self, shard: int, method: str, args: tuple, future: Future) -> Any:
+        """Resolve one submitted future, absorbing crashes like ``call``."""
+        try:
+            return future.result()
+        except WorkerCrash:
+            outcome = self._after_crash(shard, method)
+            if outcome is not None:
+                return None
+            return self.call(shard, method, *args)
+
+    def map(self, method: str, args_list: list[tuple]) -> list:
+        futures = [
+            self.submit(shard, method, *args)
+            for shard, args in enumerate(args_list)
+        ]
+        return [
+            self.settle(shard, method, args_list[shard], future)
+            for shard, future in enumerate(futures)
+        ]
+
+    def counters(self) -> list[list[int]]:
+        return [worker.counters for worker in self._workers]
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "backend": self.name,
+            "workers": len(self._workers),
+            "pids": [
+                worker.process.pid if worker.process is not None else None
+                for worker in self._workers
+            ],
+            "restarts": self._restarts_total,
+            "rpc_round_trips": sum(
+                worker.round_trips for worker in self._workers
+            ),
+            "queue_high_water": [
+                worker.high_water for worker in self._workers
+            ],
+        }
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Graceful drain: finish queued work, shut workers down, reap.
+
+        The shutdown RPC rides the same FIFO executor as normal requests,
+        so everything already queued completes first; workers that do not
+        exit in time are killed.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        shutdowns = []
+        for worker in self._workers:
+            if not worker.alive:
+                continue
+            worker.slots.acquire()
+            with worker.gauge_lock:
+                worker.inflight += 1
+            shutdowns.append(
+                (
+                    worker,
+                    worker.executor.submit(
+                        self._roundtrip,
+                        worker,
+                        worker.epoch,
+                        "shutdown",
+                        [],
+                    ),
+                )
+            )
+        for worker, future in shutdowns:
+            try:
+                future.result()
+            except Exception:
+                pass
+        for worker in self._workers:
+            process = worker.process
+            if process is not None:
+                process.join(timeout=5.0)
+                if process.is_alive():
+                    process.kill()
+                    process.join(timeout=5.0)
+            if worker.sock is not None:
+                try:
+                    worker.sock.close()
+                except OSError:
+                    pass
+            worker.alive = False
+            worker.executor.shutdown(wait=True)

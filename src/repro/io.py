@@ -24,6 +24,7 @@ and accumulator *bit for bit* — the property the snapshot/restore layer
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Any, Callable, Hashable, Mapping, TypeVar
 
@@ -32,6 +33,7 @@ from repro.regression.isb import ISB
 from repro.tilt.frame import TiltLevelSpec, TiltTimeFrame
 
 __all__ = [
+    "write_atomic",
     "isb_to_dict",
     "isb_from_dict",
     "tilt_level_to_dict",
@@ -124,6 +126,24 @@ def check_format(
             f"(this build reads version {readable})"
         )
     return int(got)
+
+
+def write_atomic(path: str | Path, text: str) -> None:
+    """Write a file through a temp name + fsync + ``os.replace``.
+
+    Shared by every durability writer (snapshot shard files, manifests,
+    worker-side snapshot RPCs).  The fsync before the rename matters:
+    checkpoint flows compact the WAL against the snapshot immediately
+    after, so the files must be durable — not just renamed in the page
+    cache — before the journal entries they supersede disappear.
+    """
+    path = Path(path)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(text)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
 
 
 def isb_to_dict(isb: ISB) -> dict[str, Any]:

@@ -11,6 +11,8 @@ Endpoints
 ---------
 ``GET  /health``   liveness + shard/quarter/record counters
 ``GET  /stats``    router cache/batch counters + partition-balance statistics
+                   + execution-backend block (backend name, worker pids,
+                   restarts, RPC round trips, queue high-water marks)
                    + durability counters (snapshots written, WAL seq)
                    + tiered-storage counters (cold pages, bytes on disk,
                    spill/fault activity; ``null`` without ``--storage-dir``)
@@ -178,6 +180,7 @@ class StreamCubeService:
             "router": self.router.stats(),
             "shard_cells": self.cube.shard_cells,
             "ticks_per_quarter": self.cube.ticks_per_quarter,
+            "parallel": self.cube.parallel_stats(),
             "storage": self.cube.storage_stats(),
             "durability": {
                 "snapshot_dir": (

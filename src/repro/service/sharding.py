@@ -4,29 +4,34 @@ Theorem 3.2 makes regression cells losslessly mergeable, so a stream cube can
 be *partitioned by m-layer key*: each key's whole history lives on exactly one
 :class:`~repro.stream.engine.StreamCubeEngine` shard, shards never exchange
 state during ingestion, and any global view is an exact disjoint-union merge
-(see :mod:`repro.service.merge`).  This is the architectural seam production
-scaling needs — the shards here are in-process engines behind a thread pool,
-but nothing in the contract prevents a later PR from putting them behind
-processes or sockets.
+(see :mod:`repro.service.merge`).  Where those shards *execute* is a backend
+choice (:mod:`repro.cluster`): in this process behind a thread pool
+(``backend="inproc"``, the default) or each behind a supervised worker
+process (``backend="process"``) for ingest that scales past the GIL.
 
-Equivalence guarantee (property-tested in ``tests/service``): for any
-quarter-ordered workload, a :class:`ShardedStreamCube` with *any* shard count
+Equivalence guarantee (property-tested in ``tests/service``, and pinned
+across backends by the chaos catalogue): for any quarter-ordered workload, a
+:class:`ShardedStreamCube` with *any* shard count and *either* backend
 produces bit-identical m-layer ISBs and per-cell exception sets to a single
-engine fed the same records, because each cell's per-tick sums, sealing
-boundaries and tilt frame evolve on its owner shard exactly as they would in
-the single engine.
+engine fed the same records — each cell's per-tick sums, sealing boundaries
+and tilt frame evolve on its owner shard exactly as they would in the single
+engine, and the process backend's JSON wire codecs round-trip floats
+bit-exactly.
 """
 
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
-import os
 import re
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 from typing import Any, Hashable, Iterable, Mapping
 
+from repro.cluster.backends import ClusterConfig, InprocBackend, ShardBackend
+from repro.cluster.process import ProcessBackend
+from repro.cluster.worker import WorkerSpec
 from repro.cube.lattice import PopularPath
 from repro.cube.layers import CriticalLayers
 from repro.cubing.policy import ExceptionPolicy
@@ -38,6 +43,7 @@ from repro.io import (
     decoding,
     engine_state_from_dict,
     engine_state_to_dict,
+    write_atomic,
 )
 from repro.regression.isb import ISB
 from repro.service.merge import disjoint_union
@@ -67,21 +73,10 @@ Values = tuple[Hashable, ...]
 _MANIFEST = "manifest.json"
 _SNAPSHOT_FORMAT = "repro-snapshot"
 
-
-def _write_atomic(path: Path, text: str) -> None:
-    """Write a file through a temp name + fsync + ``os.replace``.
-
-    The fsync before the rename matters: ``write_snapshot`` compacts the
-    WAL against the snapshot immediately after, so the snapshot files must
-    be durable — not just renamed in the page cache — before the journal
-    entries they supersede are allowed to disappear.
-    """
-    tmp = path.with_suffix(path.suffix + ".tmp")
-    with open(tmp, "w", encoding="utf-8") as fh:
-        fh.write(text)
-        fh.flush()
-        os.fsync(fh.fileno())
-    os.replace(tmp, path)
+#: Bound on the parent-side key -> shard routing cache (cleared wholesale
+#: when exceeded; routing is a pure function, so the cache is only a
+#: blake2b saver, never a correctness surface).
+_ROUTE_CACHE_LIMIT = 1 << 20
 
 
 def stable_shard_index(values: Values, n_shards: int) -> int:
@@ -89,7 +84,7 @@ def stable_shard_index(values: Values, n_shards: int) -> int:
 
     Python's built-in ``hash`` is salted per process for strings, which would
     scatter the same key to different shards across restarts (and across the
-    processes a later PR will split shards into).  An unkeyed blake2b digest
+    worker processes of the process backend).  An unkeyed blake2b digest
     over a canonical encoding is stable everywhere and cheap enough for the
     ingest path.
     """
@@ -146,16 +141,17 @@ class ShardedStreamCube:
     n_shards:
         Number of engine shards keys are hash-partitioned over.
     max_workers:
-        Thread-pool width for per-shard dispatch (default: ``n_shards``).
-        Per-cell arithmetic is pure Python, so threads mostly help when a
-        shard operation releases the GIL or a later PR swaps in process
-        shards; the pool is the dispatch seam either way.
+        Thread-pool width for per-shard dispatch on the in-process backend
+        (default: ``n_shards``).  Ignored by the process backend, where
+        each shard has a whole process.
     wal:
         Optional :class:`~repro.stream.wal.QuarterWAL` journaling the
         *cube-level* ingestion stream (batches before routing, explicit
         advances).  Shards never journal individually — replaying the cube
-        journal through :meth:`ingest_batch` re-routes every record to the
-        same owner shard, so one log covers the whole cube.
+        journal re-routes every record to the same owner shard, so one log
+        covers the whole cube.  On the process backend the journal doubles
+        as the crash-recovery source: a restarted worker replays the
+        journal tail (after its last snapshot state) to rebuild its shard.
     storage:
         Optional :class:`~repro.storage.StorageConfig`.  When given, each
         shard engine gets its own cold store under ``storage.root`` (one
@@ -163,10 +159,16 @@ class ShardedStreamCube:
         existing set written under a *different* shard count re-partitions
         the cold pages, so resharding carries deep history along), sealed
         history past ``storage.hot_quarters`` spills to disk, and deep
-        windows fault it back transparently.
+        windows fault it back transparently.  Process-backed shards open
+        their own store partition inside the worker.
     hot_quarters:
         Overrides ``storage.hot_quarters`` when given (the config default
         serves the common case).  Ignored without ``storage``.
+    backend:
+        ``"inproc"`` (default), ``"process"``, or a full
+        :class:`~repro.cluster.backends.ClusterConfig` for the supervised
+        process backend's knobs (RPC timeout, queue depth, restart budget,
+        crash-recovery snapshot directory).
 
     The cube is not safe for *concurrent callers* — the HTTP layer
     serializes access — but each call fans out across shards in parallel.
@@ -187,7 +189,13 @@ class ShardedStreamCube:
         wal: QuarterWAL | None = None,
         storage: StorageConfig | None = None,
         hot_quarters: int | None = None,
+        backend: str | ClusterConfig = "inproc",
     ) -> None:
+        # Lifecycle flags first: close() must be safe (and idempotent)
+        # even when construction fails before any resource exists.
+        self._closed = False
+        self._stores = None
+        self._backend: ShardBackend | None = None
         if n_shards < 1:
             raise ServiceError(f"n_shards must be >= 1, got {n_shards}")
         self.layers = layers
@@ -199,43 +207,104 @@ class ShardedStreamCube:
         )
         self.ticks_per_quarter = ticks_per_quarter
         levels = list(frame_levels) if frame_levels is not None else None
+        self._frame_levels = levels
+        self._cluster = (
+            backend
+            if isinstance(backend, ClusterConfig)
+            else ClusterConfig(backend=backend)
+        )
         self._storage_config = storage
         self._storage_generation = 0
-        self._stores = None
         self.hot_quarters = (
             hot_quarters
             if hot_quarters is not None
             else (storage.hot_quarters if storage is not None else None)
         )
-        if storage is not None:
-            self._storage_generation, self._stores = open_shard_stores(
-                storage, n_shards, stable_shard_index
-            )
-        self.shards = [
-            StreamCubeEngine(
-                layers,
-                policy,
-                key_fn=key_fn,
-                ticks_per_quarter=ticks_per_quarter,
-                frame_levels=levels,
-                storage=self._stores[i] if self._stores else None,
+        self._validate_values = layers.schema.values_validator(layers.m_coord)
+        self._route_cache: dict[Values, int] = {}
+        self._pruned_since_snapshot = False
+        self._snapshots_taken = 0
+        try:
+            if storage is not None:
+                self._storage_generation, self._stores = open_shard_stores(
+                    storage, n_shards, stable_shard_index
+                )
+            if self._cluster.backend == "process":
+                self._backend = self._build_process_backend(n_shards)
+            else:
+                engines = [
+                    StreamCubeEngine(
+                        layers,
+                        policy,
+                        key_fn=key_fn,
+                        ticks_per_quarter=ticks_per_quarter,
+                        frame_levels=levels,
+                        storage=self._stores[i] if self._stores else None,
+                        hot_quarters=self.hot_quarters,
+                    )
+                    for i in range(n_shards)
+                ]
+                self._backend = InprocBackend(engines, max_workers)
+        except BaseException:
+            self.close()
+            raise
+
+    def _build_process_backend(self, n_shards: int) -> ProcessBackend:
+        """Fork one supervised worker per shard.
+
+        The parent ran the generation/repartition logic by opening the
+        stores (constructor, above); workers reopen their own partition
+        locally, so the parent's handles are closed before the forks —
+        no file descriptor is shared across the process boundary.
+        """
+        if self._stores is not None:
+            for store in self._stores:
+                store.close()
+            self._stores = None
+        storage = self._storage_config
+        specs = [
+            WorkerSpec(
+                shard_index=i,
+                n_shards=n_shards,
+                layers=self.layers,
+                policy=self.policy,
+                key_fn=self._key_fn_arg,
+                ticks_per_quarter=self.ticks_per_quarter,
+                frame_levels=self._frame_levels,
+                storage_root=(
+                    str(storage.root) if storage is not None else None
+                ),
+                storage_backend=(
+                    storage.backend if storage is not None else None
+                ),
+                storage_generation=self._storage_generation,
                 hot_quarters=self.hot_quarters,
             )
             for i in range(n_shards)
         ]
-        self._pool = ThreadPoolExecutor(
-            max_workers=max_workers if max_workers is not None else n_shards,
-            thread_name_prefix="repro-shard",
+        return ProcessBackend(
+            specs, recover=self._recover_shard, config=self._cluster
         )
-        self._snapshots_taken = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        self._pool.shutdown(wait=True)
-        if self._stores is not None:
-            for store in self._stores:
+        """Release the backend and any cold stores.
+
+        Idempotent, and safe on a partially constructed cube (a failed
+        ``__init__`` calls it with whatever subset of resources exists):
+        every attribute is read defensively and closed at most once.
+        """
+        if getattr(self, "_closed", True):
+            return
+        self._closed = True
+        backend = getattr(self, "_backend", None)
+        if backend is not None:
+            backend.close()
+        stores = getattr(self, "_stores", None)
+        if stores is not None:
+            for store in stores:
                 store.close()
 
     def __enter__(self) -> "ShardedStreamCube":
@@ -248,30 +317,58 @@ class ShardedStreamCube:
     # Introspection
     # ------------------------------------------------------------------
     @property
+    def shards(self) -> list[StreamCubeEngine]:
+        """The live shard engines (in-process backend only).
+
+        Kept for diagnostics and the test suite; process-backed shards
+        live in worker processes and have no in-process engine objects.
+        """
+        if isinstance(self._backend, InprocBackend):
+            return self._backend.engines
+        raise ServiceError(
+            "shards are worker processes under the process backend; "
+            "use parallel_stats() / shard_cells instead"
+        )
+
+    @property
     def n_shards(self) -> int:
-        return len(self.shards)
+        return self._backend.n_shards
 
     @property
     def current_quarter(self) -> int:
         """The global quarter clock (shards are kept aligned)."""
-        return max(shard.current_quarter for shard in self.shards)
+        return max(c[0] for c in self._backend.counters())
 
     @property
     def records_ingested(self) -> int:
-        return sum(shard.records_ingested for shard in self.shards)
+        return sum(c[1] for c in self._backend.counters())
 
     @property
     def tracked_cells(self) -> int:
-        return sum(shard.tracked_cells for shard in self.shards)
+        return sum(c[2] for c in self._backend.counters())
 
     @property
     def shard_cells(self) -> list[int]:
         """Tracked-cell count per shard (partition-balance diagnostics)."""
-        return [shard.tracked_cells for shard in self.shards]
+        return [c[2] for c in self._backend.counters()]
 
     def shard_index(self, values: Values) -> int:
-        """The shard owning an m-layer key."""
-        return stable_shard_index(tuple(values), len(self.shards))
+        """The shard owning an m-layer key (cached: routing is pure)."""
+        key = tuple(values)
+        cache = self._route_cache
+        idx = cache.get(key)
+        if idx is None:
+            if len(cache) >= _ROUTE_CACHE_LIMIT:
+                cache.clear()
+            idx = stable_shard_index(key, self._backend.n_shards)
+            cache[key] = idx
+        return idx
+
+    def parallel_stats(self) -> dict[str, Any]:
+        """The execution backend's health block (the ``/stats`` surface):
+        backend name, worker pids, restart count, RPC round trips, and
+        per-worker queue high-water marks."""
+        return self._backend.stats()
 
     def storage_stats(self) -> dict[str, Any] | None:
         """The cube's tiered-storage picture, or ``None`` without storage.
@@ -283,9 +380,7 @@ class ShardedStreamCube:
         """
         if self._storage_config is None:
             return None
-        per_shard = self._map_shards(
-            lambda shard, _: shard.storage_stats(), self.shards
-        )
+        per_shard = self._backend.broadcast("storage_stats")
         totals = {
             key: sum(stats[key] for stats in per_shard)
             for key in (
@@ -318,17 +413,38 @@ class ShardedStreamCube:
         after each WAL truncation, so cold storage is groomed on the same
         cadence as the journal.
         """
-        if self._stores is None:
+        if self._storage_config is None:
             return 0
-        freed = sum(
-            self._map_shards(
-                lambda shard, _: shard.compact_storage(), self.shards
-            )
-        )
+        freed = sum(self._backend.broadcast("compact_storage"))
         prune_stale_generations(
             self._storage_config, self._storage_generation
         )
         return freed
+
+    # ------------------------------------------------------------------
+    # Chaos hooks (process backend only)
+    # ------------------------------------------------------------------
+    def kill_worker(self, shard: int) -> int:
+        """SIGKILL one shard worker (chaos testing); returns the pid."""
+        backend = self._backend
+        if not isinstance(backend, ProcessBackend):
+            raise ServiceError(
+                "kill_worker requires the process backend"
+            )
+        return backend.kill_worker(shard)
+
+    def arm_worker_fault(
+        self, shard: int, kind: str, method: str, seconds: float = 0.0
+    ) -> None:
+        """Arm a one-shot worker fault (``exit`` or ``sleep``) that fires
+        on the next invocation of ``method`` — the chaos scenarios' lever
+        for crash-mid-call and RPC-timeout coverage."""
+        backend = self._backend
+        if not isinstance(backend, ProcessBackend):
+            raise ServiceError(
+                "fault injection requires the process backend"
+            )
+        backend.call(shard, "_arm_fault", kind, method, seconds)
 
     # ------------------------------------------------------------------
     # Ingestion
@@ -336,7 +452,8 @@ class ShardedStreamCube:
     def ingest(self, record: StreamRecord) -> None:
         """Ingest one record on its owner shard, keeping shards aligned."""
         key = self.key_fn(record)
-        owner = self.shards[self.shard_index(key)]
+        idx = self.shard_index(key)
+        backend = self._backend
         if self.wal is not None:
             # Validate before journaling: a journaled record must never
             # fail on replay (the owner shard re-checks both conditions).
@@ -346,14 +463,18 @@ class ShardedStreamCube:
                     f"record at t={record.t} belongs to sealed quarter "
                     f"{quarter} (current quarter is {self.current_quarter})"
                 )
-            if key not in owner._cells:
-                owner.validate_cell_key(key)
+            if isinstance(backend, InprocBackend):
+                owner = backend.engines[idx]
+                if key not in owner._cells:
+                    owner.validate_cell_key(key)
+            else:
+                self._validate_values(tuple(key))
             self.wal.append_batch([record], quarter)
-        owner.ingest(record)
-        if owner.current_quarter > min(
-            shard.current_quarter for shard in self.shards
-        ):
-            self._align(owner.current_quarter)
+        backend.call(idx, "ingest", record)
+        quarters = [c[0] for c in backend.counters()]
+        top = max(quarters)
+        if top > min(quarters):
+            self._align(top)
 
     def ingest_batch(self, records: Iterable[StreamRecord]) -> int:
         """Group a quarter-ordered batch per shard and dispatch in parallel.
@@ -362,8 +483,8 @@ class ShardedStreamCube:
         :meth:`StreamCubeEngine.ingest_many` — quarters non-decreasing,
         none sealed — checked against the *global* order before any shard
         is touched, so a bad batch mutates nothing; with a WAL attached,
-        new cell keys are additionally schema-validated before the batch
-        is journaled, so a rejected batch can never poison the log.
+        cell keys are additionally schema-validated before the batch is
+        journaled, so a rejected batch can never poison the log.
         Returns the number of records ingested.
         """
         batch = list(records)
@@ -373,19 +494,26 @@ class ShardedStreamCube:
             batch, self.current_quarter, self.ticks_per_quarter
         )
         # One routing pass does all the per-record work: key once, hash
-        # once, and bucket straight into the per-quarter, per-cell groups
-        # the engines apply (so nothing downstream touches records again).
-        # The segment shape built here must mirror what
-        # StreamCubeEngine.ingest_grouped builds — both feed
-        # apply_segments' (quarter, {key: (ticks, values)}) contract.
-        n_shards = len(self.shards)
+        # once (through the route cache), and bucket straight into the
+        # per-quarter, per-cell groups the engines apply (so nothing
+        # downstream touches records again).  The segment shape built here
+        # must mirror what StreamCubeEngine.ingest_grouped builds — both
+        # feed apply_segments' (quarter, {key: (ticks, values)}) contract.
+        backend = self._backend
+        n_shards = backend.n_shards
         key_fn = self.key_fn
-        segments: list[list] = [[] for _ in self.shards]
+        route_cache = self._route_cache
+        segments: list[list] = [[] for _ in range(n_shards)]
         current: list = [None] * n_shards
         counts = [0] * n_shards
         for record, quarter in zip(batch, quarters):
             key = key_fn(record)
-            idx = stable_shard_index(key, n_shards)
+            idx = route_cache.get(key)
+            if idx is None:
+                if len(route_cache) >= _ROUTE_CACHE_LIMIT:
+                    route_cache.clear()
+                idx = stable_shard_index(key, n_shards)
+                route_cache[key] = idx
             segment = current[idx]
             if segment is None or segment[0] != quarter:
                 segment = (quarter, {})
@@ -399,18 +527,90 @@ class ShardedStreamCube:
             group[1].append(record.z)
             counts[idx] += 1
         if self.wal is not None:
-            # Journal integrity: validate every new cell key before the
-            # batch is journaled, so the log can never hold a batch that
-            # would fail on replay.  WAL-off skips the pass entirely.
-            for shard, shard_segments in zip(self.shards, segments):
-                shard.validate_segment_keys(shard_segments)
+            # Journal integrity: validate cell keys before the batch is
+            # journaled, so the log can never hold a batch that would fail
+            # on replay.  WAL-off skips the pass entirely.  The in-process
+            # backend checks only keys its engines have not seen; the
+            # process backend validates every key parent-side (strictly
+            # stronger, and it saves a round trip per shard).
+            if isinstance(backend, InprocBackend):
+                for engine, shard_segments in zip(
+                    backend.engines, segments
+                ):
+                    engine.validate_segment_keys(shard_segments)
+            else:
+                validate = self._validate_values
+                for _, groups in itertools.chain.from_iterable(segments):
+                    for key in groups:
+                        validate(key)
             self.wal.append_batch(batch, quarters[-1])
-        self._map_shards(
-            lambda shard, work: shard.apply_segments(*work),
-            list(zip(segments, counts)),
-        )
-        self._align(max(shard.current_quarter for shard in self.shards))
+        if isinstance(backend, ProcessBackend):
+            self._dispatch_chunked(backend, segments)
+        else:
+            backend.map(
+                "apply_segments", list(zip(segments, counts))
+            )
+        self._align(max(c[0] for c in backend.counters()))
         return len(batch)
+
+    def _dispatch_chunked(
+        self, backend: ProcessBackend, segments: list[list]
+    ) -> None:
+        """Pipelined dispatch of one routed batch to the worker fleet.
+
+        Each shard's segments are split at group (cell) boundaries into
+        chunks of roughly ``ingest_chunk`` records and submitted
+        round-robin, so workers start applying the head of the batch while
+        the parent is still encoding its tail — the parent's serial
+        routing/encoding cost hides behind worker compute.  Chunking is
+        bit-identical to one-shot dispatch: groups stay whole, per-shard
+        quarter order is preserved, and ``apply_segments`` is associative
+        over group-aligned splits (the engine folds each group with one
+        ``add_many`` either way).
+        """
+        target = self._cluster.ingest_chunk
+        per_shard_chunks: list[list[tuple[list, int]]] = []
+        for shard_segments in segments:
+            chunks: list[tuple[list, int]] = []
+            chunk: list = []
+            chunk_records = 0
+            chunk_groups: dict | None = None
+            chunk_quarter = -1
+            for quarter, groups in shard_segments:
+                chunk_groups = None
+                for key, (ts, zs) in groups.items():
+                    if chunk_groups is None or chunk_quarter != quarter:
+                        chunk_groups = {}
+                        chunk.append((quarter, chunk_groups))
+                        chunk_quarter = quarter
+                    chunk_groups[key] = (ts, zs)
+                    chunk_records += len(ts)
+                    if chunk_records >= target:
+                        chunks.append((chunk, chunk_records))
+                        chunk = []
+                        chunk_records = 0
+                        chunk_groups = None
+            if chunk:
+                chunks.append((chunk, chunk_records))
+            per_shard_chunks.append(chunks)
+        pending: list[tuple[int, tuple, Any]] = []
+        for round_ in itertools.zip_longest(*per_shard_chunks):
+            for shard, item in enumerate(round_):
+                if item is None:
+                    continue
+                chunk, chunk_records = item
+                args = (chunk, chunk_records)
+                pending.append(
+                    (
+                        shard,
+                        args,
+                        backend.submit(
+                            shard, "apply_segments", *args
+                        ),
+                    )
+                )
+        for shard, args, future in pending:
+            backend.settle(shard, "apply_segments", args, future)
 
     def advance_to(self, t: int) -> None:
         """Seal quiet quarters on every shard in parallel (cf. the single
@@ -419,29 +619,28 @@ class ShardedStreamCube:
             quarter = t // self.ticks_per_quarter
             if quarter > self.current_quarter:
                 self.wal.append_advance(t, quarter)
-        self._map_shards(lambda shard, _: shard.advance_to(t), self.shards)
+        self._backend.broadcast("advance_to", t)
 
     def prune_idle(self, idle_quarters: int) -> int:
-        """Drop idle cells on every shard; returns the total dropped."""
-        return sum(
-            self._map_shards(
-                lambda shard, _: shard.prune_idle(idle_quarters), self.shards
-            )
+        """Drop idle cells on every shard; returns the total dropped.
+
+        Pruning is not journaled, so on the process backend it makes the
+        WAL an incomplete account of the live state until the next
+        snapshot — crash recovery refuses to guess across that gap (see
+        :meth:`_recover_shard`).
+        """
+        dropped = sum(
+            self._backend.broadcast("prune_idle", idle_quarters)
         )
+        if dropped:
+            self._pruned_since_snapshot = True
+        return dropped
 
     def _align(self, quarter: int) -> None:
         """Bring every shard's clock to ``quarter`` (parallel no-op when
         already there)."""
         t = quarter * self.ticks_per_quarter
-        self._map_shards(lambda shard, _: shard.advance_to(t), self.shards)
-
-    def _map_shards(self, fn, args: list) -> list:
-        """Run ``fn(shard, arg)`` for every shard on the thread pool."""
-        futures = [
-            self._pool.submit(fn, shard, arg)
-            for shard, arg in zip(self.shards, args)
-        ]
-        return [future.result() for future in futures]
+        self._backend.broadcast("advance_to", t)
 
     # ------------------------------------------------------------------
     # Merged analysis (exact, Theorem 3.2 / 3.3)
@@ -449,9 +648,7 @@ class ShardedStreamCube:
     def window_isbs(self, t_b: int, t_e: int) -> dict[Values, ISB]:
         """The merged m-layer over an arbitrary sealed window."""
         return disjoint_union(
-            self._map_shards(
-                lambda shard, _: shard.window_isbs(t_b, t_e), self.shards
-            )
+            self._backend.broadcast("window_isbs", t_b, t_e)
         )
 
     def m_cells(self, window_quarters: int = 4) -> dict[Values, ISB]:
@@ -467,9 +664,7 @@ class ShardedStreamCube:
                 f"a {window_quarters}-quarter window"
             )
         return disjoint_union(
-            self._map_shards(
-                lambda shard, _: shard.m_cells(window_quarters), self.shards
-            )
+            self._backend.broadcast("m_cells", window_quarters)
         )
 
     def refresh(
@@ -498,13 +693,16 @@ class ShardedStreamCube:
         manifest.
 
         Layout: one ``shard-<i>-<generation>.json`` engine-state file per
-        shard (extracted and written in parallel on the cube's pool) plus a
-        ``manifest.json`` naming them.  The manifest is written *last*,
-        through a temp file + ``os.replace``, so a crash mid-snapshot
-        leaves the previous snapshot fully intact — the generation tag in
-        the shard filenames keeps new files from overwriting the ones the
-        old manifest still references.  Stale shard files from earlier
-        generations are removed after the manifest lands.
+        shard plus a ``manifest.json`` naming them.  Each shard writes its
+        own file *where its state lives* — on the in-process backend that
+        is a pool thread, on the process backend the worker itself — so a
+        process-backed snapshot never ships cell payloads through the
+        parent.  The manifest is written *last*, through a temp file +
+        ``os.replace``, so a crash mid-snapshot leaves the previous
+        snapshot fully intact — the generation tag in the shard filenames
+        keeps new files from overwriting the ones the old manifest still
+        references.  Stale shard files from earlier generations are
+        removed after the manifest lands.
 
         ``extra``, when given, is stored under the manifest's ``"app"`` key
         — the serving CLI records its schema flags there so ``--restore``
@@ -512,9 +710,6 @@ class ShardedStreamCube:
         """
         target = Path(directory)
         target.mkdir(parents=True, exist_ok=True)
-        states = self._map_shards(
-            lambda shard, _: shard.snapshot(), self.shards
-        )
         wal_seq = self.wal.last_seq if self.wal is not None else 0
         # The generation tag makes each snapshot's shard filenames unique:
         # a counter monotonic across both this cube's snapshots and
@@ -536,22 +731,18 @@ class ShardedStreamCube:
             f"q{self.current_quarter}-s{wal_seq}"
             f"-r{self.records_ingested}-g{self._snapshots_taken}"
         )
+        n_shards = self._backend.n_shards
         names = [
-            f"shard-{i:02d}-{generation}.json" for i in range(len(states))
+            f"shard-{i:02d}-{generation}.json" for i in range(n_shards)
         ]
-
-        def write_shard(_shard: StreamCubeEngine, work) -> None:
-            name, state = work
-            _write_atomic(
-                target / name,
-                json.dumps(engine_state_to_dict(state)),
-            )
-
-        self._map_shards(write_shard, list(zip(names, states)))
+        self._backend.map(
+            "snapshot_to_file",
+            [(str(target / name),) for name in names],
+        )
         manifest: dict[str, Any] = {
             "format": _SNAPSHOT_FORMAT,
             "version": STATE_VERSION,
-            "n_shards": len(self.shards),
+            "n_shards": n_shards,
             "ticks_per_quarter": self.ticks_per_quarter,
             "current_quarter": self.current_quarter,
             "records_ingested": self.records_ingested,
@@ -566,15 +757,18 @@ class ShardedStreamCube:
                 "backend": self._storage_config.backend,
                 "hot_quarters": self.hot_quarters,
                 "generation": self._storage_generation,
-                "n_shards": len(self.shards),
+                "n_shards": n_shards,
             }
         if extra:
             manifest["app"] = dict(extra)
-        _write_atomic(target / _MANIFEST, json.dumps(manifest, indent=1))
+        write_atomic(target / _MANIFEST, json.dumps(manifest, indent=1))
         referenced = set(names)
         for stale in target.glob("shard-*.json"):
             if stale.name not in referenced:
                 stale.unlink(missing_ok=True)
+        # A durable snapshot re-anchors crash recovery: everything the WAL
+        # cannot reproduce (e.g. pruning) is now inside the checkpoint.
+        self._pruned_since_snapshot = False
         return manifest
 
     @staticmethod
@@ -602,6 +796,7 @@ class ShardedStreamCube:
         wal: QuarterWAL | None = None,
         storage: StorageConfig | None = None,
         hot_quarters: int | None = None,
+        backend: str | ClusterConfig = "inproc",
     ) -> "ShardedStreamCube":
         """Rebuild a cube from a snapshot directory.
 
@@ -614,6 +809,9 @@ class ShardedStreamCube:
         with tiered storage needs ``storage`` pointing at the same cold
         root (``hot_quarters`` defaults to the snapshot's setting); the
         shard-count change case re-partitions the cold pages on open.
+        ``backend`` selects the execution backend of the restored cube —
+        snapshots are backend-agnostic, so a cube snapshotted in-process
+        restores onto worker processes and vice versa.
         Follow with ``wal.replay(cube, after_seq=manifest["wal_seq"])`` to
         recover an interrupted run (the serving CLI does this for you).
         """
@@ -657,6 +855,7 @@ class ShardedStreamCube:
             wal=wal,
             storage=storage,
             hot_quarters=hot_quarters,
+            backend=backend,
         )
 
     def reshard(
@@ -676,9 +875,7 @@ class ShardedStreamCube:
         it when the cut-over is done); the returned cube shares no mutable
         state with it.
         """
-        states = self._map_shards(
-            lambda shard, _: shard.snapshot(), self.shards
-        )
+        states = self._backend.broadcast("snapshot")
         return type(self)._from_states(
             states,
             self.layers,
@@ -689,6 +886,7 @@ class ShardedStreamCube:
             wal=None,
             storage=self._storage_config,
             hot_quarters=self.hot_quarters,
+            backend=self._cluster,
         )
 
     @classmethod
@@ -703,6 +901,7 @@ class ShardedStreamCube:
         wal: QuarterWAL | None,
         storage: StorageConfig | None = None,
         hot_quarters: int | None = None,
+        backend: str | ClusterConfig = "inproc",
     ) -> "ShardedStreamCube":
         """Build a cube from per-shard engine states, re-partitioning when
         the target shard count differs from ``len(states)``."""
@@ -740,12 +939,116 @@ class ShardedStreamCube:
             wal=wal,
             storage=storage,
             hot_quarters=hot_quarters,
+            backend=backend,
         )
-        cube._map_shards(
-            lambda shard, state: shard.load_state(state), states
-        )
+        cube._backend.map("load_state", [(state,) for state in states])
         return cube
 
+    # ------------------------------------------------------------------
+    # Crash recovery (process backend)
+    # ------------------------------------------------------------------
+    def _recover_shard(self, shard: int) -> None:
+        """Rebuild one freshly restarted worker's shard state.
+
+        Recovery composes exactly like the cube-level recovery idiom:
+        restore the shard's slice of the last snapshot (when the
+        supervisor's ``recovery_dir`` holds one for this shard count),
+        then replay the WAL tail routed to this shard, then re-align the
+        quarter clock.  Refuses loudly whenever the journal cannot account
+        for the live state — no WAL attached, a snapshot from a different
+        shard count, or un-snapshotted pruning — rather than resurrecting
+        a subtly divergent shard.
+        """
+        if self.wal is None:
+            raise ServiceError(
+                f"shard worker {shard} crashed but no WAL is attached; "
+                "its state cannot be rebuilt — attach a WAL (and a "
+                "recovery snapshot directory) to run process shards "
+                "through crashes"
+            )
+        if self._pruned_since_snapshot:
+            raise ServiceError(
+                "prune_idle ran after the last snapshot; the WAL cannot "
+                "reproduce pruning, so the crashed shard cannot be "
+                "rebuilt bit-identically — snapshot after pruning to "
+                "re-anchor recovery"
+            )
+        submit = self._backend.submit
+        after = 0
+        recovery_dir = self._cluster.recovery_dir
+        if (
+            recovery_dir is not None
+            and (Path(recovery_dir) / _MANIFEST).exists()
+        ):
+            manifest = self.read_manifest(recovery_dir)
+            if int(manifest["n_shards"]) != self._backend.n_shards:
+                raise ServiceError(
+                    "recovery snapshot was written under "
+                    f"{manifest['n_shards']} shards but the cube runs "
+                    f"{self._backend.n_shards}; cannot restore one shard "
+                    "from it"
+                )
+            name = manifest["shards"][shard]
+            payload = decoding(
+                "snapshot",
+                lambda: json.loads(
+                    (Path(recovery_dir) / name).read_text()
+                ),
+            )
+            submit(
+                shard, "load_state", engine_state_from_dict(payload)
+            ).result()
+            after = int(manifest["wal_seq"])
+        self._replay_into_shard(shard, after)
+
+    def _replay_into_shard(self, shard: int, after_seq: int) -> None:
+        """Replay the WAL tail (``seq > after_seq``) into one shard.
+
+        Batches are re-routed record by record (``stable_shard_index`` is
+        process-stable, so every record lands on the same owner it did
+        originally) and re-grouped into the same segment shape the live
+        dispatch built.  Alignment advances are *derived* state and not
+        journaled, so the final explicit ``advance_to`` re-seals the shard
+        up to the cube clock — deferred sealing is bit-identical because
+        each quarter's accumulator is complete before it seals either way.
+        """
+        tpq = self.ticks_per_quarter
+        n_shards = self._backend.n_shards
+        key_fn = self.key_fn
+        submit = self._backend.submit
+        for entry in self.wal.entries(after_seq=after_seq):
+            if entry.kind == "advance":
+                submit(shard, "advance_to", entry.t).result()
+                continue
+            assert entry.records is not None
+            segments: list = []
+            groups: dict | None = None
+            segment_quarter = -1
+            count = 0
+            for record in entry.records:
+                key = key_fn(record)
+                if stable_shard_index(tuple(key), n_shards) != shard:
+                    continue
+                quarter = record.t // tpq
+                if groups is None or quarter != segment_quarter:
+                    groups = {}
+                    segments.append((quarter, groups))
+                    segment_quarter = quarter
+                group = groups.get(key)
+                if group is None:
+                    groups[key] = group = ([], [])
+                group[0].append(record.t)
+                group[1].append(record.z)
+                count += 1
+            if segments:
+                submit(shard, "apply_segments", segments, count).result()
+        submit(
+            shard, "advance_to", self.current_quarter * tpq
+        ).result()
+
+    # ------------------------------------------------------------------
+    # Change analysis
+    # ------------------------------------------------------------------
     def change_exceptions(self, quarters_apart: int = 1) -> dict[Values, ISB]:
         """Merged m-layer window-over-window change exceptions.
 
@@ -753,10 +1056,7 @@ class ShardedStreamCube:
         union of the per-shard answers.
         """
         return disjoint_union(
-            self._map_shards(
-                lambda shard, _: shard.change_exceptions(quarters_apart),
-                self.shards,
-            )
+            self._backend.broadcast("change_exceptions", quarters_apart)
         )
 
     def o_layer_change_exceptions(

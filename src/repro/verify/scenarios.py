@@ -25,6 +25,16 @@ system spills sealed history past a small hot horizon into a cold store,
 and the :class:`DeepWindow` event queries windows that *only* the cold
 tier can answer — any catalogue entry can be re-run spilling via
 ``run_scenario(name, seed, storage="file")``.
+
+Scenarios likewise pick a shard *execution backend*
+(``Scenario.backend``): the default ``"inproc"`` runs engines in-process,
+``"process"`` puts every cube shard behind a supervised worker process —
+same events, same oracle, same bit-identity requirement, now across an RPC
+boundary.  The :class:`KillWorker` and :class:`SlowRpc` events inject
+worker crashes (SIGKILL, die-inside-a-method) and RPC timeouts, so the
+supervisor's restore + WAL-replay recovery is differentially verified too.
+Any catalogue entry can be re-run process-backed via
+``run_scenario(name, seed, backend="process")``.
 """
 
 from __future__ import annotations
@@ -37,6 +47,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Hashable
 
+from repro.cluster import ClusterConfig
 from repro.cubing.policy import GlobalSlopeThreshold
 from repro.query.api import RegressionCubeView
 from repro.query.exec import execute
@@ -73,6 +84,8 @@ __all__ = [
     "Prune",
     "CacheChurn",
     "DeepWindow",
+    "KillWorker",
+    "SlowRpc",
 ]
 
 Values = tuple[Hashable, ...]
@@ -179,6 +192,39 @@ class DeepWindow:
     samples: int = 2
 
 
+@dataclass(frozen=True)
+class KillWorker:
+    """Crash one shard worker (process backend only).
+
+    With ``during=None`` the worker is SIGKILLed immediately — detection
+    is left to the next RPC, exactly like a real crash.  With ``during``
+    set to a method name, a one-shot exit fault is armed instead and the
+    worker dies *inside* that method on its next invocation (without
+    replying): ``"apply_segments"`` kills it mid-batch, so the journaled
+    batch must survive through WAL replay; ``"snapshot_to_file"`` kills it
+    mid-snapshot, so the idempotent retry must still produce a complete,
+    untorn snapshot.  ``shard`` picks the victim (default: seeded random).
+    """
+
+    shard: int | None = None
+    during: str | None = None
+
+
+@dataclass(frozen=True)
+class SlowRpc:
+    """Arm a one-shot stall long enough to trip the RPC timeout.
+
+    The worker sleeps inside ``method`` past the scenario's
+    ``rpc_timeout``; the supervisor must declare it dead, revive it
+    (snapshot + WAL replay), and — the method being idempotent — retry to
+    the same answer the oracle expects.  Process backend only.
+    """
+
+    seconds: float = 1.5
+    method: str = "m_cells"
+    shard: int | None = None
+
+
 Event = (
     Traffic
     | Advance
@@ -189,6 +235,8 @@ Event = (
     | Prune
     | CacheChurn
     | DeepWindow
+    | KillWorker
+    | SlowRpc
 )
 
 
@@ -218,6 +266,13 @@ class Scenario:
     cell_pool: int = 10
     storage: str | None = None
     hot_quarters: int = 2
+    #: Shard execution backend ("inproc" / "process").  Process-backed
+    #: scenarios run the cube leg against supervised worker processes,
+    #: with the scenario's snapshot directory as the recovery anchor.
+    backend: str = "inproc"
+    #: RPC timeout for process-backed scenarios (tightened by the
+    #: timeout-injection scenario so SlowRpc trips it quickly).
+    rpc_timeout: float = 30.0
 
 
 @dataclass
@@ -278,6 +333,14 @@ class ScenarioRunner:
         self.snap_dir = self.workdir / "snapshots"
         self.wal_path = self.snap_dir / "wal.jsonl"
         self.snap_dir.mkdir(parents=True, exist_ok=True)
+        # The snapshot directory doubles as the process workers'
+        # crash-recovery anchor: a revived worker restores its slice of
+        # the latest snapshot there and replays the WAL tail.
+        self._cluster = ClusterConfig(
+            backend=scenario.backend,
+            rpc_timeout=scenario.rpc_timeout,
+            recovery_dir=str(self.snap_dir),
+        )
         self.cube = ShardedStreamCube(
             self.layers,
             self.policy,
@@ -286,6 +349,7 @@ class ScenarioRunner:
             wal=QuarterWAL(self.wal_path),
             storage=self._cube_storage,
             hot_quarters=scenario.hot_quarters if scenario.storage else None,
+            backend=self._cluster,
         )
         self.router = QueryRouter(self.cube, window_quarters=scenario.window)
         self.oracle = RawStreamOracle(
@@ -337,6 +401,8 @@ class ScenarioRunner:
             Prune: self._prune,
             CacheChurn: self._cache_churn,
             DeepWindow: self._deep_window,
+            KillWorker: self._kill_worker,
+            SlowRpc: self._slow_rpc,
         }[type(event)]
         handler(event)
 
@@ -794,6 +860,7 @@ class ScenarioRunner:
             self.policy,
             storage=self._cube_storage,
             hot_quarters=hot,
+            backend=self._cluster,
         )
         old = self.cube
         try:
@@ -960,6 +1027,35 @@ class ScenarioRunner:
                 f"cells, oracle {self.oracle.tracked_cells}"
             )
         self.report.checks += 1
+
+    # -- chaos: worker crashes and RPC timeouts -------------------------
+    def _pick_shard(self, shard: int | None) -> int:
+        if self.scenario.backend != "process":
+            raise VerifyMismatch(
+                "scenario bug: worker-chaos event without backend='process'"
+            )
+        return (
+            shard
+            if shard is not None
+            else self.rng.randrange(self.cube.n_shards)
+        )
+
+    def _kill_worker(self, event: KillWorker) -> None:
+        shard = self._pick_shard(event.shard)
+        if event.during is not None:
+            self.cube.arm_worker_fault(shard, "exit", event.during)
+        else:
+            self.cube.kill_worker(shard)
+
+    def _slow_rpc(self, event: SlowRpc) -> None:
+        shard = self._pick_shard(event.shard)
+        if event.seconds <= self.scenario.rpc_timeout:
+            raise VerifyMismatch(
+                "scenario bug: SlowRpc stall must exceed rpc_timeout"
+            )
+        self.cube.arm_worker_fault(
+            shard, "sleep", event.method, event.seconds
+        )
 
     def _cache_churn(self, event: CacheChurn) -> None:
         window = self.scenario.window
@@ -1216,6 +1312,49 @@ SCENARIOS: dict[str, Scenario] = {
             cell_pool=8,
         ),
         _scenario(
+            "worker_crash_midquarter",
+            "Process workers killed mid-quarter — outright and from inside "
+            "a batch dispatch; WAL replay must rebuild them bit-identically.",
+            Traffic(quarters=2, rate=3),
+            KillWorker(),  # SIGKILL; detected by the next batch's RPC
+            Traffic(quarters=2, rate=3),
+            KillWorker(during="apply_segments"),  # dies mid-dispatch
+            Traffic(quarters=2, rate=3),
+            Advance(1),
+            Check(cube=True, changes=True),
+            backend="process",
+        ),
+        _scenario(
+            "worker_crash_snapshot",
+            "A worker dies inside snapshot extraction; the idempotent "
+            "retry against the revived worker must still produce a "
+            "complete snapshot the restore verifies against.",
+            Traffic(quarters=3, rate=3),
+            SnapshotRestore(),  # baseline manifest = the recovery anchor
+            Traffic(quarters=1, rate=3),
+            KillWorker(during="snapshot_to_file"),
+            SnapshotRestore(),  # crash fires mid-extract; retry completes
+            Traffic(quarters=2, rate=3),
+            Advance(1),
+            Check(cube=True),
+            backend="process",
+        ),
+        _scenario(
+            "rpc_timeout_retry",
+            "A worker stalls past the RPC timeout; the supervisor kills, "
+            "revives and retries the idempotent read to the oracle's "
+            "answer.",
+            Traffic(quarters=4, rate=3),
+            Advance(1),
+            SlowRpc(seconds=1.5, method="m_cells"),
+            Check(),  # the stalled m_cells trips the timeout mid-check
+            Traffic(quarters=1, rate=3),
+            Advance(1),
+            Check(changes=True),
+            backend="process",
+            rpc_timeout=0.5,
+        ),
+        _scenario(
             "kitchen_sink",
             "Everything composed: all traffic shapes, durability, queries.",
             Traffic(quarters=3, rate=3),
@@ -1241,13 +1380,17 @@ def run_scenario(
     workdir: str | Path | None = None,
     storage: str | None = None,
     hot_quarters: int | None = None,
+    backend: str | None = None,
 ) -> ScenarioReport:
     """Run one scenario under one seed; raises :class:`VerifyMismatch` on
     any disagreement.  ``workdir`` (for snapshots, journals and cold
     stores) defaults to a fresh temporary directory.  ``storage`` /
     ``hot_quarters`` override the scenario's tiered-storage configuration,
     so the whole catalogue can be replayed spilling:
-    ``run_scenario("kitchen_sink", seed, storage="file")``."""
+    ``run_scenario("kitchen_sink", seed, storage="file")``; ``backend``
+    likewise overrides the execution backend, so the whole catalogue can
+    be replayed against process workers:
+    ``run_scenario("kitchen_sink", seed, backend="process")``."""
     if isinstance(scenario, str):
         scenario = SCENARIOS[scenario]
     overrides: dict[str, Any] = {}
@@ -1255,6 +1398,8 @@ def run_scenario(
         overrides["storage"] = storage
     if hot_quarters is not None:
         overrides["hot_quarters"] = hot_quarters
+    if backend is not None:
+        overrides["backend"] = backend
     if overrides:
         scenario = dataclasses.replace(scenario, **overrides)
     if workdir is not None:

@@ -37,6 +37,7 @@ import urllib.request
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.cluster import ClusterConfig
 from repro.cubing.policy import GlobalSlopeThreshold
 from repro.io import isb_from_dict
 from repro.query.spec import Q
@@ -85,6 +86,12 @@ class SoakConfig:
     #: against a spilling cube too.
     storage: str | None = None
     hot_quarters: int = 2
+    #: Shard execution backend ("inproc" / "process").  The process leg
+    #: runs the whole soak — concurrent ingest, queries, snapshots and the
+    #: final oracle + restore audits — against live worker processes, with
+    #: the snapshot directory doubling as the workers' crash-recovery
+    #: anchor.
+    backend: str = "inproc"
 
 
 @dataclass
@@ -374,6 +381,9 @@ def run_soak(config: SoakConfig, workdir: str | Path | None = None) -> SoakRepor
         ticks_per_quarter=config.ticks_per_quarter,
         wal=wal,
         storage=storage_cfg,
+        backend=ClusterConfig(
+            backend=config.backend, recovery_dir=str(snap_dir)
+        ),
     )
     router = QueryRouter(cube, window_quarters=config.window)
     service = StreamCubeService(cube, router, snapshot_dir=snap_dir)
@@ -608,6 +618,7 @@ def main(args) -> int:
         port=args.port,
         storage=getattr(args, "storage", None),
         hot_quarters=getattr(args, "hot_quarters", None) or 2,
+        backend=getattr(args, "backend", "inproc"),
     )
     try:
         report = run_soak(config)

@@ -1,0 +1,22 @@
+"""Shared fixtures for the cluster tests: same schema/workload as service."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cube.layers import CriticalLayers
+from repro.cubing.policy import GlobalSlopeThreshold
+from repro.stream.generator import DatasetSpec
+
+from tests.service.conftest import TPQ, workload  # noqa: F401  (re-export)
+
+
+@pytest.fixture
+def layers() -> CriticalLayers:
+    """A D2L2C3 fanout schema (9 leaves per dimension)."""
+    return DatasetSpec(2, 2, 3, 1).build_layers()
+
+
+@pytest.fixture
+def policy() -> GlobalSlopeThreshold:
+    return GlobalSlopeThreshold(0.1)

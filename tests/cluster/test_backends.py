@@ -1,0 +1,168 @@
+"""The backend seam in-process: config validation, dispatch, the host.
+
+:class:`InprocBackend` and :class:`ShardHost` are the halves every
+backend shares — covering them here means the process workers run
+already-tested dispatch code, with only the socket loop process-only.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Future
+
+import pytest
+
+from repro.cluster import ClusterConfig, InprocBackend, ShardBackend, ShardHost
+from repro.errors import ServiceError
+from repro.stream.engine import StreamCubeEngine
+from repro.stream.records import StreamRecord
+
+from tests.cluster.conftest import TPQ, workload
+
+
+def make_engines(layers, policy, n=2):
+    return [
+        StreamCubeEngine(layers, policy, ticks_per_quarter=TPQ)
+        for _ in range(n)
+    ]
+
+
+class TestClusterConfig:
+    def test_defaults_are_inproc(self):
+        config = ClusterConfig()
+        assert config.backend == "inproc"
+        assert config.queue_depth >= 1
+        assert config.ingest_chunk >= 1
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ServiceError, match="unknown shard backend"):
+            ClusterConfig(backend="threads")
+
+    def test_queue_depth_must_be_positive(self):
+        with pytest.raises(ServiceError, match="queue_depth"):
+            ClusterConfig(queue_depth=0)
+
+    def test_ingest_chunk_must_be_positive(self):
+        with pytest.raises(ServiceError, match="ingest_chunk"):
+            ClusterConfig(ingest_chunk=0)
+
+
+class TestInprocBackend:
+    def test_call_and_counters(self, layers, policy):
+        backend = InprocBackend(make_engines(layers, policy))
+        try:
+            backend.call(0, "ingest", StreamRecord((0, 0), 0, 1.0))
+            backend.call(1, "ingest", StreamRecord((1, 1), 0, 2.0))
+            backend.broadcast("advance_to", TPQ)
+            counters = backend.counters()
+            assert [c[0] for c in counters] == [1, 1]
+            assert [c[1] for c in counters] == [1, 1]
+        finally:
+            backend.close()
+
+    def test_map_with_per_shard_args(self, layers, policy):
+        backend = InprocBackend(make_engines(layers, policy))
+        try:
+            backend.map(
+                "ingest",
+                [
+                    (StreamRecord((0, 0), 0, 1.0),),
+                    (StreamRecord((1, 1), 1, 2.0),),
+                ],
+            )
+            assert [c[1] for c in backend.counters()] == [1, 1]
+        finally:
+            backend.close()
+
+    def test_engines_property_exposes_live_engines(self, layers, policy):
+        engines = make_engines(layers, policy)
+        backend = InprocBackend(engines)
+        try:
+            assert backend.engines == engines
+            assert backend.n_shards == 2
+        finally:
+            backend.close()
+
+    def test_stats_shape(self, layers, policy):
+        backend = InprocBackend(make_engines(layers, policy, n=3))
+        try:
+            stats = backend.stats()
+            assert stats["backend"] == "inproc"
+            assert stats["workers"] == 3
+            assert stats["pids"] == []
+            assert stats["restarts"] == 0
+            assert stats["queue_high_water"] == [0, 0, 0]
+        finally:
+            backend.close()
+
+    def test_base_settle_is_future_result(self, layers, policy):
+        future: Future = Future()
+        future.set_result("value")
+        assert (
+            ShardBackend.settle(object(), 0, "ping", (), future) == "value"
+        )
+
+
+class TestShardHost:
+    def host(self, layers, policy):
+        return ShardHost(
+            StreamCubeEngine(layers, policy, ticks_per_quarter=TPQ)
+        )
+
+    def test_unknown_method_rejected(self, layers, policy):
+        with pytest.raises(ServiceError, match="unknown shard method"):
+            self.host(layers, policy).invoke("load_statee", ())
+        # Dunder / private engine internals are not reachable either.
+        with pytest.raises(ServiceError, match="unknown shard method"):
+            self.host(layers, policy).invoke("_cells", ())
+
+    def test_counters_track_engine(self, layers, policy):
+        host = self.host(layers, policy)
+        records = workload(3, quarters=2)
+        host.invoke("ingest", (records[0],))
+        host.invoke("advance_to", (2 * TPQ,))
+        quarter, ingested, cells = host.counters()
+        assert quarter == 2
+        assert ingested == 1
+        assert cells == 1
+
+    def test_arm_fault_rejects_unknown_kind(self, layers, policy):
+        with pytest.raises(ServiceError, match="unknown fault kind"):
+            self.host(layers, policy).invoke(
+                "_arm_fault", ("segfault", "ping")
+            )
+
+    def test_sleep_fault_is_one_shot(self, layers, policy):
+        host = self.host(layers, policy)
+        host.invoke("_arm_fault", ("sleep", "ping", 0.05))
+        begin = time.monotonic()
+        host.invoke("ping", ())
+        assert time.monotonic() - begin >= 0.05
+        assert host._fault is None  # disarmed
+        begin = time.monotonic()
+        host.invoke("ping", ())
+        assert time.monotonic() - begin < 0.05
+
+    def test_fault_only_fires_on_named_method(self, layers, policy):
+        host = self.host(layers, policy)
+        host.invoke("_arm_fault", ("sleep", "m_cells", 0.05))
+        host.invoke("ping", ())
+        assert host._fault is not None  # still armed
+
+    def test_snapshot_to_file_round_trips(self, layers, policy, tmp_path):
+        host = self.host(layers, policy)
+        host.invoke("ingest", (StreamRecord((2, 2), 0, 3.5),))
+        host.invoke("advance_to", (TPQ,))
+        target = tmp_path / "shard.json"
+        host.invoke("snapshot_to_file", (str(target),))
+
+        import json
+
+        from repro.io import engine_state_from_dict
+
+        state = engine_state_from_dict(
+            json.loads(target.read_text(encoding="utf-8"))
+        )
+        fresh = StreamCubeEngine(layers, policy, ticks_per_quarter=TPQ)
+        fresh.load_state(state)
+        assert fresh.m_cells(1) == host.engine.m_cells(1)
