@@ -10,7 +10,8 @@ Usage::
         [--storage-baseline benchmarks/baselines/BENCH_storage.json] \
         [--parallel-current out/BENCH_parallel.json] \
         [--parallel-baseline benchmarks/baselines/BENCH_parallel.json] \
-        [--min-scaling 2.0] [--max-regression 0.25]
+        [--faults-current out/BENCH_faults.json] \
+        [--min-scaling 2.0] [--max-regression 0.25] [--min-fault-ratio 0.98]
 
 Compares the current run's ``ingest_batch`` records/s per shard count
 against the committed baseline and exits non-zero if any point regresses by
@@ -217,6 +218,43 @@ def compare_parallel(
     return lines
 
 
+def check_faults(current: dict, min_ratio: float) -> list[str]:
+    """Gate the fault-seam overhead bench: disarmed guards stay cheap.
+
+    Self-contained (no committed baseline): ``bench_faults.py`` measures
+    the stubbed-guards and disarmed-guards ingest rates in the *same*
+    run on the *same* machine, so the ratio needs no hardware
+    normalization.  FAIL when the disarmed path keeps less than
+    ``min_ratio`` of stubbed throughput — the injection seam has grown a
+    real cost on the hot path.
+    """
+    by_mode = {
+        str(entry.get("mode")): float(entry.get("records_per_s") or 0.0)
+        for entry in current.get("entries", [])
+        if entry.get("op") == "ingest_batch"
+    }
+    stubbed = by_mode.get("stubbed")
+    disarmed = by_mode.get("disarmed")
+    if not stubbed or not disarmed:
+        return [
+            "FAIL faults document needs stubbed and disarmed "
+            "ingest_batch entries"
+        ]
+    ratio = disarmed / stubbed
+    verdict = "PASS" if ratio >= min_ratio else "FAIL"
+    lines = [
+        f"{verdict} seam overhead: disarmed at {ratio:.3f}x of stubbed "
+        f"ingest throughput (floor {min_ratio:.2f}x)"
+    ]
+    armed = by_mode.get("armed-quiet")
+    if armed:
+        lines.append(
+            f"info armed-quiet: {armed / stubbed:.3f}x of stubbed "
+            "(not gated; the price of running under a plan)"
+        )
+    return lines
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -244,6 +282,16 @@ def main(argv: list[str] | None = None) -> int:
         "--parallel-current", type=Path, default=None,
         help="freshly generated BENCH_parallel.json (enables the process-"
         "scaling gate)",
+    )
+    parser.add_argument(
+        "--faults-current", type=Path, default=None,
+        help="freshly generated BENCH_faults.json (enables the fault-seam "
+        "overhead gate; self-baselined, no committed document needed)",
+    )
+    parser.add_argument(
+        "--min-fault-ratio", type=float, default=0.98,
+        help="required disarmed/stubbed ingest throughput ratio for the "
+        "fault-injection seam (default 0.98 — a <2%% cost)",
     )
     parser.add_argument(
         "--min-scaling", type=float, default=2.0,
@@ -282,6 +330,15 @@ def main(argv: list[str] | None = None) -> int:
         failed |= any(line.startswith("FAIL") for line in parallel_lines)
         print("perf smoke: process-parallel ingest scaling")
         for line in parallel_lines:
+            print(" ", line)
+    if args.faults_current is not None:
+        fault_lines = check_faults(
+            json.loads(args.faults_current.read_text()),
+            args.min_fault_ratio,
+        )
+        failed |= any(line.startswith("FAIL") for line in fault_lines)
+        print("perf smoke: fault-injection seam overhead")
+        for line in fault_lines:
             print(" ", line)
     print("perf smoke:", "FAIL" if failed else "PASS")
     return 1 if failed else 0

@@ -265,10 +265,21 @@ def build_service(args: argparse.Namespace):
 
 
 def serve_command(args: argparse.Namespace) -> int:
+    from repro import faults
     from repro.errors import ReproError
     from repro.service import serve
 
     try:
+        if getattr(args, "fault_plan", None):
+            # Armed before the cube exists so process workers inherit the
+            # plan through their WorkerSpec (supervisor sites dropped on
+            # the worker side) and every store/WAL opens under it.
+            plan = faults.load_plan(args.fault_plan, args.fault_seed)
+            faults.install(plan)
+            print(
+                f"fault injection armed: {args.fault_plan} "
+                f"(seed {args.fault_seed}, {len(plan.rules)} rules)"
+            )
         service = build_service(args)
         layers = service.cube.layers
         print(f"schema: {layers.describe()}")
@@ -356,6 +367,14 @@ def main(argv: list[str] | None = None) -> int:
         default="inproc",
         help="shard execution backend: in-process engines (default) or "
         "one supervised worker process per shard",
+    )
+    soak_p.add_argument(
+        "--fault-plan",
+        metavar="PLAN",
+        default=None,
+        help="arm seeded fault injection for the whole soak: a preset "
+        "name (wal-torn, page-bitflip, enospc-snapshot) or a JSON plan "
+        "file; the verdict must stay zero mismatches",
     )
 
     serve_p = sub.add_parser(
@@ -466,6 +485,22 @@ def main(argv: list[str] | None = None) -> int:
         help="quarters of sealed history kept resident before spilling "
         "(default 4; with --restore, defaults to the snapshot's setting); "
         "needs --storage-dir",
+    )
+    serve_p.add_argument(
+        "--fault-plan",
+        metavar="PLAN",
+        default=None,
+        help="arm seeded fault injection on every durability path (WAL, "
+        "cold stores, snapshots, worker RPC): a preset name (wal-torn, "
+        "page-bitflip, enospc-snapshot) or a JSON plan file — for "
+        "resilience drills against a live service",
+    )
+    serve_p.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        metavar="S",
+        help="seed for --fault-plan rule RNGs (default 0)",
     )
 
     args = parser.parse_args(argv if argv is not None else [])

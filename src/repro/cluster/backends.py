@@ -25,7 +25,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.cluster.worker import ShardHost
-from repro.errors import ServiceError
+from repro.errors import CorruptionError, ServiceError
 from repro.stream.engine import StreamCubeEngine
 
 __all__ = ["ClusterConfig", "InprocBackend", "ShardBackend"]
@@ -112,13 +112,59 @@ class ShardBackend:
         """Resolve one submitted future (crash-aware in process backends)."""
         return future.result()
 
+    def broadcast_partial(
+        self, method: str, *args: Any
+    ) -> tuple[list, list[dict[str, Any]]]:
+        """Broadcast an idempotent read, tolerating lost shards.
+
+        Returns ``(results, missing)`` where ``results`` has a ``None``
+        hole per unreachable shard and ``missing`` describes each hole
+        (shard index, state, reason, ``last_quarter`` staleness bound).
+        The default tolerates only quarantined data
+        (:class:`CorruptionError`); the process backend also tolerates
+        dead workers.
+        """
+        results: list[Any] = []
+        missing: list[dict[str, Any]] = []
+        for shard in range(self.n_shards):
+            try:
+                results.append(self.call(shard, method, *args))
+            except CorruptionError as exc:
+                results.append(None)
+                missing.append(
+                    {
+                        "shard": shard,
+                        "state": "degraded",
+                        "reason": str(exc),
+                        "last_quarter": self.counters()[shard][0],
+                    }
+                )
+        return results, missing
+
+    def health(self) -> list[dict[str, Any]]:
+        """Per-shard health descriptors; in-process shards cannot die."""
+        return [
+            {
+                "shard": shard,
+                "state": "healthy",
+                "restarts": 0,
+                "last_quarter": counters[0],
+                "reason": None,
+            }
+            for shard, counters in enumerate(self.counters())
+        ]
+
+    def health_version(self) -> int:
+        """Bumped on health transitions; constant when shards can't die."""
+        return 0
+
     def counters(self) -> list[list[int]]:
         raise NotImplementedError
 
     def stats(self) -> dict[str, Any]:
         raise NotImplementedError
 
-    def close(self) -> None:
+    def close(self) -> dict[str, Any] | None:
         raise NotImplementedError
 
 
@@ -179,7 +225,14 @@ class InprocBackend(ShardBackend):
             "restarts": 0,
             "rpc_round_trips": 0,
             "queue_high_water": [0] * len(self.hosts),
+            "health": ["healthy"] * len(self.hosts),
         }
 
-    def close(self) -> None:
+    def close(self) -> dict[str, Any]:
         self._pool.shutdown(wait=True)
+        return {
+            "backend": self.name,
+            "drained": len(self.hosts),
+            "reaped": [],
+            "doomed": {},
+        }

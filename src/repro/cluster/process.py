@@ -37,6 +37,7 @@ import os
 import signal
 import socket
 import threading
+import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Any, Callable
 
@@ -44,9 +45,15 @@ from repro.cluster import wire
 from repro.cluster.backends import ClusterConfig, ShardBackend
 from repro.cluster.wire import WorkerCrash
 from repro.cluster.worker import WorkerSpec, worker_main
-from repro.errors import ServiceError
+from repro.errors import CorruptionError, ServiceError, StorageError
 
 __all__ = ["ProcessBackend"]
+
+#: Backoff between idempotent retries after a crash: grows geometrically,
+#: capped well below any sane rpc_timeout.  The first retry is immediate
+#: (the usual case — one clean revival — should not pay latency).
+_BACKOFF_BASE = 0.05
+_BACKOFF_CAP = 0.5
 
 
 class _Worker:
@@ -66,6 +73,8 @@ class _Worker:
         "high_water",
         "round_trips",
         "gauge_lock",
+        "recovering",
+        "doomed",
     )
 
     def __init__(self, index: int, queue_depth: int) -> None:
@@ -84,6 +93,22 @@ class _Worker:
         self.high_water = 0
         self.round_trips = 0
         self.gauge_lock = threading.Lock()
+        self.recovering = False
+        #: Set (to the refusal message) when revival permanently failed —
+        #: budget exhausted or recovery refused.  A doomed worker is
+        #: sticky-dead: later calls fail fast with the same message
+        #: instead of re-running a recovery that cannot succeed.
+        self.doomed: str | None = None
+
+    def state(self) -> str:
+        """healthy / recovering / degraded / dead (see ``health()``)."""
+        if self.doomed is not None:
+            return "dead"
+        if self.recovering:
+            return "recovering"
+        if not self.alive:
+            return "degraded"  # crash detected; next call revives it
+        return "healthy"
 
 
 class ProcessBackend(ShardBackend):
@@ -120,6 +145,7 @@ class ProcessBackend(ShardBackend):
         self._closed = False
         self._restarts_total = 0
         self._request_id = 0
+        self._health_version = 0
         self._workers = [
             _Worker(i, config.queue_depth) for i in range(len(specs))
         ]
@@ -153,6 +179,7 @@ class ProcessBackend(ShardBackend):
         worker.sock = parent_sock
         worker.alive = True
         worker.epoch += 1
+        self._health_version += 1
 
     def _mark_dead(self, worker: _Worker) -> None:
         """Declare a worker lost: kill it, close its socket, fail fast.
@@ -163,6 +190,7 @@ class ProcessBackend(ShardBackend):
         same thread.
         """
         worker.alive = False
+        self._health_version += 1
         sock = worker.sock
         if sock is not None:
             try:
@@ -183,26 +211,40 @@ class ProcessBackend(ShardBackend):
             worker = self._workers[shard]
             if worker.alive:
                 return
+            if worker.doomed is not None:
+                # Sticky-dead: revival already failed permanently; repeat
+                # the original refusal instead of re-running a recovery
+                # that cannot succeed (and burning more budget on it).
+                raise ServiceError(worker.doomed)
             if worker.restarts >= self.config.max_restarts:
-                raise ServiceError(
+                worker.doomed = (
                     f"shard worker {shard} exceeded its restart budget "
                     f"({self.config.max_restarts}); giving up"
                 )
+                self._health_version += 1
+                raise ServiceError(worker.doomed)
             worker.restarts += 1
             self._restarts_total += 1
-            self._spawn(worker)
+            worker.recovering = True
+            self._health_version += 1
             try:
-                self._recover(shard)
-            except WorkerCrash:
-                # Died again mid-recovery: burn another restart.
-                self._revive(shard)
-            except BaseException:
-                # Recovery refused or failed: the fresh worker holds no
-                # state.  Leave it dead so every later call keeps failing
-                # loudly instead of silently answering from an empty
-                # shard.
-                self._mark_dead(worker)
-                raise
+                self._spawn(worker)
+                try:
+                    self._recover(shard)
+                except WorkerCrash:
+                    # Died again mid-recovery: burn another restart.
+                    self._revive(shard)
+                except BaseException as exc:
+                    # Recovery refused or failed: the fresh worker holds
+                    # no state.  Doom it so every later call keeps
+                    # failing loudly (with the original reason) instead
+                    # of silently answering from an empty shard.
+                    worker.doomed = str(exc) or repr(exc)
+                    self._mark_dead(worker)
+                    raise
+            finally:
+                worker.recovering = False
+                self._health_version += 1
 
     def _ensure_alive(self, shard: int) -> None:
         if not self._workers[shard].alive:
@@ -302,7 +344,17 @@ class ProcessBackend(ShardBackend):
             self._release_slot(worker)
 
     def call(self, shard: int, method: str, *args: Any) -> Any:
-        """Invoke one shard, absorbing worker crashes by classification."""
+        """Invoke one shard, absorbing worker crashes by classification.
+
+        Idempotent retries back off geometrically after the first (the
+        restart budget bounds the loop either way).  A typed
+        :class:`CorruptionError` from an idempotent read triggers one
+        shard rebuild — respawn + snapshot restore + WAL-tail replay,
+        which re-derives and re-puts every post-snapshot cold page — and
+        a retry; corruption that survives the rebuild escalates.
+        """
+        retries = 0
+        rebuilt = False
         while True:
             try:
                 return self.submit(shard, method, *args).result()
@@ -312,6 +364,27 @@ class ProcessBackend(ShardBackend):
                     return None
                 # Idempotent: loop and retry against the revived worker
                 # (the restart budget bounds this loop).
+                if retries:
+                    time.sleep(
+                        min(
+                            _BACKOFF_BASE * (2 ** (retries - 1)),
+                            _BACKOFF_CAP,
+                        )
+                    )
+                retries += 1
+            except CorruptionError:
+                if wire.classify(method) != wire.IDEMPOTENT or rebuilt:
+                    raise
+                rebuilt = True
+                self._mark_dead(self._workers[shard])
+                self._ensure_alive(shard)
+            except StorageError as exc:
+                if not rebuilt:
+                    raise
+                raise CorruptionError(
+                    f"shard {shard} data lost: rebuild from snapshot + "
+                    f"WAL replay could not restore it ({exc})"
+                ) from exc
 
     def _after_crash(self, shard: int, method: str) -> bool | None:
         """Recover from a crashed call; ``True`` = treat as applied,
@@ -339,6 +412,13 @@ class ProcessBackend(ShardBackend):
             if outcome is not None:
                 return None
             return self.call(shard, method, *args)
+        except CorruptionError:
+            if wire.classify(method) != wire.IDEMPOTENT:
+                raise
+            # One rebuild, then ``call``'s own corruption handling takes
+            # over (it escalates if the rebuilt shard still cannot read).
+            self._mark_dead(self._workers[shard])
+            return self.call(shard, method, *args)
 
     def map(self, method: str, args_list: list[tuple]) -> list:
         futures = [
@@ -349,6 +429,70 @@ class ProcessBackend(ShardBackend):
             self.settle(shard, method, args_list[shard], future)
             for shard, future in enumerate(futures)
         ]
+
+    def broadcast_partial(
+        self, method: str, *args: Any
+    ) -> tuple[list, list[dict[str, Any]]]:
+        """Broadcast an idempotent read, tolerating dead shards.
+
+        Returns ``(results, missing)``: a per-shard result list with
+        ``None`` holes, and one descriptor per unreachable shard carrying
+        its index, the failure reason and the shard's last known quarter
+        (its staleness bound — everything through that quarter was merged
+        into answers before the shard was lost).  Only shard-death
+        :class:`ServiceError`\\ s and :class:`CorruptionError`\\ s become
+        holes; a domain error from a healthy shard still raises.
+        """
+        futures = [
+            self.submit(shard, method, *args)
+            for shard in range(len(self._workers))
+        ]
+        results: list[Any] = []
+        missing: list[dict[str, Any]] = []
+        for shard, future in enumerate(futures):
+            worker = self._workers[shard]
+            try:
+                results.append(self.settle(shard, method, args, future))
+            except CorruptionError as exc:
+                results.append(None)
+                missing.append(self._missing(worker, exc))
+            except ServiceError as exc:
+                if worker.alive and worker.doomed is None:
+                    raise  # not a shard-death error: surface it
+                results.append(None)
+                missing.append(self._missing(worker, exc))
+        return results, missing
+
+    @staticmethod
+    def _missing(worker: _Worker, exc: Exception) -> dict[str, Any]:
+        return {
+            "shard": worker.index,
+            "state": worker.state(),
+            "reason": str(exc),
+            "last_quarter": worker.counters[0],
+        }
+
+    def health(self) -> list[dict[str, Any]]:
+        """Per-shard health: healthy / recovering / degraded / dead.
+
+        ``degraded`` means the crash was detected but the next call will
+        attempt revival; ``dead`` means revival permanently failed
+        (sticky).  ``last_quarter`` is the shard's staleness bound.
+        """
+        return [
+            {
+                "shard": worker.index,
+                "state": worker.state(),
+                "restarts": worker.restarts,
+                "last_quarter": worker.counters[0],
+                "reason": worker.doomed,
+            }
+            for worker in self._workers
+        ]
+
+    def health_version(self) -> int:
+        """Bumped on every shard health transition (cache invalidation)."""
+        return self._health_version
 
     def counters(self) -> list[list[int]]:
         return [worker.counters for worker in self._workers]
@@ -368,27 +512,46 @@ class ProcessBackend(ShardBackend):
             "queue_high_water": [
                 worker.high_water for worker in self._workers
             ],
+            "health": [worker.state() for worker in self._workers],
         }
 
     # ------------------------------------------------------------------
     # Shutdown
     # ------------------------------------------------------------------
-    def close(self) -> None:
+    def close(self) -> dict[str, Any]:
         """Graceful drain: finish queued work, shut workers down, reap.
 
         The shutdown RPC rides the same FIFO executor as normal requests,
         so everything already queued completes first; workers that do not
-        exit in time are killed.
+        exit in time are killed.  Dead and doomed workers are reaped
+        silently — a sticky-dead shard must never make shutdown raise —
+        and the returned summary names them: ``{"backend", "drained",
+        "reaped": [shard...], "doomed": {shard: reason}}``.
         """
         with self._lock:
             if self._closed:
-                return
+                return {
+                    "backend": self.name,
+                    "drained": 0,
+                    "reaped": [],
+                    "doomed": {},
+                }
             self._closed = True
+        reaped = [w.index for w in self._workers if not w.alive]
+        doomed = {
+            w.index: w.doomed
+            for w in self._workers
+            if w.doomed is not None
+        }
         shutdowns = []
         for worker in self._workers:
             if not worker.alive:
                 continue
-            worker.slots.acquire()
+            # A stuck queue (requests piled behind a stall) must not
+            # wedge shutdown: skip the polite RPC and fall through to
+            # the kill below.
+            if not worker.slots.acquire(timeout=self.config.rpc_timeout):
+                continue
             with worker.gauge_lock:
                 worker.inflight += 1
             shutdowns.append(
@@ -422,3 +585,9 @@ class ProcessBackend(ShardBackend):
                     pass
             worker.alive = False
             worker.executor.shutdown(wait=True)
+        return {
+            "backend": self.name,
+            "drained": len(shutdowns),
+            "reaped": reaped,
+            "doomed": doomed,
+        }

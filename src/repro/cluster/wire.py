@@ -41,6 +41,7 @@ import struct
 from typing import Any
 
 from repro import errors as _errors
+from repro import faults
 from repro.errors import ReproError, ServiceError
 from repro.io import (
     cells_from_payload,
@@ -86,8 +87,17 @@ class WorkerCrash(Exception):
 # Framing
 # ---------------------------------------------------------------------------
 def send_frame(sock: socket.socket, payload: dict[str, Any]) -> None:
-    """Write one length-prefixed JSON frame."""
+    """Write one length-prefixed JSON frame.
+
+    The :mod:`repro.faults` seam (site ``rpc.send``) can corrupt, delay
+    or fail the send; all three degrade into the supervisor's existing
+    crash handling — a garbled frame kills the worker's loop, a send
+    error marks the worker dead, and either way recovery is snapshot +
+    WAL replay.
+    """
+    faults.check("rpc.send")
     data = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    data = faults.corrupt("rpc.send", data)
     sock.sendall(_HEADER.pack(len(data)) + data)
 
 
@@ -107,7 +117,14 @@ def _recv_exact(sock: socket.socket, n: int) -> bytes | None:
 
 
 def recv_frame(sock: socket.socket) -> dict[str, Any] | None:
-    """Read one frame; ``None`` when the peer closed the connection."""
+    """Read one frame; ``None`` when the peer closed the connection.
+
+    A frame that fails to parse raises :class:`ConnectionError` — to the
+    supervisor that is indistinguishable from a dead peer, which is the
+    correct reading: the channel can no longer be trusted, so the worker
+    is recycled through the normal crash-recovery path.
+    """
+    faults.check("rpc.recv")
     header = _recv_exact(sock, _HEADER.size)
     if header is None:
         return None
@@ -117,7 +134,11 @@ def recv_frame(sock: socket.socket) -> dict[str, Any] | None:
     data = _recv_exact(sock, length)
     if data is None:
         raise ConnectionError("connection closed mid-frame")
-    return json.loads(data.decode("utf-8"))
+    data = faults.corrupt("rpc.recv", data)
+    try:
+        return json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ConnectionError(f"corrupt frame: {exc}") from None
 
 
 # ---------------------------------------------------------------------------

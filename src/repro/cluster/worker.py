@@ -26,6 +26,7 @@ import time
 from dataclasses import dataclass
 from typing import Any
 
+from repro import faults
 from repro.cluster import wire
 from repro.cube.layers import CriticalLayers
 from repro.cubing.policy import ExceptionPolicy
@@ -60,6 +61,12 @@ class WorkerSpec:
     storage_backend: str | None = None
     storage_generation: int = 0
     hot_quarters: int | None = None
+    #: The parent's armed fault plan as a plain dict (``None`` = none).
+    #: Forked workers discard the injector they inherit through fork and
+    #: re-arm from this, with supervisor-only sites dropped — so frame
+    #: faults fire on exactly one side of the socket, and a *revived*
+    #: worker re-arms the same way a first-boot worker does.
+    fault_plan: dict[str, Any] | None = None
 
 
 #: Methods delegated verbatim to the shard engine.
@@ -197,6 +204,7 @@ def worker_main(
     try:
         if parent_sock is not None:
             parent_sock.close()
+        faults.install_for_worker(spec.fault_plan)
         host = build_host(spec)
         while True:
             try:

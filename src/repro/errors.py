@@ -24,6 +24,8 @@ __all__ = [
     "QueryError",
     "ServiceError",
     "StorageError",
+    "CorruptionError",
+    "WalCorruptionError",
 ]
 
 
@@ -99,3 +101,26 @@ class ServiceError(ReproError):
 
 class StorageError(ReproError):
     """A cold-store operation failed (corrupt page, missing segment...)."""
+
+
+class CorruptionError(StorageError):
+    """Durable state failed a checksum and could not be repaired.
+
+    Raised only after the cheap recovery paths (re-read retry, quarantine
+    plus rebuild from snapshot + WAL replay) have been exhausted: the data
+    named in the message is genuinely lost, not merely transiently
+    unreadable.  Subclasses :class:`StorageError` so existing storage
+    guards keep catching it while callers that care can branch on the
+    narrower type.
+    """
+
+
+class WalCorruptionError(CorruptionError):
+    """A WAL entry *before* the final line failed to parse or checksum.
+
+    A torn final line is benign (the append was never acknowledged), but a
+    corrupt interior line means acknowledged history is unreadable — replay
+    from this journal would silently skip accepted batches.  The message
+    always carries the line number, byte offset and the last intact
+    sequence number, so the damage is locatable from the error alone.
+    """

@@ -25,15 +25,18 @@ from __future__ import annotations
 
 import json
 import os
+import zlib
 from pathlib import Path
 from typing import Any, Callable, Hashable, Mapping, TypeVar
 
-from repro.errors import CodecError, TiltFrameError
+from repro import faults
+from repro.errors import CodecError, StorageError, TiltFrameError
 from repro.regression.isb import ISB
 from repro.tilt.frame import TiltLevelSpec, TiltTimeFrame
 
 __all__ = [
     "write_atomic",
+    "payload_checksum",
     "isb_to_dict",
     "isb_from_dict",
     "tilt_level_to_dict",
@@ -139,11 +142,57 @@ def write_atomic(path: str | Path, text: str) -> None:
     """
     path = Path(path)
     tmp = path.with_suffix(path.suffix + ".tmp")
+    # A failed checkpoint write (ENOSPC, EIO, torn) must leave no
+    # half-written temp file behind and must never touch the previous
+    # checkpoint — clean up and try again.  Three attempts, because
+    # concurrent checkpoint writers (shard threads snapshot in parallel)
+    # can funnel two *distinct* transient faults into one victim; a
+    # device that still refuses after that is genuinely unwritable and
+    # surfaces as a typed StorageError with the old checkpoint intact
+    # under the final name.
+    failures: list[OSError] = []
+    for _ in range(3):
+        try:
+            _write_tmp(tmp, text)
+            break
+        except OSError as exc:
+            tmp.unlink(missing_ok=True)
+            failures.append(exc)
+    else:
+        raise StorageError(
+            f"atomic write of {path} failed even after retry "
+            f"({'; '.join(str(f) for f in failures)})"
+        ) from failures[-1]
+    os.replace(tmp, path)
+
+
+def _write_tmp(tmp: Path, text: str) -> None:
+    faults.check("snapshot.write")
     with open(tmp, "w", encoding="utf-8") as fh:
+        if faults.torn("snapshot.write"):
+            fh.write(text[: max(1, len(text) // 2)])
+            fh.flush()
+            raise OSError(5, "injected torn write at snapshot.write")
         fh.write(text)
         fh.flush()
-        os.fsync(fh.fileno())
-    os.replace(tmp, path)
+        if not faults.lie("snapshot.write"):
+            os.fsync(fh.fileno())
+
+
+def payload_checksum(payload: Mapping[str, Any]) -> int:
+    """A CRC32 over the canonical JSON form of ``payload``.
+
+    Key order and file formatting don't affect it (``sort_keys`` +
+    compact separators), so a manifest can be checksummed before it is
+    pretty-printed and verified after a round-trip through disk.  The
+    ``checksum`` key itself is excluded.
+    """
+    canon = json.dumps(
+        {k: v for k, v in payload.items() if k != "checksum"},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return zlib.crc32(canon.encode("utf-8"))
 
 
 def isb_to_dict(isb: ISB) -> dict[str, Any]:

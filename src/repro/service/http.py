@@ -10,6 +10,12 @@ loaders the checkpoint files use.
 Endpoints
 ---------
 ``GET  /health``   liveness + shard/quarter/record counters
+``GET  /healthz``  always 200: ``status`` (``ok`` / ``degraded``) plus the
+                   per-shard health descriptors (state, restarts, reason,
+                   ``last_quarter`` staleness bound)
+``GET  /readyz``   readiness probe: 200 while every shard can answer, 503
+                   with the dead shard list once any shard is gone for
+                   good (restart budget exhausted, unrecoverable state)
 ``GET  /stats``    router cache/batch counters + partition-balance statistics
                    + execution-backend block (backend name, worker pids,
                    restarts, RPC round trips, queue high-water marks)
@@ -29,6 +35,14 @@ Endpoints
                    ``exceptions`` / ``change_exceptions`` are cube-level
                    ops served outside the spec engine.  The legacy op name
                    ``point`` is accepted as an alias for ``cell``.
+
+Degraded serving: the service turns on the cube's ``degraded_reads`` mode,
+so a query that cannot reach every shard (a worker past its restart
+budget, quarantined cold pages) still answers 200 with the reachable
+shards' exact union plus a ``"degraded"`` block naming each missing shard
+and the staleness bound — never a 500.  ``/readyz`` flips to 503 on the
+same condition, so an orchestrator stops routing *new* traffic while
+in-flight clients keep getting partial answers.
 
 The query path is a pure decode → execute → encode shim over
 :meth:`repro.service.router.QueryRouter.execute`; all validation lives in
@@ -118,6 +132,9 @@ class StreamCubeService:
                 "snapshot_every_quarters needs a snapshot_dir to write to"
             )
         self.cube = cube
+        # The service prefers answering with what it has over refusing:
+        # merged reads tolerate lost shards and annotate the response.
+        cube.degraded_reads = True
         self.router = router
         self.snapshot_dir = Path(snapshot_dir) if snapshot_dir else None
         self.snapshot_every_quarters = snapshot_every_quarters
@@ -141,6 +158,8 @@ class StreamCubeService:
         """Route one request; returns ``(http_status, json_body)``."""
         routes = {
             ("GET", "/health"): self.health,
+            ("GET", "/healthz"): self.healthz,
+            ("GET", "/readyz"): self.readyz,
             ("GET", "/stats"): self.stats,
             ("POST", "/ingest"): self.ingest,
             ("POST", "/advance"): self.advance,
@@ -152,7 +171,12 @@ class StreamCubeService:
             return 404, {"error": f"no route {method} {path}", "type": "NotFound"}
         try:
             with self._lock:
-                return 200, handler(payload or {})
+                body = handler(payload or {})
+                # Probes pick their own status (/readyz answers 503);
+                # everything else is a body dict wrapped in 200.
+                if isinstance(body, tuple):
+                    return body
+                return 200, body
         except ReproError as exc:
             return 400, {"error": str(exc), "type": type(exc).__name__}
         except (KeyError, TypeError, ValueError) as exc:
@@ -173,6 +197,67 @@ class StreamCubeService:
             "current_quarter": self.cube.current_quarter,
             "records_ingested": self.cube.records_ingested,
             "tracked_cells": self.cube.tracked_cells,
+        }
+
+    def healthz(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """Always 200: the fleet's health picture, degraded or not."""
+        shards = self.cube.health()
+        sick = [entry for entry in shards if entry["state"] != "healthy"]
+        return {
+            "status": "degraded" if sick else "ok",
+            "shards": shards,
+        }
+
+    def readyz(
+        self, payload: dict[str, Any]
+    ) -> dict[str, Any] | tuple[int, dict[str, Any]]:
+        """Readiness: 503 once any shard is dead for good.
+
+        ``degraded``/``recovering`` shards do *not* fail readiness — the
+        supervisor revives those on the next call that needs them; only a
+        shard past recovery (``dead``) makes answers permanently partial.
+        """
+        shards = self.cube.health()
+        dead = [
+            entry["shard"] for entry in shards if entry["state"] == "dead"
+        ]
+        body = {
+            "ready": not dead,
+            "shards": len(shards),
+            "dead_shards": dead,
+        }
+        if dead:
+            return 503, body
+        return body
+
+    def _degraded_block(self) -> dict[str, Any] | None:
+        """The response annotation for a partially-answered query.
+
+        Combines what the just-run merged reads actually skipped
+        (:meth:`ShardedStreamCube.consume_degraded` — also drains it, so
+        holes never leak into an unrelated response) with shards the
+        health roster knows are dead (a cache-served answer runs no merged
+        read, but its holes are the same dead shards).  ``staleness_bound``
+        is the oldest ``last_quarter`` across the missing shards: data
+        owned by them is current only up to that quarter.
+        """
+        missing = {
+            entry["shard"]: entry for entry in self.cube.consume_degraded()
+        }
+        for entry in self.cube.health():
+            if entry["state"] == "dead" and entry["shard"] not in missing:
+                missing[entry["shard"]] = {
+                    "shard": entry["shard"],
+                    "state": entry["state"],
+                    "reason": entry["reason"],
+                    "last_quarter": entry["last_quarter"],
+                }
+        if not missing:
+            return None
+        rows = [missing[shard] for shard in sorted(missing)]
+        return {
+            "missing": rows,
+            "staleness_bound": min(row["last_quarter"] for row in rows),
         }
 
     def stats(self, payload: dict[str, Any]) -> dict[str, Any]:
@@ -274,6 +359,13 @@ class StreamCubeService:
             self.write_snapshot()
 
     def query(self, payload: dict[str, Any]) -> dict[str, Any]:
+        body = self._query_body(payload)
+        degraded = self._degraded_block()
+        if degraded is not None:
+            body["degraded"] = degraded
+        return body
+
+    def _query_body(self, payload: dict[str, Any]) -> dict[str, Any]:
         # Batch form: N specs, one merged view refresh per window/epoch,
         # per-spec results *and* errors.
         if "queries" in payload:

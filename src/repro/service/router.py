@@ -103,6 +103,7 @@ class QueryRouter:
         self.cache = LRUCache(cache_size)
         self._views: dict[int, RegressionCubeView] = {}
         self._epoch = cube.current_quarter
+        self._health_epoch = cube.health_version()
         self.refreshes = 0
         self.batches = 0
         self.specs_executed = 0
@@ -120,12 +121,21 @@ class QueryRouter:
         return self.cube.layers.schema
 
     def _sync(self) -> None:
-        """Invalidate everything when a quarter sealed since the last query."""
+        """Invalidate everything when the answers may have changed.
+
+        Two clocks gate the cache: the quarter clock (a sealed quarter
+        changes every sealed-window answer) and the backend's health
+        version (a shard dying or reviving changes *which shards answer*,
+        so a degraded partial result must never be served from a cache
+        line computed while the fleet was whole, nor vice versa).
+        """
         current = self.cube.current_quarter
-        if current != self._epoch:
+        health = self.cube.health_version()
+        if current != self._epoch or health != self._health_epoch:
             self.cache.clear()
             self._views.clear()
             self._epoch = current
+            self._health_epoch = health
 
     def view(self, window_quarters: int | None = None) -> RegressionCubeView:
         """The merged cube view for one window, refreshed at most once per

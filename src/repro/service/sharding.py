@@ -29,6 +29,7 @@ from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 from typing import Any, Hashable, Iterable, Mapping
 
+from repro import faults
 from repro.cluster.backends import ClusterConfig, InprocBackend, ShardBackend
 from repro.cluster.process import ProcessBackend
 from repro.cluster.worker import WorkerSpec
@@ -36,13 +37,19 @@ from repro.cube.lattice import PopularPath
 from repro.cube.layers import CriticalLayers
 from repro.cubing.policy import ExceptionPolicy
 from repro.cubing.result import CubeResult
-from repro.errors import CodecError, ServiceError, StreamError
+from repro.errors import (
+    CodecError,
+    CorruptionError,
+    ServiceError,
+    StreamError,
+)
 from repro.io import (
     STATE_VERSION,
     check_format,
     decoding,
     engine_state_from_dict,
     engine_state_to_dict,
+    payload_checksum,
     write_atomic,
 )
 from repro.regression.isb import ISB
@@ -224,6 +231,15 @@ class ShardedStreamCube:
         self._route_cache: dict[Values, int] = {}
         self._pruned_since_snapshot = False
         self._snapshots_taken = 0
+        #: When True, merged reads tolerate lost shards (quarantined data,
+        #: dead workers) and record what was missing instead of raising —
+        #: the service layer's degraded-serving mode.  Off by default so
+        #: library callers keep strict all-shards-or-error semantics.
+        self.degraded_reads = False
+        self._degraded: list[dict[str, Any]] = []
+        #: Filled by :meth:`close` with the backend's drain report (workers
+        #: reaped, sticky-dead shards and why).
+        self.close_summary: dict[str, Any] | None = None
         try:
             if storage is not None:
                 self._storage_generation, self._stores = open_shard_stores(
@@ -279,6 +295,7 @@ class ShardedStreamCube:
                 ),
                 storage_generation=self._storage_generation,
                 hot_quarters=self.hot_quarters,
+                fault_plan=faults.active_plan(),
             )
             for i in range(n_shards)
         ]
@@ -295,17 +312,30 @@ class ShardedStreamCube:
         Idempotent, and safe on a partially constructed cube (a failed
         ``__init__`` calls it with whatever subset of resources exists):
         every attribute is read defensively and closed at most once.
+        Never raises for a sick fleet: dead or sticky-dead (restart budget
+        exhausted, recovery refused) workers are reaped silently and
+        reported in :attr:`close_summary` instead — teardown after a chaos
+        run must not mask the run's own outcome with a shutdown error.
         """
         if getattr(self, "_closed", True):
             return
         self._closed = True
         backend = getattr(self, "_backend", None)
         if backend is not None:
-            backend.close()
+            try:
+                self.close_summary = backend.close()
+            except Exception as exc:
+                self.close_summary = {
+                    "backend": getattr(backend, "name", "?"),
+                    "error": str(exc),
+                }
         stores = getattr(self, "_stores", None)
         if stores is not None:
             for store in stores:
-                store.close()
+                try:
+                    store.close()
+                except Exception:
+                    pass
 
     def __enter__(self) -> "ShardedStreamCube":
         return self
@@ -393,6 +423,9 @@ class ShardedStreamCube:
                 "cold_slots",
                 "pages_spilled",
                 "cold_faults",
+                "read_retries",
+                "write_repairs",
+                "quarantined",
             )
         }
         totals.update(
@@ -645,11 +678,52 @@ class ShardedStreamCube:
     # ------------------------------------------------------------------
     # Merged analysis (exact, Theorem 3.2 / 3.3)
     # ------------------------------------------------------------------
+    def _merged(self, method: str, *args: Any) -> dict[Values, ISB]:
+        """Disjoint-union one per-shard read across the fleet.
+
+        Strict mode (the default) is the original behavior: every shard
+        must answer or the error propagates.  With :attr:`degraded_reads`
+        set, unreachable shards (quarantined data, dead workers) become
+        holes: the union covers the answering shards and each hole's
+        descriptor accumulates for :meth:`consume_degraded` — partial
+        results are exact for the shards present, since shards own
+        disjoint key sets.
+        """
+        backend = self._backend
+        if not self.degraded_reads:
+            return disjoint_union(backend.broadcast(method, *args))
+        results, missing = backend.broadcast_partial(method, *args)
+        if missing:
+            seen = {entry["shard"] for entry in self._degraded}
+            self._degraded.extend(
+                entry for entry in missing if entry["shard"] not in seen
+            )
+        return disjoint_union(
+            [cells for cells in results if cells is not None]
+        )
+
+    def consume_degraded(self) -> list[dict[str, Any]]:
+        """Drain the holes accumulated by degraded merged reads.
+
+        Each descriptor names the missing shard, its health state, why it
+        was skipped, and ``last_quarter`` — the staleness bound: data in
+        that shard's keys is current only up to that quarter.  Empty when
+        every read since the last drain was complete.
+        """
+        drained, self._degraded = self._degraded, []
+        return drained
+
+    def health(self) -> list[dict[str, Any]]:
+        """Per-shard health descriptors (state, restarts, staleness)."""
+        return self._backend.health()
+
+    def health_version(self) -> int:
+        """Bumped on worker health transitions (router cache epoch)."""
+        return self._backend.health_version()
+
     def window_isbs(self, t_b: int, t_e: int) -> dict[Values, ISB]:
         """The merged m-layer over an arbitrary sealed window."""
-        return disjoint_union(
-            self._backend.broadcast("window_isbs", t_b, t_e)
-        )
+        return self._merged("window_isbs", t_b, t_e)
 
     def m_cells(self, window_quarters: int = 4) -> dict[Values, ISB]:
         """The merged m-layer over the last ``window_quarters`` quarters.
@@ -663,9 +737,7 @@ class ShardedStreamCube:
                 f"only {self.current_quarter} quarters sealed; cannot form "
                 f"a {window_quarters}-quarter window"
             )
-        return disjoint_union(
-            self._backend.broadcast("m_cells", window_quarters)
-        )
+        return self._merged("m_cells", window_quarters)
 
     def refresh(
         self,
@@ -761,6 +833,10 @@ class ShardedStreamCube:
             }
         if extra:
             manifest["app"] = dict(extra)
+        # Self-checksum (computed over everything else, see payload_checksum)
+        # so a bit-flipped or hand-mangled manifest is caught at restore
+        # time instead of silently restoring the wrong shard files.
+        manifest["checksum"] = payload_checksum(manifest)
         write_atomic(target / _MANIFEST, json.dumps(manifest, indent=1))
         referenced = set(names)
         for stale in target.glob("shard-*.json"):
@@ -782,6 +858,16 @@ class ShardedStreamCube:
         check_format(
             "snapshot", payload, _SNAPSHOT_FORMAT, (1, STATE_VERSION)
         )
+        # Manifests written before the checksum field are accepted as-is;
+        # a present-but-wrong checksum is corruption, not version drift.
+        recorded = payload.get("checksum")
+        if recorded is not None and recorded != payload_checksum(payload):
+            raise CorruptionError(
+                f"snapshot: {path} manifest failed its checksum "
+                f"(recorded {recorded}, computed "
+                f"{payload_checksum(payload)}); the snapshot directory "
+                "is corrupt — do not restore from it"
+            )
         return payload
 
     @classmethod
@@ -1055,9 +1141,7 @@ class ShardedStreamCube:
         Change detection is per-cell, so the global answer is the disjoint
         union of the per-shard answers.
         """
-        return disjoint_union(
-            self._backend.broadcast("change_exceptions", quarters_apart)
-        )
+        return self._merged("change_exceptions", quarters_apart)
 
     def o_layer_change_exceptions(
         self, quarters_apart: int = 1

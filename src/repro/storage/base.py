@@ -44,6 +44,14 @@ class StoreStats:
     bytes_on_disk: int
     puts: int
     gets: int
+    #: Reads that failed once (I/O error or checksum) and succeeded on the
+    #: immediate re-read — transient faults the store absorbed.
+    read_retries: int = 0
+    #: Failed appends rolled back and successfully retried.
+    write_repairs: int = 0
+    #: Pages dropped from the index because they were unreadable on both
+    #: attempts; each raised a :class:`~repro.errors.CorruptionError`.
+    quarantined: int = 0
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -53,6 +61,9 @@ class StoreStats:
             "bytes_on_disk": self.bytes_on_disk,
             "puts": self.puts,
             "gets": self.gets,
+            "read_retries": self.read_retries,
+            "write_repairs": self.write_repairs,
+            "quarantined": self.quarantined,
         }
 
 

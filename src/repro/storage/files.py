@@ -20,12 +20,14 @@ rewrites each partition keeping only live occurrences (temp file +
 
 from __future__ import annotations
 
+import errno
 import mmap
 import os
 import struct
 from pathlib import Path
 
-from repro.errors import StorageError
+from repro import faults
+from repro.errors import CorruptionError, StorageError
 from repro.storage.base import ColdStore, StoreStats
 from repro.storage.pages import PAGE_HEADER_BYTES, ColdPage, read_page_header
 
@@ -59,6 +61,9 @@ class FileColdStore(ColdStore):
         self._index: dict[tuple[int, int, int], _Entry] = {}
         self._puts = 0
         self._gets = 0
+        self._read_retries = 0
+        self._write_repairs = 0
+        self._quarantined: list[tuple[int, int, int]] = []
         for path in sorted(self.root.glob("L*.seg")):
             self._scan_file(path)
 
@@ -104,11 +109,26 @@ class FileColdStore(ColdStore):
     def put_segment(self, page: ColdPage) -> None:
         blob = page.encode()
         path = self._partition_path(page.level, page.t_b)
-        with open(path, "ab") as fh:
-            offset = fh.tell()
-            fh.write(_LEN.pack(len(blob)))
-            fh.write(blob)
-            fh.flush()
+        offset = path.stat().st_size if path.exists() else 0
+        try:
+            self._append_blob(path, blob)
+        except OSError as first:
+            # A failed append may have left partial bytes behind.  The
+            # page is re-derivable (spill re-puts are idempotent), so
+            # roll the file back to the pre-append size and try once
+            # more; a second failure means the device is refusing
+            # writes and surfaces as a typed StorageError.
+            if path.exists():
+                with open(path, "r+b") as fh:
+                    fh.truncate(offset)
+            try:
+                self._append_blob(path, blob)
+            except OSError as exc:
+                raise StorageError(
+                    f"cold store append to {path} failed even after "
+                    f"rollback (first: {first}; retry: {exc})"
+                ) from exc
+            self._write_repairs += 1
         self._index[(page.level, page.t_b, page.t_e)] = (
             path,
             offset + _LEN.size,
@@ -117,19 +137,63 @@ class FileColdStore(ColdStore):
         )
         self._puts += 1
 
+    def _append_blob(self, path: Path, blob: bytes) -> None:
+        faults.check("store.write")
+        # A write-side bit flip reaches the disk silently: the checksum
+        # only catches it on the next read, where quarantine takes over.
+        blob = faults.corrupt("store.write", blob)
+        with open(path, "ab") as fh:
+            fh.write(_LEN.pack(len(blob)))
+            if faults.torn("store.write"):
+                fh.write(blob[: max(1, len(blob) // 2)])
+                fh.flush()
+                raise OSError(
+                    errno.EIO, "injected torn write at store.write"
+                )
+            fh.write(blob)
+            fh.flush()
+
     def get_segment(self, level: int, t_b: int, t_e: int) -> ColdPage:
-        entry = self._index.get((level, t_b, t_e))
+        key = (level, t_b, t_e)
+        entry = self._index.get(key)
         if entry is None:
             raise StorageError(
                 f"cold store {self.root} has no page for level {level} "
                 f"[{t_b},{t_e}]"
             )
         path, offset, length, _ = entry
+        try:
+            page = self._read_page(path, offset, length)
+        except (OSError, StorageError):
+            # Transient read faults (EIO, a flipped bit on the way in)
+            # don't survive a second pass over the same bytes; real
+            # on-disk corruption does, and gets quarantined.
+            try:
+                page = self._read_page(path, offset, length)
+            except (OSError, StorageError) as exc:
+                raise self._quarantine(key, exc) from exc
+            self._read_retries += 1
+        self._gets += 1
+        return page
+
+    def _read_page(self, path: Path, offset: int, length: int) -> ColdPage:
+        faults.check("store.read")
         with open(path, "rb") as fh:
             with mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ) as mm:
                 data = bytes(mm[offset : offset + length])
-        self._gets += 1
-        return ColdPage.decode(data)
+        return ColdPage.decode(faults.corrupt("store.read", data))
+
+    def _quarantine(
+        self, key: tuple[int, int, int], cause: Exception
+    ) -> CorruptionError:
+        del self._index[key]
+        self._quarantined.append(key)
+        level, t_b, t_e = key
+        return CorruptionError(
+            f"cold store {self.root} page for level {level} "
+            f"[{t_b},{t_e}] is unreadable and has been quarantined "
+            f"({cause}); rebuild it from snapshot + WAL replay"
+        )
 
     def scan(self) -> list[tuple[int, int, int]]:
         return sorted(self._index)
@@ -145,6 +209,9 @@ class FileColdStore(ColdStore):
             bytes_on_disk=on_disk,
             puts=self._puts,
             gets=self._gets,
+            read_retries=self._read_retries,
+            write_repairs=self._write_repairs,
+            quarantined=len(self._quarantined),
         )
 
     def compact(self) -> int:

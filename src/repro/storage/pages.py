@@ -11,17 +11,22 @@ Binary layout (little-endian)::
 
     header  "<4sHHqqIIIdd"                               52 bytes
             magic b"RCP1", version, level,
-            t_b, t_e, n_rows, keys_len, crc32(body),
+            t_b, t_e, n_rows, keys_len, crc32,
             zero_base, zero_slope
     body    keys: compact JSON array of key arrays      keys_len bytes
             base:  n_rows float64                        8 * n_rows
             slope: n_rows float64                        8 * n_rows
 
+The crc32 signs the *whole page* — header (with the crc field itself
+zeroed) plus body — so a flipped bit anywhere, interval and zero row
+included, is caught at decode time; body-only coverage would let a
+corrupted ``zero_base`` silently rewrite every absent cell's history.
+
 The embedded zero row is the engine's zero prototype's exact ISB for the
 interval: a key missing from the page decodes to that row, which is
 bit-identical to the zero-backfill a late-born cell's cloned frame would
-have held.  The checksum covers the body; a corrupt page raises
-:class:`~repro.errors.StorageError` instead of decoding garbage.
+have held.  A corrupt page raises
+:class:`~repro.errors.CorruptionError` instead of decoding garbage.
 
 Floats travel as raw IEEE-754 doubles (``numpy`` ``tobytes`` /
 ``frombuffer`` when available, ``struct`` otherwise — the two produce the
@@ -35,7 +40,7 @@ import struct
 import zlib
 from typing import Hashable, Sequence
 
-from repro.errors import StorageError
+from repro.errors import CorruptionError, StorageError
 from repro.regression import kernels
 from repro.regression.isb import ISB
 
@@ -58,6 +63,16 @@ PAGE_VERSION = 1
 
 _MAGIC = b"RCP1"
 _HEADER = struct.Struct("<4sHHqqIIIdd")
+
+#: Byte offset of the crc32 field within the header (zeroed for signing).
+_CRC_OFFSET = struct.calcsize("<4sHHqqII")
+_CRC_ZERO = b"\x00\x00\x00\x00"
+
+
+def _page_crc(header: bytes, body: bytes) -> int:
+    """crc32 over the whole page with the header's crc field zeroed."""
+    unsigned = header[:_CRC_OFFSET] + _CRC_ZERO + header[_CRC_OFFSET + 4 :]
+    return zlib.crc32(body, zlib.crc32(unsigned))
 
 #: Size of the fixed page header in bytes.
 PAGE_HEADER_BYTES = _HEADER.size
@@ -201,11 +216,17 @@ class ColdPage:
             self.t_e,
             self.n_rows,
             len(keys_blob),
-            zlib.crc32(body),
+            0,  # crc placeholder: the signature covers header + body
             self.zero_base,
             self.zero_slope,
         )
-        return header + body
+        crc = _page_crc(header, body)
+        return (
+            header[:_CRC_OFFSET]
+            + struct.pack("<I", crc)
+            + header[_CRC_OFFSET + 4 :]
+            + body
+        )
 
     @property
     def encoded_size(self) -> int:
@@ -224,8 +245,8 @@ class ColdPage:
                 f"cold page truncated: {len(data)} bytes, need {need}"
             )
         body = data[_HEADER.size : need]
-        if zlib.crc32(body) != crc:
-            raise StorageError(
+        if _page_crc(data[: _HEADER.size], body) != crc:
+            raise CorruptionError(
                 f"cold page checksum mismatch for level {level} "
                 f"[{t_b},{t_e}] (corrupt page)"
             )

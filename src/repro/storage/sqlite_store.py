@@ -13,11 +13,13 @@ pool.
 
 from __future__ import annotations
 
+import errno
 import sqlite3
 import threading
 from pathlib import Path
 
-from repro.errors import StorageError
+from repro import faults
+from repro.errors import CorruptionError, StorageError
 from repro.storage.base import ColdStore, StoreStats
 from repro.storage.pages import ColdPage
 
@@ -50,9 +52,37 @@ class SqliteColdStore(ColdStore):
             self._conn.commit()
         self._puts = 0
         self._gets = 0
+        self._read_retries = 0
+        self._write_repairs = 0
+        self._quarantined = 0
 
     def put_segment(self, page: ColdPage) -> None:
         blob = page.encode()
+        try:
+            self._insert(page, blob)
+        except (OSError, sqlite3.Error) as first:
+            # sqlite's journal makes the failed transaction vanish, so a
+            # straight retry is the whole repair; a second failure means
+            # the database is genuinely unwritable.
+            try:
+                self._insert(page, blob)
+            except (OSError, sqlite3.Error) as exc:
+                raise StorageError(
+                    f"cold store insert into {self.path} failed even "
+                    f"after retry (first: {first}; retry: {exc})"
+                ) from exc
+            self._write_repairs += 1
+        self._puts += 1
+
+    def _insert(self, page: ColdPage, blob: bytes) -> None:
+        faults.check("store.write")
+        # A write-side bit flip reaches the row silently; the page
+        # checksum catches it on the next read, where quarantine runs.
+        blob = faults.corrupt("store.write", blob)
+        if faults.torn("store.write"):
+            # sqlite cannot tear a committed row, so a torn write here
+            # is a transaction that never commits.
+            raise OSError(errno.EIO, "injected torn write at store.write")
         with self._lock:
             self._conn.execute(
                 "INSERT OR REPLACE INTO pages "
@@ -60,7 +90,6 @@ class SqliteColdStore(ColdStore):
                 (page.level, page.t_b, page.t_e, page.n_rows, blob),
             )
             self._conn.commit()
-        self._puts += 1
 
     def get_segment(self, level: int, t_b: int, t_e: int) -> ColdPage:
         with self._lock:
@@ -73,8 +102,36 @@ class SqliteColdStore(ColdStore):
                 f"cold store {self.path} has no page for level {level} "
                 f"[{t_b},{t_e}]"
             )
+        try:
+            page = self._decode(row[0])
+        except (OSError, StorageError):
+            try:
+                page = self._decode(row[0])
+            except (OSError, StorageError) as exc:
+                raise self._quarantine(level, t_b, t_e, exc) from exc
+            self._read_retries += 1
         self._gets += 1
-        return ColdPage.decode(row[0])
+        return page
+
+    def _decode(self, blob: bytes) -> ColdPage:
+        faults.check("store.read")
+        return ColdPage.decode(faults.corrupt("store.read", bytes(blob)))
+
+    def _quarantine(
+        self, level: int, t_b: int, t_e: int, cause: Exception
+    ) -> CorruptionError:
+        with self._lock:
+            self._conn.execute(
+                "DELETE FROM pages WHERE level = ? AND t_b = ? AND t_e = ?",
+                (level, t_b, t_e),
+            )
+            self._conn.commit()
+        self._quarantined += 1
+        return CorruptionError(
+            f"cold store {self.path} page for level {level} "
+            f"[{t_b},{t_e}] is unreadable and has been quarantined "
+            f"({cause}); rebuild it from snapshot + WAL replay"
+        )
 
     def scan(self) -> list[tuple[int, int, int]]:
         with self._lock:
@@ -96,6 +153,9 @@ class SqliteColdStore(ColdStore):
             bytes_on_disk=on_disk,
             puts=self._puts,
             gets=self._gets,
+            read_retries=self._read_retries,
+            write_repairs=self._write_repairs,
+            quarantined=self._quarantined,
         )
 
     def compact(self) -> int:

@@ -22,24 +22,43 @@ file holds roughly one unsealed quarter of traffic.
 
 Format: one JSON object per line (append-only, human-inspectable)::
 
-    {"format": "repro-wal", "version": 1}                         # header
-    {"seq": 1, "kind": "batch", "quarter": 0, "records": [[[...values], t, z], ...]}
-    {"seq": 2, "kind": "advance", "quarter": 3, "t": 45}
+    {"format": "repro-wal", "version": 1, "crc": ...}             # header
+    {"seq": 1, "kind": "batch", "quarter": 0, "records": [...], "crc": ...}
+    {"seq": 2, "kind": "advance", "quarter": 3, "t": 45, "crc": ...}
 
-A torn final line (crash mid-append) is tolerated on read — the entry was
-never acknowledged, so dropping it is correct; corruption anywhere else
-raises :class:`~repro.errors.CodecError`.
+Every line carries a CRC32 of its own body (lines from older journals
+without one are still accepted).  A torn or unverifiable *final* line
+(crash mid-append) is tolerated on read — the entry was never
+acknowledged, so dropping it is correct; a line that fails to parse or
+checksum anywhere else means acknowledged history is unreadable and
+raises :class:`~repro.errors.WalCorruptionError` with the line number,
+byte offset and last intact sequence number.  A line that parses and
+checksums but has the wrong shape is a schema problem, not corruption,
+and still raises :class:`~repro.errors.CodecError`.
+
+Appends run through the :mod:`repro.faults` seam (site ``wal.append``)
+and repair injected short writes: a failed append rolls the file back to
+the last newline-terminated byte and retries once, so a transient EIO or
+torn write never leaves a half-line for the next recovery to trip over.
 """
 
 from __future__ import annotations
 
+import errno
 import json
 import os
+import zlib
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Iterable, Iterator, Protocol
 
-from repro.errors import CodecError, StreamError
+from repro import faults
+from repro.errors import (
+    CodecError,
+    StorageError,
+    StreamError,
+    WalCorruptionError,
+)
 from repro.stream.records import StreamRecord
 
 __all__ = ["QuarterWAL", "WalEntry"]
@@ -80,6 +99,24 @@ def _encode_batch(
         "quarter": quarter,
         "records": [[list(r.values), r.t, r.z] for r in records],
     }
+
+
+def _encode_line(payload: dict[str, Any]) -> str:
+    """Serialize one journal line with a trailing CRC32 of its body.
+
+    The checksum covers the line exactly as serialized *without* the
+    ``crc`` key; verification re-serializes the loaded payload (JSON
+    object order round-trips, and ``crc`` is always appended last) so no
+    canonicalization pass is needed.
+    """
+    body = json.dumps(payload)
+    crc = zlib.crc32(body.encode("utf-8"))
+    return json.dumps({**payload, "crc": crc})
+
+
+def _line_crc_ok(payload: dict[str, Any], crc: Any) -> bool:
+    expected = zlib.crc32(json.dumps(payload).encode("utf-8"))
+    return isinstance(crc, int) and crc == expected
 
 
 def _decode_entry(payload: dict[str, Any]) -> WalEntry:
@@ -125,6 +162,7 @@ class QuarterWAL:
         self.path = Path(path)
         self.sync = sync
         self._seq = 0
+        self._repairs = 0
         # A zero-byte file (crash between create and header write, or a
         # pre-created empty file) and a file holding only a *torn* header
         # line (crash mid-header write) both count as absent: they get a
@@ -168,6 +206,11 @@ class QuarterWAL:
         """Sequence number of the newest journaled entry (0 when empty)."""
         return self._seq
 
+    @property
+    def repairs(self) -> int:
+        """How many failed appends were rolled back and retried."""
+        return self._repairs
+
     def close(self) -> None:
         if not self._file.closed:
             self._file.close()
@@ -209,10 +252,60 @@ class QuarterWAL:
     def _append_line(self, payload: dict[str, Any]) -> None:
         if self._file.closed:
             raise StreamError(f"WAL {self.path} is closed")
-        self._file.write(json.dumps(payload) + "\n")
+        line = _encode_line(payload) + "\n"
+        try:
+            self._write_durably(line)
+        except OSError as exc:
+            self._repair_append(line, exc)
+
+    def _write_durably(self, line: str) -> None:
+        faults.check("wal.append")
+        if faults.active() is not None:
+            # A write-side bit flip reaches the file silently; the line
+            # CRC catches it on the next recovery scan.
+            line = faults.corrupt("wal.append", line.encode("utf-8")).decode(
+                "utf-8", errors="replace"
+            )
+        if faults.torn("wal.append"):
+            # A short write: part of the line reaches the file, then the
+            # device gives up.  Flush so the partial bytes are really
+            # there — the repair path must cope with them on disk.
+            self._file.write(line[: max(1, len(line) // 2)])
+            self._file.flush()
+            raise OSError(errno.EIO, "injected torn write at wal.append")
+        self._file.write(line)
         self._file.flush()
-        if self.sync:
+        if self.sync and not faults.lie("wal.append"):
             os.fsync(self._file.fileno())
+
+    def _repair_append(self, line: str, cause: OSError) -> None:
+        """Roll back a failed append to the last intact line and retry.
+
+        A failed ``write`` may have left a partial line behind; the entry
+        was never acknowledged, so truncating back to the last
+        newline-terminated byte restores the journal exactly and the
+        append can run again.  A second failure means the device is
+        genuinely refusing writes — that surfaces as a typed
+        :class:`StorageError` and the caller's batch is cleanly rejected
+        (journal-before-apply: no state was mutated).
+        """
+        self._file.close()
+        raw = self.path.read_bytes()
+        intact = raw.rfind(b"\n") + 1  # 0 when no newline survives
+        if intact != len(raw):
+            with open(self.path, "r+b") as fh:
+                fh.truncate(intact)
+                fh.flush()
+                os.fsync(fh.fileno())
+        self._file = open(self.path, "a", encoding="utf-8")
+        self._repairs += 1
+        try:
+            self._write_durably(line)
+        except OSError as exc:
+            raise StorageError(
+                f"WAL {self.path} append failed even after short-write "
+                f"repair (first: {cause}; retry: {exc})"
+            ) from exc
 
     # ------------------------------------------------------------------
     # Recovery
@@ -220,25 +313,54 @@ class QuarterWAL:
     def entries(self, after_seq: int = 0) -> Iterator[WalEntry]:
         """Decoded entries with ``seq > after_seq``, in journal order.
 
-        A torn final line is dropped (the crash interrupted an append that
-        was never acknowledged); a malformed line anywhere else raises
-        :class:`CodecError`.
+        A torn or checksum-failing *final* line is dropped (the crash
+        interrupted an append that was never acknowledged); a line that
+        fails to parse or checksum anywhere else raises
+        :class:`WalCorruptionError` with the line number, byte offset and
+        last intact sequence number.  A line that parses and checksums
+        but has the wrong shape raises :class:`CodecError`.
         """
         lines = self.path.read_text(encoding="utf-8").splitlines()
         if not lines:
             return
         payloads: list[dict[str, Any]] = []
+        offset = 0
+        last_seq = 0
         for i, line in enumerate(lines):
+            line_offset = offset
+            offset += len(line.encode("utf-8")) + 1
             if not line.strip():
                 continue
+            final = i == len(lines) - 1
             try:
-                payloads.append(json.loads(line))
+                payload = json.loads(line)
             except json.JSONDecodeError:
-                if i == len(lines) - 1:
+                if final:
                     break  # torn final append: never acknowledged, drop it
-                raise CodecError(
-                    f"wal: {self.path} line {i + 1} is not valid JSON"
+                raise WalCorruptionError(
+                    f"wal: {self.path} line {i + 1} (byte offset "
+                    f"{line_offset}) is not valid JSON; last intact "
+                    f"seq is {last_seq}"
                 ) from None
+            crc = (
+                payload.pop("crc", None)
+                if isinstance(payload, dict)
+                else None
+            )
+            if crc is not None and not _line_crc_ok(payload, crc):
+                if final:
+                    break  # unverifiable final append: drop it too
+                raise WalCorruptionError(
+                    f"wal: {self.path} line {i + 1} (byte offset "
+                    f"{line_offset}, claims seq "
+                    f"{payload.get('seq')!r}) failed its checksum; "
+                    f"last intact seq is {last_seq}"
+                )
+            if isinstance(payload, dict) and isinstance(
+                payload.get("seq"), int
+            ):
+                last_seq = payload["seq"]
+            payloads.append(payload)
         if not payloads or payloads[0].get("format") != _FORMAT:
             raise CodecError(f"wal: {self.path} has no {_FORMAT} header")
         if payloads[0].get("version") != _WAL_VERSION:
@@ -308,7 +430,7 @@ class QuarterWAL:
         tmp = self.path.with_suffix(self.path.suffix + ".tmp")
         with open(tmp, "w", encoding="utf-8") as fh:
             fh.write(
-                json.dumps({"format": _FORMAT, "version": _WAL_VERSION})
+                _encode_line({"format": _FORMAT, "version": _WAL_VERSION})
                 + "\n"
             )
             for entry in keep:
@@ -324,7 +446,7 @@ class QuarterWAL:
                         "quarter": entry.quarter,
                         "t": entry.t,
                     }
-                fh.write(json.dumps(payload) + "\n")
+                fh.write(_encode_line(payload) + "\n")
             fh.flush()
             os.fsync(fh.fileno())
         self._file.close()

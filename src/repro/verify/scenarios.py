@@ -47,6 +47,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Hashable
 
+from repro import faults
 from repro.cluster import ClusterConfig
 from repro.cubing.policy import GlobalSlopeThreshold
 from repro.query.api import RegressionCubeView
@@ -1381,6 +1382,7 @@ def run_scenario(
     storage: str | None = None,
     hot_quarters: int | None = None,
     backend: str | None = None,
+    fault_plan: str | None = None,
 ) -> ScenarioReport:
     """Run one scenario under one seed; raises :class:`VerifyMismatch` on
     any disagreement.  ``workdir`` (for snapshots, journals and cold
@@ -1390,7 +1392,11 @@ def run_scenario(
     ``run_scenario("kitchen_sink", seed, storage="file")``; ``backend``
     likewise overrides the execution backend, so the whole catalogue can
     be replayed against process workers:
-    ``run_scenario("kitchen_sink", seed, backend="process")``."""
+    ``run_scenario("kitchen_sink", seed, backend="process")``.
+    ``fault_plan`` (a :mod:`repro.faults` preset name or plan-file path)
+    arms seeded storage/RPC fault injection for the whole run — the
+    scenario must still pass bit-identically, because every injected
+    fault class is one the durability layer repairs in place."""
     if isinstance(scenario, str):
         scenario = SCENARIOS[scenario]
     overrides: dict[str, Any] = {}
@@ -1402,7 +1408,15 @@ def run_scenario(
         overrides["backend"] = backend
     if overrides:
         scenario = dataclasses.replace(scenario, **overrides)
-    if workdir is not None:
-        return ScenarioRunner(scenario, seed, workdir).run()
-    with tempfile.TemporaryDirectory(prefix="repro-verify-") as tmp:
-        return ScenarioRunner(scenario, seed, tmp).run()
+    installed = False
+    if fault_plan is not None:
+        faults.install(faults.load_plan(fault_plan, seed))
+        installed = True
+    try:
+        if workdir is not None:
+            return ScenarioRunner(scenario, seed, workdir).run()
+        with tempfile.TemporaryDirectory(prefix="repro-verify-") as tmp:
+            return ScenarioRunner(scenario, seed, tmp).run()
+    finally:
+        if installed:
+            faults.clear()

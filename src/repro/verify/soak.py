@@ -34,9 +34,11 @@ import threading
 import time
 import urllib.error
 import urllib.request
+import dataclasses
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro import faults
 from repro.cluster import ClusterConfig
 from repro.cubing.policy import GlobalSlopeThreshold
 from repro.io import isb_from_dict
@@ -92,6 +94,13 @@ class SoakConfig:
     #: the snapshot directory doubling as the workers' crash-recovery
     #: anchor.
     backend: str = "inproc"
+    #: Fault-injection plan (a :mod:`repro.faults` preset name or plan-file
+    #: path; None disarms).  Armed for the whole soak — traffic, snapshots,
+    #: the final oracle and restore audits — with the run's ``seed``, so a
+    #: fault soak is exactly reproducible.  Every preset fault class is
+    #: repaired in place by the durability layer, so the verdict must stay
+    #: zero mismatches.
+    fault_plan: str | None = None
 
 
 @dataclass
@@ -358,6 +367,14 @@ def run_soak(config: SoakConfig, workdir: str | Path | None = None) -> SoakRepor
     if workdir is None:
         with tempfile.TemporaryDirectory(prefix="repro-soak-") as tmp:
             return run_soak(config, tmp)
+    if config.fault_plan:
+        faults.install(faults.load_plan(config.fault_plan, config.seed))
+        try:
+            return run_soak(
+                dataclasses.replace(config, fault_plan=None), workdir
+            )
+        finally:
+            faults.clear()
     workdir = Path(workdir)
     snap_dir = workdir / "snapshots"
     layers = DatasetSpec(
@@ -619,6 +636,7 @@ def main(args) -> int:
         storage=getattr(args, "storage", None),
         hot_quarters=getattr(args, "hot_quarters", None) or 2,
         backend=getattr(args, "backend", "inproc"),
+        fault_plan=getattr(args, "fault_plan", None),
     )
     try:
         report = run_soak(config)

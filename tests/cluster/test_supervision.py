@@ -238,6 +238,9 @@ class TestRefusals:
         manifest_path = snap / "manifest.json"
         manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
         manifest["n_shards"] = 5
+        # Drop the self-checksum: this simulates an honest manifest from a
+        # different shard count, not corruption (which has its own tests).
+        manifest.pop("checksum", None)
         manifest_path.write_text(json.dumps(manifest), encoding="utf-8")
         with walled_cube(
             layers, policy, tmp_path, k=2, recovery_dir=str(snap)

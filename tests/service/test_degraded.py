@@ -1,0 +1,225 @@
+"""Degraded-mode serving over HTTP: partial answers, probes, manifests.
+
+The service's availability contract: a fleet with a permanently dead
+shard keeps answering ``POST /query`` with 200 and a ``degraded`` block
+(never a 500), ``/healthz`` reports the roster, ``/readyz`` flips to 503
+so orchestrators stop routing new traffic, and a tampered snapshot
+manifest refuses restore with a typed :class:`CorruptionError`.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cluster import ClusterConfig
+from repro.errors import CorruptionError
+from repro.io import payload_checksum
+from repro.service.http import StreamCubeService
+from repro.service.router import QueryRouter
+from repro.service.sharding import ShardedStreamCube
+from repro.stream.wal import QuarterWAL
+
+from tests.service.conftest import TPQ, workload
+
+
+@pytest.fixture
+def fragile(layers, policy, tmp_path):
+    """A process-backend service with no restart budget: the first
+    worker death is final — exactly the fleet degraded mode serves."""
+    cube = ShardedStreamCube(
+        layers,
+        policy,
+        n_shards=2,
+        ticks_per_quarter=TPQ,
+        wal=QuarterWAL(tmp_path / "cube.wal"),
+        backend=ClusterConfig(backend="process", max_restarts=0),
+    )
+    service = StreamCubeService(
+        cube, QueryRouter(cube, window_quarters=4)
+    )
+    rows = [
+        {"values": list(r.values), "t": r.t, "z": r.z}
+        for r in workload(3)
+    ]
+    status, _ = service.handle("POST", "/ingest", {"records": rows})
+    assert status == 200
+    service.handle("POST", "/advance", {"t": 6 * TPQ})
+    yield service
+    service.close()
+
+
+def doom(service, shard=1):
+    """Kill a worker and trip its (zero) restart budget via one query."""
+    service.cube.kill_worker(shard)
+    status, body = service.handle(
+        "POST", "/query", {"op": "change_exceptions", "layer": "o"}
+    )
+    return status, body
+
+
+class TestProbes:
+    def test_healthy_fleet_probes(self, fragile):
+        status, body = fragile.handle("GET", "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert [s["state"] for s in body["shards"]] == [
+            "healthy",
+            "healthy",
+        ]
+        status, body = fragile.handle("GET", "/readyz")
+        assert (status, body["ready"]) == (200, True)
+        assert body["dead_shards"] == []
+
+    def test_budget_exhaustion_flips_readyz(self, fragile):
+        """Satellite contract: kill → exhausted budget → sticky-dead is
+        visible at the HTTP layer, and queries keep answering 200."""
+        status, body = doom(fragile)
+        assert status == 200  # the query itself: degraded, not failed
+        status, body = fragile.handle("GET", "/healthz")
+        assert status == 200  # liveness never flips
+        assert body["status"] == "degraded"
+        assert body["shards"][1]["state"] == "dead"
+        assert "restart budget" in body["shards"][1]["reason"]
+        status, body = fragile.handle("GET", "/readyz")
+        assert status == 503
+        assert body["ready"] is False
+        assert body["dead_shards"] == [1]
+
+    def test_readyz_recovers_when_budget_allows(
+        self, layers, policy, tmp_path
+    ):
+        cube = ShardedStreamCube(
+            layers,
+            policy,
+            n_shards=2,
+            ticks_per_quarter=TPQ,
+            wal=QuarterWAL(tmp_path / "cube.wal"),
+            backend=ClusterConfig(backend="process", max_restarts=2),
+        )
+        service = StreamCubeService(
+            cube, QueryRouter(cube, window_quarters=4)
+        )
+        try:
+            rows = [
+                {"values": list(r.values), "t": r.t, "z": r.z}
+                for r in workload(3)
+            ]
+            service.handle("POST", "/ingest", {"records": rows})
+            service.handle("POST", "/advance", {"t": 6 * TPQ})
+            cube.kill_worker(1)
+            # A crashed-but-revivable shard does not fail readiness …
+            status, _ = service.handle("GET", "/readyz")
+            assert status == 200
+            # … and the next query quietly revives it.
+            status, body = service.handle(
+                "POST", "/query", {"op": "change_exceptions"}
+            )
+            assert status == 200
+            assert "degraded" not in body
+            assert cube.health()[1]["state"] == "healthy"
+        finally:
+            service.close()
+
+
+class TestDegradedQueries:
+    def test_query_returns_200_with_degraded_block(self, fragile):
+        status, body = doom(fragile)
+        assert status == 200
+        block = body["degraded"]
+        assert [row["shard"] for row in block["missing"]] == [1]
+        assert block["missing"][0]["state"] == "dead"
+        assert "restart budget" in block["missing"][0]["reason"]
+        assert block["staleness_bound"] == 6
+
+    def test_repeat_queries_stay_200(self, fragile):
+        doom(fragile)
+        for _ in range(3):
+            status, body = fragile.handle(
+                "POST",
+                "/query",
+                {"op": "cell", "coord": [1, 1], "values": [0, 0]},
+            )
+            assert status == 200
+            assert body["degraded"]["missing"][0]["shard"] == 1
+
+    def test_cache_served_answers_carry_the_block(self, fragile):
+        spec = {"op": "cell", "coord": [1, 1], "values": [0, 0]}
+        doom(fragile)
+        first = fragile.handle("POST", "/query", spec)
+        second = fragile.handle("POST", "/query", spec)  # cache hit
+        assert first[0] == second[0] == 200
+        assert (
+            first[1]["degraded"]["missing"]
+            == second[1]["degraded"]["missing"]
+        )
+        hits = fragile.router.stats()["cache_hits"]
+        assert hits >= 1
+
+    def test_healthy_responses_have_no_block(self, fragile):
+        status, body = fragile.handle(
+            "POST",
+            "/query",
+            {"op": "cell", "coord": [1, 1], "values": [0, 0]},
+        )
+        assert status == 200
+        assert "degraded" not in body
+
+    def test_batch_queries_degrade_too(self, fragile):
+        doom(fragile)
+        status, body = fragile.handle(
+            "POST",
+            "/query",
+            {
+                "queries": [
+                    {"op": "cell", "coord": [1, 1], "values": [0, 0]},
+                    {"op": "top_slopes", "coord": [1, 1], "k": 2},
+                ]
+            },
+        )
+        assert status == 200
+        assert body["count"] == 2
+        assert body["degraded"]["missing"][0]["shard"] == 1
+
+
+class TestManifestChecksum:
+    def snapshot(self, layers, policy, tmp_path):
+        cube = ShardedStreamCube(
+            layers, policy, n_shards=2, ticks_per_quarter=TPQ
+        )
+        try:
+            cube.ingest_batch(workload(5))
+            cube.advance_to(6 * TPQ)
+            cube.snapshot(tmp_path / "snap")
+        finally:
+            cube.close()
+        return tmp_path / "snap"
+
+    def test_tampered_manifest_refuses_restore(
+        self, layers, policy, tmp_path
+    ):
+        snap = self.snapshot(layers, policy, tmp_path)
+        manifest_path = snap / "manifest.json"
+        payload = json.loads(manifest_path.read_text())
+        payload["current_quarter"] = 2  # rot one field, keep old checksum
+        manifest_path.write_text(json.dumps(payload))
+        with pytest.raises(CorruptionError, match="failed its checksum"):
+            ShardedStreamCube.read_manifest(snap)
+
+    def test_checksum_absent_is_accepted(self, layers, policy, tmp_path):
+        """Manifests written before the checksum existed keep restoring."""
+        snap = self.snapshot(layers, policy, tmp_path)
+        manifest_path = snap / "manifest.json"
+        payload = json.loads(manifest_path.read_text())
+        del payload["checksum"]
+        manifest_path.write_text(json.dumps(payload))
+        manifest = ShardedStreamCube.read_manifest(snap)
+        assert manifest["n_shards"] == 2
+
+    def test_written_manifest_checksum_verifies(
+        self, layers, policy, tmp_path
+    ):
+        snap = self.snapshot(layers, policy, tmp_path)
+        payload = json.loads((snap / "manifest.json").read_text())
+        assert payload["checksum"] == payload_checksum(payload)

@@ -135,28 +135,31 @@ class TestCorruption:
         page = sample_page()
         blob = bytearray(page.encode())
         # Pretend the keys block holds one fewer row than declared, then
-        # re-sign the (unchanged) body so only the count check can object.
+        # re-sign the page so only the count check can object.  The crc
+        # covers header + body with the crc field zeroed, so the forgery
+        # signs exactly the way encode() does.
         keys_blob = b'[[0,0],["a",3]]'
         body = (
             keys_blob
             + pack_f64(page.base)
             + pack_f64(page.slope)
         )
+        unsigned = struct.pack(
+            "<4sHHqqIIIdd",
+            b"RCP1",
+            PAGE_VERSION,
+            page.level,
+            page.t_b,
+            page.t_e,
+            page.n_rows,  # still claims 3 rows
+            len(keys_blob),
+            0,
+            page.zero_base,
+            page.zero_slope,
+        )
+        crc = zlib.crc32(body, zlib.crc32(unsigned))
         rebuilt = (
-            struct.pack(
-                "<4sHHqqIIIdd",
-                b"RCP1",
-                PAGE_VERSION,
-                page.level,
-                page.t_b,
-                page.t_e,
-                page.n_rows,  # still claims 3 rows
-                len(keys_blob),
-                zlib.crc32(body),
-                page.zero_base,
-                page.zero_slope,
-            )
-            + body
+            unsigned[:32] + struct.pack("<I", crc) + unsigned[36:] + body
         )
         assert len(rebuilt) != len(blob)
         with pytest.raises(StorageError, match="declares 3 rows"):

@@ -16,7 +16,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.errors import CodecError, StreamError
+from repro.errors import CodecError, StreamError, WalCorruptionError
 from repro.stream.engine import StreamCubeEngine
 from repro.stream.records import StreamRecord
 from repro.stream.wal import QuarterWAL
@@ -137,7 +137,7 @@ class TestRecovery:
         lines = path.read_text().splitlines()
         lines[1] = "garbage"
         path.write_text("\n".join(lines) + "\n")
-        with pytest.raises(CodecError, match="line 2"):
+        with pytest.raises(WalCorruptionError, match="line 2"):
             list(QuarterWAL(path).entries())
 
     def test_missing_header_raises(self, tmp_path):
