@@ -196,6 +196,19 @@ def main() -> int:
     print(render_parallel_table(rows))
     checks = parallel_checks(rows)
     print(render_shape_checks(checks))
+    cores = usable_cores()
+    if cores >= 4:
+        scaling_gate, scaling_reason = "live", None
+    else:
+        # Make the skip loud here *and* durable in the JSON: downstream
+        # gates (and humans reading the artifact) see that the scaling
+        # claim was never tested, not that it passed.
+        scaling_gate = "skipped"
+        scaling_reason = (
+            f"{cores} usable core(s) < 4: the 2x scaling floor cannot be "
+            "tested on this runner"
+        )
+        print(f"SKIP scaling check: {scaling_reason}")
     json_path = json_path_from_args()
     if json_path:
         scale = current_scale().name
@@ -204,7 +217,11 @@ def main() -> int:
             "parallel",
             scale,
             json_entries(rows, scale),
-            extra={"cpu_count": usable_cores()},
+            extra={
+                "cpu_count": cores,
+                "scaling_gate": scaling_gate,
+                "scaling_gate_reason": scaling_reason,
+            },
         )
         print(f"wrote {target}")
     return 0 if all(ok for _, ok in checks) else 1

@@ -10,8 +10,11 @@ Usage::
         [--storage-baseline benchmarks/baselines/BENCH_storage.json] \
         [--parallel-current out/BENCH_parallel.json] \
         [--parallel-baseline benchmarks/baselines/BENCH_parallel.json] \
+        [--concurrency-current out/BENCH_concurrency.json] \
+        [--concurrency-baseline benchmarks/baselines/BENCH_concurrency.json] \
         [--faults-current out/BENCH_faults.json] \
-        [--min-scaling 2.0] [--max-regression 0.25] [--min-fault-ratio 0.98]
+        [--min-scaling 2.0] [--max-regression 0.25] [--min-fault-ratio 0.98] \
+        [--concurrency-min-improvement 2.0]
 
 Compares the current run's ``ingest_batch`` records/s per shard count
 against the committed baseline and exits non-zero if any point regresses by
@@ -22,7 +25,12 @@ and bound) the same way.  With ``--parallel-current``, gates the
 process-parallel bench twice: normalized throughput per (backend,
 workers) point against the committed baseline, and — on runners with at
 least 4 usable cores — the 4-worker process ingest rate against
-``--min-scaling`` times the same run's single-process rate.
+``--min-scaling`` times the same run's single-process rate.  With
+``--concurrency-current``, gates concurrent-serving p99 query latency
+against the committed *pre-concurrency* anchor: cached inproc/4 queries
+must stay at least ``--concurrency-min-improvement`` times better than
+the anchor (the lock-free hit path is the point), every other point must
+not slip past ``--concurrency-max-regression``.
 
 Hardware normalization: raw records/s are incomparable across machines, so
 both documents carry a ``machine_score`` (a fixed CPU mini-workload timed at
@@ -48,6 +56,9 @@ _DEFAULT_STORAGE_BASELINE = (
 )
 _DEFAULT_PARALLEL_BASELINE = (
     Path(__file__).parent / "baselines" / "BENCH_parallel.json"
+)
+_DEFAULT_CONCURRENCY_BASELINE = (
+    Path(__file__).parent / "baselines" / "BENCH_concurrency.json"
 )
 
 
@@ -193,6 +204,13 @@ def compare_parallel(
                 f"measured {scaling:.2f}x (floor {min_scaling:.2f}x "
                 "applies on 4+ core runners)"
             )
+        recorded = current.get("scaling_gate")
+        if recorded is not None:
+            reason = current.get("scaling_gate_reason")
+            lines.append(
+                f"info bench recorded scaling_gate={recorded!r}"
+                + (f" ({reason})" if reason else "")
+            )
     if not base_points:
         lines.append("FAIL parallel baseline has no ingest_batch entries")
         return lines
@@ -215,6 +233,100 @@ def compare_parallel(
             f"(normalized {ratio:.2f}x of baseline {base_rps:,.0f}; "
             f"floor {floor:.2f}x)"
         )
+    return lines
+
+
+def _latency_points(document: dict) -> dict[tuple[str, int, str], float]:
+    """``{(backend, shards, mode): p99_ms}`` for the concurrency bench."""
+    out: dict[tuple[str, int, str], float] = {}
+    for entry in document.get("entries", []):
+        if entry.get("op") == "query_latency" and entry.get("p99_ms"):
+            key = (
+                str(entry.get("backend")),
+                int(entry.get("shards", 0)),
+                str(entry.get("mode")),
+            )
+            out[key] = float(entry["p99_ms"])
+    return out
+
+
+#: The concurrency tentpole's headline point: cached queries at 4 inproc
+#: shards under concurrent ingest.  The committed baseline predates the
+#: concurrent read path, so this point must stay *far* better than it,
+#: not merely unregressed.
+_CONCURRENCY_HEADLINE = ("inproc", 4, "cached")
+
+
+def compare_concurrency(
+    baseline: dict,
+    current: dict,
+    max_regression: float,
+    min_improvement: float,
+) -> list[str]:
+    """Gate concurrent-serving p99 latency against the committed baseline.
+
+    The baseline document was measured *before* the concurrent query
+    path existed (global service lock, epoch-counter cache), and stays
+    committed as a permanent anchor.  Clauses on machine-normalized p99
+    (``p99_ms × machine_score`` — a faster machine runs the fixed
+    mini-workload faster *and* serves faster, so the product cancels
+    hardware to first order):
+
+    1. the headline point — cached queries, 4 inproc shards, under
+       concurrent ingest — must be at least ``min_improvement`` times
+       better than the pre-change anchor (losing the lock-free hit path
+       is the regression this whole gate exists to catch);
+    2. every other *cached* point must not be worse than
+       ``1 + max_regression`` times its anchor (latency is noisier than
+       throughput, so the margin is wider than the ingest gates');
+    3. *uncached* points are reported but not gated: the anchor measured
+       them under mutual exclusion (once a query held the big lock it
+       ran alone), so post-change numbers — true concurrency with
+       in-flight ingest — measure a different quantity.  A missing
+       uncached point still fails, because zero samples is how reader
+       starvation presents.
+    """
+    base_points = _latency_points(baseline)
+    cur_points = _latency_points(current)
+    if not base_points:
+        return ["FAIL concurrency baseline has no query_latency entries"]
+    if not cur_points:
+        return ["FAIL current concurrency document has no query_latency entries"]
+    base_score = float(baseline.get("machine_score") or 0.0)
+    cur_score = float(current.get("machine_score") or 0.0)
+    if base_score <= 0.0 or cur_score <= 0.0:
+        return ["FAIL machine_score missing; cannot normalize latency"]
+    lines = [
+        f"machine_score: baseline {base_score:.2f}, current {cur_score:.2f}"
+    ]
+    ceiling = 1.0 + max_regression
+    for key, base_p99 in sorted(base_points.items()):
+        cur_p99 = cur_points.get(key)
+        name = f"{key[0]}/{key[1]}/{key[2]}"
+        if cur_p99 is None:
+            lines.append(f"FAIL {name}: missing from current run")
+            continue
+        # Normalized improvement factor: >1 means faster than the anchor.
+        improvement = (base_p99 * base_score) / (cur_p99 * cur_score)
+        if key == _CONCURRENCY_HEADLINE:
+            verdict = "PASS" if improvement >= min_improvement else "FAIL"
+            lines.append(
+                f"{verdict} {name}: p99 {cur_p99:.3f} ms, "
+                f"{improvement:.1f}x better than the pre-concurrency "
+                f"anchor {base_p99:.3f} ms (floor {min_improvement:.1f}x)"
+            )
+        elif key[2] == "cached":
+            verdict = "PASS" if improvement >= 1.0 / ceiling else "FAIL"
+            lines.append(
+                f"{verdict} {name}: p99 {cur_p99:.3f} ms "
+                f"(normalized {improvement:.2f}x of anchor "
+                f"{base_p99:.3f} ms; ceiling {ceiling:.2f}x slower)"
+            )
+        else:
+            lines.append(
+                f"info {name}: p99 {cur_p99:.3f} ms (anchor measured "
+                f"{base_p99:.3f} ms under mutual exclusion; not gated)"
+            )
     return lines
 
 
@@ -284,6 +396,27 @@ def main(argv: list[str] | None = None) -> int:
         "scaling gate)",
     )
     parser.add_argument(
+        "--concurrency-baseline", type=Path,
+        default=_DEFAULT_CONCURRENCY_BASELINE,
+        help="committed BENCH_concurrency.json anchor (measured before the "
+        "concurrent query path; kept as a permanent improvement floor)",
+    )
+    parser.add_argument(
+        "--concurrency-current", type=Path, default=None,
+        help="freshly generated BENCH_concurrency.json (enables the "
+        "concurrent-serving p99 latency gate)",
+    )
+    parser.add_argument(
+        "--concurrency-min-improvement", type=float, default=2.0,
+        help="required normalized p99 improvement of cached inproc/4 "
+        "queries over the pre-concurrency anchor (default 2.0)",
+    )
+    parser.add_argument(
+        "--concurrency-max-regression", type=float, default=0.5,
+        help="allowed fractional normalized p99 slowdown for the other "
+        "concurrency points (default 0.5 — latency is noisy)",
+    )
+    parser.add_argument(
         "--faults-current", type=Path, default=None,
         help="freshly generated BENCH_faults.json (enables the fault-seam "
         "overhead gate; self-baselined, no committed document needed)",
@@ -330,6 +463,17 @@ def main(argv: list[str] | None = None) -> int:
         failed |= any(line.startswith("FAIL") for line in parallel_lines)
         print("perf smoke: process-parallel ingest scaling")
         for line in parallel_lines:
+            print(" ", line)
+    if args.concurrency_current is not None:
+        concurrency_lines = compare_concurrency(
+            json.loads(args.concurrency_baseline.read_text()),
+            json.loads(args.concurrency_current.read_text()),
+            args.concurrency_max_regression,
+            args.concurrency_min_improvement,
+        )
+        failed |= any(line.startswith("FAIL") for line in concurrency_lines)
+        print("perf smoke: concurrent-serving query latency")
+        for line in concurrency_lines:
             print(" ", line)
     if args.faults_current is not None:
         fault_lines = check_faults(

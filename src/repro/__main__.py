@@ -283,7 +283,12 @@ def serve_command(args: argparse.Namespace) -> int:
         service = build_service(args)
         layers = service.cube.layers
         print(f"schema: {layers.describe()}")
-        serve(service, host=args.host, port=args.port)
+        serve(
+            service,
+            host=args.host,
+            port=args.port,
+            request_threads=args.request_threads,
+        )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -337,9 +342,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     soak_p.add_argument(
         "--query-threads",
+        "--query-clients",
+        dest="query_threads",
         type=int,
         default=2,
-        help="concurrent query workers (default 2)",
+        help="concurrent query clients hammering the service (default 2)",
     )
     soak_p.add_argument(
         "--port",
@@ -402,6 +409,15 @@ def main(argv: list[str] | None = None) -> int:
         metavar="N",
         help="worker processes for --backend process (one per shard; "
         "sets the shard count)",
+    )
+    serve_p.add_argument(
+        "--request-threads",
+        type=int,
+        default=8,
+        metavar="N",
+        help="HTTP request pool size: up to N requests execute "
+        "concurrently (queries and probes in parallel, mutators "
+        "serialized among themselves; default 8)",
     )
     serve_p.add_argument(
         "--port", type=int, default=8000, help="TCP port (default 8000)"

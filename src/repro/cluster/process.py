@@ -72,6 +72,7 @@ class _Worker:
         "inflight",
         "high_water",
         "round_trips",
+        "request_id",
         "gauge_lock",
         "recovering",
         "doomed",
@@ -92,6 +93,9 @@ class _Worker:
         self.inflight = 0
         self.high_water = 0
         self.round_trips = 0
+        #: Only this worker's single I/O thread touches it, so a plain
+        #: counter is race-free where a backend-global one would not be.
+        self.request_id = 0
         self.gauge_lock = threading.Lock()
         self.recovering = False
         #: Set (to the refusal message) when revival permanently failed —
@@ -144,7 +148,6 @@ class ProcessBackend(ShardBackend):
         self._lock = threading.RLock()
         self._closed = False
         self._restarts_total = 0
-        self._request_id = 0
         self._health_version = 0
         self._workers = [
             _Worker(i, config.queue_depth) for i in range(len(specs))
@@ -313,8 +316,8 @@ class ProcessBackend(ShardBackend):
                 # Queued behind a crash (or a restart): the supervisor
                 # already rebuilt state past this request's epoch.
                 raise WorkerCrash(f"shard worker {worker.index} restarted")
-            self._request_id += 1
-            request_id = self._request_id
+            worker.request_id += 1
+            request_id = worker.request_id
             sock = worker.sock
             try:
                 wire.send_frame(

@@ -211,7 +211,14 @@ def decode_args(method: str, payload: list) -> tuple:
 
 
 #: Methods whose result is a ``{values -> ISB}`` cell mapping.
-_CELL_RESULTS = frozenset({"window_isbs", "m_cells", "change_exceptions"})
+_CELL_RESULTS = frozenset(
+    {
+        "window_isbs",
+        "m_cells",
+        "change_exceptions",
+        "change_exceptions_between",
+    }
+)
 
 
 def encode_result(method: str, value: Any) -> Any:
@@ -265,6 +272,7 @@ _IDEMPOTENT_METHODS = frozenset(
         "window_isbs",
         "m_cells",
         "change_exceptions",
+        "change_exceptions_between",
         "snapshot",
         "snapshot_to_file",
         "storage_stats",

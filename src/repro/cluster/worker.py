@@ -80,6 +80,7 @@ _ENGINE_METHODS = frozenset(
         "window_isbs",
         "m_cells",
         "change_exceptions",
+        "change_exceptions_between",
         "snapshot",
         "load_state",
         "storage_stats",

@@ -47,9 +47,18 @@ in-flight clients keep getting partial answers.
 The query path is a pure decode → execute → encode shim over
 :meth:`repro.service.router.QueryRouter.execute`; all validation lives in
 the specs, so the Python API and the wire raise identical errors.  Domain
-errors map to 400 with ``{"error", "type"}``; unknown routes to 404.  The
-handler serializes access to the cube with one lock — shard parallelism
-lives *inside* each call, so the lock bounds interleaving, not throughput.
+errors map to 400 with ``{"error", "type"}``; unknown routes to 404.
+
+Concurrency: requests are handled in parallel on a bounded thread pool
+(``--request-threads``).  Only the *mutators* — ingest, advance, and the
+snapshot admin route — serialize on the service's mutator lock (WAL
+appends, snapshot triggers and WAL compaction stay totally ordered);
+queries run lock-free against the router's epoch-vector-validated cache,
+and the probes (``/health``, ``/healthz``, ``/readyz``, ``/stats``) touch
+no lock at all, so they answer promptly even while a heavy ingest batch
+is applying.  Consistency under this parallelism lives in the cube's
+per-shard reader-writer locks and the router's single-flight cache — see
+:mod:`repro.service.sharding` and :mod:`repro.service.router`.
 """
 
 from __future__ import annotations
@@ -58,6 +67,7 @@ import json
 import signal
 import sys
 import threading
+from concurrent.futures import ThreadPoolExecutor
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Any, Hashable, Mapping
@@ -141,7 +151,10 @@ class StreamCubeService:
         self.app_config = dict(app_config) if app_config else None
         self.snapshots_written = 0
         self._last_snapshot_quarter = cube.current_quarter
-        self._lock = threading.Lock()
+        # Serializes the *mutating* routes only (WAL appends, snapshot
+        # triggers, WAL compaction happen in one total order); reads and
+        # probes never take it.
+        self._mutator_lock = threading.Lock()
 
     def close(self) -> None:
         """Release the cube's pool and the WAL file handle."""
@@ -157,26 +170,30 @@ class StreamCubeService:
     ) -> tuple[int, dict[str, Any]]:
         """Route one request; returns ``(http_status, json_body)``."""
         routes = {
-            ("GET", "/health"): self.health,
-            ("GET", "/healthz"): self.healthz,
-            ("GET", "/readyz"): self.readyz,
-            ("GET", "/stats"): self.stats,
-            ("POST", "/ingest"): self.ingest,
-            ("POST", "/advance"): self.advance,
-            ("POST", "/query"): self.query,
-            ("POST", "/admin/snapshot"): self.admin_snapshot,
+            ("GET", "/health"): (self.health, False),
+            ("GET", "/healthz"): (self.healthz, False),
+            ("GET", "/readyz"): (self.readyz, False),
+            ("GET", "/stats"): (self.stats, False),
+            ("POST", "/ingest"): (self.ingest, True),
+            ("POST", "/advance"): (self.advance, True),
+            ("POST", "/query"): (self.query, False),
+            ("POST", "/admin/snapshot"): (self.admin_snapshot, True),
         }
-        handler = routes.get((method, path))
-        if handler is None:
+        route = routes.get((method, path))
+        if route is None:
             return 404, {"error": f"no route {method} {path}", "type": "NotFound"}
+        handler, mutates = route
         try:
-            with self._lock:
+            if mutates:
+                with self._mutator_lock:
+                    body = handler(payload or {})
+            else:
                 body = handler(payload or {})
-                # Probes pick their own status (/readyz answers 503);
-                # everything else is a body dict wrapped in 200.
-                if isinstance(body, tuple):
-                    return body
-                return 200, body
+            # Probes pick their own status (/readyz answers 503);
+            # everything else is a body dict wrapped in 200.
+            if isinstance(body, tuple):
+                return body
+            return 200, body
         except ReproError as exc:
             return 400, {"error": str(exc), "type": type(exc).__name__}
         except (KeyError, TypeError, ValueError) as exc:
@@ -324,9 +341,11 @@ class StreamCubeService:
 
         The WAL is truncated through the sequence number the snapshot
         captured — everything at or below it is durable in the snapshot,
-        so the journal shrinks back to the unsealed tail.  Callers hold the
-        service lock (the HTTP route) or own the service exclusively (the
-        shutdown hook), so the snapshot sees a quiescent cube.
+        so the journal shrinks back to the unsealed tail.  Callers hold
+        the mutator lock (the HTTP route) or own the service exclusively
+        (the shutdown hook), so no ingest can land between the snapshot
+        and the truncation; the cube's own write mutex + read locks give
+        the snapshot its quiescent cut, with queries still flowing.
         """
         if self.snapshot_dir is None:
             raise ServiceError(
@@ -441,16 +460,56 @@ class _Handler(BaseHTTPRequestHandler):
         self._respond(status, body)
 
 
+class _PooledHTTPServer(ThreadingHTTPServer):
+    """Threaded HTTP server with a *bounded* worker pool.
+
+    ``ThreadingHTTPServer`` spawns one thread per connection, which under
+    a query storm means unbounded threads all contending for the same
+    shard read locks.  This subclass routes each accepted connection to a
+    fixed-size :class:`ThreadPoolExecutor` instead: up to
+    ``request_threads`` requests run concurrently (cache hits in
+    parallel, reads sharing shard read locks) and the rest queue at the
+    accept backlog — backpressure instead of thread explosion.
+    """
+
+    def __init__(
+        self,
+        server_address: tuple[str, int],
+        handler_class: type[BaseHTTPRequestHandler],
+        request_threads: int = 8,
+    ) -> None:
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(1, int(request_threads)),
+            thread_name_prefix="repro-http",
+        )
+        super().__init__(server_address, handler_class)
+
+    def process_request(self, request: Any, client_address: Any) -> None:
+        # ThreadingMixIn would start a fresh thread here; reuse the pool.
+        self._pool.submit(self.process_request_thread, request, client_address)
+
+    def server_close(self) -> None:
+        super().server_close()
+        # The drain: every submitted request finishes before close returns.
+        self._pool.shutdown(wait=True)
+
+
 def make_server(
-    service: StreamCubeService, host: str = "127.0.0.1", port: int = 8000
+    service: StreamCubeService,
+    host: str = "127.0.0.1",
+    port: int = 8000,
+    request_threads: int = 8,
 ) -> ThreadingHTTPServer:
-    """A bound (not yet serving) threaded HTTP server for the service."""
+    """A bound (not yet serving) pooled HTTP server for the service."""
     handler = type("ReproHandler", (_Handler,), {"service": service})
-    return ThreadingHTTPServer((host, port), handler)
+    return _PooledHTTPServer((host, port), handler, request_threads)
 
 
 def serve(
-    service: StreamCubeService, host: str = "127.0.0.1", port: int = 8000
+    service: StreamCubeService,
+    host: str = "127.0.0.1",
+    port: int = 8000,
+    request_threads: int = 8,
 ) -> None:
     """Serve until SIGTERM / SIGINT (Ctrl-C), then shut down gracefully.
 
@@ -461,11 +520,12 @@ def serve(
     final snapshot is written so a clean shutdown is always restorable
     from disk, WAL already compacted.
     """
-    server = make_server(service, host, port)
+    server = make_server(service, host, port, request_threads)
     address = f"http://{server.server_address[0]}:{server.server_address[1]}"
     print(
         f"repro stream-cube service on {address} "
-        f"({service.cube.n_shards} shards)"
+        f"({service.cube.n_shards} shards, "
+        f"{request_threads} request threads)"
     )
     stop = threading.Event()
     previous: list[tuple[signal.Signals, Any]] = []

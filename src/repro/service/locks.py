@@ -1,0 +1,180 @@
+"""Reader-writer locking for the concurrent query path.
+
+The sharded cube's consistency discipline (see
+:class:`~repro.service.sharding.ShardedStreamCube`) is built from two
+pieces that live here:
+
+* :class:`RWLock` — a phase-fair reader-writer lock.  A waiting writer
+  blocks *new* readers (a stream of merged reads cannot starve ingest),
+  and a releasing writer admits the readers that were waiting on it
+  before the next writer may enter (a hot ingest loop cannot starve
+  queries — without the reader turn, a tight writer loop re-acquires
+  before any waiting reader is scheduled, and reads stall for the
+  writer stream's whole lifetime).
+* :class:`ShardLockTable` — one :class:`RWLock` per shard plus the
+  acquisition discipline: locks are always taken in ascending shard
+  order (total order ⇒ no deadlock), and read acquisition is *reentrant
+  per thread* via a thread-local depth counter, so a merged read that
+  calls another merged read (``o_layer_change_exceptions`` builds on
+  ``window_isbs``) does not self-deadlock or release early.
+
+Writers are never reentrant — mutators are already serialized by the
+cube's write mutex, so at most one thread holds write locks at a time
+and it never nests them.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator, Sequence
+
+__all__ = ["RWLock", "ShardLockTable"]
+
+
+class RWLock:
+    """A phase-fair reader-writer lock.
+
+    Any number of readers may hold the lock together; a writer holds it
+    alone.  Fairness runs both ways:
+
+    * a *waiting* writer blocks new readers (write preference), so
+      sealing ingest cannot starve behind a continuous stream of merged
+      reads;
+    * a *releasing* writer grants one admission turn per reader then
+      waiting on it, and the next writer may not enter until those turns
+      are consumed (reader turn).  Without this, a back-to-back writer
+      stream — exactly what a hot ingest loop is — re-acquires before
+      any waiting reader gets scheduled, and under the GIL that is not a
+      tail latency but a full stall.
+
+    Turns are granted from the live waiting count at each release, so
+    every waiting reader is admitted after finitely many writer rounds
+    and every writer waits on at most one bounded reader batch.  Not
+    reentrant by itself — reentrancy is layered on in
+    :class:`ShardLockTable`, which tracks per-thread read depth across
+    the whole table.
+    """
+
+    __slots__ = (
+        "_cond",
+        "_readers",
+        "_writer",
+        "_writers_waiting",
+        "_readers_waiting",
+        "_reader_turns",
+    )
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition(threading.Lock())
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+        self._readers_waiting = 0
+        self._reader_turns = 0
+
+    def acquire_read(self) -> None:
+        with self._cond:
+            if not (
+                self._writer or self._writers_waiting or self._reader_turns
+            ):
+                self._readers += 1
+                return
+            self._readers_waiting += 1
+            try:
+                while True:
+                    if not self._writer and self._reader_turns:
+                        self._reader_turns -= 1
+                        break
+                    if not (
+                        self._writer
+                        or self._writers_waiting
+                        or self._reader_turns
+                    ):
+                        break
+                    self._cond.wait()
+            finally:
+                self._readers_waiting -= 1
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer or self._readers or self._reader_turns:
+                    if self._reader_turns and not self._readers_waiting:
+                        # Safety net: a granted turn whose reader vanished
+                        # (interrupted mid-wait) must not wedge writers.
+                        self._reader_turns = 0
+                        continue
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = True
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer = False
+            if self._readers_waiting:
+                self._reader_turns = self._readers_waiting
+            self._cond.notify_all()
+
+
+class ShardLockTable:
+    """Per-shard reader-writer locks with an ordered, reentrant protocol.
+
+    ``read_all()`` — the merged-read cut — acquires every shard's read
+    lock in ascending order; nested calls on the same thread are free
+    (depth-counted), so composite reads reuse the outermost cut.
+    ``write(indices)`` / ``write_all()`` acquire write locks in ascending
+    order; callers (cube mutators) hold the cube's write mutex, so writer
+    acquisition is single-threaded by construction.
+    """
+
+    def __init__(self, n_shards: int) -> None:
+        self._locks = [RWLock() for _ in range(n_shards)]
+        self._local = threading.local()
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._locks)
+
+    @contextmanager
+    def read_all(self) -> Iterator[None]:
+        """Hold every shard's read lock (reentrant per thread)."""
+        depth = getattr(self._local, "depth", 0)
+        if depth == 0:
+            for lock in self._locks:
+                lock.acquire_read()
+        self._local.depth = depth + 1
+        try:
+            yield
+        finally:
+            self._local.depth = depth
+            if depth == 0:
+                for lock in reversed(self._locks):
+                    lock.release_read()
+
+    @contextmanager
+    def write(self, indices: Sequence[int]) -> Iterator[None]:
+        """Hold the write locks of ``indices`` (ascending order)."""
+        ordered = sorted(set(indices))
+        for index in ordered:
+            self._locks[index].acquire_write()
+        try:
+            yield
+        finally:
+            for index in reversed(ordered):
+                self._locks[index].release_write()
+
+    @contextmanager
+    def write_all(self) -> Iterator[None]:
+        """Hold every shard's write lock (sealing writes, snapshots)."""
+        with self.write(range(len(self._locks))):
+            yield

@@ -8,9 +8,18 @@ on ``spec.cache_key()`` — the canonical plan identity, so equivalent plans
 built by any surface share one cache line.  Execution itself is the single
 engine in :mod:`repro.query.exec`.
 
-Every cached entry is derived from sealed quarters only, so the whole cache
-is invalidated exactly when a quarter seals (the cube's quarter clock
-advances) — between seals, answers are immutable and a hit is safe.
+Concurrency: the router is safe for parallel callers and its hit path is
+completely lock-free on the cube.  Every cached entry is stored together
+with the cube's :meth:`~repro.service.sharding.ShardedStreamCube.
+epoch_vector` at computation time — the per-shard seal epochs plus the
+structure/health clocks — and is served iff a fresh lock-free vector read
+matches it, so "invalidation" is a comparison, not a big-lock clear.
+Answers derive from sealed quarters only, so the vector changes exactly
+when one could change: a quarter seals, a shard's state is reloaded, or
+fleet health transitions.  Cache *misses* compute under the cube's read
+cut, and identical concurrent misses are collapsed to one execution
+(single-flight): followers wait for the leader's entry and re-validate
+instead of stampeding the engines.
 
 The per-operation methods (``point``, ``slice``, ...) remain as one-line
 spec builders for callers that prefer the method style.
@@ -18,6 +27,7 @@ spec builders for callers that prefer the method style.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Hashable, Iterable, Mapping
 
@@ -38,37 +48,67 @@ Coord = tuple[int, ...]
 
 
 class LRUCache:
-    """A small bounded LRU with hit/miss accounting."""
+    """A small bounded LRU with hit/miss accounting (thread-safe)."""
 
     def __init__(self, capacity: int) -> None:
         if capacity < 1:
             raise ServiceError(f"cache capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self._data: OrderedDict[Any, Any] = OrderedDict()
+        self._mu = threading.Lock()
         self.hits = 0
         self.misses = 0
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._mu:
+            return len(self._data)
 
     def get(self, key: Any) -> Any | None:
-        try:
-            value = self._data[key]
-        except KeyError:
+        with self._mu:
+            try:
+                value = self._data[key]
+            except KeyError:
+                self.misses += 1
+                return None
+            self._data.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def get_versioned(self, key: Any, version: Any) -> Any | None:
+        """The ``(version, value)`` entry under ``key``, iff it was stored
+        at exactly ``version``.
+
+        A present-but-stale entry counts as a miss: it is no more servable
+        than an absent one (and will age out of the LRU on its own).
+        """
+        with self._mu:
+            entry = self._data.get(key)
+            if entry is not None and entry[0] == version:
+                self._data.move_to_end(key)
+                self.hits += 1
+                return entry
             self.misses += 1
             return None
-        self._data.move_to_end(key)
-        self.hits += 1
-        return value
 
     def put(self, key: Any, value: Any) -> None:
-        self._data[key] = value
-        self._data.move_to_end(key)
-        while len(self._data) > self.capacity:
-            self._data.popitem(last=False)
+        with self._mu:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
 
     def clear(self) -> None:
-        self._data.clear()
+        with self._mu:
+            self._data.clear()
+
+
+class _Flight:
+    """One in-flight cache-miss computation; followers await the leader."""
+
+    __slots__ = ("done",)
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
 
 
 class QueryRouter:
@@ -101,52 +141,74 @@ class QueryRouter:
         self.window_quarters = window_quarters
         self.algorithm: Algorithm = algorithm
         self.cache = LRUCache(cache_size)
-        self._views: dict[int, RegressionCubeView] = {}
-        self._epoch = cube.current_quarter
-        self._health_epoch = cube.health_version()
+        self._mu = threading.Lock()
+        self._views: dict[
+            int, tuple[tuple[int, ...], RegressionCubeView]
+        ] = {}
+        self._flights: dict[Any, _Flight] = {}
+        self._view_flights: dict[int, _Flight] = {}
         self.refreshes = 0
         self.batches = 0
         self.specs_executed = 0
+        self.single_flight_joins = 0
 
     # ------------------------------------------------------------------
     # Freshness
     # ------------------------------------------------------------------
     @property
     def epoch(self) -> int:
-        """The quarter clock the cached answers were computed at."""
-        return self._epoch
+        """The cube's quarter clock — the headline component of the epoch
+        vector every cached answer is validated against."""
+        return self.cube.current_quarter
 
     @property
     def schema(self) -> CubeSchema:
         return self.cube.layers.schema
 
-    def _sync(self) -> None:
-        """Invalidate everything when the answers may have changed.
-
-        Two clocks gate the cache: the quarter clock (a sealed quarter
-        changes every sealed-window answer) and the backend's health
-        version (a shard dying or reviving changes *which shards answer*,
-        so a degraded partial result must never be served from a cache
-        line computed while the fleet was whole, nor vice versa).
-        """
-        current = self.cube.current_quarter
-        health = self.cube.health_version()
-        if current != self._epoch or health != self._health_epoch:
-            self.cache.clear()
-            self._views.clear()
-            self._epoch = current
-            self._health_epoch = health
-
     def view(self, window_quarters: int | None = None) -> RegressionCubeView:
         """The merged cube view for one window, refreshed at most once per
-        (window, epoch)."""
-        self._sync()
+        (window, epoch vector)."""
         window = self._window(window_quarters)
-        if window not in self._views:
-            result = self.cube.refresh(window, self.algorithm)
-            self._views[window] = RegressionCubeView(result)
-            self.refreshes += 1
-        return self._views[window]
+        with self.cube.read_lock():
+            return self._view_locked(window)
+
+    def _view_locked(self, window: int) -> RegressionCubeView:
+        """The memoized view for ``window`` at the *current* read cut.
+
+        The caller holds the cube's read lock, which freezes the epoch
+        vector fleet-wide (it can only move under every shard's write
+        lock) — so every concurrent read-cut holder sees one vector, and
+        the single-flight below means one of them refreshes while the
+        rest wait and reuse.
+        """
+        vector = self.cube.epoch_vector()
+        while True:
+            with self._mu:
+                entry = self._views.get(window)
+                if entry is not None and entry[0] == vector:
+                    return entry[1]
+                flight = self._view_flights.get(window)
+                leader = flight is None
+                if leader:
+                    flight = self._view_flights[window] = _Flight()
+            if leader:
+                try:
+                    result = self.cube.refresh(window, self.algorithm)
+                    view = RegressionCubeView(result)
+                    with self._mu:
+                        # One line per window: a stale view is simply
+                        # overwritten by the refresh that replaced it.
+                        self._views[window] = (vector, view)
+                        self.refreshes += 1
+                    return view
+                finally:
+                    with self._mu:
+                        self._view_flights.pop(window, None)
+                    flight.done.set()
+            else:
+                # Waiting while holding the read cut is safe: the leader
+                # holds the same (shared) cut and needs no further locks.
+                flight.done.wait()
 
     def result(self, window_quarters: int | None = None) -> CubeResult:
         """The merged cube result behind :meth:`view`."""
@@ -160,12 +222,51 @@ class QueryRouter:
         )
 
     def _cached(self, key: tuple, compute) -> Any:
-        self._sync()
-        value = self.cache.get(key)
-        if value is None:
-            value = compute()
-            self.cache.put(key, value)
-        return value
+        return self._single_flight(key, compute)
+
+    def _single_flight(self, key: Any, compute) -> Any:
+        """Serve ``key`` from the versioned cache, computing at most once.
+
+        The hit path takes no cube locks at all: a cached entry whose
+        stored epoch vector equals a fresh lock-free vector read is
+        returned as-is.  The racy read is sound because the vector only
+        moves under every shard's write lock — a matching comparison
+        proves the entry's cut is still current (a torn mid-seal vector
+        matches no stored cut and simply misses).  On a miss, the first
+        thread in (the leader) computes under the cube's read cut and
+        fills the cache; concurrent identical misses wait for the leader
+        and re-validate instead of stampeding the engines.  Errors are
+        never cached: each follower retries and surfaces its own.
+        """
+        for _ in range(16):
+            vector = self.cube.epoch_vector()
+            entry = self.cache.get_versioned(key, vector)
+            if entry is not None:
+                return entry[1]
+            with self._mu:
+                flight = self._flights.get(key)
+                leader = flight is None
+                if leader:
+                    flight = self._flights[key] = _Flight()
+                else:
+                    self.single_flight_joins += 1
+            if leader:
+                try:
+                    with self.cube.read_lock() as cut:
+                        value = compute()
+                    self.cache.put(key, (cut, value))
+                    return value
+                finally:
+                    with self._mu:
+                        self._flights.pop(key, None)
+                    flight.done.set()
+            else:
+                flight.done.wait()
+                # Loop: re-validate against the (possibly moved) vector.
+        # A seal storm kept invalidating this line while we waited;
+        # answer directly from one read cut without caching.
+        with self.cube.read_lock():
+            return compute()
 
     # ------------------------------------------------------------------
     # Spec execution (the primary interface)
@@ -181,16 +282,17 @@ class QueryRouter:
             raise ServiceError("a BatchQuery must go through execute_batch")
         if isinstance(spec, Mapping):
             spec = spec_from_dict(spec)
-        self._sync()
         window = self._window(spec.window_quarters)
         resolved = spec.window(window).resolve(self.schema)
-        self.specs_executed += 1
+        with self._mu:
+            self.specs_executed += 1
         key = resolved.cache_key()
-        result = self.cache.get(key)
-        if result is None:
-            result = execute(self.view(window), resolved, pre_resolved=True)
-            self.cache.put(key, result)
-        return result
+        return self._single_flight(
+            key,
+            lambda: execute(
+                self._view_locked(window), resolved, pre_resolved=True
+            ),
+        )
 
     def execute_batch(
         self,
@@ -345,7 +447,7 @@ class QueryRouter:
     def stats(self) -> dict[str, int]:
         """Cache and refresh counters (served by the HTTP ``/stats``)."""
         return {
-            "epoch": self._epoch,
+            "epoch": self.epoch,
             "cache_entries": len(self.cache),
             "cache_capacity": self.cache.capacity,
             "cache_hits": self.cache.hits,
@@ -354,4 +456,5 @@ class QueryRouter:
             "views": len(self._views),
             "batches": self.batches,
             "specs_executed": self.specs_executed,
+            "single_flight_joins": self.single_flight_joins,
         }

@@ -25,9 +25,11 @@ import hashlib
 import itertools
 import json
 import re
+import threading
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Any, Hashable, Iterable, Mapping
+from typing import Any, Hashable, Iterable, Iterator, Mapping
 
 from repro import faults
 from repro.cluster.backends import ClusterConfig, InprocBackend, ShardBackend
@@ -53,6 +55,7 @@ from repro.io import (
     write_atomic,
 )
 from repro.regression.isb import ISB
+from repro.service.locks import ShardLockTable
 from repro.service.merge import disjoint_union
 from repro.storage import (
     StorageConfig,
@@ -177,11 +180,21 @@ class ShardedStreamCube:
         process backend's knobs (RPC timeout, queue depth, restart budget,
         crash-recovery snapshot directory).
 
-    The cube is not safe for *concurrent callers* — the HTTP layer
-    serializes access — but each call fans out across shards in parallel.
-    Shards are kept quarter-aligned: any ingestion or advance that moves one
-    shard's clock moves every shard's, exactly as a single engine seals every
-    cell's quarter when any record crosses a boundary.
+    Concurrency discipline (the HTTP layer no longer serializes access):
+    *mutators* (ingest / advance / prune / snapshot) are serialized by one
+    write mutex — WAL appends and the quarter clock stay totally ordered —
+    and additionally hold per-shard write locks while engine state actually
+    changes: the touched shards for a mid-quarter batch, *every* shard when
+    a quarter seals (so no reader ever observes shards with misaligned
+    clocks).  *Merged reads* hold every shard's read lock for the duration
+    of the fan-out — a consistent cut — and may run concurrently with each
+    other and with the mutator's lock-free prelude (routing, journaling).
+    :meth:`epoch_vector` names the cut: a reader that records the vector
+    under its read locks can later validate a cached answer with one
+    lock-free comparison.  Shards are kept quarter-aligned: any ingestion
+    or advance that moves one shard's clock moves every shard's, exactly
+    as a single engine seals every cell's quarter when any record crosses
+    a boundary.
     """
 
     def __init__(
@@ -236,7 +249,17 @@ class ShardedStreamCube:
         #: the service layer's degraded-serving mode.  Off by default so
         #: library callers keep strict all-shards-or-error semantics.
         self.degraded_reads = False
-        self._degraded: list[dict[str, Any]] = []
+        # Degraded-read holes accumulate per *thread*: concurrent queries
+        # each drain only the holes their own merged reads produced, so one
+        # response can never report (or steal) another's.
+        self._degraded_local = threading.local()
+        # One write mutex serializes mutators end to end (WAL order, the
+        # quarter clock); per-shard RW locks fence readers from the engine
+        # mutation window only.  The seal epoch below versions structural
+        # changes the quarter clock cannot see (pruning, state loads).
+        self._write_mutex = threading.RLock()
+        self._locks = ShardLockTable(n_shards)
+        self._structure_version = 0
         #: Filled by :meth:`close` with the backend's drain report (workers
         #: reaped, sticky-dead shards and why).
         self.close_summary: dict[str, Any] | None = None
@@ -484,30 +507,39 @@ class ShardedStreamCube:
     # ------------------------------------------------------------------
     def ingest(self, record: StreamRecord) -> None:
         """Ingest one record on its owner shard, keeping shards aligned."""
-        key = self.key_fn(record)
-        idx = self.shard_index(key)
-        backend = self._backend
-        if self.wal is not None:
-            # Validate before journaling: a journaled record must never
-            # fail on replay (the owner shard re-checks both conditions).
+        with self._write_mutex:
+            key = self.key_fn(record)
+            idx = self.shard_index(key)
+            backend = self._backend
             quarter = record.t // self.ticks_per_quarter
-            if quarter < self.current_quarter:
-                raise StreamError(
-                    f"record at t={record.t} belongs to sealed quarter "
-                    f"{quarter} (current quarter is {self.current_quarter})"
-                )
-            if isinstance(backend, InprocBackend):
-                owner = backend.engines[idx]
-                if key not in owner._cells:
-                    owner.validate_cell_key(key)
+            if self.wal is not None:
+                # Validate before journaling: a journaled record must never
+                # fail on replay (the owner shard re-checks both conditions).
+                if quarter < self.current_quarter:
+                    raise StreamError(
+                        f"record at t={record.t} belongs to sealed quarter "
+                        f"{quarter} (current quarter is "
+                        f"{self.current_quarter})"
+                    )
+                if isinstance(backend, InprocBackend):
+                    owner = backend.engines[idx]
+                    if key not in owner._cells:
+                        owner.validate_cell_key(key)
+                else:
+                    self._validate_values(tuple(key))
+                self.wal.append_batch([record], quarter)
+            if quarter > self.current_quarter:
+                # Sealing: every shard's clock moves, so every shard is
+                # write-locked — no reader can observe a misaligned fleet.
+                with self._locks.write_all():
+                    backend.call(idx, "ingest", record)
+                    self._align(
+                        max(c[0] for c in backend.counters())
+                    )
             else:
-                self._validate_values(tuple(key))
-            self.wal.append_batch([record], quarter)
-        backend.call(idx, "ingest", record)
-        quarters = [c[0] for c in backend.counters()]
-        top = max(quarters)
-        if top > min(quarters):
-            self._align(top)
+                # Mid-quarter: only the owner shard's state changes.
+                with self._locks.write([idx]):
+                    backend.call(idx, "ingest", record)
 
     def ingest_batch(self, records: Iterable[StreamRecord]) -> int:
         """Group a quarter-ordered batch per shard and dispatch in parallel.
@@ -523,6 +555,10 @@ class ShardedStreamCube:
         batch = list(records)
         if not batch:
             return 0
+        with self._write_mutex:
+            return self._ingest_batch_locked(batch)
+
+    def _ingest_batch_locked(self, batch: list[StreamRecord]) -> int:
         quarters = validate_quarter_order(
             batch, self.current_quarter, self.ticks_per_quarter
         )
@@ -577,13 +613,26 @@ class ShardedStreamCube:
                     for key in groups:
                         validate(key)
             self.wal.append_batch(batch, quarters[-1])
-        if isinstance(backend, ProcessBackend):
-            self._dispatch_chunked(backend, segments)
+        # Readers are fenced out only while engine state actually changes:
+        # a sealing batch (its top quarter passes the cube clock) moves
+        # every shard's clock, so it holds every write lock across apply +
+        # align; a mid-quarter batch locks just the shards it touches.
+        sealing = quarters[-1] > self.current_quarter
+        if sealing:
+            lock_ctx = self._locks.write_all()
         else:
-            backend.map(
-                "apply_segments", list(zip(segments, counts))
+            lock_ctx = self._locks.write(
+                [i for i in range(n_shards) if segments[i]]
             )
-        self._align(max(c[0] for c in backend.counters()))
+        with lock_ctx:
+            if isinstance(backend, ProcessBackend):
+                self._dispatch_chunked(backend, segments)
+            else:
+                backend.map(
+                    "apply_segments", list(zip(segments, counts))
+                )
+            if sealing:
+                self._align(max(c[0] for c in backend.counters()))
         return len(batch)
 
     def _dispatch_chunked(
@@ -648,11 +697,19 @@ class ShardedStreamCube:
     def advance_to(self, t: int) -> None:
         """Seal quiet quarters on every shard in parallel (cf. the single
         engine's :meth:`~repro.stream.engine.StreamCubeEngine.advance_to`)."""
-        if self.wal is not None:
+        with self._write_mutex:
             quarter = t // self.ticks_per_quarter
-            if quarter > self.current_quarter:
+            sealing = quarter > self.current_quarter
+            if self.wal is not None and sealing:
                 self.wal.append_advance(t, quarter)
-        self._backend.broadcast("advance_to", t)
+            if sealing:
+                with self._locks.write_all():
+                    self._backend.broadcast("advance_to", t)
+            else:
+                # Nothing can move (engines ignore a non-advancing t);
+                # broadcast outside the shard locks so the no-op — and any
+                # validation error it raises — stays off the read path.
+                self._backend.broadcast("advance_to", t)
 
     def prune_idle(self, idle_quarters: int) -> int:
         """Drop idle cells on every shard; returns the total dropped.
@@ -662,11 +719,16 @@ class ShardedStreamCube:
         snapshot — crash recovery refuses to guess across that gap (see
         :meth:`_recover_shard`).
         """
-        dropped = sum(
-            self._backend.broadcast("prune_idle", idle_quarters)
-        )
-        if dropped:
-            self._pruned_since_snapshot = True
+        with self._write_mutex, self._locks.write_all():
+            dropped = sum(
+                self._backend.broadcast("prune_idle", idle_quarters)
+            )
+            if dropped:
+                self._pruned_since_snapshot = True
+                # Pruning changes merged answers without moving the
+                # quarter clock; bump the seal epoch so cached results
+                # keyed on the old vector can never be served again.
+                self._structure_version += 1
         return dropped
 
     def _align(self, quarter: int) -> None:
@@ -689,28 +751,41 @@ class ShardedStreamCube:
         results are exact for the shards present, since shards own
         disjoint key sets.
         """
-        backend = self._backend
-        if not self.degraded_reads:
-            return disjoint_union(backend.broadcast(method, *args))
-        results, missing = backend.broadcast_partial(method, *args)
-        if missing:
-            seen = {entry["shard"] for entry in self._degraded}
-            self._degraded.extend(
-                entry for entry in missing if entry["shard"] not in seen
+        with self._locks.read_all():
+            backend = self._backend
+            if not self.degraded_reads:
+                return disjoint_union(backend.broadcast(method, *args))
+            results, missing = backend.broadcast_partial(method, *args)
+            if missing:
+                holes = self._degraded_holes()
+                seen = {entry["shard"] for entry in holes}
+                holes.extend(
+                    entry
+                    for entry in missing
+                    if entry["shard"] not in seen
+                )
+            return disjoint_union(
+                [cells for cells in results if cells is not None]
             )
-        return disjoint_union(
-            [cells for cells in results if cells is not None]
-        )
+
+    def _degraded_holes(self) -> list[dict[str, Any]]:
+        holes = getattr(self._degraded_local, "holes", None)
+        if holes is None:
+            holes = self._degraded_local.holes = []
+        return holes
 
     def consume_degraded(self) -> list[dict[str, Any]]:
-        """Drain the holes accumulated by degraded merged reads.
+        """Drain the holes accumulated by *this thread's* merged reads.
 
         Each descriptor names the missing shard, its health state, why it
         was skipped, and ``last_quarter`` — the staleness bound: data in
-        that shard's keys is current only up to that quarter.  Empty when
-        every read since the last drain was complete.
+        that shard's keys is current only up to that quarter.  Holes are
+        tracked per thread, so under concurrent queries each response
+        drains exactly the holes its own reads produced.  Empty when every
+        read since the last drain was complete.
         """
-        drained, self._degraded = self._degraded, []
+        drained = self._degraded_holes()
+        self._degraded_local.holes = []
         return drained
 
     def health(self) -> list[dict[str, Any]]:
@@ -721,6 +796,36 @@ class ShardedStreamCube:
         """Bumped on worker health transitions (router cache epoch)."""
         return self._backend.health_version()
 
+    def epoch_vector(self) -> tuple[int, ...]:
+        """The cube's read-consistency version: one lock-free tuple.
+
+        ``(structure_version, health_version, q_0 .. q_{n-1})`` — the seal
+        epoch of every shard plus the two clocks the quarter counters
+        cannot see (pruning/state loads, worker health transitions).  Any
+        merged answer is a pure function of this vector: quarter counters
+        only move under every shard's write lock (sealing), so a vector
+        recorded inside :meth:`read_lock` names the exact cut an answer
+        was computed at, and a cached answer is still valid iff a later
+        lock-free read returns the same vector.  A torn read during a seal
+        can only produce a vector that matches *no* consistent cut (the
+        counters move monotonically), which safely reads as "stale".
+        """
+        return (
+            self._structure_version,
+            self.health_version(),
+            *(c[0] for c in self._backend.counters()),
+        )
+
+    @contextmanager
+    def read_lock(self) -> Iterator[tuple[int, ...]]:
+        """Hold the merged-read cut; yields its :meth:`epoch_vector`.
+
+        Reentrant per thread, so composite reads (a refresh plus change
+        windows, say) share one consistent cut.
+        """
+        with self._locks.read_all():
+            yield self.epoch_vector()
+
     def window_isbs(self, t_b: int, t_e: int) -> dict[Values, ISB]:
         """The merged m-layer over an arbitrary sealed window."""
         return self._merged("window_isbs", t_b, t_e)
@@ -730,14 +835,21 @@ class ShardedStreamCube:
 
         A disjoint union of the per-shard m-layers (shards own disjoint key
         sets), canonically ordered so the result is identical for every
-        shard count.
+        shard count.  The window bounds are fixed parent-side under the
+        read cut and broadcast as an explicit interval, so every shard
+        answers for the *same* window by construction — even one that is
+        mid-recovery with a lagging clock (it raises for an uncovered
+        window instead of silently answering for an older one).
         """
-        if self.current_quarter < window_quarters:
-            raise StreamError(
-                f"only {self.current_quarter} quarters sealed; cannot form "
-                f"a {window_quarters}-quarter window"
-            )
-        return self._merged("m_cells", window_quarters)
+        with self._locks.read_all():
+            if self.current_quarter < window_quarters:
+                raise StreamError(
+                    f"only {self.current_quarter} quarters sealed; cannot "
+                    f"form a {window_quarters}-quarter window"
+                )
+            t_e = self.current_quarter * self.ticks_per_quarter - 1
+            t_b = t_e - window_quarters * self.ticks_per_quarter + 1
+            return self._merged("window_isbs", t_b, t_e)
 
     def refresh(
         self,
@@ -779,7 +891,17 @@ class ShardedStreamCube:
         ``extra``, when given, is stored under the manifest's ``"app"`` key
         — the serving CLI records its schema flags there so ``--restore``
         can rebuild an identical service without re-specifying them.
+
+        Holds the write mutex (no mutator can move state mid-snapshot)
+        but only *read* locks on the shards — state extraction is a pure
+        read, so queries keep flowing while a snapshot is written.
         """
+        with self._write_mutex, self._locks.read_all():
+            return self._snapshot_locked(directory, extra)
+
+    def _snapshot_locked(
+        self, directory: str | Path, extra: Mapping[str, Any] | None
+    ) -> dict[str, Any]:
         target = Path(directory)
         target.mkdir(parents=True, exist_ok=True)
         wal_seq = self.wal.last_seq if self.wal is not None else 0
@@ -961,7 +1083,8 @@ class ShardedStreamCube:
         it when the cut-over is done); the returned cube shares no mutable
         state with it.
         """
-        states = self._backend.broadcast("snapshot")
+        with self._write_mutex, self._locks.read_all():
+            states = self._backend.broadcast("snapshot")
         return type(self)._from_states(
             states,
             self.layers,
@@ -1139,9 +1262,18 @@ class ShardedStreamCube:
         """Merged m-layer window-over-window change exceptions.
 
         Change detection is per-cell, so the global answer is the disjoint
-        union of the per-shard answers.
+        union of the per-shard answers.  As with :meth:`m_cells`, the two
+        window bounds are fixed parent-side under the read cut and shipped
+        explicitly, so no shard ever judges change over a window pair its
+        own (possibly lagging) clock picked.
         """
-        return self._merged("change_exceptions", quarters_apart)
+        with self._locks.read_all():
+            prev_b, cur_b, end = change_window_bounds(
+                self.current_quarter, self.ticks_per_quarter, quarters_apart
+            )
+            return self._merged(
+                "change_exceptions_between", prev_b, cur_b, end
+            )
 
     def o_layer_change_exceptions(
         self, quarters_apart: int = 1
@@ -1151,14 +1283,15 @@ class ShardedStreamCube:
         O-layer cells aggregate m-cells that may live on different shards, so
         this cannot be a union of per-shard answers; instead both windows are
         merged at the m-layer first and the shared roll-up/judge logic runs
-        on the union.
+        on the union (both under one read cut).
         """
-        prev_b, cur_b, end = change_window_bounds(
-            self.current_quarter, self.ticks_per_quarter, quarters_apart
-        )
-        return o_layer_change_from_windows(
-            self.layers,
-            self.policy,
-            self.window_isbs(prev_b, cur_b - 1),
-            self.window_isbs(cur_b, end),
-        )
+        with self._locks.read_all():
+            prev_b, cur_b, end = change_window_bounds(
+                self.current_quarter, self.ticks_per_quarter, quarters_apart
+            )
+            return o_layer_change_from_windows(
+                self.layers,
+                self.policy,
+                self.window_isbs(prev_b, cur_b - 1),
+                self.window_isbs(cur_b, end),
+            )

@@ -16,6 +16,7 @@ Time units: records carry *primitive* ticks (e.g. minutes);
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Callable, Hashable, Iterable, Literal
 
@@ -303,6 +304,10 @@ class StreamCubeEngine:
         self._cold_faults = 0
         self._page_cache: OrderedDict[tuple[int, int, int], ColdPage]
         self._page_cache = OrderedDict()
+        # The one piece of engine state that *reads* mutate (LRU ordering,
+        # fault fills): its own lock, so concurrent deep-window queries
+        # sharing the cube's shard read lock stay safe.
+        self._page_lock = threading.Lock()
         self._cold: ColdIndex | None = None
         if storage is not None:
             self._cold = ColdIndex(
@@ -682,7 +687,8 @@ class StreamCubeEngine:
                 for _, state in items:
                     state.frame._slots[li].popleft()
                 self._cold.record(li, zslot.t_b, zslot.t_e)
-                self._page_cache.pop((li, zslot.t_b, zslot.t_e), None)
+                with self._page_lock:
+                    self._page_cache.pop((li, zslot.t_b, zslot.t_e), None)
                 self._pages_spilled += 1
 
     #: Decoded cold pages kept hot; a deep window touches each page once
@@ -692,15 +698,20 @@ class StreamCubeEngine:
 
     def _load_page(self, level: int, t_b: int, t_e: int) -> ColdPage:
         cache_key = (level, t_b, t_e)
-        page = self._page_cache.get(cache_key)
-        if page is not None:
-            self._page_cache.move_to_end(cache_key)
-            return page
+        with self._page_lock:
+            page = self._page_cache.get(cache_key)
+            if page is not None:
+                self._page_cache.move_to_end(cache_key)
+                return page
+        # The cold read runs outside the lock (it is the slow part); a
+        # racing fill of the same page is harmless — pages for one key
+        # are identical, so last-writer-wins caches the same bytes.
         page = self._storage.get_segment(level, t_b, t_e)
-        self._cold_faults += 1
-        self._page_cache[cache_key] = page
-        if len(self._page_cache) > self._PAGE_CACHE_SLOTS:
-            self._page_cache.popitem(last=False)
+        with self._page_lock:
+            self._cold_faults += 1
+            self._page_cache[cache_key] = page
+            if len(self._page_cache) > self._PAGE_CACHE_SLOTS:
+                self._page_cache.popitem(last=False)
         return page
 
     def _zero_reader(self, level: int, t_b: int, t_e: int) -> ISB:
@@ -758,7 +769,8 @@ class StreamCubeEngine:
 
     def drop_page_cache(self) -> None:
         """Evict every decoded cold page; the next deep window reads disk."""
-        self._page_cache.clear()
+        with self._page_lock:
+            self._page_cache.clear()
 
     # ------------------------------------------------------------------
     # Durability: explicit state extraction and re-loading
@@ -878,7 +890,8 @@ class StreamCubeEngine:
         self._cells = cells
         self._current_quarter = state.current_quarter
         self._records_ingested = state.records_ingested
-        self._page_cache.clear()
+        with self._page_lock:
+            self._page_cache.clear()
         if self._storage is not None:
             units = [lv.unit_ticks for lv in self._frame_levels]
             self._cold = (
@@ -999,6 +1012,18 @@ class StreamCubeEngine:
         prev_b, cur_b, end = change_window_bounds(
             self._current_quarter, self.ticks_per_quarter, quarters_apart
         )
+        return self.change_exceptions_between(prev_b, cur_b, end)
+
+    def change_exceptions_between(
+        self, prev_b: int, cur_b: int, end: int
+    ) -> dict[Values, ISB]:
+        """Change exceptions over explicit window bounds.
+
+        The sharded cube fixes one ``(prev_b, cur_b, end)`` triple
+        parent-side and broadcasts it, so every shard judges the same
+        window pair regardless of its own clock (a recovering shard's
+        clock can lag the fleet's mid-replay).
+        """
         out: dict[Values, ISB] = {}
         for key, state in self._cells.items():
             prev = state.frame.query(prev_b, cur_b - 1)

@@ -404,7 +404,15 @@ def run_soak(config: SoakConfig, workdir: str | Path | None = None) -> SoakRepor
     )
     router = QueryRouter(cube, window_quarters=config.window)
     service = StreamCubeService(cube, router, snapshot_dir=snap_dir)
-    server = make_server(service, host=config.host, port=config.port)
+    # Size the request pool so every soak client can be in flight at
+    # once — the soak measures the service's concurrency, not the pool's
+    # queueing.
+    server = make_server(
+        service,
+        host=config.host,
+        port=config.port,
+        request_threads=config.ingest_threads + config.query_threads + 2,
+    )
     host, port = server.server_address[:2]
     client = _Client(f"http://{host}:{port}")
 

@@ -1,29 +1,33 @@
 """Concurrency regression: parallel ingest + query + snapshot, no torn reads.
 
-The service serializes request handling with one lock
-(:attr:`StreamCubeService._lock`); everything observable must therefore be
-a consistent point-in-time view even while ingest is sealing quarters,
-``/admin/snapshot`` is compacting the WAL, and queries are refreshing the
-merged view.  These tests hammer one service object from many threads
-(handle-level — no sockets, so failures point at the service, not
-urllib) and assert the invariants a torn read would break:
+The service serializes *mutators* (ingest / advance / snapshot) on one
+lock while queries and probes run concurrently against the cube's
+per-shard read locks and the router's epoch-vector-validated cache.
+Everything observable must therefore be a consistent point-in-time view
+even while ingest is sealing quarters, ``/admin/snapshot`` is compacting
+the WAL, and queries are refreshing the merged view.  These tests hammer
+one service object from many threads (handle-level — no sockets, so
+failures point at the service, not urllib) and assert the invariants a
+torn read would break:
 
 * every query answer's cells share one window interval (a view caught
-  mid-refresh would mix epochs);
+  mid-refresh would mix epochs), and the interval belongs to a quarter
+  boundary the cube actually passed through during the query;
 * ``/health`` counters and the WAL sequence never move backwards;
 * a snapshot directory written under fire is always restorable and equal
   to *some* consistent prefix of the ingest stream (records_ingested at a
   quarter boundary the cube actually passed through);
-* the lock really covers the engine-refresh path: with the lock bypassed,
-  the same barrage is allowed to (and in practice does) tear.
+* the mutator lock covers exactly the mutating routes — probes and
+  cached queries answer promptly while a mutator is parked inside it;
+* identical concurrent cache misses collapse to one execution
+  (single-flight), and cache hits under a seal storm are never stale.
 """
 
 from __future__ import annotations
 
 import random
 import threading
-
-import pytest
+import time
 
 from repro.cubing.policy import GlobalSlopeThreshold
 from repro.io import isb_from_dict
@@ -222,56 +226,102 @@ class TestConcurrentService:
         finally:
             service.close()
 
-    def test_lock_covers_the_engine_refresh_path(self, tmp_path):
-        """The serialization is the lock, not luck.
+    def test_mutator_lock_covers_mutators_only(self, tmp_path):
+        """The serialization discipline is the lock, not luck.
 
-        ``handle`` must hold ``_lock`` across dispatch; if a handler ran
-        outside it, ingest could seal a quarter while a query refreshes
-        the merged view.  Rather than racing (nondeterministic), pin the
-        mechanism: the lock is held while any handler runs.
+        Mutating routes (``/ingest``, ``/advance``, ``/admin/snapshot``)
+        must hold the mutator lock — their WAL appends and snapshot
+        triggers need one total order.  Probes and queries must *not*
+        take it: they answer promptly even while a mutator is parked
+        inside the lock, which is the whole point of the concurrent read
+        path.  Rather than racing (nondeterministic), pin the mechanism.
         """
         service = build_service(tmp_path)
         try:
+            # Probes run outside the mutator lock...
             seen: list[bool] = []
-            original = service.health
+            original_health = service.health
 
             def spying_health(payload):
-                seen.append(service._lock.locked())
-                return original(payload)
+                seen.append(service._mutator_lock.locked())
+                return original_health(payload)
 
             service.health = spying_health
             status, _ = service.handle("GET", "/health")
             assert status == 200
-            assert seen == [True]
+            assert seen == [False]
+            service.health = original_health
 
-            # And a second request must wait for the first to finish:
-            # handler A parks on an event; request B can only complete
-            # after A releases the lock.
-            order: list[str] = []
+            # ...and mutators inside it.
+            rng = random.Random(99)
+            original_ingest = service.ingest
+            held: list[bool] = []
+
+            def spying_ingest(payload):
+                held.append(service._mutator_lock.locked())
+                return original_ingest(payload)
+
+            service.ingest = spying_ingest
+            status, _ = service.handle(
+                "POST", "/ingest", ingest_payload(rng, 0)
+            )
+            assert status == 200
+            assert held == [True]
+            service.ingest = original_ingest
+
+            # Seal enough quarters that the default window is queryable,
+            # then warm the cache.
+            status, _ = service.handle(
+                "POST", "/advance", {"t": (WINDOW + 1) * TPQ}
+            )
+            assert status == 200
+            status, warm = service.handle(
+                "POST", "/query", {"op": "observation_deck"}
+            )
+            assert status == 200
+
+            # Park a mutator while it holds the lock: probes, stats and
+            # cached queries must still answer; a second mutator must
+            # wait its turn.
             gate = threading.Event()
             entered = threading.Event()
 
-            def slow_health(payload):
-                order.append("slow-start")
+            def slow_ingest(payload):
                 entered.set()
-                gate.wait(timeout=5)
-                order.append("slow-end")
-                return original(payload)
+                gate.wait(timeout=10)
+                return original_ingest(payload)
 
-            service.health = slow_health
+            service.ingest = slow_ingest
 
             def first():
-                service.handle("GET", "/health")
+                service.handle(
+                    "POST",
+                    "/ingest",
+                    ingest_payload(
+                        random.Random(7), service.cube.current_quarter
+                    ),
+                )
 
             thread_a = threading.Thread(target=first)
             thread_a.start()
-            # Bounded wait until A is inside the handler; a thread that
-            # died before entering must fail the test, not hang it.
-            assert entered.wait(timeout=5), "handler thread never entered"
-            service.health = original
+            assert entered.wait(timeout=10), "mutator thread never entered"
+            service.ingest = original_ingest
+
+            for path in ("/health", "/healthz", "/readyz", "/stats"):
+                status, _ = service.handle("GET", path)
+                assert status == 200, f"{path} blocked behind a mutator"
+            status, body = service.handle(
+                "POST", "/query", {"op": "observation_deck"}
+            )
+            assert status == 200
+            assert body == warm  # a lock-free cache hit
+
+            order: list[str] = []
 
             def second():
-                service.handle("GET", "/health")
+                service.handle(
+                    "POST", "/advance", {"t": service.cube.current_quarter * TPQ}
+                )
                 order.append("second-done")
 
             thread_b = threading.Thread(target=second)
@@ -279,8 +329,231 @@ class TestConcurrentService:
             thread_b.join(timeout=0.2)
             assert "second-done" not in order  # B is blocked on the lock
             gate.set()
-            thread_a.join(timeout=5)
-            thread_b.join(timeout=5)
-            assert order == ["slow-start", "slow-end", "second-done"]
+            thread_a.join(timeout=10)
+            thread_b.join(timeout=10)
+            assert order == ["second-done"]
+        finally:
+            service.close()
+
+
+class TestQueryConcurrency:
+    """The tentpole's read-path guarantees, pinned deterministically."""
+
+    def test_single_flight_collapses_identical_misses(
+        self, tmp_path, monkeypatch
+    ):
+        """K identical concurrent cache misses run the query exactly once.
+
+        The leader is parked inside the execution; followers must join
+        its flight (observable via ``single_flight_joins``) rather than
+        stampede the engines, and every client gets the leader's answer.
+        """
+        import repro.service.router as router_mod
+
+        service = build_service(tmp_path, n_shards=2)
+        try:
+            rng = random.Random(5)
+            for quarter in range(WINDOW + 1):
+                service.handle(
+                    "POST", "/ingest", ingest_payload(rng, quarter)
+                )
+            service.handle("POST", "/advance", {"t": (WINDOW + 1) * TPQ})
+            router = service.router
+
+            gate = threading.Event()
+            entered = threading.Event()
+            executions: list[int] = []
+            original_execute = router_mod.execute
+
+            def gated_execute(view, spec, **kwargs):
+                executions.append(1)
+                entered.set()
+                assert gate.wait(timeout=10)
+                return original_execute(view, spec, **kwargs)
+
+            monkeypatch.setattr(router_mod, "execute", gated_execute)
+
+            clients = 6
+            answers: list = [None] * clients
+
+            def query(i: int) -> None:
+                answers[i] = router.execute({"op": "observation_deck"})
+
+            threads = [
+                threading.Thread(target=query, args=(i,))
+                for i in range(clients)
+            ]
+            threads[0].start()
+            assert entered.wait(timeout=10), "leader never started computing"
+            for thread in threads[1:]:
+                thread.start()
+            deadline = time.monotonic() + 10
+            while router.single_flight_joins < clients - 1:
+                assert (
+                    time.monotonic() < deadline
+                ), "followers never joined the in-flight computation"
+                time.sleep(0.002)
+            gate.set()
+            for thread in threads:
+                thread.join(timeout=10)
+            assert executions == [1]  # one execution served all K clients
+            first = answers[0]
+            assert first is not None
+            assert all(
+                answer.to_dict() == first.to_dict() for answer in answers
+            )
+        finally:
+            service.close()
+
+    def test_query_racing_seals_never_mixes_epochs(self, tmp_path):
+        """An answer racing quarter seals is from one consistent cut.
+
+        While an ingester seals quarters, every query answer must (a) use
+        a single window interval across all its cells and (b) use the
+        interval of a quarter the cube actually held during the query —
+        never a blend, never a window no quarter ever had.
+        """
+        service = build_service(tmp_path, n_shards=3)
+        try:
+            rng = random.Random(17)
+            for quarter in range(WINDOW + 1):
+                service.handle(
+                    "POST", "/ingest", ingest_payload(rng, quarter)
+                )
+            service.handle("POST", "/advance", {"t": (WINDOW + 1) * TPQ})
+            stop = threading.Event()
+            problems: list[str] = []
+
+            def ingester() -> None:
+                quarter = service.cube.current_quarter
+                while not stop.is_set():
+                    status, body = service.handle(
+                        "POST", "/ingest", ingest_payload(rng, quarter)
+                    )
+                    if status != 200:
+                        problems.append(f"ingest -> {status}: {body}")
+                        return
+                    quarter += 1
+
+            def querier(seed: int) -> None:
+                while not stop.is_set():
+                    q_before = service.cube.current_quarter
+                    status, body = service.handle(
+                        "POST", "/query", {"op": "observation_deck"}
+                    )
+                    q_after = service.cube.current_quarter
+                    if status != 200:
+                        problems.append(f"query -> {status}: {body}")
+                        return
+                    intervals = {
+                        (
+                            isb_from_dict(row["isb"]).t_b,
+                            isb_from_dict(row["isb"]).t_e,
+                        )
+                        for row in body.get("cells", ())
+                    }
+                    if len(intervals) > 1:
+                        problems.append(f"mixed intervals {intervals}")
+                        return
+                    if intervals:
+                        valid = {
+                            (q * TPQ - WINDOW * TPQ, q * TPQ - 1)
+                            for q in range(q_before, q_after + 1)
+                        }
+                        got = intervals.pop()
+                        if got not in valid:
+                            problems.append(
+                                f"interval {got} from no quarter in "
+                                f"[{q_before}, {q_after}]"
+                            )
+                            return
+
+            threads = [threading.Thread(target=ingester)] + [
+                threading.Thread(target=querier, args=(s,)) for s in (1, 2)
+            ]
+            for thread in threads:
+                thread.start()
+            time.sleep(1.0)
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=10)
+            assert problems == []
+            assert service.cube.current_quarter > WINDOW + 1  # it moved
+        finally:
+            service.close()
+
+    def test_cache_hits_under_seal_hammering_are_never_stale(self, tmp_path):
+        """Quarter-sandwich exactness: a hit is as fresh as a miss.
+
+        One thread seals quarters via ``/advance`` while queriers hammer
+        one cacheable query.  Whenever the quarter clock reads the same
+        value before and after a query, the answer *must* carry exactly
+        that quarter's window — a stale cache entry surviving a seal
+        would fail the sandwich.  The run must also actually serve hits,
+        or it proved nothing about the cache.
+        """
+        service = build_service(tmp_path, n_shards=3)
+        try:
+            rng = random.Random(23)
+            for quarter in range(WINDOW + 1):
+                service.handle(
+                    "POST", "/ingest", ingest_payload(rng, quarter)
+                )
+            service.handle("POST", "/advance", {"t": (WINDOW + 1) * TPQ})
+            stop = threading.Event()
+            problems: list[str] = []
+            sandwiched = [0]
+            count_lock = threading.Lock()
+
+            def sealer() -> None:
+                while not stop.is_set():
+                    target = (service.cube.current_quarter + 1) * TPQ
+                    status, body = service.handle(
+                        "POST", "/advance", {"t": target}
+                    )
+                    if status != 200:
+                        problems.append(f"advance -> {status}: {body}")
+                        return
+                    time.sleep(0.002)
+
+            def querier() -> None:
+                while not stop.is_set():
+                    q_before = service.cube.current_quarter
+                    status, body = service.handle(
+                        "POST", "/query", {"op": "observation_deck"}
+                    )
+                    q_after = service.cube.current_quarter
+                    if status != 200:
+                        problems.append(f"query -> {status}: {body}")
+                        return
+                    if q_before != q_after:
+                        continue  # a seal landed mid-query: no sandwich
+                    expected = (
+                        q_before * TPQ - WINDOW * TPQ,
+                        q_before * TPQ - 1,
+                    )
+                    for row in body.get("cells", ()):
+                        isb = isb_from_dict(row["isb"])
+                        if (isb.t_b, isb.t_e) != expected:
+                            problems.append(
+                                f"stale answer {(isb.t_b, isb.t_e)} at "
+                                f"stable quarter {q_before}"
+                            )
+                            return
+                    with count_lock:
+                        sandwiched[0] += 1
+
+            threads = [threading.Thread(target=sealer)] + [
+                threading.Thread(target=querier) for _ in range(3)
+            ]
+            for thread in threads:
+                thread.start()
+            time.sleep(1.0)
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=10)
+            assert problems == []
+            assert sandwiched[0] > 0  # the sandwich actually closed
+            assert service.router.cache.hits > 0  # hits were served
         finally:
             service.close()
