@@ -12,7 +12,11 @@ thread and ``_CLIENTS`` query clients, at:
 * ``inproc`` with 4 shards — the headline point: cached p99 here is the
   number the concurrent query path exists to improve,
 * ``process`` with 4 shards — must not regress; reads that miss fan out
-  over worker RPC, cache hits never leave the parent.
+  over worker RPC, cache hits never leave the parent,
+* ``inproc`` with 4 shards and ``_SUBSCRIPTIONS`` active continuous-query
+  subscriptions — the seal-driven push path must not tax ingest: the
+  dispatcher evaluates *off* the seal path, so with-subscriptions ingest
+  p99 is gated (self-baselined, same run) at ≤1.5x the plain point's.
 
 Each client mostly repeats one query (``observation_deck`` — a cache hit
 between seals) and every ``_UNCACHED_EVERY``-th request issues a
@@ -37,6 +41,7 @@ import threading
 import time
 
 from repro.cubing.policy import GlobalSlopeThreshold
+from repro.query.spec import Q
 from repro.service.http import StreamCubeService
 from repro.service.router import QueryRouter
 from repro.service.sharding import ShardedStreamCube
@@ -53,6 +58,7 @@ _WARMUP_S = 0.4
 _MEASURE_S = 2.5
 _UNCACHED_EVERY = 8
 _CUBOID = [2, 2]
+_SUBSCRIPTIONS = 8
 
 
 def _build_service(backend: str, n_shards: int) -> StreamCubeService:
@@ -97,6 +103,7 @@ class _Ingester(threading.Thread):
         self.start_quarter = start_quarter
         self.stop_at = stop_at
         self.samples: list[tuple[float, int]] = []
+        self.latencies: list[tuple[float, float]] = []
         self.errors: list[str] = []
 
     def run(self) -> None:
@@ -104,11 +111,13 @@ class _Ingester(threading.Thread):
         round_ = 0
         while time.monotonic() < self.stop_at:
             quarter = self.start_quarter + round_ // _ROUNDS_PER_QUARTER
-            status, body = self.service.handle(
-                "POST", "/ingest", _ingest_round(rng, quarter)
-            )
+            payload = _ingest_round(rng, quarter)
+            t0 = time.perf_counter()
+            status, body = self.service.handle("POST", "/ingest", payload)
+            elapsed = time.perf_counter() - t0
             if status == 200:
                 self.samples.append((time.monotonic(), body["ingested"]))
+                self.latencies.append((time.monotonic(), elapsed))
             else:
                 self.errors.append(f"ingest -> {status}: {body}")
             round_ += 1
@@ -159,9 +168,19 @@ def _percentile(sorted_samples: list[float], q: float) -> float:
     return sorted_samples[rank]
 
 
-def measure_point(backend: str, n_shards: int) -> dict:
+def measure_point(backend: str, n_shards: int, subscribers: int = 0) -> dict:
     service = _build_service(backend, n_shards)
     try:
+        # Active continuous-query subscriptions: every seal now wakes the
+        # dispatcher, which re-evaluates the shared specs and pushes into
+        # the per-subscriber queues while ingest keeps flowing.  Half
+        # share one watch-list spec, half one observation-deck spec, so
+        # the single-flight path (N subscribers, one execution) is live.
+        for i in range(subscribers):
+            if i % 2 == 0:
+                service.subscriptions.subscribe(watch=True)
+            else:
+                service.subscriptions.subscribe(Q.observation_deck())
         rng = random.Random(7)
         for quarter in range(_PREFILL_QUARTERS):
             for _ in range(4):
@@ -211,12 +230,20 @@ def measure_point(backend: str, n_shards: int) -> dict:
         ingested = sum(
             n for (at, n) in ingester.samples if at >= warm_end
         )
+        ingest_latency = sorted(
+            dt for (at, dt) in ingester.latencies if at >= warm_end
+        )
         return {
             "backend": backend,
             "shards": n_shards,
             "clients": _CLIENTS,
+            "subscriptions": subscribers,
             "cached": cached,
             "uncached": uncached,
+            "ingest_latency": ingest_latency,
+            "updates_enqueued": service.subscriptions.stats()[
+                "updates_enqueued"
+            ],
             "queries_per_s": (len(cached) + len(uncached)) / _MEASURE_S,
             "ingest_records_per_s": ingested / _MEASURE_S,
         }
@@ -229,6 +256,7 @@ def concurrency_series() -> list[dict]:
         measure_point("inproc", 1),
         measure_point("inproc", 4),
         measure_point("process", 4),
+        measure_point("inproc", 4, subscribers=_SUBSCRIPTIONS),
     ]
 
 
@@ -243,8 +271,9 @@ def usable_cores() -> int:
 
 def render_concurrency_table(points: list[dict]) -> str:
     header = (
-        f"{'backend':>8} | {'shards':>6} | {'mode':>8} | {'p50 ms':>8} | "
-        f"{'p99 ms':>8} | {'query/s':>8} | {'ingest rec/s':>12}"
+        f"{'backend':>8} | {'shards':>6} | {'subs':>4} | {'mode':>8} | "
+        f"{'p50 ms':>8} | {'p99 ms':>8} | {'query/s':>8} | "
+        f"{'ingest rec/s':>12}"
     )
     lines = [
         f"concurrent serving: {_CLIENTS} query clients + 1 ingest stream "
@@ -253,10 +282,13 @@ def render_concurrency_table(points: list[dict]) -> str:
         "-" * len(header),
     ]
     for p in points:
-        for mode in ("cached", "uncached"):
-            samples = p[mode]
+        for mode in ("cached", "uncached", "ingest"):
+            samples = (
+                p["ingest_latency"] if mode == "ingest" else p[mode]
+            )
             lines.append(
-                f"{p['backend']:>8} | {p['shards']:>6} | {mode:>8} | "
+                f"{p['backend']:>8} | {p['shards']:>6} | "
+                f"{p['subscriptions']:>4} | {mode:>8} | "
                 f"{_percentile(samples, 0.50) * 1e3:>8.3f} | "
                 f"{_percentile(samples, 0.99) * 1e3:>8.3f} | "
                 f"{len(samples) / _MEASURE_S:>8.1f} | "
@@ -268,9 +300,15 @@ def render_concurrency_table(points: list[dict]) -> str:
 def concurrency_checks(points: list[dict]) -> list[tuple[str, bool]]:
     return [
         (
-            "coverage: inproc 1/4 shards plus process 4 shards",
-            [(p["backend"], p["shards"]) for p in points]
-            == [("inproc", 1), ("inproc", 4), ("process", 4)],
+            "coverage: inproc 1/4 shards, process 4 shards, plus "
+            f"inproc 4 shards with {_SUBSCRIPTIONS} subscriptions",
+            [(p["backend"], p["shards"], p["subscriptions"]) for p in points]
+            == [
+                ("inproc", 1, 0),
+                ("inproc", 4, 0),
+                ("process", 4, 0),
+                ("inproc", 4, _SUBSCRIPTIONS),
+            ],
         ),
         (
             "sanity: every point collected cached and uncached samples",
@@ -280,37 +318,66 @@ def concurrency_checks(points: list[dict]) -> list[tuple[str, bool]]:
             "sanity: ingest kept flowing at every point",
             all(p["ingest_records_per_s"] > 0 for p in points),
         ),
+        (
+            "sanity: the subscription point actually pushed updates",
+            all(
+                p["updates_enqueued"] > 0
+                for p in points
+                if p["subscriptions"]
+            ),
+        ),
     ]
 
 
 def json_entries(points: list[dict], scale: str) -> list[dict]:
     entries = []
     for p in points:
-        for mode in ("cached", "uncached"):
-            samples = p[mode]
+        # query_latency / combined entries only for subscription-free
+        # points: the regression gate keys them by (backend, shards,
+        # mode), and the subscription point deliberately repeats
+        # inproc/4 — its purpose is the ingest_latency pair below.
+        if not p["subscriptions"]:
+            for mode in ("cached", "uncached"):
+                samples = p[mode]
+                entries.append(
+                    {
+                        "op": "query_latency",
+                        "scale": scale,
+                        "mode": mode,
+                        "backend": p["backend"],
+                        "shards": p["shards"],
+                        "clients": p["clients"],
+                        "samples": len(samples),
+                        "p50_ms": round(_percentile(samples, 0.50) * 1e3, 4),
+                        "p99_ms": round(_percentile(samples, 0.99) * 1e3, 4),
+                        "queries_per_s": round(len(samples) / _MEASURE_S, 1),
+                    }
+                )
             entries.append(
                 {
-                    "op": "query_latency",
+                    "op": "combined",
                     "scale": scale,
-                    "mode": mode,
                     "backend": p["backend"],
                     "shards": p["shards"],
                     "clients": p["clients"],
-                    "samples": len(samples),
-                    "p50_ms": round(_percentile(samples, 0.50) * 1e3, 4),
-                    "p99_ms": round(_percentile(samples, 0.99) * 1e3, 4),
-                    "queries_per_s": round(len(samples) / _MEASURE_S, 1),
+                    "queries_per_s": round(p["queries_per_s"], 1),
+                    "ingest_records_per_s": round(
+                        p["ingest_records_per_s"], 1
+                    ),
                 }
             )
+        samples = p["ingest_latency"]
         entries.append(
             {
-                "op": "combined",
+                "op": "ingest_latency",
                 "scale": scale,
                 "backend": p["backend"],
                 "shards": p["shards"],
-                "clients": p["clients"],
-                "queries_per_s": round(p["queries_per_s"], 1),
-                "ingest_records_per_s": round(p["ingest_records_per_s"], 1),
+                "subscriptions": p["subscriptions"],
+                "samples": len(samples),
+                "p50_ms": round(_percentile(samples, 0.50) * 1e3, 4),
+                "p99_ms": round(_percentile(samples, 0.99) * 1e3, 4),
+                "updates_enqueued": p["updates_enqueued"],
             }
         )
     return entries

@@ -14,7 +14,7 @@ Usage::
         [--concurrency-baseline benchmarks/baselines/BENCH_concurrency.json] \
         [--faults-current out/BENCH_faults.json] \
         [--min-scaling 2.0] [--max-regression 0.25] [--min-fault-ratio 0.98] \
-        [--concurrency-min-improvement 2.0]
+        [--concurrency-min-improvement 2.0] [--subscription-max-overhead 1.5]
 
 Compares the current run's ``ingest_batch`` records/s per shard count
 against the committed baseline and exits non-zero if any point regresses by
@@ -30,7 +30,10 @@ least 4 usable cores — the 4-worker process ingest rate against
 against the committed *pre-concurrency* anchor: cached inproc/4 queries
 must stay at least ``--concurrency-min-improvement`` times better than
 the anchor (the lock-free hit path is the point), every other point must
-not slip past ``--concurrency-max-regression``.
+not slip past ``--concurrency-max-regression``; additionally the same
+document's with-subscriptions ingest p99 must stay within
+``--subscription-max-overhead`` of the plain point's (self-baselined —
+the seal-driven push dispatcher must stay off the seal path).
 
 Hardware normalization: raw records/s are incomparable across machines, so
 both documents carry a ``machine_score`` (a fixed CPU mini-workload timed at
@@ -330,6 +333,61 @@ def compare_concurrency(
     return lines
 
 
+def _ingest_latency_points(document: dict) -> dict[tuple[str, int, int], float]:
+    """``{(backend, shards, subscriptions): p99_ms}`` ingest latency."""
+    out: dict[tuple[str, int, int], float] = {}
+    for entry in document.get("entries", []):
+        if entry.get("op") == "ingest_latency" and entry.get("p99_ms"):
+            key = (
+                str(entry.get("backend")),
+                int(entry.get("shards", 0)),
+                int(entry.get("subscriptions", 0)),
+            )
+            out[key] = float(entry["p99_ms"])
+    return out
+
+
+def check_subscription_overhead(
+    current: dict, max_overhead: float
+) -> list[str]:
+    """Gate the continuous-query push path's tax on ingest.
+
+    Self-contained (no committed baseline): the concurrency bench
+    measures ingest p99 with and without active subscriptions in the
+    *same* run on the *same* (backend, shards) point, so the ratio needs
+    no hardware normalization.  FAIL when the with-subscriptions point's
+    ingest p99 exceeds ``max_overhead`` times the plain point's — the
+    seal-driven dispatcher has leaked into the seal critical section (it
+    must only set a flag and wake a thread there).
+    """
+    points = _ingest_latency_points(current)
+    sub_points = sorted(key for key in points if key[2] > 0)
+    if not sub_points:
+        return [
+            "FAIL concurrency document has no with-subscriptions "
+            "ingest_latency entries"
+        ]
+    lines: list[str] = []
+    for key in sub_points:
+        backend, shards, subs = key
+        base_p99 = points.get((backend, shards, 0))
+        name = f"{backend}/{shards}/{subs} subscriptions"
+        if base_p99 is None:
+            lines.append(
+                f"FAIL {name}: no subscription-free ingest_latency "
+                "point to compare against"
+            )
+            continue
+        ratio = points[key] / base_p99
+        verdict = "PASS" if ratio <= max_overhead else "FAIL"
+        lines.append(
+            f"{verdict} {name}: ingest p99 {points[key]:.3f} ms, "
+            f"{ratio:.2f}x of the {base_p99:.3f} ms plain point "
+            f"(ceiling {max_overhead:.2f}x)"
+        )
+    return lines
+
+
 def check_faults(current: dict, min_ratio: float) -> list[str]:
     """Gate the fault-seam overhead bench: disarmed guards stay cheap.
 
@@ -417,6 +475,11 @@ def main(argv: list[str] | None = None) -> int:
         "concurrency points (default 0.5 — latency is noisy)",
     )
     parser.add_argument(
+        "--subscription-max-overhead", type=float, default=1.5,
+        help="allowed with-subscriptions over plain ingest p99 ratio in "
+        "the concurrency bench (default 1.5; self-baselined, same run)",
+    )
+    parser.add_argument(
         "--faults-current", type=Path, default=None,
         help="freshly generated BENCH_faults.json (enables the fault-seam "
         "overhead gate; self-baselined, no committed document needed)",
@@ -474,6 +537,14 @@ def main(argv: list[str] | None = None) -> int:
         failed |= any(line.startswith("FAIL") for line in concurrency_lines)
         print("perf smoke: concurrent-serving query latency")
         for line in concurrency_lines:
+            print(" ", line)
+        subscription_lines = check_subscription_overhead(
+            json.loads(args.concurrency_current.read_text()),
+            args.subscription_max_overhead,
+        )
+        failed |= any(line.startswith("FAIL") for line in subscription_lines)
+        print("perf smoke: continuous-query subscription ingest overhead")
+        for line in subscription_lines:
             print(" ", line)
     if args.faults_current is not None:
         fault_lines = check_faults(

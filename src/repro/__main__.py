@@ -253,6 +253,7 @@ def build_service(args: argparse.Namespace):
         snapshot_dir=snapshot_dir,
         snapshot_every_quarters=args.snapshot_every_quarters,
         app_config=app,
+        subscription_queue=getattr(args, "subscription_queue", 16),
     )
     if snapshot_dir is not None:
         # Make the serving directory self-contained from the first moment:
@@ -349,6 +350,15 @@ def main(argv: list[str] | None = None) -> int:
         help="concurrent query clients hammering the service (default 2)",
     )
     soak_p.add_argument(
+        "--subscribers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="continuous-query subscribers long-polling pushed updates "
+        "while the stream seals (each verifies ordering and payloads "
+        "against the oracle; default 0)",
+    )
+    soak_p.add_argument(
         "--port",
         type=int,
         default=0,
@@ -418,6 +428,15 @@ def main(argv: list[str] | None = None) -> int:
         help="HTTP request pool size: up to N requests execute "
         "concurrently (queries and probes in parallel, mutators "
         "serialized among themselves; default 8)",
+    )
+    serve_p.add_argument(
+        "--subscription-queue",
+        type=int,
+        default=16,
+        metavar="N",
+        help="per-subscription pending-update bound for POST /subscribe "
+        "continuous queries; beyond it the oldest update is dropped and "
+        "counted (default 16)",
     )
     serve_p.add_argument(
         "--port", type=int, default=8000, help="TCP port (default 8000)"

@@ -18,6 +18,7 @@ from repro.service.http import StreamCubeService, make_server, serve
 from repro.service.merge import canonical_cell_order, disjoint_union, merge_cube
 from repro.service.router import LRUCache, QueryRouter
 from repro.service.sharding import ShardedStreamCube, stable_shard_index
+from repro.service.subscriptions import Subscription, SubscriptionRegistry
 
 __all__ = [
     "ShardedStreamCube",
@@ -28,6 +29,8 @@ __all__ = [
     "LRUCache",
     "QueryRouter",
     "StreamCubeService",
+    "Subscription",
+    "SubscriptionRegistry",
     "make_server",
     "serve",
 ]

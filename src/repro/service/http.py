@@ -35,6 +35,15 @@ Endpoints
                    ``exceptions`` / ``change_exceptions`` are cube-level
                    ops served outside the spec engine.  The legacy op name
                    ``point`` is accepted as an alias for ``cell``.
+``POST /subscribe``  register a continuous query: ``{"spec": {...}}`` or
+                   ``{"watch": true}`` (o-layer exception alerts), with
+                   ``every_seal: true`` / ``every_k_quarters: K`` and an
+                   optional ``queue_limit``; returns the subscription id
+``DELETE /subscribe/{id}``  drop a subscription
+``GET  /subscriptions``  the registered subscriptions + delivery counters
+``GET  /updates?subscription=ID&since=SEQ[&timeout=S]``  long-poll pushed
+                   updates with ``seq > SEQ``; waits up to ``timeout``
+                   seconds for a fresh seal before answering empty
 
 Degraded serving: the service turns on the cube's ``degraded_reads`` mode,
 so a query that cannot reach every shard (a worker past its restart
@@ -71,12 +80,14 @@ from concurrent.futures import ThreadPoolExecutor
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Any, Hashable, Mapping
+from urllib.parse import parse_qsl
 
 from repro.errors import ReproError, ServiceError
 from repro.io import cells_to_payload, spec_from_dict
 from repro.regression.isb import ISB
 from repro.service.router import QueryRouter
 from repro.service.sharding import ShardedStreamCube
+from repro.service.subscriptions import SubscriptionRegistry
 from repro.stream.records import StreamRecord
 
 __all__ = ["StreamCubeService", "make_server", "serve"]
@@ -122,6 +133,10 @@ class StreamCubeService:
         Recorded verbatim under the manifest's ``"app"`` key — the serving
         CLI stores its schema flags there so ``--restore`` can rebuild an
         identical service.
+    subscription_queue:
+        Per-subscription update-queue bound for the continuous-query
+        registry (drop-oldest beyond it; ``--subscription-queue`` on the
+        serving CLI).
     """
 
     def __init__(
@@ -131,6 +146,7 @@ class StreamCubeService:
         snapshot_dir: str | Path | None = None,
         snapshot_every_quarters: int = 0,
         app_config: Mapping[str, Any] | None = None,
+        subscription_queue: int = 16,
     ) -> None:
         if snapshot_every_quarters < 0:
             raise ServiceError(
@@ -155,9 +171,13 @@ class StreamCubeService:
         # triggers, WAL compaction happen in one total order); reads and
         # probes never take it.
         self._mutator_lock = threading.Lock()
+        self.subscriptions = SubscriptionRegistry(
+            router, queue_limit=subscription_queue
+        )
 
     def close(self) -> None:
         """Release the cube's pool and the WAL file handle."""
+        self.subscriptions.close()
         self.cube.close()
         if self.cube.wal is not None:
             self.cube.wal.close()
@@ -168,18 +188,31 @@ class StreamCubeService:
     def handle(
         self, method: str, path: str, payload: dict[str, Any] | None = None
     ) -> tuple[int, dict[str, Any]]:
-        """Route one request; returns ``(http_status, json_body)``."""
+        """Route one request; returns ``(http_status, json_body)``.
+
+        Query-string parameters (``/updates?subscription=...&since=N``)
+        are merged into the payload dict; an explicit payload key wins.
+        """
+        path, _, query = path.partition("?")
+        if query:
+            payload = {**dict(parse_qsl(query)), **(payload or {})}
         routes = {
             ("GET", "/health"): (self.health, False),
             ("GET", "/healthz"): (self.healthz, False),
             ("GET", "/readyz"): (self.readyz, False),
             ("GET", "/stats"): (self.stats, False),
+            ("GET", "/subscriptions"): (self.list_subscriptions, False),
+            ("GET", "/updates"): (self.updates, False),
             ("POST", "/ingest"): (self.ingest, True),
             ("POST", "/advance"): (self.advance, True),
             ("POST", "/query"): (self.query, False),
+            ("POST", "/subscribe"): (self.subscribe, False),
             ("POST", "/admin/snapshot"): (self.admin_snapshot, True),
         }
         route = routes.get((method, path))
+        if route is None and method == "DELETE" and path.startswith("/subscribe/"):
+            sub_id = path[len("/subscribe/"):]
+            route = (lambda _payload: self.unsubscribe(sub_id), False)
         if route is None:
             return 404, {"error": f"no route {method} {path}", "type": "NotFound"}
         handler, mutates = route
@@ -280,6 +313,7 @@ class StreamCubeService:
     def stats(self, payload: dict[str, Any]) -> dict[str, Any]:
         return {
             "router": self.router.stats(),
+            "subscriptions": self.subscriptions.stats(),
             "shard_cells": self.cube.shard_cells,
             "ticks_per_quarter": self.cube.ticks_per_quarter,
             "parallel": self.cube.parallel_stats(),
@@ -418,6 +452,44 @@ class StreamCubeService:
             body["op"] = op
         return body
 
+    # ------------------------------------------------------------------
+    # Continuous queries (subscription push)
+    # ------------------------------------------------------------------
+    def subscribe(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """Register a continuous query; delivery starts at the next seal."""
+        sub_id = self.subscriptions.subscribe_payload(payload)
+        return {"subscription": sub_id}
+
+    def unsubscribe(
+        self, sub_id: str
+    ) -> dict[str, Any] | tuple[int, dict[str, Any]]:
+        if not self.subscriptions.unsubscribe(sub_id):
+            return 404, {
+                "error": f"unknown subscription {sub_id!r}",
+                "type": "NotFound",
+            }
+        return {"removed": sub_id}
+
+    def list_subscriptions(self, payload: dict[str, Any]) -> dict[str, Any]:
+        return {"subscriptions": self.subscriptions.describe_all()}
+
+    def updates(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """Long-poll one subscription's queue.
+
+        Runs without the mutator lock (and without any cube lock): the
+        wait is on the registry's own condition, so a parked long-poll
+        never delays ingest, sealing, or other requests beyond occupying
+        one pool thread.
+        """
+        sub_id = payload.get("subscription")
+        if not sub_id:
+            raise ServiceError(
+                "updates needs a ?subscription=ID query parameter"
+            )
+        since = int(payload.get("since", 0))
+        timeout = float(payload.get("timeout", 0.0))
+        return self.subscriptions.poll(str(sub_id), since, timeout)
+
 
 class _Handler(BaseHTTPRequestHandler):
     """Thin socket shell around a :class:`StreamCubeService`."""
@@ -438,6 +510,10 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         status, body = self.service.handle("GET", self.path)
+        self._respond(status, body)
+
+    def do_DELETE(self) -> None:  # noqa: N802 - http.server API
+        status, body = self.service.handle("DELETE", self.path)
         self._respond(status, body)
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API

@@ -78,15 +78,19 @@ class LRUCache:
         """The ``(version, value)`` entry under ``key``, iff it was stored
         at exactly ``version``.
 
-        A present-but-stale entry counts as a miss: it is no more servable
-        than an absent one (and will age out of the LRU on its own).
+        A present-but-stale entry counts as a miss *and is evicted on the
+        spot*: it can never be served again (versions are monotone), so
+        letting it squat on an LRU slot would push live lines out under
+        seal-heavy, key-diverse load.
         """
         with self._mu:
             entry = self._data.get(key)
-            if entry is not None and entry[0] == version:
-                self._data.move_to_end(key)
-                self.hits += 1
-                return entry
+            if entry is not None:
+                if entry[0] == version:
+                    self._data.move_to_end(key)
+                    self.hits += 1
+                    return entry
+                del self._data[key]
             self.misses += 1
             return None
 
@@ -151,6 +155,7 @@ class QueryRouter:
         self.batches = 0
         self.specs_executed = 0
         self.single_flight_joins = 0
+        self.single_flight_fallbacks = 0
 
     # ------------------------------------------------------------------
     # Freshness
@@ -222,10 +227,22 @@ class QueryRouter:
         )
 
     def _cached(self, key: tuple, compute) -> Any:
-        return self._single_flight(key, compute)
+        """Single-flight a *hand-built* cache key.
+
+        Hand-built keys share the LRU with ``QuerySpec.cache_key()``
+        tuples shaped ``(op, (field, value), ...)``, so they carry a
+        ``"_router"`` namespace tag no spec op can collide with (spec op
+        names are identifiers; a future op literally named ``exceptions``
+        would otherwise silently alias the hand-built line).
+        """
+        return self._single_flight(("_router",) + key, compute)
 
     def _single_flight(self, key: Any, compute) -> Any:
+        return self._single_flight_entry(key, compute)[1]
+
+    def _single_flight_entry(self, key: Any, compute) -> tuple[Any, Any]:
         """Serve ``key`` from the versioned cache, computing at most once.
+        Returns the full ``(epoch_vector, value)`` entry.
 
         The hit path takes no cube locks at all: a cached entry whose
         stored epoch vector equals a fresh lock-free vector read is
@@ -242,7 +259,7 @@ class QueryRouter:
             vector = self.cube.epoch_vector()
             entry = self.cache.get_versioned(key, vector)
             if entry is not None:
-                return entry[1]
+                return entry
             with self._mu:
                 flight = self._flights.get(key)
                 leader = flight is None
@@ -254,8 +271,9 @@ class QueryRouter:
                 try:
                     with self.cube.read_lock() as cut:
                         value = compute()
-                    self.cache.put(key, (cut, value))
-                    return value
+                    entry = (cut, value)
+                    self.cache.put(key, entry)
+                    return entry
                 finally:
                     with self._mu:
                         self._flights.pop(key, None)
@@ -265,8 +283,10 @@ class QueryRouter:
                 # Loop: re-validate against the (possibly moved) vector.
         # A seal storm kept invalidating this line while we waited;
         # answer directly from one read cut without caching.
-        with self.cube.read_lock():
-            return compute()
+        with self._mu:
+            self.single_flight_fallbacks += 1
+        with self.cube.read_lock() as cut:
+            return (cut, compute())
 
     # ------------------------------------------------------------------
     # Spec execution (the primary interface)
@@ -278,21 +298,36 @@ class QueryRouter:
         against the cube's schema *before* the cache lookup, so equivalent
         plans (level names vs indices, dict-ordered slices) hit one line.
         """
+        return self.execute_versioned(spec)[1]
+
+    def execute_versioned(
+        self, spec: QuerySpec | Mapping[str, Any]
+    ) -> tuple[tuple[int, ...], QueryResult]:
+        """Like :meth:`execute`, but also returns the epoch vector of the
+        read cut the answer is valid at — cache hits return the stored
+        cut, fresh computations the cut they ran under.  The subscription
+        dispatcher stamps pushed updates with this vector so delivery
+        ordering is checkable against the cube's monotone clocks.
+        """
         if isinstance(spec, BatchQuery):
             raise ServiceError("a BatchQuery must go through execute_batch")
         if isinstance(spec, Mapping):
             spec = spec_from_dict(spec)
         window = self._window(spec.window_quarters)
         resolved = spec.window(window).resolve(self.schema)
-        with self._mu:
-            self.specs_executed += 1
         key = resolved.cache_key()
-        return self._single_flight(
-            key,
-            lambda: execute(
+
+        def compute() -> QueryResult:
+            # Executions are counted where they happen: a cache hit (or a
+            # single-flight follower reusing the leader's entry) is *not*
+            # an execution, and `/stats` must not claim it was.
+            with self._mu:
+                self.specs_executed += 1
+            return execute(
                 self._view_locked(window), resolved, pre_resolved=True
-            ),
-        )
+            )
+
+        return self._single_flight_entry(key, compute)
 
     def execute_batch(
         self,
@@ -457,4 +492,5 @@ class QueryRouter:
             "batches": self.batches,
             "specs_executed": self.specs_executed,
             "single_flight_joins": self.single_flight_joins,
+            "single_flight_fallbacks": self.single_flight_fallbacks,
         }

@@ -260,6 +260,12 @@ class ShardedStreamCube:
         self._write_mutex = threading.RLock()
         self._locks = ShardLockTable(n_shards)
         self._structure_version = 0
+        # Seal listeners fire after a sealing mutator has released every
+        # shard write lock (still under the write mutex, so notifications
+        # are totally ordered with the seals they announce).  Listeners
+        # must be cheap and non-blocking — the subscription dispatcher
+        # just flips an event; the seal path never waits on delivery.
+        self._seal_listeners: list[Any] = []
         #: Filled by :meth:`close` with the backend's drain report (workers
         #: reaped, sticky-dead shards and why).
         self.close_summary: dict[str, Any] | None = None
@@ -536,6 +542,7 @@ class ShardedStreamCube:
                     self._align(
                         max(c[0] for c in backend.counters())
                     )
+                self._notify_seal()
             else:
                 # Mid-quarter: only the owner shard's state changes.
                 with self._locks.write([idx]):
@@ -633,6 +640,8 @@ class ShardedStreamCube:
                 )
             if sealing:
                 self._align(max(c[0] for c in backend.counters()))
+        if sealing:
+            self._notify_seal()
         return len(batch)
 
     def _dispatch_chunked(
@@ -705,6 +714,7 @@ class ShardedStreamCube:
             if sealing:
                 with self._locks.write_all():
                     self._backend.broadcast("advance_to", t)
+                self._notify_seal()
             else:
                 # Nothing can move (engines ignore a non-advancing t);
                 # broadcast outside the shard locks so the no-op — and any
@@ -736,6 +746,39 @@ class ShardedStreamCube:
         already there)."""
         t = quarter * self.ticks_per_quarter
         self._backend.broadcast("advance_to", t)
+
+    # ------------------------------------------------------------------
+    # Seal notifications (continuous queries)
+    # ------------------------------------------------------------------
+    def add_seal_listener(self, listener) -> None:
+        """Register ``listener(quarter)`` to fire after each seal commits.
+
+        The callback runs on the sealing thread *outside* the shard write
+        locks (the fleet is already aligned and readable) but inside the
+        write mutex, so calls arrive in seal order with monotone quarters.
+        It must not block: signal a worker thread and return.  A raising
+        listener is detached rather than allowed to poison ingest.
+        """
+        with self._write_mutex:
+            self._seal_listeners.append(listener)
+
+    def remove_seal_listener(self, listener) -> None:
+        """Detach a listener registered by :meth:`add_seal_listener`."""
+        with self._write_mutex:
+            try:
+                self._seal_listeners.remove(listener)
+            except ValueError:
+                pass
+
+    def _notify_seal(self) -> None:
+        if not self._seal_listeners:
+            return
+        quarter = self.current_quarter
+        for listener in list(self._seal_listeners):
+            try:
+                listener(quarter)
+            except Exception:  # noqa: BLE001 - never poison the seal path
+                self.remove_seal_listener(listener)
 
     # ------------------------------------------------------------------
     # Merged analysis (exact, Theorem 3.2 / 3.3)

@@ -370,8 +370,16 @@ class RawStreamOracle:
 
     def window_bounds(self, window_quarters: int) -> tuple[int, int]:
         """The tick bounds of "the last ``window_quarters`` sealed quarters"."""
+        return self.window_bounds_at(self.current_quarter, window_quarters)
+
+    def window_bounds_at(
+        self, as_of_quarter: int, window_quarters: int
+    ) -> tuple[int, int]:
+        """The tick bounds of the ``window_quarters`` sealed quarters ending
+        just before ``as_of_quarter`` — the window a subscriber's pushed
+        update answered when its quarter clock read ``as_of_quarter``."""
         q = self.ticks_per_quarter
-        t_e = self.current_quarter * q - 1
+        t_e = as_of_quarter * q - 1
         t_b = t_e - window_quarters * q + 1
         return t_b, t_e
 
@@ -407,6 +415,14 @@ class RawStreamOracle:
     ) -> dict[Values, OracleISB]:
         """Every cell of one cuboid, re-aggregated from raw records."""
         t_b, t_e = self.window_bounds(window_quarters)
+        return self.cuboid_cells_at(coord, t_b, t_e)
+
+    def cuboid_cells_at(
+        self, coord: Iterable[int], t_b: int, t_e: int
+    ) -> dict[Values, OracleISB]:
+        """One cuboid over an *explicit* sealed window — the historical
+        form behind :meth:`cuboid_cells`, used to re-check subscription
+        updates at the quarter each one was delivered for."""
         return {
             ancestor: self.window_isb(members, t_b, t_e)
             for ancestor, members in self._groups_at(tuple(coord)).items()
@@ -418,10 +434,17 @@ class RawStreamOracle:
     def exceptional_cells(
         self, coord: Iterable[int], window_quarters: int
     ) -> dict[Values, OracleISB]:
+        t_b, t_e = self.window_bounds(window_quarters)
+        return self.exceptional_cells_at(coord, t_b, t_e)
+
+    def exceptional_cells_at(
+        self, coord: Iterable[int], t_b: int, t_e: int
+    ) -> dict[Values, OracleISB]:
+        """The exception flags of one cuboid over an explicit sealed window."""
         c = tuple(coord)
         return {
             values: isb
-            for values, isb in self.cuboid_cells(c, window_quarters).items()
+            for values, isb in self.cuboid_cells_at(c, t_b, t_e).items()
             if self.is_exception(isb, c)
         }
 

@@ -50,11 +50,13 @@ from typing import Any, Hashable
 from repro import faults
 from repro.cluster import ClusterConfig
 from repro.cubing.policy import GlobalSlopeThreshold
+from repro.io import isb_from_dict
 from repro.query.api import RegressionCubeView
 from repro.query.exec import execute
 from repro.query.spec import Q
 from repro.service.router import QueryRouter
 from repro.service.sharding import ShardedStreamCube
+from repro.service.subscriptions import SubscriptionRegistry
 from repro.storage import StorageConfig, open_cold_store
 from repro.stream.engine import StreamCubeEngine, engine_frame_levels
 from repro.stream.generator import DatasetSpec
@@ -64,6 +66,7 @@ from repro.verify.oracle import (
     DEFAULT_TOLERANCE,
     RawStreamOracle,
     VerifyMismatch,
+    _flag_sets_equal,
     assert_cells_equal,
     assert_result_equal,
     isb_agree,
@@ -87,6 +90,8 @@ __all__ = [
     "DeepWindow",
     "KillWorker",
     "SlowRpc",
+    "Subscribe",
+    "DrainUpdates",
 ]
 
 Values = tuple[Hashable, ...]
@@ -226,6 +231,36 @@ class SlowRpc:
     shard: int | None = None
 
 
+@dataclass(frozen=True)
+class Subscribe:
+    """Register continuous queries on the cube's seal path.
+
+    Creates the runner's :class:`SubscriptionRegistry` (if needed) and
+    registers three subscribers: two o-layer exception watches sharing one
+    spec (so delivery must collapse them onto a single execution per seal)
+    and one ``observation_deck``.  ``every_k`` applies to the second watch
+    subscriber, exercising the every-K-quarters cadence alongside
+    every-seal delivery.  From here on, every Traffic/Advance seal pushes
+    updates concurrently with the rest of the event stream.
+    """
+
+    every_k: int = 2
+    queue_limit: int = 64
+
+
+@dataclass(frozen=True)
+class DrainUpdates:
+    """Wait for the dispatcher to go idle, then verify *every* delivered
+    update against the oracle recomputed at that update's own quarter:
+    payload bit-agreement (to ulps), per-subscription ``seq`` strictly
+    increasing, epoch vectors componentwise non-decreasing, and the
+    stamped quarter consistent with the epoch vector.  With
+    ``expect_updates`` (default) it is a scenario bug if an every-seal
+    subscriber has nothing new once the window has ever filled."""
+
+    expect_updates: bool = True
+
+
 Event = (
     Traffic
     | Advance
@@ -238,6 +273,8 @@ Event = (
     | DeepWindow
     | KillWorker
     | SlowRpc
+    | Subscribe
+    | DrainUpdates
 )
 
 
@@ -374,6 +411,15 @@ class ScenarioRunner:
             for key in self.pool
         }
         self.report = ScenarioReport(scenario.name, seed)
+        # Continuous-query state (Subscribe / DrainUpdates events): the
+        # registry rides the live router; per-subscription consumption
+        # cursors survive across drains so ordering is checked globally.
+        self.subscriptions: SubscriptionRegistry | None = None
+        self._subs_meta: dict[str, str] = {}
+        self._every_seal: set[str] = set()
+        self._sub_since: dict[str, int] = {}
+        self._sub_prev_epoch: dict[str, tuple[int, ...]] = {}
+        self._updates_verified = 0
 
     # ------------------------------------------------------------------
     # Event interpretation
@@ -385,6 +431,8 @@ class ScenarioRunner:
                 self.report.events += 1
             return self.report
         finally:
+            if self.subscriptions is not None:
+                self.subscriptions.close()
             self.cube.close()
             if self.cube.wal is not None:
                 self.cube.wal.close()
@@ -404,6 +452,8 @@ class ScenarioRunner:
             DeepWindow: self._deep_window,
             KillWorker: self._kill_worker,
             SlowRpc: self._slow_rpc,
+            Subscribe: self._subscribe,
+            DrainUpdates: self._drain_updates,
         }[type(event)]
         handler(event)
 
@@ -839,6 +889,7 @@ class ScenarioRunner:
 
     # -- durability / elasticity / retirement ---------------------------
     def _snapshot_restore(self, event: SnapshotRestore) -> None:
+        self._require_no_subscriptions("SnapshotRestore")
         hot = (
             self.scenario.hot_quarters if self.scenario.storage else None
         )
@@ -890,7 +941,19 @@ class ScenarioRunner:
         )
         self.report.checks += 1
 
+    def _require_no_subscriptions(self, what: str) -> None:
+        # SnapshotRestore / Reshard continue the run on a *new* cube and
+        # router; a registry bound to the old pair would keep pushing from
+        # retired state.  Subscription scenarios simply don't mix with
+        # instance replacement (a real service unsubscribes on restart).
+        if self.subscriptions is not None:
+            raise VerifyMismatch(
+                f"scenario bug: {what} after Subscribe — the registry is "
+                "bound to the live router/cube pair"
+            )
+
     def _reshard(self, event: Reshard) -> None:
+        self._require_no_subscriptions("Reshard")
         resharded = self.cube.reshard(event.shards)
         try:
             if self._windows_ready(1):
@@ -1058,6 +1121,138 @@ class ScenarioRunner:
             shard, "sleep", event.method, event.seconds
         )
 
+    # -- continuous queries (subscription push) -------------------------
+    def _subscribe(self, event: Subscribe) -> None:
+        if self.subscriptions is None:
+            self.subscriptions = SubscriptionRegistry(
+                self.router, queue_limit=event.queue_limit
+            )
+        window = self.scenario.window
+        registrations = (
+            # Two watch subscribers share one spec: the dispatcher must
+            # collapse them onto a single execution per seal.
+            (self.subscriptions.subscribe(watch=True), "watch", 1),
+            (
+                self.subscriptions.subscribe(
+                    watch=True, every_k=event.every_k
+                ),
+                "watch",
+                event.every_k,
+            ),
+            (
+                self.subscriptions.subscribe(
+                    Q.observation_deck(window=window)
+                ),
+                "deck",
+                1,
+            ),
+        )
+        for sub_id, kind, every_k in registrations:
+            self._subs_meta[sub_id] = kind
+            if every_k == 1:
+                # every-seal subscribers are held to "nothing missing"
+                # in DrainUpdates; every-K ones only to correctness.
+                self._every_seal.add(sub_id)
+
+    def _verify_update(
+        self, sub_id: str, kind: str, update: dict
+    ) -> None:
+        """One pushed update against the oracle at *its* quarter."""
+        epoch = tuple(update["epoch"])
+        quarter = update["quarter"]
+        if len(epoch) < 3:
+            raise VerifyMismatch(
+                f"{sub_id}: malformed epoch vector {epoch!r}"
+            )
+        if quarter != min(epoch[2:]):
+            raise VerifyMismatch(
+                f"{sub_id}: update quarter {quarter} disagrees with its "
+                f"epoch vector {epoch!r}"
+            )
+        prev = self._sub_prev_epoch.get(sub_id)
+        if prev:
+            if len(prev) != len(epoch) or any(
+                c < p for p, c in zip(prev, epoch)
+            ):
+                raise VerifyMismatch(
+                    f"{sub_id}: update epoch {epoch!r} is older than its "
+                    f"predecessor's {prev!r} — delivery reordered"
+                )
+        self._sub_prev_epoch[sub_id] = epoch
+        cells = {
+            tuple(row["values"]): isb_from_dict(row["isb"])
+            for row in update["result"]["cells"]
+        }
+        t_b, t_e = self.oracle.window_bounds_at(
+            quarter, self.scenario.window
+        )
+        o_coord = self.layers.o_coord
+        what = f"pushed {kind} update at quarter {quarter}"
+        if kind == "deck":
+            assert_cells_equal(
+                cells,
+                self.oracle.cuboid_cells_at(o_coord, t_b, t_e),
+                what,
+            )
+        else:
+            _flag_sets_equal(
+                cells,
+                self.oracle.exceptional_cells_at(o_coord, t_b, t_e),
+                self.oracle,
+                o_coord,
+                what,
+                DEFAULT_TOLERANCE,
+            )
+        self._updates_verified += 1
+        self.report.cells_compared += len(cells)
+
+    def _drain_updates(self, event: DrainUpdates) -> None:
+        if self.subscriptions is None:
+            raise VerifyMismatch(
+                "scenario bug: DrainUpdates before Subscribe"
+            )
+        if not self.subscriptions.flush(30.0):
+            raise VerifyMismatch(
+                "subscription dispatcher failed to drain after the seals"
+            )
+        window_filled = self.oracle.current_quarter >= self.scenario.window
+        for sub_id, kind in self._subs_meta.items():
+            since = self._sub_since.get(sub_id, 0)
+            reply = self.subscriptions.poll(sub_id, since)
+            last_seq = since
+            for update in reply["updates"]:
+                if update["seq"] <= last_seq:
+                    raise VerifyMismatch(
+                        f"{sub_id}: sequence numbers not strictly "
+                        f"increasing ({update['seq']} after {last_seq})"
+                    )
+                last_seq = update["seq"]
+                self._verify_update(sub_id, kind, update)
+            self._sub_since[sub_id] = last_seq
+            # An every-seal subscriber, once its window has filled, must
+            # have converged on the *newest* seal by the time the
+            # dispatcher is idle — anything less means a lost update
+            # (coalescing may skip intermediates, never the latest).
+            if (
+                event.expect_updates
+                and window_filled
+                and sub_id in self._every_seal
+            ):
+                prev = self._sub_prev_epoch.get(sub_id)
+                if not prev:
+                    raise VerifyMismatch(
+                        f"{sub_id}: no update delivered although "
+                        f"{self.oracle.current_quarter} quarters have "
+                        "sealed"
+                    )
+                delivered_q = min(prev[2:])
+                if delivered_q != self.oracle.current_quarter:
+                    raise VerifyMismatch(
+                        f"{sub_id}: last delivered quarter {delivered_q} "
+                        f"!= sealed quarter {self.oracle.current_quarter}"
+                    )
+        self.report.checks += 1
+
     def _cache_churn(self, event: CacheChurn) -> None:
         window = self.scenario.window
         if not self._windows_ready(window):
@@ -1224,6 +1419,25 @@ SCENARIOS: dict[str, Scenario] = {
             Advance(1),
             CacheChurn(repeats=2),
             CacheChurn(repeats=1),
+            Check(queries=True),
+        ),
+        _scenario(
+            "continuous_push",
+            "Subscribers ride the seal path: watch/deck updates pushed "
+            "while ingest continues, each verified against the oracle at "
+            "its own quarter, strictly ordered, never from the seal's "
+            "critical section.",
+            Traffic(quarters=2, rate=3),
+            Subscribe(every_k=2),
+            Traffic(quarters=3, rate=3),
+            Advance(1),
+            DrainUpdates(),
+            Traffic(quarters=2, rate=3, style="trickle"),
+            Advance(1),
+            DrainUpdates(),
+            Traffic(quarters=1, rate=4, style="boundary"),
+            Advance(1),
+            DrainUpdates(),
             Check(queries=True),
         ),
         _scenario(

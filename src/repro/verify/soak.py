@@ -55,6 +55,7 @@ from repro.verify.oracle import (
     RawStreamOracle,
     Tolerance,
     VerifyMismatch,
+    _flag_sets_equal,
     assert_cells_equal,
     isb_agree,
 )
@@ -77,6 +78,14 @@ class SoakConfig:
     window: int = 4
     ingest_threads: int = 3
     query_threads: int = 2
+    #: Continuous-query subscribers: each registers over POST /subscribe
+    #: (alternating o-layer watch / observation deck), long-polls
+    #: ``GET /updates`` while the stream seals, checks ordering (seq
+    #: strictly increasing, epoch vectors monotone, quarter consistent
+    #: with the vector) on every pushed update, and unsubscribes at the
+    #: end; the final audit re-checks each subscriber's last update
+    #: against the oracle at that update's own quarter.
+    subscribers: int = 0
     cell_pool: int = 36
     batch_records: int = 24
     host: str = "127.0.0.1"
@@ -115,6 +124,7 @@ class SoakReport:
     records_acked: int = 0
     snapshots: int = 0
     query_errors: int = 0
+    subscription_updates: int = 0
     final_quarter: int = 0
     cells_verified: int = 0
     mismatches: int = 0
@@ -139,6 +149,8 @@ class SoakReport:
             ),
             f"  admin: {self.snapshots} snapshots, "
             f"{self.query_errors} malformed-query rejections",
+            f"  subscriptions: {self.subscription_updates} pushed updates "
+            f"received",
             f"  final quarter {self.final_quarter}, "
             f"{self.cells_verified} cells oracle-verified, "
             f"{self.mismatches} mismatches",
@@ -361,6 +373,95 @@ def _admin(
         time.sleep(0.25)
 
 
+def _subscriber(
+    client: _Client,
+    config: SoakConfig,
+    index: int,
+    stop: threading.Event,
+    report: SoakReport,
+    lock: threading.Lock,
+    last_updates: dict[str, tuple[str, dict]],
+) -> None:
+    """One continuous-query client: subscribe, long-poll, verify, leave.
+
+    Every pushed update is checked for the delivery guarantees the
+    subscription layer documents — per-subscription ``seq`` strictly
+    increasing, epoch vectors componentwise non-decreasing, the update's
+    quarter equal to the epoch vector's slowest shard clock — and for
+    wire consistency (one window interval per cell map).  The last
+    update each subscriber receives is stashed for the final audit,
+    which recomputes it from the oracle at that update's own quarter.
+    """
+    kind = "watch" if index % 2 == 0 else "deck"
+    payload: dict = (
+        {"watch": True}
+        if kind == "watch"
+        else {"spec": Q.observation_deck().to_dict()}
+    )
+    status, body = client.request("POST", "/subscribe", payload)
+    if status != 200 or "subscription" not in body:
+        with lock:
+            report.flag(f"/subscribe -> {status}: {str(body)[:200]}")
+        return
+    sub_id = body["subscription"]
+    since = 0
+    prev_epoch: tuple[int, ...] | None = None
+    while not stop.is_set():
+        status, body = client.request(
+            "GET", f"/updates?subscription={sub_id}&since={since}&timeout=1.5"
+        )
+        if status != 200:
+            with lock:
+                report.flag(
+                    f"subscriber {sub_id} /updates -> {status}: "
+                    f"{str(body)[:200]}"
+                )
+            return
+        problem = None
+        fresh = 0
+        for update in body.get("updates", ()):
+            seq = update.get("seq", 0)
+            epoch = tuple(update.get("epoch", ()))
+            if seq <= since:
+                problem = f"seq not increasing: {seq} after {since}"
+            elif len(epoch) < 3:
+                problem = f"malformed epoch vector {epoch!r}"
+            elif update.get("quarter") != min(epoch[2:]):
+                problem = (
+                    f"quarter {update.get('quarter')} inconsistent with "
+                    f"epoch {epoch}"
+                )
+            elif prev_epoch is not None and (
+                len(epoch) != len(prev_epoch)
+                or any(c < p for c, p in zip(epoch, prev_epoch))
+            ):
+                problem = f"epoch regressed: {prev_epoch} -> {epoch}"
+            elif not _consistent_cells(update.get("result", {})):
+                problem = "inconsistent cell intervals in pushed update"
+            if problem:
+                break
+            since = seq
+            prev_epoch = epoch
+            fresh += 1
+            with lock:
+                last_updates[sub_id] = (kind, update)
+        with lock:
+            report.requests["updates"] = (
+                report.requests.get("updates", 0) + 1
+            )
+            report.subscription_updates += fresh
+            if problem:
+                report.flag(f"subscriber {sub_id} ({kind}): {problem}")
+        if problem:
+            return
+    status, body = client.request("DELETE", f"/subscribe/{sub_id}")
+    with lock:
+        if status != 200:
+            report.flag(
+                f"DELETE /subscribe/{sub_id} -> {status}: {str(body)[:200]}"
+            )
+
+
 def run_soak(config: SoakConfig, workdir: str | Path | None = None) -> SoakReport:
     """Run one seeded soak; returns the report (``mismatches == 0`` means
     every concurrent answer and the final oracle audit agreed)."""
@@ -411,7 +512,10 @@ def run_soak(config: SoakConfig, workdir: str | Path | None = None) -> SoakRepor
         service,
         host=config.host,
         port=config.port,
-        request_threads=config.ingest_threads + config.query_threads + 2,
+        request_threads=(
+            config.ingest_threads + config.query_threads
+            + config.subscribers + 2
+        ),
     )
     host, port = server.server_address[:2]
     client = _Client(f"http://{host}:{port}")
@@ -431,6 +535,7 @@ def run_soak(config: SoakConfig, workdir: str | Path | None = None) -> SoakRepor
 
     report = SoakReport(seed=config.seed, duration=config.duration)
     acked: list[list[StreamRecord]] = []
+    last_updates: dict[str, tuple[str, dict]] = {}
     stop = threading.Event()
     lock = threading.Lock()
     clock = _TickClock()
@@ -462,6 +567,14 @@ def run_soak(config: SoakConfig, workdir: str | Path | None = None) -> SoakRepor
         for i in range(config.query_threads)
     ] + [
         threading.Thread(
+            target=_guarded(_subscriber, "subscriber", report, lock),
+            args=(client, config, i, stop, report, lock, last_updates),
+            name=f"soak-subscriber-{i}",
+            daemon=True,
+        )
+        for i in range(config.subscribers)
+    ] + [
+        threading.Thread(
             target=_guarded(_admin, "admin", report, lock),
             args=(client, stop, report, lock),
             name="soak-admin", daemon=True,
@@ -479,7 +592,9 @@ def run_soak(config: SoakConfig, workdir: str | Path | None = None) -> SoakRepor
     server.server_close()
 
     try:
-        _final_audit(service, layers, policy, config, acked, report)
+        _final_audit(
+            service, layers, policy, config, acked, report, last_updates
+        )
         _restore_audit(
             service, layers, policy, snap_dir, report, storage_cfg
         )
@@ -496,6 +611,7 @@ def _final_audit(
     config: SoakConfig,
     acked: list[list[StreamRecord]],
     report: SoakReport,
+    last_updates: dict[str, tuple[str, dict]] | None = None,
 ) -> None:
     """Rebuild the oracle from acknowledged traffic; audit the quiesced
     service through the same ``handle()`` dispatch HTTP uses."""
@@ -582,6 +698,35 @@ def _final_audit(
             tol,
         )
         report.cells_verified += len(o_cells)
+
+        # Pushed updates were computed at their own (historical) seal
+        # epoch; by then every quarter in that window was sealed, and
+        # sealed quarters reject further records, so the oracle can
+        # recompute the exact answer each subscriber last saw.
+        for sub_id, (kind, update) in sorted((last_updates or {}).items()):
+            quarter = update["quarter"]
+            if quarter < window:
+                continue
+            t_b, t_e = oracle.window_bounds_at(quarter, window)
+            cells = _decode_cells(update["result"])
+            what = f"last pushed {kind} update (subscriber {sub_id})"
+            if kind == "deck":
+                assert_cells_equal(
+                    cells,
+                    oracle.cuboid_cells_at(layers.o_coord, t_b, t_e),
+                    what,
+                    tol,
+                )
+            else:
+                _flag_sets_equal(
+                    cells,
+                    oracle.exceptional_cells_at(layers.o_coord, t_b, t_e),
+                    oracle,
+                    layers.o_coord,
+                    what,
+                    tol,
+                )
+            report.cells_verified += len(cells)
     except VerifyMismatch as exc:
         report.flag(f"final audit: {exc}")
         raise
@@ -640,6 +785,7 @@ def main(args) -> int:
         shards=args.shards,
         ingest_threads=args.ingest_threads,
         query_threads=args.query_threads,
+        subscribers=getattr(args, "subscribers", 0) or 0,
         port=args.port,
         storage=getattr(args, "storage", None),
         hot_quarters=getattr(args, "hot_quarters", None) or 2,

@@ -23,8 +23,9 @@ def service(layers, policy):
     cube = ShardedStreamCube(
         layers, policy, n_shards=2, ticks_per_quarter=TPQ
     )
-    yield StreamCubeService(cube, QueryRouter(cube, window_quarters=4))
-    cube.close()
+    service = StreamCubeService(cube, QueryRouter(cube, window_quarters=4))
+    yield service
+    service.close()
 
 
 @pytest.fixture
@@ -228,7 +229,7 @@ def tiered_service(layers, policy, tmp_path):
     assert status == 200
     service.handle("POST", "/advance", {"t": 6 * TPQ})
     yield service
-    cube.close()
+    service.close()
 
 
 class TestStorageStats:
@@ -304,7 +305,11 @@ class TestStatsEndpoint:
         assert router["cache_capacity"] >= router["cache_entries"]
         assert router["views"] == 1
         assert router["batches"] == 1
-        assert router["specs_executed"] == 3
+        # Three requests, but the repeated cell query is a cache hit and
+        # hits are not executions: only the first cell and the batched
+        # watch_list actually ran.
+        assert router["specs_executed"] == 2
+        assert router["single_flight_fallbacks"] == 0
         assert len(body["shard_cells"]) == 2
         assert sum(body["shard_cells"]) > 0
 
@@ -355,6 +360,116 @@ class TestStatsEndpoint:
             cube.close()
 
 
+class TestSubscriptionEndpoints:
+    def _seal_next(self, service):
+        quarter = service.cube.current_quarter
+        t0 = quarter * TPQ
+        rows = [
+            {"values": [0, 0], "t": t, "z": 5.0 + t}
+            for t in range(t0, t0 + TPQ)
+        ]
+        status, _ = service.handle("POST", "/ingest", {"records": rows})
+        assert status == 200
+        status, _ = service.handle(
+            "POST", "/advance", {"t": (quarter + 1) * TPQ}
+        )
+        assert status == 200
+        assert service.subscriptions.flush(10.0)
+
+    def test_subscribe_list_update_unsubscribe(self, loaded):
+        # Drain the dispatch round triggered by the fixture's own seals:
+        # a subscription registered while that round is still pending
+        # legitimately rides along and would add an extra update here.
+        assert loaded.subscriptions.flush(10.0)
+        status, body = loaded.handle("POST", "/subscribe", {"watch": True})
+        assert status == 200
+        sub_id = body["subscription"]
+
+        status, body = loaded.handle("GET", "/subscriptions")
+        assert status == 200
+        assert [s["id"] for s in body["subscriptions"]] == [sub_id]
+        assert body["subscriptions"][0]["op"] == "watch_list"
+        assert body["subscriptions"][0]["every_k_quarters"] == 1
+
+        self._seal_next(loaded)
+        # Query-string form, exactly as a long-polling client sends it.
+        status, body = loaded.handle(
+            "GET", f"/updates?subscription={sub_id}&since=0&timeout=0"
+        )
+        assert status == 200
+        assert len(body["updates"]) == 1
+        update = body["updates"][0]
+        assert update["seq"] == 1
+        assert update["quarter"] == loaded.cube.current_quarter
+        assert update["epoch"] == list(loaded.cube.epoch_vector())
+        assert "cells" in update["result"]
+
+        # Acking via since= filters the already-seen update out.
+        status, body = loaded.handle(
+            "GET", f"/updates?subscription={sub_id}&since=1"
+        )
+        assert status == 200
+        assert body["updates"] == [] and body["last_seq"] == 1
+
+        status, body = loaded.handle("DELETE", f"/subscribe/{sub_id}")
+        assert status == 200 and body == {"removed": sub_id}
+        status, body = loaded.handle("DELETE", f"/subscribe/{sub_id}")
+        assert status == 404
+
+    def test_spec_subscription_payload(self, loaded):
+        status, body = loaded.handle(
+            "POST",
+            "/subscribe",
+            {
+                "spec": {"op": "observation_deck"},
+                "every_k_quarters": 2,
+                "queue_limit": 3,
+            },
+        )
+        assert status == 200
+        described = loaded.handle("GET", "/subscriptions")[1][
+            "subscriptions"
+        ][0]
+        assert described["op"] == "observation_deck"
+        assert described["every_k_quarters"] == 2
+        assert described["queue_limit"] == 3
+
+    def test_updates_requires_a_known_subscription(self, loaded):
+        status, body = loaded.handle("GET", "/updates")
+        assert status == 400 and body["type"] == "ServiceError"
+        status, body = loaded.handle(
+            "GET", "/updates?subscription=sub-999"
+        )
+        assert status == 400 and "unknown subscription" in body["error"]
+
+    def test_bad_subscribe_payloads_map_to_400(self, loaded):
+        for payload in (
+            {},
+            {"watch": True, "every_seal": True, "every_k_quarters": 2},
+            {"watch": True, "every_k_quarters": 0},
+            {"watch": True, "queue_limit": 0},
+            {"spec": {"op": "no_such_op"}},
+        ):
+            status, body = loaded.handle("POST", "/subscribe", payload)
+            assert status == 400, payload
+            assert "error" in body, payload
+
+    def test_stats_expose_subscriptions_block(self, loaded):
+        assert loaded.subscriptions.flush(10.0)
+        status, body = loaded.handle("POST", "/subscribe", {"watch": True})
+        assert status == 200
+        self._seal_next(loaded)
+        status, body = loaded.handle("GET", "/stats")
+        assert status == 200
+        subs = body["subscriptions"]
+        assert subs["active"] == 1
+        assert subs["created"] == 1
+        assert subs["queued"] == 1
+        assert subs["seals_signaled"] >= 1
+        assert subs["updates_enqueued"] == 1
+        assert subs["updates_dropped"] == 0
+
+
 class TestLiveServer:
     def test_end_to_end_over_sockets(self, service):
         server = make_server(service, port=0)
@@ -400,6 +515,30 @@ class TestLiveServer:
             with pytest.raises(urllib.error.HTTPError) as excinfo:
                 post("/query", {"op": "magic"})
             assert excinfo.value.code == 400
+
+            # The push surface over real sockets: subscribe, seal a
+            # quarter, long-poll the update, unsubscribe via DELETE.
+            assert service.subscriptions.flush(10.0)
+            sub_id = post("/subscribe", {"watch": True})["subscription"]
+            t0 = 6 * TPQ
+            seal_rows = [
+                {"values": [0, 0], "t": t, "z": 5.0} for t in range(t0, t0 + TPQ)
+            ]
+            post("/ingest", {"records": seal_rows})
+            post("/advance", {"t": 7 * TPQ})
+            with urllib.request.urlopen(
+                f"{base}/updates?subscription={sub_id}&since=0&timeout=5"
+            ) as response:
+                updates = json.loads(response.read())["updates"]
+            assert len(updates) == 1 and updates[0]["seq"] == 1
+            delete = urllib.request.Request(
+                f"{base}/subscribe/{sub_id}", method="DELETE"
+            )
+            with urllib.request.urlopen(delete) as response:
+                assert json.loads(response.read()) == {"removed": sub_id}
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(delete)
+            assert excinfo.value.code == 404
         finally:
             server.shutdown()
             server.server_close()

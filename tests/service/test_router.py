@@ -7,7 +7,7 @@ import pytest
 from repro.errors import ServiceError
 from repro.query.api import RegressionCubeView
 from repro.query.spec import Q
-from repro.service.router import LRUCache, QueryRouter
+from repro.service.router import LRUCache, QueryRouter, _Flight
 from repro.service.sharding import ShardedStreamCube
 from repro.stream.records import StreamRecord
 
@@ -52,6 +52,27 @@ class TestLRUCache:
     def test_capacity_validated(self):
         with pytest.raises(ServiceError):
             LRUCache(0)
+
+    def test_versioned_hit_and_stale_miss_accounting(self):
+        cache = LRUCache(4)
+        cache.put("k", (7, "value"))
+        assert cache.get_versioned("k", 7) == (7, "value")
+        assert cache.hits == 1
+        assert cache.get_versioned("k", 8) is None
+        assert cache.misses == 1
+
+    def test_stale_entry_evicted_on_detection(self):
+        # Regression: a stale line used to squat on its LRU slot until
+        # capacity pressure pushed a *live* line out instead.  With
+        # capacity 2, detecting "a" as stale must free its slot so the
+        # next put does not evict the still-valid "b".
+        cache = LRUCache(2)
+        cache.put("a", (1, "va"))
+        cache.put("b", (1, "vb"))
+        assert cache.get_versioned("a", 2) is None  # stale -> evicted now
+        cache.put("c", (2, "vc"))
+        assert cache.get_versioned("b", 1) == (1, "vb")
+        assert cache.get_versioned("c", 2) == (2, "vc")
 
 
 class TestRouterQueries:
@@ -188,6 +209,62 @@ class TestSpecExecution:
         assert stats["specs_executed"] == 1
         assert stats["views"] == 1
         assert stats["batches"] == 0
+
+    def test_cache_hit_does_not_count_as_execution(self, router):
+        # Regression: specs_executed used to be bumped before the cache
+        # lookup, so /stats claimed an execution for every request and
+        # the hit rate computed from it was meaningless.
+        router.execute(Q.watch_list())
+        assert router.specs_executed == 1
+        router.execute(Q.watch_list())
+        router.execute(Q.watch_list())
+        assert router.specs_executed == 1
+        assert router.stats()["specs_executed"] == 1
+
+    def test_execute_versioned_returns_the_stored_cut(self, cube, router):
+        cut, result = router.execute_versioned(Q.watch_list())
+        assert cut == cube.epoch_vector()
+        assert result.value == router.watch_list()
+        # The cache hit returns the very same stored entry.
+        again_cut, again = router.execute_versioned(Q.watch_list())
+        assert again_cut == cut
+        assert again is result
+
+    def test_seal_storm_fallback_counted_and_uncached(self, router):
+        # A follower that loops its full budget without ever validating
+        # a cache line answers directly from one read cut, uncached, and
+        # the bailout is visible in /stats.  Planting a pre-completed
+        # flight under the key makes every round join-and-retry without
+        # any leader filling the cache — the storm, deterministically.
+        flight = _Flight()
+        flight.done.set()
+        key = ("_router", "storm-test")
+        router._flights[key] = flight
+        calls = []
+        cut, value = router._single_flight_entry(
+            key, lambda: calls.append(1) or 42
+        )
+        assert value == 42 and calls == [1]
+        assert cut == router.cube.epoch_vector()
+        assert router.single_flight_fallbacks == 1
+        assert router.stats()["single_flight_fallbacks"] == 1
+        assert router.cache.get_versioned(key, cut) is None
+
+    def test_hand_built_keys_are_namespaced(self, router):
+        # Hand-built lines share the LRU with spec cache keys, which are
+        # shaped (op, (field, value), ...) with an identifier op.  The
+        # "_router" tag keeps the two families disjoint: a spec-shaped
+        # key passed through _cached must land on a different line.
+        spec_shaped = ("exceptions", ("window_quarters", 4))
+        assert router._cached(spec_shaped, lambda: "hand-built") == (
+            "hand-built"
+        )
+        vector = router.cube.epoch_vector()
+        stored = router.cache.get_versioned(
+            ("_router",) + spec_shaped, vector
+        )
+        assert stored is not None and stored[1] == "hand-built"
+        assert router.cache.get_versioned(spec_shaped, vector) is None
 
 
 class TestValidation:

@@ -31,6 +31,18 @@ def test_short_process_soak_zero_mismatches(tmp_path):
     assert report.snapshots >= 1
 
 
+def test_short_soak_with_subscribers(tmp_path):
+    """Continuous-query push clients under the full concurrent workload:
+    every delivered update obeys the ordering contract, and the final
+    audit recomputes each subscriber's last update from the oracle at
+    that update's own quarter."""
+    config = SoakConfig(seed=4, duration=2.0, subscribers=2)
+    report = run_soak(config, tmp_path)
+    assert report.mismatches == 0, report.describe()
+    assert report.requests.get("updates", 0) > 0
+    assert report.subscription_updates > 0
+
+
 def test_soak_cli_entry(tmp_path, capsys, monkeypatch):
     """`python -m repro soak` wiring: flags parse and the verdict prints."""
     from repro.__main__ import main
